@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks for the chunking strategies — quantifies the
+//! Figure 22 mechanism: POS-Tree's hash-pattern internal boundaries vs
+//! Prolly's sliding-window re-hashing, and bulk build cost per structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use siri::workloads::YcsbConfig;
+use siri::{MemStore, PosParams, PosTree, SiriIndex};
+
+const N: usize = 20_000;
+
+fn bench_chunking(c: &mut Criterion) {
+    let ycsb = YcsbConfig::default();
+    let data = ycsb.dataset(N);
+    let bytes: usize = data.iter().map(|e| e.key.len() + e.value.len()).sum();
+
+    let mut group = c.benchmark_group("bulk_build_20k");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes as u64));
+    for (name, params) in [
+        ("pos-tree-hashpattern", PosParams::default()),
+        ("prolly-rolling-window", PosParams::noms()),
+        ("pos-tree-4k", PosParams::default().with_node_bytes(4096)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut t = PosTree::new(MemStore::new_shared(), params);
+                t.batch_insert(data.clone()).unwrap();
+                std::hint::black_box(t.root())
+            })
+        });
+    }
+    group.finish();
+
+    // Incremental batch-update cost: the streaming pass-through updater.
+    let mut group = c.benchmark_group("incremental_update_batch100");
+    group.sample_size(10);
+    let mut base = PosTree::new(MemStore::new_shared(), PosParams::default());
+    base.batch_insert(data).unwrap();
+    let updates: Vec<siri::Entry> =
+        (0..100u64).map(|i| ycsb.entry(i * 131 % N as u64, 2)).collect();
+    group.bench_function("pos-tree", |b| {
+        b.iter(|| {
+            let mut v = base.clone();
+            v.batch_insert(updates.clone()).unwrap();
+            std::hint::black_box(v.root())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunking);
+criterion_main!(benches);

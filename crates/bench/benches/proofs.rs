@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for Merkle proof generation/verification —
+//! the tamper-evidence cost every SIRI structure pays (§2.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use siri::workloads::YcsbConfig;
+use siri::{MerkleBucketTree, MerklePatriciaTrie, MvmbTree, PosTree, SiriIndex};
+use siri_bench::harness::{load_batched, mbt_factory, mpt_factory, mvmb_factory, pos_factory, IndexCfg};
+
+const N: usize = 20_000;
+
+fn bench_proofs(c: &mut Criterion) {
+    let ycsb = YcsbConfig::default();
+    let data = ycsb.dataset(N);
+    let cfg = IndexCfg::ycsb(1024);
+
+    let mut g = c.benchmark_group("proofs_20k");
+    g.sample_size(20);
+
+    macro_rules! per_index {
+        ($name:expr, $factory:expr, $ty:ty) => {{
+            let (idx, _) = load_batched(&$factory, &data, 8_000);
+            let mut i = 0u64;
+            g.bench_function(concat!($name, "/prove"), |b| {
+                b.iter(|| {
+                    i = (i + 1) % N as u64;
+                    std::hint::black_box(idx.prove(&ycsb.key(i)).unwrap().len())
+                })
+            });
+            let key = ycsb.key(7);
+            let proof = idx.prove(&key).unwrap();
+            let root = idx.root();
+            g.bench_function(concat!($name, "/verify"), |b| {
+                b.iter(|| std::hint::black_box(<$ty>::verify_proof(root, &key, &proof).is_valid()))
+            });
+        }};
+    }
+
+    per_index!("pos-tree", pos_factory(cfg), PosTree);
+    per_index!("mbt", mbt_factory(cfg), MerkleBucketTree);
+    per_index!("mpt", mpt_factory(cfg), MerklePatriciaTrie);
+    per_index!("mvmb+", mvmb_factory(cfg), MvmbTree);
+    g.finish();
+}
+
+criterion_group!(benches, bench_proofs);
+criterion_main!(benches);

@@ -1,0 +1,241 @@
+//! Index-agnostic experiment drivers.
+
+use std::time::Instant;
+
+use siri::workloads::ycsb::Op;
+use siri::{
+    Entry, Hash, IndexFactory, MbtFactory, MemStore, MptFactory, MvmbFactory, MvmbParams,
+    PageSet, PosFactory, PosParams, SiriIndex,
+};
+
+/// Per-workload structure tuning, following §5's "node size ≈ 1 KB" rule.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexCfg {
+    pub node_bytes: usize,
+    /// Average encoded entry size of the workload (keys + values).
+    pub avg_entry: usize,
+    pub avg_key: usize,
+    /// MBT capacity — fixed for the index's lifetime (§3.4.2).
+    pub mbt_buckets: usize,
+    pub mbt_fanout: usize,
+}
+
+impl IndexCfg {
+    pub fn ycsb(node_bytes: usize) -> Self {
+        IndexCfg { node_bytes, avg_entry: 271, avg_key: 10, mbt_buckets: 1024, mbt_fanout: 32 }
+    }
+
+    pub fn wiki(node_bytes: usize) -> Self {
+        IndexCfg { node_bytes, avg_entry: 150, avg_key: 50, mbt_buckets: 1024, mbt_fanout: 32 }
+    }
+
+    pub fn eth(node_bytes: usize) -> Self {
+        IndexCfg { node_bytes, avg_entry: 600, avg_key: 64, mbt_buckets: 256, mbt_fanout: 32 }
+    }
+}
+
+pub fn pos_factory(cfg: IndexCfg) -> PosFactory {
+    PosFactory(PosParams::default().with_node_bytes(cfg.node_bytes))
+}
+
+pub fn mbt_factory(cfg: IndexCfg) -> MbtFactory {
+    MbtFactory { buckets: cfg.mbt_buckets, fanout: cfg.mbt_fanout }
+}
+
+pub fn mpt_factory(_cfg: IndexCfg) -> MptFactory {
+    MptFactory
+}
+
+pub fn mvmb_factory(cfg: IndexCfg) -> MvmbFactory {
+    MvmbFactory(MvmbParams::for_node_size(cfg.node_bytes, cfg.avg_entry, cfg.avg_key))
+}
+
+/// Run `body` once per index structure, passing its display name and
+/// factory. The single place that enumerates the four candidates.
+#[macro_export]
+macro_rules! for_each_index {
+    ($cfg:expr, |$name:ident, $factory:ident| $body:block) => {{
+        {
+            let $name = "pos-tree";
+            let $factory = $crate::harness::pos_factory($cfg);
+            $body
+        }
+        {
+            let $name = "mbt";
+            let $factory = $crate::harness::mbt_factory($cfg);
+            $body
+        }
+        {
+            let $name = "mpt";
+            let $factory = $crate::harness::mpt_factory($cfg);
+            $body
+        }
+        {
+            let $name = "mvmb+";
+            let $factory = $crate::harness::mvmb_factory($cfg);
+            $body
+        }
+    }};
+}
+
+/// Build an index over a fresh store, loading `entries` in batches;
+/// returns the handle plus the root of every batch-version.
+pub fn load_batched<F: IndexFactory>(
+    factory: &F,
+    entries: &[Entry],
+    batch: usize,
+) -> (F::Index, Vec<Hash>) {
+    let store = MemStore::new_shared();
+    let mut index = factory.empty(store);
+    let mut roots = Vec::new();
+    for chunk in entries.chunks(batch.max(1)) {
+        index.batch_insert(chunk.to_vec()).expect("load failed");
+        roots.push(index.root());
+    }
+    (index, roots)
+}
+
+/// Outcome of replaying an operation stream.
+#[derive(Debug, Default)]
+pub struct WorkloadStats {
+    pub reads: usize,
+    pub writes: usize,
+    pub read_nanos: u64,
+    pub write_nanos: u64,
+    /// (is_write, latency ns) per op, for the distribution figures.
+    pub latencies: Vec<(bool, u64)>,
+}
+
+impl WorkloadStats {
+    pub fn total_nanos(&self) -> u64 {
+        self.read_nanos + self.write_nanos
+    }
+
+    pub fn total_ops(&self) -> usize {
+        self.reads + self.writes
+    }
+
+    /// Latency percentile over the selected op class (µs).
+    pub fn percentile_micros(&self, writes: bool, p: f64) -> f64 {
+        let mut lats: Vec<u64> = self
+            .latencies
+            .iter()
+            .filter(|(w, _)| *w == writes)
+            .map(|(_, n)| *n)
+            .collect();
+        if lats.is_empty() {
+            return 0.0;
+        }
+        lats.sort_unstable();
+        let idx = ((lats.len() - 1) as f64 * p).round() as usize;
+        lats[idx] as f64 / 1e3
+    }
+}
+
+/// Replay an op stream against an index, timing each operation. Writes are
+/// applied one at a time (per-op versions), as in the paper's
+/// throughput/latency runs.
+pub fn run_ops<I: SiriIndex>(index: &mut I, ops: &[Op]) -> WorkloadStats {
+    let mut stats = WorkloadStats { latencies: Vec::with_capacity(ops.len()), ..Default::default() };
+    for op in ops {
+        match op {
+            Op::Read(key) => {
+                let t = Instant::now();
+                let _ = index.get(key).expect("read failed");
+                let n = t.elapsed().as_nanos() as u64;
+                stats.reads += 1;
+                stats.read_nanos += n;
+                stats.latencies.push((false, n));
+            }
+            Op::Write(entry) => {
+                let t = Instant::now();
+                index.insert(&entry.key, entry.value.clone()).expect("write failed");
+                let n = t.elapsed().as_nanos() as u64;
+                stats.writes += 1;
+                stats.write_nanos += n;
+                stats.latencies.push((true, n));
+            }
+        }
+    }
+    stats
+}
+
+/// Reachable page sets for a list of version roots.
+pub fn version_page_sets<F: IndexFactory>(
+    factory: &F,
+    store: &siri::SharedStore,
+    roots: &[Hash],
+) -> Vec<PageSet> {
+    roots
+        .iter()
+        .map(|r| factory.open(store.clone(), *r).page_set())
+        .collect()
+}
+
+/// A latency histogram with fixed bucket width, for the Figure 10–12
+/// distribution plots.
+pub fn latency_histogram(
+    stats: &WorkloadStats,
+    writes: bool,
+    bucket_micros: f64,
+    buckets: usize,
+) -> Vec<usize> {
+    let mut hist = vec![0usize; buckets];
+    for (w, nanos) in &stats.latencies {
+        if *w == writes {
+            let us = *nanos as f64 / 1e3;
+            let b = ((us / bucket_micros) as usize).min(buckets - 1);
+            hist[b] += 1;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siri::workloads::YcsbConfig;
+
+    #[test]
+    fn load_and_run_roundtrip() {
+        let cfg = IndexCfg::ycsb(1024);
+        let ycsb = YcsbConfig::default();
+        let data = ycsb.dataset(2_000);
+        let factory = pos_factory(cfg);
+        let (mut idx, roots) = load_batched(&factory, &data, 500);
+        assert_eq!(roots.len(), 4);
+        assert_eq!(idx.len().unwrap(), 2_000);
+        let ops = ycsb.operations(2_000, 200, 50, 0.0, 7);
+        let stats = run_ops(&mut idx, &ops);
+        assert_eq!(stats.total_ops(), 200);
+        assert!(stats.reads > 0 && stats.writes > 0);
+        assert!(stats.percentile_micros(false, 0.5) > 0.0);
+    }
+
+    #[test]
+    fn for_each_index_covers_four() {
+        let cfg = IndexCfg::ycsb(1024);
+        let mut names = Vec::new();
+        for_each_index!(cfg, |name, factory| {
+            let store = MemStore::new_shared();
+            let mut idx = factory.empty(store);
+            idx.insert(b"k", bytes::Bytes::from_static(b"v")).unwrap();
+            assert!(idx.get(b"k").unwrap().is_some());
+            names.push(name);
+        });
+        assert_eq!(names, vec!["pos-tree", "mbt", "mpt", "mvmb+"]);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let stats = WorkloadStats {
+            reads: 2,
+            writes: 0,
+            read_nanos: 3_000,
+            write_nanos: 0,
+            latencies: vec![(false, 1_000), (false, 2_000), (true, 9_000)],
+        };
+        let h = latency_histogram(&stats, false, 1.0, 4);
+        assert_eq!(h, vec![0, 1, 1, 0]);
+    }
+}

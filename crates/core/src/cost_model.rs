@@ -1,0 +1,147 @@
+//! The closed-form operation bounds of §4.1 and the deduplication-ratio
+//! predictions of §4.2, as executable formulas.
+//!
+//! These are used two ways: the `repro bounds` harness fits measured step
+//! counts against them, and unit/integration tests assert that measured
+//! lookup paths track the predicted growth (shape, not constants).
+
+/// Parameters of the cost model (Table 1 of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct ModelParams {
+    /// N — total number of records.
+    pub n: f64,
+    /// m — fanout of POS-Tree/MBT internal nodes (entries per page).
+    pub m: f64,
+    /// B — number of MBT buckets (its fixed capacity).
+    pub b: f64,
+    /// L — key length in nibbles (MPT path length upper bound).
+    pub l: f64,
+}
+
+fn log_base(base: f64, x: f64) -> f64 {
+    if x <= 1.0 {
+        0.0
+    } else {
+        x.ln() / base.ln()
+    }
+}
+
+/// MPT lookup cost: max(O(L), O(log_m N)) — §4.1.1. In practice L wins
+/// ("L is often larger than log_m N in the real systems").
+pub fn mpt_lookup(p: ModelParams) -> f64 {
+    p.l.max(log_base(p.m, p.n))
+}
+
+/// MBT lookup cost: O(log_m B + log₂(N/B)) — tree traversal plus binary
+/// search inside a bucket of expected size N/B.
+pub fn mbt_lookup(p: ModelParams) -> f64 {
+    log_base(p.m, p.b) + log_base(2.0, (p.n / p.b).max(1.0))
+}
+
+/// POS-Tree lookup cost: O(log_m N).
+pub fn pos_lookup(p: ModelParams) -> f64 {
+    log_base(p.m, p.n)
+}
+
+/// MVMB+-Tree lookup cost: O(log_m N) — a balanced B+-tree.
+pub fn mvmb_lookup(p: ModelParams) -> f64 {
+    log_base(p.m, p.n)
+}
+
+/// MPT update cost — same order as lookup (§4.1.2).
+pub fn mpt_update(p: ModelParams) -> f64 {
+    mpt_lookup(p)
+}
+
+/// MBT update cost: O(log_m B + N/B). The linear N/B term is the bucket
+/// copy + re-hash, which dominates when N ≫ B — the effect behind MBT's
+/// write-throughput collapse in Figure 6.
+pub fn mbt_update(p: ModelParams) -> f64 {
+    log_base(p.m, p.b) + p.n / p.b
+}
+
+/// POS-Tree update cost: O(log_m N) (rolling hash per touched node is
+/// constant).
+pub fn pos_update(p: ModelParams) -> f64 {
+    pos_lookup(p)
+}
+
+/// MVMB+-Tree update cost: O(log_m N).
+pub fn mvmb_update(p: ModelParams) -> f64 {
+    mvmb_lookup(p)
+}
+
+/// Diff cost with δ differing records: δ × per-structure lookup-ish factor
+/// (§4.1.3). Merge is bounded by the same expression (§4.1.4).
+pub fn diff_cost(per_record: f64, delta: f64) -> f64 {
+    delta * per_record
+}
+
+/// Predicted deduplication ratio for MBT and POS-Tree under the continuous
+/// differential analysis of §4.2.2: η ≈ 1/2 − α/2 for two sequential
+/// versions differing in an α fraction of records. (Remarkably independent
+/// of B and m.)
+pub fn eta_sequential(alpha: f64) -> f64 {
+    0.5 - alpha / 2.0
+}
+
+/// Predicted MPT deduplication ratio, §4.2.2: η = 1/2 − α·N·(L·c + r) /
+/// (2·(N·r + N·L̄·c)), where `l` is the full key length, `l_bar` the average
+/// populated path length, `r` the record size and `c` the hash size. When
+/// L ≥ L̄ this is ≥ the MBT/POS bound.
+pub fn eta_mpt(alpha: f64, l: f64, l_bar: f64, r: f64, c: f64) -> f64 {
+    0.5 - alpha * (l * c + r) / (2.0 * (r + l_bar * c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: ModelParams = ModelParams { n: 1_000_000.0, m: 16.0, b: 10_000.0, l: 32.0 };
+
+    #[test]
+    fn mpt_lookup_is_key_length_bound_for_realistic_sizes() {
+        // L = 32 nibbles vs log_16(1e6) ≈ 5: L dominates, as the paper notes.
+        assert_eq!(mpt_lookup(P), 32.0);
+    }
+
+    #[test]
+    fn mbt_update_grows_linearly_in_n_over_b() {
+        let small = mbt_update(ModelParams { n: 100_000.0, ..P });
+        let big = mbt_update(ModelParams { n: 1_600_000.0, ..P });
+        // 16x data → bucket-copy term scales 16x.
+        assert!(big > small * 10.0, "big={big} small={small}");
+    }
+
+    #[test]
+    fn pos_scales_logarithmically() {
+        let small = pos_update(ModelParams { n: 10_000.0, ..P });
+        let big = pos_update(ModelParams { n: 2_560_000.0, ..P });
+        assert!(big < small * 2.0, "256x data must cost < 2x steps");
+    }
+
+    #[test]
+    fn mbt_lookup_beats_pos_when_buckets_fit() {
+        // With N == B the bucket scan is O(1) and MBT's path is the shortest.
+        let p = ModelParams { n: 10_000.0, b: 10_000.0, ..P };
+        assert!(mbt_lookup(p) <= pos_lookup(p));
+    }
+
+    #[test]
+    fn eta_predictions_match_paper_endpoints() {
+        assert!((eta_sequential(0.0) - 0.5).abs() < 1e-12);
+        assert!((eta_sequential(1.0) - 0.0).abs() < 1e-12);
+        // MPT with L == L̄ and negligible hash overhead degenerates to the
+        // same 1/2 − α/2 line.
+        let e = eta_mpt(0.4, 10.0, 10.0, 256.0, 0.0);
+        assert!((e - eta_sequential(0.4)).abs() < 1e-12);
+        // Longer actual keys (L > L̄) reduce MPT's predicted ratio per the
+        // paper's inequality.
+        assert!(eta_mpt(0.4, 20.0, 10.0, 256.0, 32.0) < eta_mpt(0.4, 10.0, 10.0, 256.0, 32.0));
+    }
+
+    #[test]
+    fn diff_cost_scales_with_delta() {
+        assert_eq!(diff_cost(5.0, 10.0), 50.0);
+    }
+}

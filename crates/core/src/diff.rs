@@ -1,0 +1,188 @@
+//! Diff and merge — the paper's "comparison" and "merge" operations
+//! (§4.1.3, §4.1.4).
+
+use bytes::Bytes;
+
+use crate::{Entry, IndexError, Result, SiriIndex};
+
+/// One differing key between two index instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffEntry {
+    pub key: Bytes,
+    /// Value on the left side, if present.
+    pub left: Option<Bytes>,
+    /// Value on the right side, if present.
+    pub right: Option<Bytes>,
+}
+
+/// Classification of a [`DiffEntry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffSide {
+    LeftOnly,
+    RightOnly,
+    /// Present on both sides with different values — a merge conflict
+    /// candidate.
+    Changed,
+}
+
+impl DiffEntry {
+    pub fn side(&self) -> DiffSide {
+        match (&self.left, &self.right) {
+            (Some(_), None) => DiffSide::LeftOnly,
+            (None, Some(_)) => DiffSide::RightOnly,
+            _ => DiffSide::Changed,
+        }
+    }
+}
+
+/// Reference diff over sorted scans — the fallback used by tests to check
+/// the structure-aware `diff` implementations, and by structures while a
+/// subtree has to be enumerated anyway.
+pub fn diff_by_scan<I: SiriIndex>(left: &I, right: &I) -> Result<Vec<DiffEntry>> {
+    let l = left.scan()?;
+    let r = right.scan()?;
+    Ok(diff_sorted_entries(&l, &r))
+}
+
+/// Merge-join two sorted entry lists into diff records.
+pub fn diff_sorted_entries(l: &[Entry], r: &[Entry]) -> Vec<DiffEntry> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < l.len() && j < r.len() {
+        match l[i].key.cmp(&r[j].key) {
+            std::cmp::Ordering::Less => {
+                out.push(DiffEntry { key: l[i].key.clone(), left: Some(l[i].value.clone()), right: None });
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(DiffEntry { key: r[j].key.clone(), left: None, right: Some(r[j].value.clone()) });
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if l[i].value != r[j].value {
+                    out.push(DiffEntry {
+                        key: l[i].key.clone(),
+                        left: Some(l[i].value.clone()),
+                        right: Some(r[j].value.clone()),
+                    });
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for e in &l[i..] {
+        out.push(DiffEntry { key: e.key.clone(), left: Some(e.value.clone()), right: None });
+    }
+    for e in &r[j..] {
+        out.push(DiffEntry { key: e.key.clone(), left: None, right: Some(e.value.clone()) });
+    }
+    out
+}
+
+/// Conflict policy for [`merge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeStrategy {
+    /// Fail with [`IndexError::MergeConflict`] if any key differs on both
+    /// sides — the paper's default ("the process must be interrupted and a
+    /// selection strategy must be given by the end user", §4.1.4).
+    #[default]
+    Strict,
+    /// Keep the left value on conflicts.
+    PreferLeft,
+    /// Take the right value on conflicts.
+    PreferRight,
+}
+
+/// Result of a successful [`merge`].
+pub struct MergeOutcome<I> {
+    /// The merged index: all records from either input.
+    pub merged: I,
+    /// Records imported from the right side.
+    pub added_from_right: usize,
+    /// Conflicting keys resolved by a non-strict strategy.
+    pub conflicts_resolved: usize,
+}
+
+impl<I> std::fmt::Debug for MergeOutcome<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergeOutcome")
+            .field("added_from_right", &self.added_from_right)
+            .field("conflicts_resolved", &self.conflicts_resolved)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Combine all records from both indexes (§4.1.4). The merge runs as the
+/// paper describes: a structural diff marks differing records, then the
+/// right-side-only (and, per strategy, conflicting) records are applied on
+/// top of a copy-on-write snapshot of the left side.
+pub fn merge<I: SiriIndex>(left: &I, right: &I, strategy: MergeStrategy) -> Result<MergeOutcome<I>> {
+    let diffs = left.diff(right)?;
+    let mut to_apply: Vec<Entry> = Vec::new();
+    let mut conflicts: Vec<DiffEntry> = Vec::new();
+    let mut conflicts_resolved = 0usize;
+    let mut added_from_right = 0usize;
+
+    for d in diffs {
+        match d.side() {
+            DiffSide::RightOnly => {
+                added_from_right += 1;
+                to_apply.push(Entry { key: d.key, value: d.right.expect("right-only has value") });
+            }
+            DiffSide::LeftOnly => {} // already in the base snapshot
+            DiffSide::Changed => match strategy {
+                MergeStrategy::Strict => conflicts.push(d),
+                MergeStrategy::PreferLeft => conflicts_resolved += 1,
+                MergeStrategy::PreferRight => {
+                    conflicts_resolved += 1;
+                    to_apply.push(Entry { key: d.key, value: d.right.expect("changed has right") });
+                }
+            },
+        }
+    }
+
+    if !conflicts.is_empty() {
+        return Err(IndexError::MergeConflict { conflicts });
+    }
+
+    let mut merged = left.clone();
+    merged.batch_insert(to_apply)?;
+    Ok(MergeOutcome { merged, added_from_right, conflicts_resolved })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(k: &str, v: &str) -> Entry {
+        Entry::new(k.as_bytes().to_vec(), v.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn diff_sorted_classifies_sides() {
+        let l = vec![e("a", "1"), e("b", "1"), e("c", "1")];
+        let r = vec![e("b", "2"), e("c", "1"), e("d", "9")];
+        let d = diff_sorted_entries(&l, &r);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].side(), DiffSide::LeftOnly); // a
+        assert_eq!(d[1].side(), DiffSide::Changed); // b
+        assert_eq!(d[2].side(), DiffSide::RightOnly); // d
+    }
+
+    #[test]
+    fn diff_of_identical_lists_is_empty() {
+        let l = vec![e("a", "1"), e("b", "2")];
+        assert!(diff_sorted_entries(&l, &l).is_empty());
+    }
+
+    #[test]
+    fn diff_with_empty_side() {
+        let l = vec![e("a", "1")];
+        let d = diff_sorted_entries(&l, &[]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].side(), DiffSide::LeftOnly);
+        let d = diff_sorted_entries(&[], &l);
+        assert_eq!(d[0].side(), DiffSide::RightOnly);
+    }
+}

@@ -1,0 +1,93 @@
+//! The canonical key/value record.
+
+use std::cmp::Ordering;
+
+use bytes::Bytes;
+
+/// One key/value record stored in an index.
+///
+/// Keys and values are opaque byte strings (`bytes::Bytes`, so cloning an
+/// entry never copies payloads). Ordering is by key only — the order used
+/// by every sorted structure in the repository.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub key: Bytes,
+    pub value: Bytes,
+}
+
+impl Entry {
+    pub fn new(key: impl Into<Bytes>, value: impl Into<Bytes>) -> Self {
+        Entry { key: key.into(), value: value.into() }
+    }
+
+    /// Byte footprint of the record itself (the `r` of the paper's cost
+    /// model, §4).
+    pub fn payload_size(&self) -> usize {
+        self.key.len() + self.value.len()
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Sort entries by key and drop duplicate keys keeping the *last*
+/// occurrence — the batch-update convention (later writes win) shared by
+/// every index's `batch_insert`.
+pub fn normalize_batch(mut entries: Vec<Entry>) -> Vec<Entry> {
+    // Stable sort keeps the original order of equal keys, so keeping the
+    // last duplicate preserves write order semantics.
+    entries.sort_by(|a, b| a.key.cmp(&b.key));
+    let mut out: Vec<Entry> = Vec::with_capacity(entries.len());
+    for e in entries {
+        match out.last_mut() {
+            Some(last) if last.key == e.key => *last = e,
+            _ => out.push(e),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(k: &str, v: &str) -> Entry {
+        Entry::new(k.as_bytes().to_vec(), v.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn ordering_is_by_key() {
+        assert!(e("a", "zzz") < e("b", "aaa"));
+        assert_eq!(e("a", "1").cmp(&e("a", "2")), Ordering::Equal);
+    }
+
+    #[test]
+    fn normalize_sorts_and_keeps_last_write() {
+        let batch = vec![e("b", "1"), e("a", "1"), e("b", "2"), e("c", "1"), e("a", "2")];
+        let norm = normalize_batch(batch);
+        assert_eq!(norm.len(), 3);
+        assert_eq!(norm[0], e("a", "2"));
+        assert_eq!(norm[1], e("b", "2"));
+        assert_eq!(norm[2], e("c", "1"));
+    }
+
+    #[test]
+    fn normalize_empty_and_singleton() {
+        assert!(normalize_batch(Vec::new()).is_empty());
+        assert_eq!(normalize_batch(vec![e("x", "y")]), vec![e("x", "y")]);
+    }
+
+    #[test]
+    fn payload_size() {
+        assert_eq!(e("key", "value").payload_size(), 8);
+    }
+}

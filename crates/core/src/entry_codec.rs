@@ -1,0 +1,149 @@
+//! Canonical byte encoding of entries inside leaf pages.
+//!
+//! MBT buckets, POS-Tree leaves and MVMB+-Tree leaves all serialize runs of
+//! entries with this codec, so their `byte(p)` page sizes are directly
+//! comparable in the deduplication metrics. (MPT stores values at trie
+//! positions derived from the key, so it only uses the value half.)
+//!
+//! Layout per entry: `varint(key_len) key varint(value_len) value`.
+
+use bytes::Bytes;
+use siri_encoding::{ByteReader, ByteWriter, CodecError};
+
+use crate::Entry;
+
+/// Append one entry to `w`.
+pub fn write_entry(w: &mut ByteWriter, entry: &Entry) {
+    w.put_bytes(&entry.key);
+    w.put_bytes(&entry.value);
+}
+
+/// Read one entry.
+pub fn read_entry(r: &mut ByteReader<'_>) -> Result<Entry, CodecError> {
+    let key = Bytes::copy_from_slice(r.get_bytes()?);
+    let value = Bytes::copy_from_slice(r.get_bytes()?);
+    Ok(Entry { key, value })
+}
+
+/// Exact encoded size of an entry, used to pre-size buffers and by the
+/// chunker to reason about byte offsets without serializing twice.
+pub fn entry_encoded_len(entry: &Entry) -> usize {
+    siri_encoding::varint::len(entry.key.len() as u64)
+        + entry.key.len()
+        + siri_encoding::varint::len(entry.value.len() as u64)
+        + entry.value.len()
+}
+
+/// Serialize a run of entries (count-prefixed).
+pub fn encode_entries(entries: &[Entry]) -> Vec<u8> {
+    let payload: usize = entries.iter().map(entry_encoded_len).sum();
+    let mut w = ByteWriter::with_capacity(payload + 5);
+    w.put_varint(entries.len() as u64);
+    for e in entries {
+        write_entry(&mut w, e);
+    }
+    w.into_vec()
+}
+
+/// Zero-copy decode of a run serialized by [`encode_entries`] that lives
+/// inside `page` starting at byte `body_start`.
+///
+/// Keys and values are `Bytes::slice`s of the page — no payload copies.
+/// Pages are immutable and refcounted, so decoded entries stay valid for
+/// as long as anyone holds them; this is the hot read path for every
+/// leaf/bucket decode.
+pub fn decode_entries_zc(page: &Bytes, body_start: usize) -> Result<Vec<Entry>, CodecError> {
+    let body = page.get(body_start..).ok_or(CodecError::Truncated)?;
+    let mut r = ByteReader::new(body);
+    let count = r.get_varint()?;
+    if count > body.len() as u64 {
+        return Err(CodecError::BadLength { what: "entry count" });
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let klen = r.get_varint()? as usize;
+        let koff = body_start + r.offset();
+        r.get_raw(klen)?;
+        let vlen = r.get_varint()? as usize;
+        let voff = body_start + r.offset();
+        r.get_raw(vlen)?;
+        out.push(Entry { key: page.slice(koff..koff + klen), value: page.slice(voff..voff + vlen) });
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// Decode a run serialized by [`encode_entries`].
+pub fn decode_entries(input: &[u8]) -> Result<Vec<Entry>, CodecError> {
+    let mut r = ByteReader::new(input);
+    let count = r.get_varint()?;
+    if count > input.len() as u64 {
+        // Each entry costs at least 2 bytes; a count beyond the input size
+        // is certainly corrupt. Guards against huge pre-allocations.
+        return Err(CodecError::BadLength { what: "entry count" });
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        out.push(read_entry(&mut r)?);
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(k: &[u8], v: &[u8]) -> Entry {
+        Entry::new(k.to_vec(), v.to_vec())
+    }
+
+    #[test]
+    fn round_trip() {
+        let entries = vec![e(b"alpha", b"1"), e(b"beta", &[0u8; 300]), e(b"", b"")];
+        let enc = encode_entries(&entries);
+        assert_eq!(decode_entries(&enc).unwrap(), entries);
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        let entry = e(b"some-key", &[7u8; 200]);
+        let mut w = ByteWriter::new();
+        write_entry(&mut w, &entry);
+        assert_eq!(w.len(), entry_encoded_len(&entry));
+    }
+
+    #[test]
+    fn zero_copy_decode_matches_copying_decode() {
+        let entries = vec![e(b"alpha", b"1"), e(b"beta", &[9u8; 300]), e(b"", b"")];
+        let mut page = vec![0xFFu8; 7]; // simulated node header
+        page.extend_from_slice(&encode_entries(&entries));
+        let page = Bytes::from(page);
+        let zc = decode_entries_zc(&page, 7).unwrap();
+        assert_eq!(zc, entries);
+        // Slices point into the page (no copy): same allocation.
+        assert!(zc[1].value.as_ptr() as usize - page.as_ptr() as usize > 0);
+        // Corruption and truncation still rejected.
+        assert!(decode_entries_zc(&page, 8).is_err());
+        assert!(decode_entries_zc(&page.slice(..page.len() - 1), 7).is_err());
+        assert!(decode_entries_zc(&page, page.len() + 10).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_counts_and_truncation() {
+        let entries = vec![e(b"k", b"v")];
+        let mut enc = encode_entries(&entries);
+        enc[0] = 0xff; // count now huge/truncated varint
+        assert!(decode_entries(&enc).is_err());
+
+        let enc = encode_entries(&entries);
+        assert!(decode_entries(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut enc = encode_entries(&[e(b"k", b"v")]);
+        enc.push(0);
+        assert!(matches!(decode_entries(&enc), Err(CodecError::TrailingBytes)));
+    }
+}

@@ -1,0 +1,70 @@
+//! Unified error type for index operations.
+
+use std::fmt;
+
+use siri_crypto::Hash;
+use siri_encoding::CodecError;
+
+/// Everything that can go wrong inside an index operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// A page referenced by the structure is missing from the store.
+    MissingPage(Hash),
+    /// A page failed to decode (corruption or version skew).
+    Codec(CodecError),
+    /// A page's content does not match its content address — tampering.
+    TamperDetected { expected: Hash },
+    /// Merge found keys with conflicting values under [`crate::MergeStrategy::Strict`].
+    MergeConflict { conflicts: Vec<crate::DiffEntry> },
+    /// Structural invariant violated (internal bug guard, e.g. unsorted
+    /// leaf discovered during a scan).
+    CorruptStructure(&'static str),
+    /// Operation is not meaningful for this index (e.g. range scan on MBT).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::MissingPage(h) => write!(f, "missing page {h:?}"),
+            IndexError::Codec(e) => write!(f, "page decode failed: {e}"),
+            IndexError::TamperDetected { expected } => {
+                write!(f, "page content does not match address {expected:?} (tampering)")
+            }
+            IndexError::MergeConflict { conflicts } => {
+                write!(f, "merge conflict on {} key(s)", conflicts.len())
+            }
+            IndexError::CorruptStructure(what) => write!(f, "corrupt structure: {what}"),
+            IndexError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+impl From<CodecError> for IndexError {
+    fn from(e: CodecError) -> Self {
+        IndexError::Codec(e)
+    }
+}
+
+impl From<siri_encoding::RlpError> for IndexError {
+    fn from(e: siri_encoding::RlpError) -> Self {
+        IndexError::Codec(CodecError::Rlp(e))
+    }
+}
+
+pub type Result<T> = std::result::Result<T, IndexError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IndexError::MissingPage(siri_crypto::sha256(b"x"));
+        assert!(e.to_string().contains("missing page"));
+        let e: IndexError = CodecError::Truncated.into();
+        assert!(e.to_string().contains("truncated"));
+    }
+}

@@ -1,0 +1,111 @@
+//! The unified index interface — one API over MPT, MBT, POS-Tree and the
+//! MVMB+-Tree baseline, mirroring the paper's benchmarking scheme: lookup,
+//! update, comparison (diff), merge, plus the page-set accessor feeding the
+//! deduplication metrics.
+
+use bytes::Bytes;
+
+use siri_crypto::Hash;
+use siri_store::{PageSet, SharedStore};
+
+use crate::{DiffEntry, Entry, Proof, ProofVerdict, Result};
+
+/// Instrumentation captured by [`SiriIndex::get_traced`].
+///
+/// Feeds two of the paper's plots directly: the traversed-height histogram
+/// (Figure 9) and the MBT load-vs-scan breakdown (Figure 13).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LookupTrace {
+    /// Pages fetched from the store along the path (tree height, counting
+    /// the leaf/bucket page).
+    pub pages_loaded: u32,
+    /// Levels traversed root→leaf, counting both ends.
+    pub height: u32,
+    /// Entries examined inside the final leaf/bucket (binary search probes
+    /// count the entries they touch).
+    pub leaf_entries_scanned: u32,
+    /// Nanoseconds spent fetching + decoding pages ("load time", Fig. 13).
+    pub load_nanos: u64,
+    /// Nanoseconds spent searching within the leaf ("scan time", Fig. 13).
+    pub scan_nanos: u64,
+}
+
+/// The SIRI index interface (paper §3, §4).
+///
+/// # Versioning model
+///
+/// A value implementing `SiriIndex` is a lightweight *handle*:
+/// `(store, root hash, parameters)`. Updates rewrite the copy-on-write
+/// spine inside the shared store and swap the handle's root. Cloning a
+/// handle therefore snapshots a version for free, and any number of
+/// versions coexist in one store, sharing pages — the paper's immutability
+/// model.
+///
+/// # Contract
+///
+/// * `batch_insert` with entries `E` must leave the index equal to
+///   inserting `E` one by one (later duplicates win).
+/// * For the three SIRI structures (MPT, MBT, POS-Tree), the root hash must
+///   be a pure function of the key/value set — *Structurally Invariant*.
+///   The MVMB+ baseline deliberately violates this.
+/// * `scan` returns entries sorted by key (MBT sorts per bucket; its scan
+///   collates buckets and re-sorts, reflecting that hashing destroys global
+///   order).
+pub trait SiriIndex: Clone + Send + Sync {
+    /// Short structure name, e.g. `"pos-tree"` — used in reports.
+    fn kind(&self) -> &'static str;
+
+    /// The shared page store this handle operates on.
+    fn store(&self) -> &SharedStore;
+
+    /// Content address of the root page; [`Hash::ZERO`] for an empty index.
+    /// This is the tamper-evident digest of the entire dataset.
+    fn root(&self) -> Hash;
+
+    /// Point lookup.
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>>;
+
+    /// Point lookup with instrumentation (Figures 9 and 13).
+    fn get_traced(&self, key: &[u8]) -> Result<(Option<Bytes>, LookupTrace)>;
+
+    /// Insert or overwrite one record, producing a new version in place
+    /// (clone the handle first to keep the old version).
+    fn insert(&mut self, key: &[u8], value: Bytes) -> Result<()> {
+        self.batch_insert(vec![Entry { key: Bytes::copy_from_slice(key), value }])
+    }
+
+    /// Insert or overwrite a batch of records in one copy-on-write pass.
+    /// Duplicate keys inside the batch resolve to the last occurrence.
+    fn batch_insert(&mut self, entries: Vec<Entry>) -> Result<()>;
+
+    /// All entries, sorted by key.
+    fn scan(&self) -> Result<Vec<Entry>>;
+
+    /// Number of records. Default scans; implementations override when they
+    /// can count cheaper.
+    fn len(&self) -> Result<usize> {
+        Ok(self.scan()?.len())
+    }
+
+    fn is_empty(&self) -> bool {
+        self.root().is_zero()
+    }
+
+    /// The page set P(I) reachable from the root — input to the
+    /// deduplication metrics (§4.2).
+    fn page_set(&self) -> PageSet;
+
+    /// Structural diff (paper §4.1.3): every key present in exactly one
+    /// side or with different values on the two sides. Implementations
+    /// exploit structural invariance by skipping identical subtree hashes.
+    fn diff(&self, other: &Self) -> Result<Vec<DiffEntry>>;
+
+    /// Produce a Merkle proof for `key` (present or absent).
+    fn prove(&self, key: &[u8]) -> Result<Proof>;
+
+    /// Verify a proof against a trusted root digest. An associated function
+    /// on purpose: verifiers hold only the digest, not the store.
+    fn verify_proof(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict
+    where
+        Self: Sized;
+}

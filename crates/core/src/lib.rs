@@ -1,0 +1,42 @@
+//! The SIRI framework — *Structurally Invariant and Reusable Indexes*.
+//!
+//! This crate is the paper's analytical lens turned into code. It defines:
+//!
+//! * [`SiriIndex`] — the unified interface all four index structures
+//!   implement (lookup, update, scan, diff, merge, proofs, page sets);
+//! * [`Entry`]/[`entry_codec`] — the canonical record representation shared
+//!   by leaf codecs;
+//! * [`Proof`] — Merkle proofs and the tamper-evidence contract;
+//! * [`metrics`] — the deduplication ratio η(S) of §4.2 and the node
+//!   sharing ratio of §5.4.2;
+//! * [`merge`] — two-way, conflict-aware merge built on structural diff
+//!   (§4.1.4);
+//! * [`VersionStore`] — a branching version manager over any index;
+//! * [`cost_model`] — the closed-form operation bounds of §4.1, used to
+//!   cross-check measured asymptotics;
+//! * [`siri_properties`] — executable checks of the three SIRI properties
+//!   from Definition 3.1.
+
+mod diff;
+mod entry;
+mod error;
+mod index;
+mod proof;
+mod version;
+
+pub mod cost_model;
+pub mod entry_codec;
+pub mod metrics;
+pub mod siri_properties;
+
+pub use diff::{diff_by_scan, diff_sorted_entries, merge, DiffEntry, DiffSide, MergeOutcome, MergeStrategy};
+pub use entry::{normalize_batch, Entry};
+pub use error::{IndexError, Result};
+pub use index::{LookupTrace, SiriIndex};
+pub use proof::{Proof, ProofVerdict};
+pub use version::{VersionStore, VersionTag};
+
+// Re-exports so downstream crates (and examples) need only `siri_core`.
+pub use bytes::Bytes;
+pub use siri_crypto::Hash;
+pub use siri_store::{MemStore, NodeStore, PageSet, SharedStore, StoreStats};

@@ -1,0 +1,129 @@
+//! Space-efficiency metrics: the deduplication ratio η(S) of §4.2 and the
+//! node sharing ratio of §5.4.2.
+
+use siri_store::PageSet;
+
+/// η(S) = 1 − byte(P₁ ∪ … ∪ P_k) / Σ byte(P_j)  — §4.2.1.
+///
+/// Quantifies page-level *byte* sharing across a set of index instances: 0
+/// means nothing is shared, and the value approaches 1 − 1/k when the k
+/// instances are identical.
+pub fn deduplication_ratio(sets: &[PageSet]) -> f64 {
+    let total: u64 = sets.iter().map(|s| s.byte_size()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let union = PageSet::union_of(sets);
+    1.0 - union.byte_size() as f64 / total as f64
+}
+
+/// Node sharing ratio = 1 − |P₁ ∪ … ∪ P_k| / Σ |P_j|  — §5.4.2.
+///
+/// The count-based companion of [`deduplication_ratio`]: "how many
+/// duplicate nodes have been eliminated", independent of page sizes.
+pub fn node_sharing_ratio(sets: &[PageSet]) -> f64 {
+    let total: usize = sets.iter().map(|s| s.len()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let union = PageSet::union_of(sets);
+    1.0 - union.len() as f64 / total as f64
+}
+
+/// Aggregate storage view over a set of instances, as used by the storage
+/// plots (Figures 14–18).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageReport {
+    /// Bytes actually stored (union of all page sets).
+    pub stored_bytes: u64,
+    /// Pages actually stored.
+    pub stored_pages: usize,
+    /// Bytes if every instance kept private copies (Σ byte(P_j)).
+    pub logical_bytes: u64,
+    /// Pages if every instance kept private copies.
+    pub logical_pages: usize,
+    /// η(S).
+    pub deduplication_ratio: f64,
+    /// Node sharing ratio.
+    pub node_sharing_ratio: f64,
+}
+
+/// Compute all storage metrics in one pass over the page sets.
+pub fn storage_report(sets: &[PageSet]) -> StorageReport {
+    let union = PageSet::union_of(sets);
+    let logical_bytes: u64 = sets.iter().map(|s| s.byte_size()).sum();
+    let logical_pages: usize = sets.iter().map(|s| s.len()).sum();
+    StorageReport {
+        stored_bytes: union.byte_size(),
+        stored_pages: union.len(),
+        logical_bytes,
+        logical_pages,
+        deduplication_ratio: if logical_bytes == 0 {
+            0.0
+        } else {
+            1.0 - union.byte_size() as f64 / logical_bytes as f64
+        },
+        node_sharing_ratio: if logical_pages == 0 {
+            0.0
+        } else {
+            1.0 - union.len() as f64 / logical_pages as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siri_crypto::sha256;
+
+    fn set(pages: &[(&str, u64)]) -> PageSet {
+        pages.iter().map(|(n, b)| (sha256(n.as_bytes()), *b)).collect()
+    }
+
+    #[test]
+    fn disjoint_sets_share_nothing() {
+        let a = set(&[("a1", 100), ("a2", 100)]);
+        let b = set(&[("b1", 100), ("b2", 100)]);
+        assert_eq!(deduplication_ratio(&[a.clone(), b.clone()]), 0.0);
+        assert_eq!(node_sharing_ratio(&[a, b]), 0.0);
+    }
+
+    #[test]
+    fn identical_sets_approach_one_minus_one_over_k() {
+        let a = set(&[("p", 100), ("q", 50)]);
+        let sets = vec![a.clone(), a.clone(), a.clone(), a];
+        assert!((deduplication_ratio(&sets) - 0.75).abs() < 1e-12);
+        assert!((node_sharing_ratio(&sets) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_vs_count_metrics_diverge_on_skewed_sizes() {
+        // One huge shared page, many small private ones: byte ratio high,
+        // count ratio low.
+        let a = set(&[("shared", 10_000), ("a1", 1), ("a2", 1), ("a3", 1)]);
+        let b = set(&[("shared", 10_000), ("b1", 1), ("b2", 1), ("b3", 1)]);
+        let dedup = deduplication_ratio(&[a.clone(), b.clone()]);
+        let share = node_sharing_ratio(&[a, b]);
+        assert!(dedup > 0.49, "byte ratio {dedup}");
+        assert!(share < 0.2, "count ratio {share}");
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(deduplication_ratio(&[]), 0.0);
+        assert_eq!(node_sharing_ratio(&[PageSet::new()]), 0.0);
+    }
+
+    #[test]
+    fn storage_report_consistency() {
+        let a = set(&[("s", 10), ("x", 5)]);
+        let b = set(&[("s", 10), ("y", 5)]);
+        let r = storage_report(&[a, b]);
+        assert_eq!(r.stored_bytes, 20);
+        assert_eq!(r.logical_bytes, 30);
+        assert_eq!(r.stored_pages, 3);
+        assert_eq!(r.logical_pages, 4);
+        assert!((r.deduplication_ratio - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.node_sharing_ratio - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Merkle proofs — the tamper-evidence contract.
+//!
+//! A proof is the ordered list of raw pages on the path from the root to
+//! the queried position ("the nodes on the path to the root", §2.3). A
+//! verifier holding only the trusted root digest re-hashes each page,
+//! checks that each parent references the child by that digest, and walks
+//! the same navigation logic as the index — so a forged or tampered page
+//! anywhere on the path is detected.
+
+use bytes::Bytes;
+
+use siri_crypto::{sha256, Hash};
+
+/// An ordered path of raw pages, root first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Proof {
+    pages: Vec<Bytes>,
+}
+
+impl Proof {
+    pub fn new(pages: Vec<Bytes>) -> Self {
+        Proof { pages }
+    }
+
+    pub fn pages(&self) -> &[Bytes] {
+        &self.pages
+    }
+
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Total byte size — the "proof size" verifiers ship over the network.
+    pub fn byte_size(&self) -> usize {
+        self.pages.iter().map(|p| p.len()).sum()
+    }
+
+    /// Check that the first page hashes to `root`. The per-index verifiers
+    /// start from this and then validate parent→child digests.
+    pub fn root_page_matches(&self, root: Hash) -> bool {
+        match self.pages.first() {
+            Some(first) => sha256(first) == root,
+            None => root.is_zero(),
+        }
+    }
+
+    /// Failure-injection helper for tests: flip one bit in page `page_idx`.
+    pub fn tamper(&mut self, page_idx: usize, bit: usize) {
+        if let Some(page) = self.pages.get_mut(page_idx) {
+            let mut raw = page.to_vec();
+            if raw.is_empty() {
+                return;
+            }
+            let byte = (bit / 8) % raw.len();
+            raw[byte] ^= 1 << (bit % 8);
+            *page = Bytes::from(raw);
+        }
+    }
+}
+
+/// Outcome of verifying a [`Proof`] against a trusted root digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofVerdict {
+    /// The proof is valid and shows `key → value`.
+    Present(Bytes),
+    /// The proof is valid and shows the key is absent.
+    Absent,
+    /// The proof does not verify against the root (tampering, truncation,
+    /// or a path that does not actually lead to the key).
+    Invalid(&'static str),
+}
+
+impl ProofVerdict {
+    pub fn is_valid(&self) -> bool {
+        !matches!(self, ProofVerdict::Invalid(_))
+    }
+
+    pub fn value(&self) -> Option<&Bytes> {
+        match self {
+            ProofVerdict::Present(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_page_check() {
+        let page = Bytes::from_static(b"root page bytes");
+        let proof = Proof::new(vec![page.clone()]);
+        assert!(proof.root_page_matches(sha256(&page)));
+        assert!(!proof.root_page_matches(sha256(b"other")));
+    }
+
+    #[test]
+    fn empty_proof_matches_only_zero_root() {
+        let proof = Proof::new(Vec::new());
+        assert!(proof.root_page_matches(Hash::ZERO));
+        assert!(!proof.root_page_matches(sha256(b"x")));
+    }
+
+    #[test]
+    fn tamper_changes_hash() {
+        let page = Bytes::from_static(b"page");
+        let mut proof = Proof::new(vec![page.clone()]);
+        proof.tamper(0, 5);
+        assert!(!proof.root_page_matches(sha256(&page)));
+        assert_eq!(proof.byte_size(), 4);
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        let v = ProofVerdict::Present(Bytes::from_static(b"v"));
+        assert!(v.is_valid());
+        assert_eq!(v.value().unwrap(), &Bytes::from_static(b"v"));
+        assert!(ProofVerdict::Absent.is_valid());
+        assert!(ProofVerdict::Absent.value().is_none());
+        assert!(!ProofVerdict::Invalid("bad").is_valid());
+    }
+}

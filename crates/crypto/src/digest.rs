@@ -1,0 +1,123 @@
+//! The 32-byte content address used throughout the repository.
+
+use std::fmt;
+
+use crate::hex;
+
+/// A 32-byte SHA-256 digest identifying an index page (or any other blob) in
+/// the content-addressed store.
+///
+/// `Hash` is `Copy` on purpose: page identifiers flow through every layer of
+/// the system and are far cheaper to copy than to reference-count.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Hash([u8; 32]);
+
+impl Hash {
+    /// The all-zero digest, used as the root of an empty index.
+    pub const ZERO: Hash = Hash([0u8; 32]);
+
+    pub const LEN: usize = 32;
+
+    #[inline]
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        Hash(bytes)
+    }
+
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Parse from a slice; returns `None` unless exactly 32 bytes long.
+    pub fn from_slice(slice: &[u8]) -> Option<Self> {
+        let arr: [u8; 32] = slice.try_into().ok()?;
+        Some(Hash(arr))
+    }
+
+    /// True for the sentinel root of an empty index.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; 32]
+    }
+
+    pub fn to_hex(&self) -> String {
+        hex::encode(&self.0)
+    }
+
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let bytes = hex::decode(s)?;
+        Self::from_slice(&bytes)
+    }
+
+    /// The low 64 bits of the digest, used by POS-Tree internal layers to
+    /// test the boundary pattern directly on child hashes (§3.4.3).
+    #[inline]
+    pub fn low64(&self) -> u64 {
+        u64::from_le_bytes(self.0[24..32].try_into().unwrap())
+    }
+}
+
+impl fmt::Debug for Hash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash({}..)", &self.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for Hash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Hash {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Hash {
+    fn from(b: [u8; 32]) -> Self {
+        Hash(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let h = crate::sha256(b"round trip");
+        let parsed = Hash::from_hex(&h.to_hex()).unwrap();
+        assert_eq!(h, parsed);
+    }
+
+    #[test]
+    fn from_slice_rejects_wrong_lengths() {
+        assert!(Hash::from_slice(&[0u8; 31]).is_none());
+        assert!(Hash::from_slice(&[0u8; 33]).is_none());
+        assert!(Hash::from_slice(&[0u8; 32]).is_some());
+    }
+
+    #[test]
+    fn zero_sentinel() {
+        assert!(Hash::ZERO.is_zero());
+        assert!(!crate::sha256(b"x").is_zero());
+    }
+
+    #[test]
+    fn ordering_is_bytewise() {
+        let a = Hash::from_bytes([0u8; 32]);
+        let mut b_raw = [0u8; 32];
+        b_raw[0] = 1;
+        let b = Hash::from_bytes(b_raw);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn low64_reads_trailing_bytes() {
+        let mut raw = [0u8; 32];
+        raw[24..32].copy_from_slice(&0xDEAD_BEEF_u64.to_le_bytes());
+        assert_eq!(Hash::from_bytes(raw).low64(), 0xDEAD_BEEF);
+    }
+}

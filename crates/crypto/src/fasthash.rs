@@ -1,0 +1,130 @@
+//! A fast, non-cryptographic hasher (FxHash-style multiplicative mixing).
+//!
+//! Used in two places where HashDoS resistance is irrelevant:
+//!
+//! * MBT bucket placement — the paper's `hash(key) % B` (§3.4.2); the
+//!   distribution over buckets only needs to be uniform, not adversarially
+//!   robust, and determinism across runs keeps experiments reproducible.
+//! * Internal hash maps keyed by [`crate::Hash`] — digests are already
+//!   uniformly distributed, so SipHash would be pure overhead (see the Rust
+//!   Performance Book's hashing chapter).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style word-at-a-time multiplicative hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Multiplicative mixing leaves the low bits under-diffused, and MBT
+        // takes `hash % B`. A murmur3-style finalizer spreads entropy into
+        // the low bits at negligible cost.
+        let mut h = self.state;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^ (h >> 33)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..tail.len()].copy_from_slice(tail);
+            // Fold in the length so "ab" and "ab\0" differ.
+            self.add_to_hash(u64::from_le_bytes(buf) ^ (tail.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the fast hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// One-shot hash of a byte string. This is the `hash(key)` used for MBT
+/// bucket placement; it is fixed for the lifetime of the repository because
+/// changing it would silently re-shuffle every MBT experiment.
+#[inline]
+pub fn fx_hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fx_hash_bytes(b"key-1"), fx_hash_bytes(b"key-1"));
+        assert_ne!(fx_hash_bytes(b"key-1"), fx_hash_bytes(b"key-2"));
+    }
+
+    #[test]
+    fn length_matters() {
+        assert_ne!(fx_hash_bytes(b"ab"), fx_hash_bytes(b"ab\0"));
+        assert_ne!(fx_hash_bytes(b""), fx_hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn bucket_distribution_is_roughly_uniform() {
+        // The MBT experiments rely on even bucket fill (§3.4.2 "the data
+        // entries can be evenly distributed"). Chi-squared-style sanity
+        // check over sequential string keys, the worst realistic case.
+        const BUCKETS: usize = 64;
+        const KEYS: usize = 64_000;
+        let mut counts = [0usize; BUCKETS];
+        for i in 0..KEYS {
+            let key = format!("user{i:08}");
+            counts[(fx_hash_bytes(key.as_bytes()) % BUCKETS as u64) as usize] += 1;
+        }
+        let expected = KEYS / BUCKETS;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "bucket {b} holds {c}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fxhashmap_basic() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&7), Some(&14));
+        assert_eq!(m.len(), 100);
+    }
+}

@@ -1,0 +1,67 @@
+//! Minimal hex codec (lowercase), enough for digests, debugging and tests.
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encode `bytes` as lowercase hex.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decode a hex string (case-insensitive). Returns `None` on odd length or a
+/// non-hex character.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push(nibble(pair[0])? << 4 | nibble(pair[1])?);
+    }
+    Some(out)
+}
+
+fn nibble(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_known() {
+        assert_eq!(encode(&[0x00, 0xff, 0x10]), "00ff10");
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn decode_known() {
+        assert_eq!(decode("00ff10").unwrap(), vec![0x00, 0xff, 0x10]);
+        assert_eq!(decode("DEADbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert!(decode("abc").is_none(), "odd length");
+        assert!(decode("zz").is_none(), "non-hex");
+        assert!(decode("0g").is_none(), "non-hex second nibble");
+    }
+
+    #[test]
+    fn round_trip_all_bytes() {
+        let all: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&all)).unwrap(), all);
+    }
+}

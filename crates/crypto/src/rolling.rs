@@ -1,0 +1,214 @@
+//! Rabin-style rolling fingerprint over a fixed-size sliding window.
+//!
+//! POS-Tree partitions its bottom (data) layer with content-defined chunking:
+//! a window slides over the serialized record stream and a node boundary is
+//! declared wherever the window fingerprint matches a pattern such as "the
+//! last q bits are all ones" (§3.4.3 of the paper). Content-defined chunking
+//! avoids the boundary-shifting problem of fixed-size chunking [Eshghi &
+//! Tang 2005].
+//!
+//! The fingerprint here is a *buzhash* (cyclic polynomial): each byte is
+//! mapped through a fixed random table and combined with rotations. Like a
+//! true Rabin polynomial fingerprint it supports O(1) slide (add one byte,
+//! expel the oldest) and has uniformly distributed low bits, which is the
+//! only property chunking needs.
+
+/// Window size used when callers do not choose one. 67 bytes matches the
+/// Noms default quoted in §5.6.2 of the paper.
+pub const DEFAULT_WINDOW: usize = 67;
+
+/// 256 pseudo-random 64-bit values, one per byte value. Generated once from
+/// a SplitMix64 sequence with a fixed seed so chunk boundaries are stable
+/// across runs and platforms (structural invariance depends on this).
+fn byte_table() -> &'static [u64; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut table = [0u64; 256];
+        for slot in table.iter_mut() {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        table
+    })
+}
+
+/// A rolling fingerprint over the last `window` bytes fed in.
+///
+/// ```
+/// use siri_crypto::RollingHash;
+/// let mut r = RollingHash::new(4);
+/// for b in b"abcdef" {
+///     r.push(*b);
+/// }
+/// // The fingerprint depends only on the final window ("cdef"):
+/// let mut fresh = RollingHash::new(4);
+/// for b in b"cdef" {
+///     fresh.push(*b);
+/// }
+/// assert_eq!(r.fingerprint(), fresh.fingerprint());
+/// ```
+#[derive(Clone)]
+pub struct RollingHash {
+    window: usize,
+    ring: Vec<u8>,
+    head: usize,
+    filled: usize,
+    value: u64,
+}
+
+impl RollingHash {
+    /// Create a roller with the given window size (must be > 0).
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "rolling hash window must be positive");
+        RollingHash { window, ring: vec![0; window], head: 0, filled: 0, value: 0 }
+    }
+
+    pub fn with_default_window() -> Self {
+        Self::new(DEFAULT_WINDOW)
+    }
+
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Slide the window forward by one byte.
+    #[inline]
+    pub fn push(&mut self, byte: u8) {
+        let table = byte_table();
+        let outgoing = self.ring[self.head];
+        self.ring[self.head] = byte;
+        self.head = (self.head + 1) % self.window;
+        if self.filled < self.window {
+            self.filled += 1;
+            self.value = self.value.rotate_left(1) ^ table[byte as usize];
+        } else {
+            // Remove the contribution of the byte leaving the window: it has
+            // been rotated `window` times since insertion.
+            let w = (self.window % 64) as u32;
+            self.value = self.value.rotate_left(1)
+                ^ table[outgoing as usize].rotate_left(w)
+                ^ table[byte as usize];
+        }
+    }
+
+    /// Feed a whole slice.
+    #[inline]
+    pub fn push_slice(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.push(b);
+        }
+    }
+
+    /// Current window fingerprint. Only meaningful once at least `window`
+    /// bytes have been pushed, but it is defined (and deterministic) before
+    /// that too.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.value
+    }
+
+    /// Whether the window is fully populated.
+    #[inline]
+    pub fn is_warm(&self) -> bool {
+        self.filled >= self.window
+    }
+
+    /// Reset to the empty state, keeping the window size.
+    pub fn reset(&mut self) {
+        self.ring.iter_mut().for_each(|b| *b = 0);
+        self.head = 0;
+        self.filled = 0;
+        self.value = 0;
+    }
+}
+
+/// Convenience: fingerprint of the last `window` bytes of `data` (or of all
+/// of `data` when shorter).
+pub fn fingerprint(data: &[u8], window: usize) -> u64 {
+    let mut r = RollingHash::new(window);
+    r.push_slice(data);
+    r.fingerprint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depends_only_on_window_contents() {
+        let window = 16;
+        let long: Vec<u8> = (0..200u8).collect();
+        let mut a = RollingHash::new(window);
+        a.push_slice(&long);
+        let mut b = RollingHash::new(window);
+        b.push_slice(&long[long.len() - window..]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn different_windows_differ() {
+        assert_ne!(fingerprint(b"the quick brown fox", 4), fingerprint(b"the quick brown fix", 4));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut r = RollingHash::new(8);
+        r.push_slice(b"some data here");
+        r.reset();
+        let fresh = RollingHash::new(8);
+        assert_eq!(r.fingerprint(), fresh.fingerprint());
+        assert!(!r.is_warm());
+    }
+
+    #[test]
+    fn warm_flag() {
+        let mut r = RollingHash::new(4);
+        r.push_slice(b"abc");
+        assert!(!r.is_warm());
+        r.push(b'd');
+        assert!(r.is_warm());
+    }
+
+    #[test]
+    fn low_bits_are_roughly_uniform() {
+        // Chunking quality depends on the low bits behaving uniformly: count
+        // how often the low 6 bits are all ones over a pseudo-random stream.
+        // Expectation is 1/64; allow a generous band.
+        let mut r = RollingHash::new(32);
+        let mut hits = 0u32;
+        let mut x: u64 = 42;
+        const N: u32 = 200_000;
+        for _ in 0..N {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            r.push((x >> 33) as u8);
+            if r.is_warm() && r.fingerprint() & 0x3f == 0x3f {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / N as f64;
+        assert!(
+            (rate - 1.0 / 64.0).abs() < 0.006,
+            "boundary rate {rate} too far from 1/64"
+        );
+    }
+
+    #[test]
+    fn window_of_64_and_65_edge_cases() {
+        // rotate_left(window % 64) must still cancel correctly at the
+        // wrap-around sizes.
+        for window in [63usize, 64, 65, 128] {
+            let data: Vec<u8> = (0..255u8).cycle().take(window * 3).collect();
+            let mut a = RollingHash::new(window);
+            a.push_slice(&data);
+            let mut b = RollingHash::new(window);
+            b.push_slice(&data[data.len() - window..]);
+            assert_eq!(a.fingerprint(), b.fingerprint(), "window {window}");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Nibble paths and hex-prefix compaction for the Merkle Patricia Trie.
+//!
+//! MPT splits keys into 4-bit *nibbles* (§3.4.1: "the key is split into
+//! sequential characters, namely nibbles"). Branch nodes fan out over one
+//! nibble; extension and leaf nodes store a run of nibbles compacted back
+//! into bytes with Ethereum's *hex-prefix* encoding, whose flag nibble
+//! records (a) whether the run has odd length and (b) whether the node is a
+//! leaf.
+
+use std::fmt;
+
+/// A sequence of nibbles (each 0..=15), the unit of MPT path navigation.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nibbles(Vec<u8>);
+
+impl Nibbles {
+    /// Unpack a byte key into nibbles, high nibble first.
+    pub fn from_key(key: &[u8]) -> Self {
+        let mut out = Vec::with_capacity(key.len() * 2);
+        for &b in key {
+            out.push(b >> 4);
+            out.push(b & 0x0f);
+        }
+        Nibbles(out)
+    }
+
+    /// Build from raw nibble values; panics in debug builds if any is > 15.
+    pub fn from_raw(nibbles: Vec<u8>) -> Self {
+        debug_assert!(nibbles.iter().all(|&n| n <= 0x0f), "nibble out of range");
+        Nibbles(nibbles)
+    }
+
+    pub fn empty() -> Self {
+        Nibbles(Vec::new())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    pub fn at(&self, i: usize) -> u8 {
+        self.0[i]
+    }
+
+    /// The sub-path starting at `from`.
+    pub fn suffix(&self, from: usize) -> Nibbles {
+        Nibbles(self.0[from..].to_vec())
+    }
+
+    /// The sub-path `[from, to)`.
+    pub fn slice(&self, from: usize, to: usize) -> Nibbles {
+        Nibbles(self.0[from..to].to_vec())
+    }
+
+    /// Number of leading nibbles shared with `other`.
+    pub fn common_prefix_len(&self, other: &Nibbles) -> usize {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    pub fn starts_with(&self, prefix: &Nibbles) -> bool {
+        self.0.len() >= prefix.0.len() && self.0[..prefix.0.len()] == prefix.0[..]
+    }
+
+    /// Concatenate `self`, one nibble, and `rest` — used when collapsing a
+    /// branch during structural reasoning/tests.
+    pub fn join(&self, nib: u8, rest: &Nibbles) -> Nibbles {
+        debug_assert!(nib <= 0x0f);
+        let mut out = Vec::with_capacity(self.0.len() + 1 + rest.0.len());
+        out.extend_from_slice(&self.0);
+        out.push(nib);
+        out.extend_from_slice(&rest.0);
+        Nibbles(out)
+    }
+
+    /// Repack an even-length nibble path into bytes. Returns `None` for odd
+    /// lengths (callers that need a byte key must have consumed whole bytes).
+    pub fn to_key(&self) -> Option<Vec<u8>> {
+        if !self.0.len().is_multiple_of(2) {
+            return None;
+        }
+        Some(
+            self.0
+                .chunks_exact(2)
+                .map(|p| p[0] << 4 | p[1])
+                .collect(),
+        )
+    }
+
+    /// Hex-prefix encode this path (Ethereum yellow paper appendix C).
+    ///
+    /// Layout: flag nibble `0b00LO` where L=leaf, O=odd, then the nibbles.
+    /// Even paths get a zero pad nibble after the flag so the result is
+    /// whole bytes.
+    pub fn hex_prefix_encode(&self, is_leaf: bool) -> Vec<u8> {
+        let odd = self.0.len() % 2 == 1;
+        let flag: u8 = match (is_leaf, odd) {
+            (false, false) => 0x0,
+            (false, true) => 0x1,
+            (true, false) => 0x2,
+            (true, true) => 0x3,
+        };
+        let mut nibs = Vec::with_capacity(self.0.len() + 2);
+        nibs.push(flag);
+        if !odd {
+            nibs.push(0);
+        }
+        nibs.extend_from_slice(&self.0);
+        nibs.chunks_exact(2).map(|p| p[0] << 4 | p[1]).collect()
+    }
+
+    /// Decode a hex-prefix encoding; returns the path and the leaf flag.
+    pub fn hex_prefix_decode(encoded: &[u8]) -> Option<(Nibbles, bool)> {
+        let first = *encoded.first()?;
+        let flag = first >> 4;
+        if flag > 3 {
+            return None;
+        }
+        let is_leaf = flag & 0x2 != 0;
+        let odd = flag & 0x1 != 0;
+        let mut nibs = Vec::with_capacity(encoded.len() * 2);
+        if odd {
+            nibs.push(first & 0x0f);
+        } else if first & 0x0f != 0 {
+            return None; // pad nibble must be zero
+        }
+        for &b in &encoded[1..] {
+            nibs.push(b >> 4);
+            nibs.push(b & 0x0f);
+        }
+        Some((Nibbles(nibs), is_leaf))
+    }
+}
+
+impl fmt::Debug for Nibbles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nibbles(")?;
+        for n in &self.0 {
+            write!(f, "{n:x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_key_unpacks_high_nibble_first() {
+        let n = Nibbles::from_key(&[0xAB, 0xCD]);
+        assert_eq!(n.as_slice(), &[0xA, 0xB, 0xC, 0xD]);
+    }
+
+    #[test]
+    fn to_key_round_trip() {
+        let key = b"round-trip-key".to_vec();
+        assert_eq!(Nibbles::from_key(&key).to_key().unwrap(), key);
+        assert!(Nibbles::from_raw(vec![1, 2, 3]).to_key().is_none());
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a = Nibbles::from_key(b"abcdef");
+        let b = Nibbles::from_key(b"abcxyz");
+        assert_eq!(a.common_prefix_len(&b), 6); // "abc" = 6 nibbles
+        assert!(a.starts_with(&a.slice(0, 6)));
+        assert!(!a.starts_with(&b));
+    }
+
+    #[test]
+    fn hex_prefix_spec_vectors() {
+        // Yellow paper appendix C examples.
+        // [1,2,3,4,5] extension (odd) -> 0x11 23 45
+        let p = Nibbles::from_raw(vec![1, 2, 3, 4, 5]);
+        assert_eq!(p.hex_prefix_encode(false), vec![0x11, 0x23, 0x45]);
+        // [0,1,2,3,4,5] extension (even) -> 0x00 01 23 45
+        let p = Nibbles::from_raw(vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(p.hex_prefix_encode(false), vec![0x00, 0x01, 0x23, 0x45]);
+        // [0,f,1,c,b,8] leaf? no — [f,1,c,b,8] odd leaf -> 0x3f 1c b8
+        let p = Nibbles::from_raw(vec![0xf, 0x1, 0xc, 0xb, 0x8]);
+        assert_eq!(p.hex_prefix_encode(true), vec![0x3f, 0x1c, 0xb8]);
+        // [0,f,1,c,b,8] even leaf -> 0x20 0f 1c b8
+        let p = Nibbles::from_raw(vec![0x0, 0xf, 0x1, 0xc, 0xb, 0x8]);
+        assert_eq!(p.hex_prefix_encode(true), vec![0x20, 0x0f, 0x1c, 0xb8]);
+    }
+
+    #[test]
+    fn hex_prefix_round_trip() {
+        for len in 0..9 {
+            for leaf in [false, true] {
+                let p = Nibbles::from_raw((0..len).map(|i| (i % 16) as u8).collect());
+                let enc = p.hex_prefix_encode(leaf);
+                let (dec, dec_leaf) = Nibbles::hex_prefix_decode(&enc).unwrap();
+                assert_eq!(dec, p, "len {len} leaf {leaf}");
+                assert_eq!(dec_leaf, leaf);
+            }
+        }
+    }
+
+    #[test]
+    fn hex_prefix_decode_rejects_garbage() {
+        assert!(Nibbles::hex_prefix_decode(&[]).is_none());
+        assert!(Nibbles::hex_prefix_decode(&[0x40]).is_none(), "flag > 3");
+        assert!(Nibbles::hex_prefix_decode(&[0x05]).is_none(), "nonzero pad");
+    }
+
+    #[test]
+    fn join_and_suffix() {
+        let a = Nibbles::from_raw(vec![1, 2]);
+        let b = Nibbles::from_raw(vec![4, 5]);
+        assert_eq!(a.join(3, &b).as_slice(), &[1, 2, 3, 4, 5]);
+        assert_eq!(a.join(3, &b).suffix(2).as_slice(), &[3, 4, 5]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Checked binary reader/writer used by all node codecs.
+//!
+//! Every index node in the repository is persisted as a canonical byte
+//! encoding (its SHA-256 is the page identifier), so codecs must be
+//! deterministic and decoding must be total: a corrupted page yields a
+//! [`CodecError`], never a panic. The tamper-evidence tests rely on this.
+
+use std::fmt;
+
+use crate::varint;
+
+/// Error produced when decoding a malformed or truncated node page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended early.
+    Truncated,
+    /// A tag byte had an unknown value.
+    BadTag(u8),
+    /// A length or count failed validation.
+    BadLength { what: &'static str },
+    /// Trailing bytes after a complete node.
+    TrailingBytes,
+    /// Embedded RLP failed to decode.
+    Rlp(crate::rlp::RlpError),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "codec: truncated input"),
+            CodecError::BadTag(t) => write!(f, "codec: unknown tag {t:#04x}"),
+            CodecError::BadLength { what } => write!(f, "codec: bad length for {what}"),
+            CodecError::TrailingBytes => write!(f, "codec: trailing bytes"),
+            CodecError::Rlp(e) => write!(f, "codec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<crate::rlp::RlpError> for CodecError {
+    fn from(e: crate::rlp::RlpError) -> Self {
+        CodecError::Rlp(e)
+    }
+}
+
+/// Append-only writer with varint and length-prefixed helpers.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_varint(&mut self, v: u64) {
+        varint::write(&mut self.buf, v);
+    }
+
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Varint length prefix followed by the bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_varint(bytes.len() as u64);
+        self.put_raw(bytes);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-style reader; every accessor is checked.
+pub struct ByteReader<'a> {
+    rest: &'a [u8],
+    len0: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(input: &'a [u8]) -> Self {
+        ByteReader { rest: input, len0: input.len() }
+    }
+
+    /// Bytes consumed so far — lets zero-copy decoders compute sub-slice
+    /// ranges into the original buffer.
+    pub fn offset(&self) -> usize {
+        self.len0 - self.rest.len()
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        let (&first, rest) = self.rest.split_first().ok_or(CodecError::Truncated)?;
+        self.rest = rest;
+        Ok(first)
+    }
+
+    pub fn get_varint(&mut self) -> Result<u64, CodecError> {
+        let (v, rest) = varint::read(self.rest).ok_or(CodecError::Truncated)?;
+        self.rest = rest;
+        Ok(v)
+    }
+
+    pub fn get_raw(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        if self.rest.len() < len {
+            return Err(CodecError::Truncated);
+        }
+        let (head, rest) = self.rest.split_at(len);
+        self.rest = rest;
+        Ok(head)
+    }
+
+    /// Read a varint length prefix, then that many bytes.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.get_varint()?;
+        if len > self.rest.len() as u64 {
+            return Err(CodecError::Truncated);
+        }
+        self.get_raw(len as usize)
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rest.is_empty()
+    }
+
+    /// Assert the reader is exhausted; codecs call this last so trailing
+    /// garbage is detected.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0x42);
+        w.put_varint(300);
+        w.put_bytes(b"payload");
+        w.put_raw(&[1, 2, 3]);
+        let buf = w.into_vec();
+
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 0x42);
+        assert_eq!(r.get_varint().unwrap(), 300);
+        assert_eq!(r.get_bytes().unwrap(), b"payload");
+        assert_eq!(r.get_raw(3).unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut r = ByteReader::new(&[0x05, b'a']); // claims 5 bytes, has 1
+        assert_eq!(r.get_bytes(), Err(CodecError::Truncated));
+        let mut r = ByteReader::new(&[]);
+        assert_eq!(r.get_u8(), Err(CodecError::Truncated));
+        assert_eq!(ByteReader::new(&[1]).get_raw(2), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn finish_detects_trailing() {
+        let r = ByteReader::new(&[0x00]);
+        assert_eq!(r.finish(), Err(CodecError::TrailingBytes));
+    }
+
+    #[test]
+    fn huge_length_prefix_rejected() {
+        // Length prefix far beyond the buffer must not allocate or panic.
+        let mut w = ByteWriter::new();
+        w.put_varint(u64::MAX);
+        let buf = w.into_vec();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.get_bytes(), Err(CodecError::Truncated));
+    }
+}

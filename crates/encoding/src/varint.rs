@@ -1,0 +1,99 @@
+//! LEB128-style unsigned varints for compact node encodings.
+//!
+//! MBT, POS-Tree and MVMB+-Tree node codecs store entry counts and
+//! key/value lengths as varints so that small nodes stay small — node byte
+//! size feeds directly into the deduplication-ratio metric (§4.2), so the
+//! encodings must not bloat pages with fixed-width lengths.
+
+/// Maximum encoded size of a u64 varint.
+pub const MAX_LEN: usize = 10;
+
+/// Append `v` to `out` (7 bits per byte, continuation bit in the MSB).
+#[inline]
+pub fn write(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a varint from the front of `input`; returns the value and remainder.
+/// `None` on truncation or a value that overflows u64.
+#[inline]
+pub fn read(input: &[u8]) -> Option<(u64, &[u8])> {
+    let mut v: u64 = 0;
+    for (i, &byte) in input.iter().enumerate() {
+        if i >= MAX_LEN {
+            return None;
+        }
+        let payload = (byte & 0x7f) as u64;
+        // The 10th byte may only contribute one bit.
+        if i == MAX_LEN - 1 && payload > 1 {
+            return None;
+        }
+        v |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            return Some((v, &input[i + 1..]));
+        }
+    }
+    None
+}
+
+/// Encoded length of `v` without writing it.
+#[inline]
+pub fn len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_edges() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write(&mut buf, v);
+            assert_eq!(buf.len(), len(v), "len({v})");
+            let (got, rest) = read(&buf).unwrap();
+            assert_eq!(got, v);
+            assert!(rest.is_empty());
+        }
+    }
+
+    #[test]
+    fn reads_leave_remainder() {
+        let mut buf = Vec::new();
+        write(&mut buf, 300);
+        buf.extend_from_slice(b"tail");
+        let (v, rest) = read(&buf).unwrap();
+        assert_eq!(v, 300);
+        assert_eq!(rest, b"tail");
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(read(&[0x80]).is_none());
+        assert!(read(&[]).is_none());
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        // 11 continuation bytes.
+        let buf = [0xffu8; 11];
+        assert!(read(&buf).is_none());
+        // 10 bytes but the last contributes more than one bit.
+        let mut buf = vec![0xff; 9];
+        buf.push(0x02);
+        assert!(read(&buf).is_none());
+    }
+}

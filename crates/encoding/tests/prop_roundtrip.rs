@@ -1,0 +1,70 @@
+//! Property tests: every codec round-trips arbitrary values, and decoding
+//! arbitrary garbage never panics (it errors).
+
+use proptest::prelude::*;
+use siri_encoding::{rlp, varint, Nibbles, RlpItem};
+
+/// Arbitrary RLP item, depth-bounded.
+fn arb_rlp() -> impl Strategy<Value = RlpItem> {
+    let leaf = proptest::collection::vec(proptest::num::u8::ANY, 0..80).prop_map(RlpItem::bytes);
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        proptest::collection::vec(inner, 0..6).prop_map(RlpItem::list)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rlp_round_trips(item in arb_rlp()) {
+        let enc = item.encode();
+        prop_assert_eq!(enc.len(), item.encoded_len());
+        prop_assert_eq!(RlpItem::decode_all(&enc).unwrap(), item);
+    }
+
+    #[test]
+    fn rlp_decode_never_panics(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..200)) {
+        // Any result is fine; panicking or hanging is not.
+        let _ = RlpItem::decode_all(&bytes);
+        let _ = rlp::decode_partial(&bytes);
+    }
+
+    #[test]
+    fn rlp_uint_round_trips(v in proptest::num::u64::ANY) {
+        let item = RlpItem::uint(v);
+        prop_assert_eq!(item.as_uint().unwrap(), v);
+        prop_assert_eq!(RlpItem::decode_all(&item.encode()).unwrap().as_uint().unwrap(), v);
+    }
+
+    #[test]
+    fn varint_round_trips(v in proptest::num::u64::ANY) {
+        let mut buf = Vec::new();
+        varint::write(&mut buf, v);
+        prop_assert_eq!(buf.len(), varint::len(v));
+        let (got, rest) = varint::read(&buf).unwrap();
+        prop_assert_eq!(got, v);
+        prop_assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn varint_read_never_panics(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..16)) {
+        let _ = varint::read(&bytes);
+    }
+
+    #[test]
+    fn hex_prefix_round_trips(
+        nibbles in proptest::collection::vec(0u8..16, 0..40),
+        leaf in proptest::bool::ANY,
+    ) {
+        let path = Nibbles::from_raw(nibbles);
+        let enc = path.hex_prefix_encode(leaf);
+        let (dec, dec_leaf) = Nibbles::hex_prefix_decode(&enc).unwrap();
+        prop_assert_eq!(dec, path);
+        prop_assert_eq!(dec_leaf, leaf);
+    }
+
+    #[test]
+    fn nibbles_key_round_trip(key in proptest::collection::vec(proptest::num::u8::ANY, 0..64)) {
+        prop_assert_eq!(Nibbles::from_key(&key).to_key().unwrap(), key);
+    }
+}

@@ -1,0 +1,150 @@
+//! MBT proof verification.
+//!
+//! A proof is the root→bucket page path. The verifier holds only the
+//! trusted digest: it reads B and fanout from the (digest-checked) root
+//! page, re-derives the bucket index and slot path arithmetically, and
+//! checks every parent→child link by re-hashing, so any tampered page or
+//! wrong-path proof is rejected.
+
+use bytes::Bytes;
+use siri_core::{Proof, ProofVerdict};
+use siri_crypto::{sha256, Hash};
+
+use crate::node::Node;
+use crate::topology::Topology;
+
+pub(crate) fn verify(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
+    let pages = proof.pages();
+    let Some(first) = pages.first() else {
+        return ProofVerdict::Invalid("empty proof");
+    };
+    if sha256(first) != root {
+        return ProofVerdict::Invalid("root page does not match digest");
+    }
+    let Ok(root_node) = Node::decode(first) else {
+        return ProofVerdict::Invalid("root page undecodable");
+    };
+    let (b, m) = root_node.params();
+    if b == 0 || m < 2 {
+        return ProofVerdict::Invalid("implausible parameters");
+    }
+    let topo = Topology::new(b as usize, m as usize);
+    let path = topo.path_to_bucket(topo.bucket_of(key));
+    if pages.len() != path.len() {
+        return ProofVerdict::Invalid("proof length does not match tree height");
+    }
+
+    let mut current = root_node;
+    for step in 1..path.len() {
+        let Node::Internal { children, buckets, fanout } = current else {
+            return ProofVerdict::Invalid("bucket page at internal level");
+        };
+        if (buckets, fanout) != (b, m) {
+            return ProofVerdict::Invalid("parameter mismatch along path");
+        }
+        let slot = topo.slot_in_parent(path[step]);
+        let Some(expected) = children.get(slot) else {
+            return ProofVerdict::Invalid("path slot out of range");
+        };
+        if sha256(&pages[step]) != *expected {
+            return ProofVerdict::Invalid("broken hash link");
+        }
+        match Node::decode(&pages[step]) {
+            Ok(node) => current = node,
+            Err(_) => return ProofVerdict::Invalid("page undecodable"),
+        }
+    }
+
+    match current {
+        Node::Bucket { entries, buckets, fanout } => {
+            if (buckets, fanout) != (b, m) {
+                return ProofVerdict::Invalid("parameter mismatch at bucket");
+            }
+            match entries.binary_search_by(|e| e.key.as_ref().cmp(key)) {
+                Ok(i) => ProofVerdict::Present(Bytes::copy_from_slice(&entries[i].value)),
+                Err(_) => ProofVerdict::Absent,
+            }
+        }
+        Node::Internal { .. } => ProofVerdict::Invalid("proof ends at internal node"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MerkleBucketTree;
+    use siri_core::{Entry, MemStore, SiriIndex};
+
+    fn tree_with_data() -> MerkleBucketTree {
+        let mut t = MerkleBucketTree::new(MemStore::new_shared(), 32, 4).unwrap();
+        let entries: Vec<Entry> = (0..100)
+            .map(|i| Entry::new(format!("key{i:03}").into_bytes(), format!("value{i}").into_bytes()))
+            .collect();
+        t.batch_insert(entries).unwrap();
+        t
+    }
+
+    #[test]
+    fn proves_presence() {
+        let t = tree_with_data();
+        let proof = t.prove(b"key042").unwrap();
+        match MerkleBucketTree::verify_proof(t.root(), b"key042", &proof) {
+            ProofVerdict::Present(v) => assert_eq!(v.as_ref(), b"value42"),
+            other => panic!("expected Present, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proves_absence() {
+        let t = tree_with_data();
+        let proof = t.prove(b"missing-key").unwrap();
+        assert_eq!(
+            MerkleBucketTree::verify_proof(t.root(), b"missing-key", &proof),
+            ProofVerdict::Absent
+        );
+    }
+
+    #[test]
+    fn tampered_page_is_rejected() {
+        let t = tree_with_data();
+        let mut proof = t.prove(b"key042").unwrap();
+        for page in 0..proof.len() {
+            let mut p = proof.clone();
+            p.tamper(page, 13);
+            assert!(
+                !MerkleBucketTree::verify_proof(t.root(), b"key042", &p).is_valid(),
+                "tampering page {page} must invalidate the proof"
+            );
+        }
+        // Untampered control.
+        proof.tamper(usize::MAX, 0); // no-op
+        assert!(MerkleBucketTree::verify_proof(t.root(), b"key042", &proof).is_valid());
+    }
+
+    #[test]
+    fn proof_for_wrong_key_is_rejected() {
+        let t = tree_with_data();
+        let proof = t.prove(b"key001").unwrap();
+        // key in a different bucket: the arithmetic path will not match.
+        let verdict = MerkleBucketTree::verify_proof(t.root(), b"key002", &proof);
+        // Either invalid (different path length impossible here, so link
+        // check fails) or a *correct* Absent — never a false Present.
+        assert!(verdict.value().is_none());
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let t = tree_with_data();
+        let proof = t.prove(b"key001").unwrap();
+        let wrong = siri_crypto::sha256(b"forged root");
+        assert!(!MerkleBucketTree::verify_proof(wrong, b"key001", &proof).is_valid());
+    }
+
+    #[test]
+    fn truncated_proof_rejected() {
+        let t = tree_with_data();
+        let proof = t.prove(b"key001").unwrap();
+        let truncated = Proof::new(proof.pages()[..proof.len() - 1].to_vec());
+        assert!(!MerkleBucketTree::verify_proof(t.root(), b"key001", &truncated).is_valid());
+    }
+}

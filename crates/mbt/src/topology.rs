@@ -1,0 +1,160 @@
+//! Topology of the complete m-ary Merkle tree over B buckets.
+//!
+//! MBT's shape is fixed at construction: "capacity and fanout are
+//! pre-defined and cannot be changed in its life cycle" (§3.4.2). Because
+//! the shape is arithmetic, the lookup path is *derived*, not searched —
+//! "a trivial reverse simulation of the complete multi-way search tree
+//! search algorithm".
+
+use siri_crypto::fx_hash_bytes;
+
+/// Node coordinates: level 0 is the bucket level; the highest level holds
+/// the single root.
+pub type NodeId = (usize, usize);
+
+/// The arithmetic shape of one MBT instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    buckets: usize,
+    fanout: usize,
+    /// Node counts per level, `levels[0] == buckets`, `levels.last() == 1`.
+    levels: Vec<usize>,
+}
+
+impl Topology {
+    pub fn new(buckets: usize, fanout: usize) -> Self {
+        assert!(buckets >= 1, "MBT needs at least one bucket");
+        assert!(fanout >= 2, "MBT fanout must be at least 2");
+        let mut levels = vec![buckets];
+        while *levels.last().unwrap() > 1 {
+            let next = levels.last().unwrap().div_ceil(fanout);
+            levels.push(next);
+        }
+        Topology { buckets, fanout, levels }
+    }
+
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Number of levels including the bucket level. A single-bucket tree
+    /// has height 1: the bucket is the root.
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Nodes on `level`.
+    pub fn nodes_on_level(&self, level: usize) -> usize {
+        self.levels[level]
+    }
+
+    /// Total number of nodes in the tree (buckets + internal).
+    pub fn total_nodes(&self) -> usize {
+        self.levels.iter().sum()
+    }
+
+    /// The bucket a key hashes to: `hash(key) % B` (§3.4.2).
+    pub fn bucket_of(&self, key: &[u8]) -> usize {
+        (fx_hash_bytes(key) % self.buckets as u64) as usize
+    }
+
+    /// Parent coordinates of a node.
+    pub fn parent(&self, (level, idx): NodeId) -> Option<NodeId> {
+        if level + 1 >= self.height() {
+            None
+        } else {
+            Some((level + 1, idx / self.fanout))
+        }
+    }
+
+    /// Children of an internal node, as (first_child_index, count).
+    pub fn children_span(&self, (level, idx): NodeId) -> (usize, usize) {
+        assert!(level > 0, "buckets have no children");
+        let first = idx * self.fanout;
+        let below = self.levels[level - 1];
+        let count = self.fanout.min(below - first);
+        (first, count)
+    }
+
+    /// Which child slot of its parent a node occupies.
+    pub fn slot_in_parent(&self, (_, idx): NodeId) -> usize {
+        idx % self.fanout
+    }
+
+    /// The root→bucket path for a bucket index, starting at the root.
+    pub fn path_to_bucket(&self, bucket: usize) -> Vec<NodeId> {
+        assert!(bucket < self.buckets);
+        let mut path: Vec<NodeId> = Vec::with_capacity(self.height());
+        let mut idx = bucket;
+        for level in 0..self.height() {
+            path.push((level, idx));
+            idx /= self.fanout;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_sizes_for_eight_buckets_fanout_two() {
+        // The Figure 4 configuration: 8 buckets, fanout 2 → 8,4,2,1.
+        let t = Topology::new(8, 2);
+        assert_eq!(t.height(), 4);
+        assert_eq!(
+            (0..t.height()).map(|l| t.nodes_on_level(l)).collect::<Vec<_>>(),
+            vec![8, 4, 2, 1]
+        );
+        assert_eq!(t.total_nodes(), 15);
+    }
+
+    #[test]
+    fn ragged_last_parent() {
+        let t = Topology::new(10, 4); // levels 10, 3, 1
+        assert_eq!(t.nodes_on_level(1), 3);
+        assert_eq!(t.children_span((1, 2)), (8, 2), "last parent has 2 children");
+        assert_eq!(t.children_span((1, 0)), (0, 4));
+    }
+
+    #[test]
+    fn single_bucket_tree() {
+        let t = Topology::new(1, 4);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.path_to_bucket(0), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn path_is_root_first_and_consistent_with_parent() {
+        let t = Topology::new(64, 4);
+        for bucket in [0usize, 17, 63] {
+            let path = t.path_to_bucket(bucket);
+            assert_eq!(path.first().unwrap(), &(t.height() - 1, 0), "starts at root");
+            assert_eq!(path.last().unwrap(), &(0, bucket), "ends at the bucket");
+            for pair in path.windows(2) {
+                assert_eq!(t.parent(pair[1]), Some(pair[0]));
+                let (first, count) = t.children_span(pair[0]);
+                let slot = t.slot_in_parent(pair[1]);
+                assert!(slot < count);
+                assert_eq!(first + slot, pair[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_of_is_stable_and_in_range() {
+        let t = Topology::new(1000, 8);
+        for i in 0..100 {
+            let key = format!("key{i}");
+            let b = t.bucket_of(key.as_bytes());
+            assert!(b < 1000);
+            assert_eq!(b, t.bucket_of(key.as_bytes()));
+        }
+    }
+}

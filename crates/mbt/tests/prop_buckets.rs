@@ -1,0 +1,86 @@
+//! MBT-specific property tests: arbitrary shapes (B, fanout), model
+//! equivalence, order invariance, and topology laws.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use siri_core::{Entry, MemStore, SiriIndex};
+use siri_mbt::{MerkleBucketTree, Topology};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn topology_laws(buckets in 1usize..500, fanout in 2usize..12) {
+        let t = Topology::new(buckets, fanout);
+        // Level sizes shrink by ~fanout and end at 1.
+        prop_assert_eq!(t.nodes_on_level(0), buckets);
+        prop_assert_eq!(t.nodes_on_level(t.height() - 1), 1);
+        for level in 1..t.height() {
+            prop_assert_eq!(
+                t.nodes_on_level(level),
+                t.nodes_on_level(level - 1).div_ceil(fanout)
+            );
+        }
+        // Every bucket's path is consistent with parent/child arithmetic.
+        for bucket in [0, buckets / 2, buckets - 1] {
+            let path = t.path_to_bucket(bucket);
+            prop_assert_eq!(path.len(), t.height());
+            for pair in path.windows(2) {
+                prop_assert_eq!(t.parent(pair[1]), Some(pair[0]));
+                let (first, count) = t.children_span(pair[0]);
+                let slot = t.slot_in_parent(pair[1]);
+                prop_assert!(slot < count);
+                prop_assert_eq!(first + slot, pair[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn mbt_matches_model_for_arbitrary_shapes(
+        raw in proptest::collection::vec(
+            (proptest::collection::vec(proptest::num::u8::ANY, 1..8),
+             proptest::collection::vec(proptest::num::u8::ANY, 0..16)),
+            1..80,
+        ),
+        buckets in 1usize..40,
+        fanout in 2usize..6,
+    ) {
+        let model: BTreeMap<Vec<u8>, Vec<u8>> = raw.iter().cloned().collect();
+        let mut t = MerkleBucketTree::new(MemStore::new_shared(), buckets, fanout).unwrap();
+        t.batch_insert(raw.iter().map(|(k, v)| Entry::new(k.clone(), v.clone())).collect())
+            .unwrap();
+        prop_assert_eq!(t.len().unwrap(), model.len());
+        for (k, v) in &model {
+            let got = t.get(k).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+        }
+    }
+
+    #[test]
+    fn mbt_root_is_order_invariant(
+        raw in proptest::collection::vec(
+            (proptest::collection::vec(proptest::num::u8::ANY, 1..6),
+             proptest::collection::vec(proptest::num::u8::ANY, 1..8)),
+            1..50,
+        ),
+        seed in 0u64..500,
+    ) {
+        let model: BTreeMap<Vec<u8>, Vec<u8>> = raw.iter().cloned().collect();
+        let entries: Vec<Entry> =
+            model.iter().map(|(k, v)| Entry::new(k.clone(), v.clone())).collect();
+        let mut shuffled = entries.clone();
+        let n = shuffled.len();
+        for i in (1..n).rev() {
+            let j = (seed.wrapping_add(i as u64 * 2654435761) % (i as u64 + 1)) as usize;
+            shuffled.swap(i, j);
+        }
+        let mut a = MerkleBucketTree::new(MemStore::new_shared(), 16, 4).unwrap();
+        a.batch_insert(entries).unwrap();
+        let mut b = MerkleBucketTree::new(MemStore::new_shared(), 16, 4).unwrap();
+        for chunk in shuffled.chunks(7) {
+            b.batch_insert(chunk.to_vec()).unwrap();
+        }
+        prop_assert_eq!(a.root(), b.root());
+    }
+}

@@ -1,0 +1,490 @@
+//! Merkle Patricia Trie (MPT) — §3.4.1 of the paper.
+//!
+//! A radix-16 trie with path compaction and cryptographic authentication,
+//! modelled on Ethereum's state trie (the paper ports Ethereum's
+//! implementation, §5.2). Keys are split into nibbles; shared runs are
+//! compacted into extension nodes; every node is RLP-encoded and referenced
+//! by its SHA-256 digest, so the root digest authenticates the entire
+//! key/value set.
+//!
+//! MPT is *Structurally Invariant by construction*: "the position of the
+//! node only depends on the sequence of the stored key bytes" (§3.3), so
+//! any insertion order of the same records yields the same root.
+//!
+//! ```
+//! use siri_core::{MemStore, SiriIndex};
+//! use siri_mpt::MerklePatriciaTrie;
+//!
+//! let mut t = MerklePatriciaTrie::new(MemStore::new_shared());
+//! t.insert(b"key", bytes::Bytes::from_static(b"value")).unwrap();
+//! assert_eq!(t.get(b"key").unwrap().unwrap().as_ref(), b"value");
+//! ```
+
+mod diff;
+mod mem;
+mod node;
+mod proof;
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use siri_core::{
+    normalize_batch, DiffEntry, Entry, IndexError, LookupTrace, Proof, ProofVerdict, Result,
+    SiriIndex,
+};
+use siri_crypto::Hash;
+use siri_encoding::Nibbles;
+use siri_store::{reachable_pages, PageSet, SharedStore};
+
+pub use node::Node;
+
+/// Handle to one MPT version: `(store, root digest)`.
+#[derive(Clone)]
+pub struct MerklePatriciaTrie {
+    store: SharedStore,
+    root: Hash,
+}
+
+impl MerklePatriciaTrie {
+    /// An empty trie (root = zero digest, the paper's *null* node).
+    pub fn new(store: SharedStore) -> Self {
+        MerklePatriciaTrie { store, root: Hash::ZERO }
+    }
+
+    /// Re-open an existing version by root digest.
+    pub fn open(store: SharedStore, root: Hash) -> Self {
+        MerklePatriciaTrie { store, root }
+    }
+
+    fn fetch(&self, hash: &Hash) -> Result<Node> {
+        let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+        Node::decode(&page)
+    }
+
+    fn scan_rec(&self, hash: Hash, prefix: &mut Vec<u8>, out: &mut Vec<Entry>) -> Result<()> {
+        match self.fetch(&hash)? {
+            Node::Leaf { path, value } => {
+                prefix.extend_from_slice(path.as_slice());
+                out.push(Entry { key: nibbles_to_key(prefix)?, value });
+                prefix.truncate(prefix.len() - path.len());
+            }
+            Node::Extension { path, child } => {
+                prefix.extend_from_slice(path.as_slice());
+                self.scan_rec(child, prefix, out)?;
+                prefix.truncate(prefix.len() - path.len());
+            }
+            Node::Branch { children, value } => {
+                if let Some(v) = value {
+                    out.push(Entry { key: nibbles_to_key(prefix)?, value: v });
+                }
+                for (i, child) in children.iter().enumerate() {
+                    if let Some(c) = child {
+                        prefix.push(i as u8);
+                        self.scan_rec(*c, prefix, out)?;
+                        prefix.pop();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All entries whose keys start with `prefix`, in key order — the
+    /// natural trie query (e.g. all wiki pages under one URL path).
+    /// O(prefix + results): descends along the prefix nibbles, then walks
+    /// the subtree below.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<Entry>> {
+        let mut out = Vec::new();
+        if self.root.is_zero() {
+            return Ok(out);
+        }
+        let target = Nibbles::from_key(prefix);
+        // Descend as far as the prefix constrains the path.
+        let mut consumed: Vec<u8> = Vec::new();
+        let mut hash = self.root;
+        let mut offset = 0usize;
+        loop {
+            if offset >= target.len() {
+                break; // everything below `hash` matches the prefix
+            }
+            match self.fetch(&hash)? {
+                Node::Leaf { path, value } => {
+                    // Single candidate: check it.
+                    let mut full = consumed.clone();
+                    full.extend_from_slice(path.as_slice());
+                    let key = nibbles_to_key(&full)?;
+                    if key.starts_with(prefix) {
+                        out.push(Entry { key, value });
+                    }
+                    return Ok(out);
+                }
+                Node::Extension { path, child } => {
+                    // The extension must agree with the remaining prefix on
+                    // their common length.
+                    let remaining = target.suffix(offset);
+                    let common = remaining.common_prefix_len(&path);
+                    if common < path.len() && common < remaining.len() {
+                        return Ok(out); // diverged: nothing matches
+                    }
+                    consumed.extend_from_slice(path.as_slice());
+                    offset += path.len();
+                    hash = child;
+                }
+                Node::Branch { children, .. } => {
+                    let nib = target.at(offset);
+                    match children[nib as usize] {
+                        Some(child) => {
+                            consumed.push(nib);
+                            offset += 1;
+                            hash = child;
+                        }
+                        None => return Ok(out),
+                    }
+                }
+            }
+        }
+        // Collect the whole subtree, then filter exact byte-prefix matches
+        // (the final nibble may sit mid-byte).
+        self.scan_rec(hash, &mut consumed, &mut out)?;
+        out.retain(|e| e.key.starts_with(prefix));
+        Ok(out)
+    }
+
+    /// Depth statistics over all leaf positions: (average, maximum), in
+    /// *nodes traversed*. Drives the L̄ term of the §4.2.2 MPT analysis and
+    /// Table 3's key-length sweep.
+    pub fn depth_stats(&self) -> Result<(f64, u32)> {
+        if self.root.is_zero() {
+            return Ok((0.0, 0));
+        }
+        let mut total = 0u64;
+        let mut count = 0u64;
+        let mut max = 0u32;
+        let mut stack: Vec<(Hash, u32)> = vec![(self.root, 1)];
+        while let Some((h, depth)) = stack.pop() {
+            match self.fetch(&h)? {
+                Node::Leaf { .. } => {
+                    total += depth as u64;
+                    count += 1;
+                    max = max.max(depth);
+                }
+                Node::Extension { child, .. } => stack.push((child, depth + 1)),
+                Node::Branch { children, value } => {
+                    if value.is_some() {
+                        total += depth as u64;
+                        count += 1;
+                        max = max.max(depth);
+                    }
+                    for c in children.into_iter().flatten() {
+                        stack.push((c, depth + 1));
+                    }
+                }
+            }
+        }
+        Ok((total as f64 / count.max(1) as f64, max))
+    }
+}
+
+/// Nibble path → byte key; keys always have even nibble length because they
+/// are built from whole bytes.
+fn nibbles_to_key(nibbles: &[u8]) -> Result<Bytes> {
+    if !nibbles.len().is_multiple_of(2) {
+        return Err(IndexError::CorruptStructure("odd-length key path"));
+    }
+    Ok(Bytes::from(
+        nibbles.chunks_exact(2).map(|p| p[0] << 4 | p[1]).collect::<Vec<u8>>(),
+    ))
+}
+
+impl SiriIndex for MerklePatriciaTrie {
+    fn kind(&self) -> &'static str {
+        "mpt"
+    }
+
+    fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    fn root(&self) -> Hash {
+        self.root
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        Ok(self.get_traced(key)?.0)
+    }
+
+    fn get_traced(&self, key: &[u8]) -> Result<(Option<Bytes>, LookupTrace)> {
+        let mut trace = LookupTrace::default();
+        if self.root.is_zero() {
+            return Ok((None, trace));
+        }
+        let nibbles = Nibbles::from_key(key);
+        let mut offset = 0usize;
+        let mut hash = self.root;
+        let started = Instant::now();
+        loop {
+            let node = self.fetch(&hash)?;
+            trace.pages_loaded += 1;
+            trace.height += 1;
+            match node {
+                Node::Leaf { path, value } => {
+                    trace.load_nanos = started.elapsed().as_nanos() as u64;
+                    trace.leaf_entries_scanned = 1;
+                    let rest = nibbles.suffix(offset);
+                    return Ok(((rest == path).then_some(value), trace));
+                }
+                Node::Extension { path, child } => {
+                    if !nibbles.suffix(offset).starts_with(&path) {
+                        trace.load_nanos = started.elapsed().as_nanos() as u64;
+                        return Ok((None, trace));
+                    }
+                    offset += path.len();
+                    hash = child;
+                }
+                Node::Branch { children, value } => {
+                    if offset == nibbles.len() {
+                        trace.load_nanos = started.elapsed().as_nanos() as u64;
+                        return Ok((value, trace));
+                    }
+                    match children[nibbles.at(offset) as usize] {
+                        Some(child) => {
+                            offset += 1;
+                            hash = child;
+                        }
+                        None => {
+                            trace.load_nanos = started.elapsed().as_nanos() as u64;
+                            return Ok((None, trace));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn batch_insert(&mut self, entries: Vec<Entry>) -> Result<()> {
+        let norm = normalize_batch(entries);
+        if norm.is_empty() {
+            return Ok(());
+        }
+        let mut overlay = if self.root.is_zero() {
+            None
+        } else {
+            Some(mem::MemNode::Stored(self.root))
+        };
+        for e in norm {
+            let suffix = Nibbles::from_key(&e.key);
+            overlay = Some(mem::MemNode::insert(overlay, &self.store, suffix, e.value)?);
+        }
+        self.root = overlay.expect("batch was non-empty").commit(&self.store);
+        Ok(())
+    }
+
+    fn scan(&self) -> Result<Vec<Entry>> {
+        let mut out = Vec::new();
+        if !self.root.is_zero() {
+            let mut prefix = Vec::new();
+            self.scan_rec(self.root, &mut prefix, &mut out)?;
+        }
+        // Nibble DFS visits keys in lexicographic nibble order, which for
+        // whole-byte keys is byte-lexicographic — but a branch value (a key
+        // that is a strict prefix) is already emitted first, so order holds.
+        debug_assert!(out.windows(2).all(|w| w[0].key < w[1].key));
+        Ok(out)
+    }
+
+    fn page_set(&self) -> PageSet {
+        reachable_pages(self.store.as_ref(), self.root, Node::children_of_page)
+    }
+
+    fn diff(&self, other: &Self) -> Result<Vec<DiffEntry>> {
+        diff::diff(self, other)
+    }
+
+    fn prove(&self, key: &[u8]) -> Result<Proof> {
+        proof::prove(self, key)
+    }
+
+    fn verify_proof(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
+        proof::verify(root, key, proof)
+    }
+}
+
+pub(crate) use nibbles_to_key as nibbles_to_key_for_diff;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siri_core::MemStore;
+
+    fn make() -> MerklePatriciaTrie {
+        MerklePatriciaTrie::new(MemStore::new_shared())
+    }
+
+    fn e(k: &str, v: &str) -> Entry {
+        Entry::new(k.as_bytes().to_vec(), v.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn empty_trie() {
+        let t = make();
+        assert!(t.is_empty());
+        assert_eq!(t.get(b"x").unwrap(), None);
+        assert!(t.scan().unwrap().is_empty());
+        assert_eq!(t.page_set().len(), 0);
+    }
+
+    #[test]
+    fn paper_example_keys() {
+        // The Figure 3 walkthrough: keys "1", "8", then "10" diverging at a
+        // leaf and splitting it.
+        let mut t = make();
+        t.insert(b"8", Bytes::from_static(b"v8")).unwrap();
+        t.insert(b"1", Bytes::from_static(b"v1")).unwrap();
+        t.insert(b"10", Bytes::from_static(b"v10")).unwrap();
+        assert_eq!(t.get(b"8").unwrap().unwrap().as_ref(), b"v8");
+        assert_eq!(t.get(b"1").unwrap().unwrap().as_ref(), b"v1");
+        assert_eq!(t.get(b"10").unwrap().unwrap().as_ref(), b"v10");
+        assert_eq!(t.get(b"9").unwrap(), None);
+        assert_eq!(t.len().unwrap(), 3);
+    }
+
+    #[test]
+    fn prefix_keys_coexist() {
+        // "a" is a strict prefix of "ab": the shorter key's value lands in
+        // a branch value slot.
+        let mut t = make();
+        t.insert(b"a", Bytes::from_static(b"short")).unwrap();
+        t.insert(b"ab", Bytes::from_static(b"long")).unwrap();
+        t.insert(b"abc", Bytes::from_static(b"longer")).unwrap();
+        assert_eq!(t.get(b"a").unwrap().unwrap().as_ref(), b"short");
+        assert_eq!(t.get(b"ab").unwrap().unwrap().as_ref(), b"long");
+        assert_eq!(t.get(b"abc").unwrap().unwrap().as_ref(), b"longer");
+        assert_eq!(t.get(b"abcd").unwrap(), None);
+        let scan = t.scan().unwrap();
+        assert_eq!(scan.len(), 3);
+        assert!(scan.windows(2).all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
+    fn structurally_invariant_under_insertion_order() {
+        let entries: Vec<Entry> =
+            (0..300).map(|i| e(&format!("user{i:04}"), &format!("profile-{i}"))).collect();
+        let mut forward = make();
+        forward.batch_insert(entries.clone()).unwrap();
+        let mut backward = make();
+        for en in entries.iter().rev() {
+            backward.insert(&en.key, en.value.clone()).unwrap();
+        }
+        let mut chunked = make();
+        for c in entries.chunks(37) {
+            chunked.batch_insert(c.to_vec()).unwrap();
+        }
+        assert_eq!(forward.root(), backward.root());
+        assert_eq!(forward.root(), chunked.root());
+    }
+
+    #[test]
+    fn overwrite_changes_digest_and_keeps_history() {
+        let mut t = make();
+        t.insert(b"acct", Bytes::from_static(b"100")).unwrap();
+        let v1 = t.clone();
+        t.insert(b"acct", Bytes::from_static(b"250")).unwrap();
+        assert_ne!(v1.root(), t.root());
+        assert_eq!(v1.get(b"acct").unwrap().unwrap().as_ref(), b"100");
+        assert_eq!(t.get(b"acct").unwrap().unwrap().as_ref(), b"250");
+    }
+
+    #[test]
+    fn update_rewrites_only_the_path() {
+        let mut t = make();
+        t.batch_insert((0..200).map(|i| e(&format!("key{i:03}"), "v")).collect()).unwrap();
+        let before = t.page_set();
+        let mut v2 = t.clone();
+        v2.insert(b"key100", Bytes::from_static(b"changed")).unwrap();
+        let fresh = v2.page_set().difference(&before);
+        let (_, max_depth) = t.depth_stats().unwrap();
+        assert!(
+            fresh.len() as u32 <= max_depth + 1,
+            "one path only: {} new pages vs depth {}",
+            fresh.len(),
+            max_depth
+        );
+    }
+
+    #[test]
+    fn scan_round_trips_binary_keys() {
+        let mut t = make();
+        let entries: Vec<Entry> = (0..=255u8)
+            .map(|b| Entry::new(vec![b, b ^ 0x5a], vec![b]))
+            .collect();
+        t.batch_insert(entries.clone()).unwrap();
+        let mut expected = entries;
+        expected.sort();
+        assert_eq!(t.scan().unwrap(), expected);
+    }
+
+    #[test]
+    fn depth_grows_with_record_count_not_shared_prefixes() {
+        // Path compaction folds long shared prefixes into one extension
+        // node, so depth is driven by the number of divergence points —
+        // i.e. by N — not by raw key length.
+        let mut small = make();
+        small.batch_insert((0..16).map(|i| e(&format!("k{i:04}"), "v")).collect()).unwrap();
+        let mut large = make();
+        large.batch_insert((0..4096).map(|i| e(&format!("k{i:04}"), "v")).collect()).unwrap();
+        let (avg_small, _) = small.depth_stats().unwrap();
+        let (avg_large, _) = large.depth_stats().unwrap();
+        assert!(avg_large > avg_small, "large {avg_large} vs small {avg_small}");
+
+        // And a single long-shared-prefix cluster stays shallow thanks to
+        // compaction.
+        let mut clustered = make();
+        clustered
+            .batch_insert((0..16).map(|i| e(&format!("shared/deep/prefix/{i:04}"), "v")).collect())
+            .unwrap();
+        let (avg_clustered, _) = clustered.depth_stats().unwrap();
+        assert!(avg_clustered <= avg_small + 2.0, "compaction keeps it shallow");
+    }
+
+    #[test]
+    fn trace_counts_path_nodes() {
+        let mut t = make();
+        t.batch_insert((0..100).map(|i| e(&format!("k{i:02}"), "v")).collect()).unwrap();
+        let (v, trace) = t.get_traced(b"k42").unwrap();
+        assert!(v.is_some());
+        assert!(trace.height >= 2);
+        assert_eq!(trace.pages_loaded, trace.height);
+    }
+
+    #[test]
+    fn scan_prefix_returns_exactly_the_subtree() {
+        let mut t = make();
+        t.batch_insert(vec![
+            e("app/alpha", "1"),
+            e("app/beta", "2"),
+            e("app", "3"),
+            e("apple", "4"),
+            e("banana", "5"),
+        ])
+        .unwrap();
+        let r = t.scan_prefix(b"app/").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].key.as_ref(), b"app/alpha");
+        let r = t.scan_prefix(b"app").unwrap();
+        assert_eq!(r.len(), 4, "app, app/*, apple");
+        assert_eq!(t.scan_prefix(b"zzz").unwrap().len(), 0);
+        assert_eq!(t.scan_prefix(b"").unwrap().len(), 5, "empty prefix = full scan");
+        assert_eq!(t.scan_prefix(b"banana").unwrap().len(), 1);
+        assert_eq!(t.scan_prefix(b"bananas").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn values_at_branch_slots_survive_deep_inserts() {
+        let mut t = make();
+        t.insert(b"", Bytes::from_static(b"empty-key")).unwrap();
+        t.insert(b"x", Bytes::from_static(b"x")).unwrap();
+        assert_eq!(t.get(b"").unwrap().unwrap().as_ref(), b"empty-key");
+        assert_eq!(t.get(b"x").unwrap().unwrap().as_ref(), b"x");
+        assert_eq!(t.len().unwrap(), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! In-memory overlay used for batched copy-on-write inserts.
+//!
+//! A batch is applied to a tree of [`MemNode`]s: stored pages are pulled in
+//! lazily (one fetch per touched node) and stay as [`MemNode::Stored`]
+//! stubs when untouched, so committing writes exactly one new page per
+//! modified node — the copy-on-write cost the paper's update bound counts
+//! (§4.1.2).
+
+use bytes::Bytes;
+use siri_core::{IndexError, Result};
+use siri_crypto::Hash;
+use siri_encoding::Nibbles;
+use siri_store::SharedStore;
+
+use crate::node::Node;
+
+/// A node in the mutable overlay.
+pub(crate) enum MemNode {
+    /// An untouched subtree, by page digest.
+    Stored(Hash),
+    Branch { children: Box<[Option<MemNode>; 16]>, value: Option<Bytes> },
+    Extension { path: Nibbles, child: Box<MemNode> },
+    Leaf { path: Nibbles, value: Bytes },
+}
+
+fn empty_children() -> Box<[Option<MemNode>; 16]> {
+    Box::default()
+}
+
+impl MemNode {
+    /// Materialize a stored page as a shallow overlay node (children remain
+    /// `Stored` stubs).
+    fn load(store: &SharedStore, hash: Hash) -> Result<MemNode> {
+        let page = store.get(&hash).ok_or(IndexError::MissingPage(hash))?;
+        Ok(match Node::decode(&page)? {
+            Node::Branch { children, value } => {
+                let mut slots = empty_children();
+                for (i, c) in children.into_iter().enumerate() {
+                    slots[i] = c.map(MemNode::Stored);
+                }
+                MemNode::Branch { children: slots, value }
+            }
+            Node::Extension { path, child } => {
+                MemNode::Extension { path, child: Box::new(MemNode::Stored(child)) }
+            }
+            Node::Leaf { path, value } => MemNode::Leaf { path, value },
+        })
+    }
+
+    /// Insert `(suffix → value)` into the subtree, consuming and returning
+    /// the rebuilt overlay. Standard MPT insertion (§3.4.1's description of
+    /// branch creation at diverging bytes).
+    pub(crate) fn insert(
+        this: Option<MemNode>,
+        store: &SharedStore,
+        suffix: Nibbles,
+        value: Bytes,
+    ) -> Result<MemNode> {
+        let node = match this {
+            None => return Ok(MemNode::Leaf { path: suffix, value }),
+            Some(MemNode::Stored(h)) => Self::load(store, h)?,
+            Some(other) => other,
+        };
+        match node {
+            MemNode::Leaf { path, value: old_value } => {
+                let common = suffix.common_prefix_len(&path);
+                if common == path.len() && common == suffix.len() {
+                    return Ok(MemNode::Leaf { path, value });
+                }
+                let mut children = empty_children();
+                let mut branch_value = None;
+                // Park the existing leaf below the divergence…
+                if common == path.len() {
+                    branch_value = Some(old_value);
+                } else {
+                    children[path.at(common) as usize] =
+                        Some(MemNode::Leaf { path: path.suffix(common + 1), value: old_value });
+                }
+                // …and the new entry beside it.
+                if common == suffix.len() {
+                    branch_value = Some(value);
+                } else {
+                    children[suffix.at(common) as usize] =
+                        Some(MemNode::Leaf { path: suffix.suffix(common + 1), value });
+                }
+                let branch = MemNode::Branch { children, value: branch_value };
+                Ok(wrap_extension(path.slice(0, common), branch))
+            }
+            MemNode::Extension { path, child } => {
+                let common = suffix.common_prefix_len(&path);
+                if common == path.len() {
+                    let new_child =
+                        Self::insert(Some(*child), store, suffix.suffix(common), value)?;
+                    return Ok(MemNode::Extension { path, child: Box::new(new_child) });
+                }
+                // Diverged inside the compacted run: split it with a branch
+                // (the "new branch node at diverging byte" of §3.4.1).
+                let mut children = empty_children();
+                let mut branch_value = None;
+                let below = if path.len() == common + 1 {
+                    *child
+                } else {
+                    MemNode::Extension { path: path.suffix(common + 1), child }
+                };
+                children[path.at(common) as usize] = Some(below);
+                if common == suffix.len() {
+                    branch_value = Some(value);
+                } else {
+                    children[suffix.at(common) as usize] =
+                        Some(MemNode::Leaf { path: suffix.suffix(common + 1), value });
+                }
+                let branch = MemNode::Branch { children, value: branch_value };
+                Ok(wrap_extension(path.slice(0, common), branch))
+            }
+            MemNode::Branch { mut children, value: branch_value } => {
+                if suffix.is_empty() {
+                    return Ok(MemNode::Branch { children, value: Some(value) });
+                }
+                let slot = suffix.at(0) as usize;
+                let taken = children[slot].take();
+                children[slot] = Some(Self::insert(taken, store, suffix.suffix(1), value)?);
+                Ok(MemNode::Branch { children, value: branch_value })
+            }
+            MemNode::Stored(_) => unreachable!("materialized above"),
+        }
+    }
+
+    /// Persist the overlay, returning the subtree digest. Untouched
+    /// `Stored` stubs cost nothing.
+    pub(crate) fn commit(self, store: &SharedStore) -> Hash {
+        match self {
+            MemNode::Stored(h) => h,
+            MemNode::Leaf { path, value } => store.put(Node::Leaf { path, value }.encode()),
+            MemNode::Extension { path, child } => {
+                let child = child.commit(store);
+                store.put(Node::Extension { path, child }.encode())
+            }
+            MemNode::Branch { children, value } => {
+                let mut slots: [Option<Hash>; 16] = Default::default();
+                for (i, c) in children.into_iter().enumerate() {
+                    slots[i] = c.map(|n| n.commit(store));
+                }
+                store.put(Node::Branch { children: slots, value }.encode())
+            }
+        }
+    }
+}
+
+/// Wrap `node` in an extension for `path`, unless the path is empty.
+/// Extensions with empty paths are illegal (and pointless).
+fn wrap_extension(path: Nibbles, node: MemNode) -> MemNode {
+    if path.is_empty() {
+        node
+    } else {
+        MemNode::Extension { path, child: Box::new(node) }
+    }
+}

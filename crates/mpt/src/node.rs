@@ -1,0 +1,209 @@
+//! MPT node codec — the four node kinds of §3.4.1, RLP-encoded as in
+//! Ethereum.
+//!
+//! * **branch** — 16 child slots (one per nibble) plus an optional value;
+//! * **extension** — a compacted shared path and one child;
+//! * **leaf** — a compacted terminal path and a value;
+//! * **null** — represented by [`Hash::ZERO`], never stored.
+//!
+//! Wire format: branch = RLP list of 17 strings (empty string for an absent
+//! child; 32-byte digest otherwise; slot 16 holds the value, marker-
+//! prefixed); extension/leaf = RLP list of 2 strings (hex-prefix path,
+//! then digest/value). One deviation from Ethereum, documented in
+//! DESIGN.md: children are always referenced by digest — nodes under 32
+//! bytes are not inlined into their parents.
+
+use bytes::Bytes;
+use siri_core::{IndexError, Result};
+use siri_crypto::Hash;
+use siri_encoding::{Nibbles, RlpItem};
+
+/// A decoded MPT node.
+///
+/// The Branch variant is much larger than the others (16 optional child
+/// digests); nodes are short-lived decode products on the read path, so
+/// boxing the array would add an allocation per branch visit for no
+/// footprint win.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// 16 children (by nibble) and an optional value terminating exactly
+    /// at this position.
+    Branch { children: [Option<Hash>; 16], value: Option<Bytes> },
+    /// A run of nibbles shared by every key below, then one child.
+    Extension { path: Nibbles, child: Hash },
+    /// A terminal run of nibbles and the value.
+    Leaf { path: Nibbles, value: Bytes },
+}
+
+/// Branch value slots need "absent" ≠ "empty value": absent encodes as the
+/// empty string, present values carry a 0x01 marker byte.
+fn encode_value_slot(value: &Option<Bytes>) -> RlpItem {
+    match value {
+        None => RlpItem::bytes(Vec::new()),
+        Some(v) => {
+            let mut out = Vec::with_capacity(v.len() + 1);
+            out.push(0x01);
+            out.extend_from_slice(v);
+            RlpItem::bytes(out)
+        }
+    }
+}
+
+fn decode_value_slot(raw: &[u8]) -> Result<Option<Bytes>> {
+    match raw.split_first() {
+        None => Ok(None),
+        Some((0x01, rest)) => Ok(Some(Bytes::copy_from_slice(rest))),
+        Some(_) => Err(IndexError::CorruptStructure("bad branch value marker")),
+    }
+}
+
+impl Node {
+    pub fn encode(&self) -> Bytes {
+        let item = match self {
+            Node::Branch { children, value } => {
+                let mut items = Vec::with_capacity(17);
+                for child in children {
+                    items.push(match child {
+                        Some(h) => RlpItem::bytes(h.as_bytes().to_vec()),
+                        None => RlpItem::bytes(Vec::new()),
+                    });
+                }
+                items.push(encode_value_slot(value));
+                RlpItem::list(items)
+            }
+            Node::Extension { path, child } => RlpItem::list(vec![
+                RlpItem::bytes(path.hex_prefix_encode(false)),
+                RlpItem::bytes(child.as_bytes().to_vec()),
+            ]),
+            Node::Leaf { path, value } => RlpItem::list(vec![
+                RlpItem::bytes(path.hex_prefix_encode(true)),
+                RlpItem::bytes(value.to_vec()),
+            ]),
+        };
+        Bytes::from(item.encode())
+    }
+
+    pub fn decode(page: &[u8]) -> Result<Node> {
+        let item = RlpItem::decode_all(page)?;
+        let list = item.as_list()?;
+        match list.len() {
+            17 => {
+                let mut children: [Option<Hash>; 16] = Default::default();
+                for (i, slot) in list[..16].iter().enumerate() {
+                    let raw = slot.as_bytes()?;
+                    children[i] = if raw.is_empty() {
+                        None
+                    } else {
+                        Some(
+                            Hash::from_slice(raw)
+                                .ok_or(IndexError::CorruptStructure("bad child digest length"))?,
+                        )
+                    };
+                }
+                let value = decode_value_slot(list[16].as_bytes()?)?;
+                if value.is_none() && children.iter().all(Option::is_none) {
+                    return Err(IndexError::CorruptStructure("empty branch node"));
+                }
+                Ok(Node::Branch { children, value })
+            }
+            2 => {
+                let (path, is_leaf) = Nibbles::hex_prefix_decode(list[0].as_bytes()?)
+                    .ok_or(IndexError::CorruptStructure("bad hex-prefix path"))?;
+                let payload = list[1].as_bytes()?;
+                if is_leaf {
+                    Ok(Node::Leaf { path, value: Bytes::copy_from_slice(payload) })
+                } else {
+                    if path.is_empty() {
+                        return Err(IndexError::CorruptStructure("empty extension path"));
+                    }
+                    let child = Hash::from_slice(payload)
+                        .ok_or(IndexError::CorruptStructure("bad extension child digest"))?;
+                    Ok(Node::Extension { path, child })
+                }
+            }
+            _ => Err(IndexError::CorruptStructure("MPT node is neither branch nor pair")),
+        }
+    }
+
+    /// Child digests referenced by a page — the store-walk decoder.
+    pub fn children_of_page(page: &[u8]) -> Vec<Hash> {
+        match Node::decode(page) {
+            Ok(Node::Branch { children, .. }) => children.into_iter().flatten().collect(),
+            Ok(Node::Extension { child, .. }) => vec![child],
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siri_crypto::sha256;
+
+    fn nib(raw: &[u8]) -> Nibbles {
+        Nibbles::from_raw(raw.to_vec())
+    }
+
+    #[test]
+    fn leaf_round_trip() {
+        let node = Node::Leaf { path: nib(&[1, 2, 3]), value: Bytes::from_static(b"val") };
+        assert_eq!(Node::decode(&node.encode()).unwrap(), node);
+        // Empty path and empty value are legal leaves.
+        let node = Node::Leaf { path: Nibbles::empty(), value: Bytes::new() };
+        assert_eq!(Node::decode(&node.encode()).unwrap(), node);
+    }
+
+    #[test]
+    fn extension_round_trip() {
+        let node = Node::Extension { path: nib(&[0xa]), child: sha256(b"child") };
+        assert_eq!(Node::decode(&node.encode()).unwrap(), node);
+    }
+
+    #[test]
+    fn branch_round_trip_with_and_without_value() {
+        let mut children: [Option<Hash>; 16] = Default::default();
+        children[3] = Some(sha256(b"c3"));
+        children[15] = Some(sha256(b"c15"));
+        for value in [None, Some(Bytes::from_static(b"v")), Some(Bytes::new())] {
+            let node = Node::Branch { children, value: value.clone() };
+            assert_eq!(Node::decode(&node.encode()).unwrap(), node, "value {value:?}");
+        }
+    }
+
+    #[test]
+    fn empty_value_distinct_from_absent() {
+        let mut children: [Option<Hash>; 16] = Default::default();
+        children[0] = Some(sha256(b"c"));
+        let absent = Node::Branch { children, value: None }.encode();
+        let empty = Node::Branch { children, value: Some(Bytes::new()) }.encode();
+        assert_ne!(absent, empty);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Node::decode(b"not rlp").is_err());
+        // A 3-element list is no MPT node.
+        let bad = RlpItem::list(vec![RlpItem::uint(1), RlpItem::uint(2), RlpItem::uint(3)]).encode();
+        assert!(Node::decode(&bad).is_err());
+        // Extension with empty path.
+        let bad = RlpItem::list(vec![
+            RlpItem::bytes(Nibbles::empty().hex_prefix_encode(false)),
+            RlpItem::bytes(sha256(b"c").as_bytes().to_vec()),
+        ])
+        .encode();
+        assert!(Node::decode(&bad).is_err());
+        // Branch with all slots empty.
+        let mut items = vec![RlpItem::bytes(Vec::new()); 16];
+        items.push(RlpItem::bytes(Vec::new()));
+        assert!(Node::decode(&RlpItem::list(items).encode()).is_err());
+    }
+
+    #[test]
+    fn children_decoder() {
+        let ext = Node::Extension { path: nib(&[1]), child: sha256(b"c") };
+        assert_eq!(Node::children_of_page(&ext.encode()), vec![sha256(b"c")]);
+        let leaf = Node::Leaf { path: nib(&[1]), value: Bytes::from_static(b"v") };
+        assert!(Node::children_of_page(&leaf.encode()).is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! MPT proofs: the node path from the root toward the key, as in §2.3
+//! ("a proof of data, which contains the nodes on the path to the root").
+//!
+//! Absence is provable too: the path ends at the node that demonstrates
+//! divergence (a leaf with a different tail, a branch with an empty slot,
+//! or an extension whose run the key does not share).
+
+use bytes::Bytes;
+use siri_core::{IndexError, Proof, ProofVerdict, Result, SiriIndex};
+use siri_crypto::{sha256, Hash};
+use siri_encoding::Nibbles;
+
+use crate::node::Node;
+use crate::MerklePatriciaTrie;
+
+pub(crate) fn prove(trie: &MerklePatriciaTrie, key: &[u8]) -> Result<Proof> {
+    let mut pages = Vec::new();
+    if trie.root().is_zero() {
+        return Ok(Proof::new(pages));
+    }
+    let nibbles = Nibbles::from_key(key);
+    let mut offset = 0usize;
+    let mut hash = trie.root();
+    loop {
+        let page = trie.store().get(&hash).ok_or(IndexError::MissingPage(hash))?;
+        let node = Node::decode(&page)?;
+        pages.push(page);
+        match node {
+            Node::Leaf { .. } => return Ok(Proof::new(pages)),
+            Node::Extension { path, child } => {
+                if !nibbles.suffix(offset).starts_with(&path) {
+                    return Ok(Proof::new(pages)); // divergence proves absence
+                }
+                offset += path.len();
+                hash = child;
+            }
+            Node::Branch { children, .. } => {
+                if offset == nibbles.len() {
+                    return Ok(Proof::new(pages));
+                }
+                match children[nibbles.at(offset) as usize] {
+                    Some(child) => {
+                        offset += 1;
+                        hash = child;
+                    }
+                    None => return Ok(Proof::new(pages)), // empty slot proves absence
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn verify(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
+    if root.is_zero() {
+        return if proof.is_empty() {
+            ProofVerdict::Absent
+        } else {
+            ProofVerdict::Invalid("non-empty proof for empty trie")
+        };
+    }
+    let pages = proof.pages();
+    if pages.is_empty() {
+        return ProofVerdict::Invalid("empty proof for non-empty trie");
+    }
+    let nibbles = Nibbles::from_key(key);
+    let mut offset = 0usize;
+    let mut expected = root;
+    for (i, page) in pages.iter().enumerate() {
+        if sha256(page) != expected {
+            return ProofVerdict::Invalid("broken hash link");
+        }
+        let node = match Node::decode(page) {
+            Ok(n) => n,
+            Err(_) => return ProofVerdict::Invalid("page undecodable"),
+        };
+        let is_last = i + 1 == pages.len();
+        match node {
+            Node::Leaf { path, value } => {
+                if !is_last {
+                    return ProofVerdict::Invalid("pages after a leaf");
+                }
+                return if nibbles.suffix(offset) == path {
+                    ProofVerdict::Present(Bytes::copy_from_slice(&value))
+                } else {
+                    ProofVerdict::Absent
+                };
+            }
+            Node::Extension { path, child } => {
+                if !nibbles.suffix(offset).starts_with(&path) {
+                    return if is_last {
+                        ProofVerdict::Absent
+                    } else {
+                        ProofVerdict::Invalid("pages after proven divergence")
+                    };
+                }
+                offset += path.len();
+                expected = child;
+            }
+            Node::Branch { children, value } => {
+                if offset == nibbles.len() {
+                    if !is_last {
+                        return ProofVerdict::Invalid("pages after terminal branch");
+                    }
+                    return match value {
+                        Some(v) => ProofVerdict::Present(v),
+                        None => ProofVerdict::Absent,
+                    };
+                }
+                match children[nibbles.at(offset) as usize] {
+                    Some(child) => {
+                        if is_last {
+                            return ProofVerdict::Invalid("proof stops mid-path");
+                        }
+                        offset += 1;
+                        expected = child;
+                    }
+                    None => {
+                        return if is_last {
+                            ProofVerdict::Absent
+                        } else {
+                            ProofVerdict::Invalid("pages after empty slot")
+                        };
+                    }
+                }
+            }
+        }
+    }
+    ProofVerdict::Invalid("proof exhausted before a terminal node")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siri_core::{Entry, MemStore};
+
+    fn trie() -> MerklePatriciaTrie {
+        let mut t = MerklePatriciaTrie::new(MemStore::new_shared());
+        t.batch_insert(
+            (0..150)
+                .map(|i| Entry::new(format!("addr{i:03}").into_bytes(), format!("bal{i}").into_bytes()))
+                .collect(),
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn presence() {
+        let t = trie();
+        let p = t.prove(b"addr099").unwrap();
+        assert_eq!(
+            MerklePatriciaTrie::verify_proof(t.root(), b"addr099", &p),
+            ProofVerdict::Present(Bytes::from_static(b"bal99"))
+        );
+    }
+
+    #[test]
+    fn absence_variants() {
+        let t = trie();
+        for key in [&b"addr999"[..], b"zzz", b"addr0991", b"addr09"] {
+            let p = t.prove(key).unwrap();
+            assert_eq!(
+                MerklePatriciaTrie::verify_proof(t.root(), key, &p),
+                ProofVerdict::Absent,
+                "key {:?}",
+                String::from_utf8_lossy(key)
+            );
+        }
+    }
+
+    #[test]
+    fn every_page_is_tamper_sensitive() {
+        let t = trie();
+        let proof = t.prove(b"addr077").unwrap();
+        for page in 0..proof.len() {
+            let mut p = proof.clone();
+            p.tamper(page, 11);
+            assert!(
+                !MerklePatriciaTrie::verify_proof(t.root(), b"addr077", &p).is_valid(),
+                "page {page}"
+            );
+        }
+    }
+
+    #[test]
+    fn proof_not_transferable_to_other_keys() {
+        let t = trie();
+        let p = t.prove(b"addr001").unwrap();
+        let verdict = MerklePatriciaTrie::verify_proof(t.root(), b"addr002", &p);
+        assert!(verdict.value().is_none(), "must not prove a different key present");
+    }
+
+    #[test]
+    fn empty_trie_proof() {
+        let t = MerklePatriciaTrie::new(MemStore::new_shared());
+        let p = t.prove(b"k").unwrap();
+        assert_eq!(MerklePatriciaTrie::verify_proof(t.root(), b"k", &p), ProofVerdict::Absent);
+    }
+
+    #[test]
+    fn truncated_proof_rejected() {
+        let t = trie();
+        let p = t.prove(b"addr077").unwrap();
+        assert!(p.len() >= 2);
+        let truncated = Proof::new(p.pages()[..p.len() - 1].to_vec());
+        assert!(!MerklePatriciaTrie::verify_proof(t.root(), b"addr077", &truncated).is_valid());
+    }
+}

@@ -1,0 +1,118 @@
+//! MVMB+-Tree proof verification: re-hash every page, re-run the routing
+//! decision at every level, and only then trust the leaf's answer.
+
+use bytes::Bytes;
+use siri_core::{Proof, ProofVerdict};
+use siri_crypto::{sha256, Hash};
+
+use crate::node::{route, Node};
+
+pub(crate) fn verify(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
+    if root.is_zero() {
+        return if proof.is_empty() {
+            ProofVerdict::Absent
+        } else {
+            ProofVerdict::Invalid("non-empty proof for empty tree")
+        };
+    }
+    let pages = proof.pages();
+    if pages.is_empty() {
+        return ProofVerdict::Invalid("empty proof for non-empty tree");
+    }
+    let mut expected = root;
+    for (depth, page) in pages.iter().enumerate() {
+        if sha256(page) != expected {
+            return ProofVerdict::Invalid("broken hash link");
+        }
+        match Node::decode(page) {
+            Ok(Node::Internal(children)) => {
+                if key > children.last().expect("non-empty").max_key.as_ref() {
+                    // This (digest-checked) node already proves the key is
+                    // larger than everything stored below it.
+                    return if depth + 1 == pages.len() {
+                        ProofVerdict::Absent
+                    } else {
+                        ProofVerdict::Invalid("pages after proven absence")
+                    };
+                }
+                if depth + 1 == pages.len() {
+                    return ProofVerdict::Invalid("proof ends at internal node");
+                }
+                expected = children[route(&children, key)].child;
+            }
+            Ok(Node::Leaf(entries)) => {
+                if depth + 1 != pages.len() {
+                    return ProofVerdict::Invalid("leaf before end of proof");
+                }
+                return match entries.binary_search_by(|e| e.key.as_ref().cmp(key)) {
+                    Ok(i) => ProofVerdict::Present(Bytes::copy_from_slice(&entries[i].value)),
+                    Err(_) => ProofVerdict::Absent,
+                };
+            }
+            Err(_) => return ProofVerdict::Invalid("page undecodable"),
+        }
+    }
+    ProofVerdict::Invalid("proof exhausted before a leaf")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MvmbParams, MvmbTree};
+    use siri_core::{Entry, MemStore, SiriIndex};
+
+    fn tree() -> MvmbTree {
+        let mut t = MvmbTree::new(MemStore::new_shared(), MvmbParams::default());
+        t.batch_insert(
+            (0..200)
+                .map(|i| Entry::new(format!("key{i:04}").into_bytes(), format!("v{i}").into_bytes()))
+                .collect(),
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn presence_and_absence() {
+        let t = tree();
+        let p = t.prove(b"key0123").unwrap();
+        assert_eq!(
+            MvmbTree::verify_proof(t.root(), b"key0123", &p),
+            ProofVerdict::Present(Bytes::from_static(b"v123"))
+        );
+        let p = t.prove(b"key0123a").unwrap();
+        assert_eq!(MvmbTree::verify_proof(t.root(), b"key0123a", &p), ProofVerdict::Absent);
+    }
+
+    #[test]
+    fn tampering_detected_at_every_level() {
+        let t = tree();
+        let proof = t.prove(b"key0050").unwrap();
+        assert!(proof.len() >= 2, "need a multi-level tree");
+        for page in 0..proof.len() {
+            let mut p = proof.clone();
+            p.tamper(page, 7);
+            assert!(!MvmbTree::verify_proof(t.root(), b"key0050", &p).is_valid());
+        }
+    }
+
+    #[test]
+    fn empty_tree_proofs() {
+        let t = MvmbTree::new(MemStore::new_shared(), MvmbParams::default());
+        let p = t.prove(b"anything").unwrap();
+        assert_eq!(MvmbTree::verify_proof(t.root(), b"anything", &p), ProofVerdict::Absent);
+        // Forged non-empty proof against the empty root:
+        let forged = Proof::new(vec![Bytes::from_static(b"junk")]);
+        assert!(!MvmbTree::verify_proof(t.root(), b"anything", &forged).is_valid());
+    }
+
+    #[test]
+    fn proof_bound_to_queried_key() {
+        let t = tree();
+        let p = t.prove(b"key0002").unwrap();
+        // Verifying a different key against this path must not produce a
+        // false Present.
+        let verdict = MvmbTree::verify_proof(t.root(), b"key0199", &p);
+        assert!(verdict.value().is_none());
+    }
+}

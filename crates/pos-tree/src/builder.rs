@@ -1,0 +1,366 @@
+//! Bottom-up tree construction: boundary judges and the per-level builder
+//! pipeline.
+//!
+//! Each level of the tree has a [`LevelBuilder`] holding the items of the
+//! node currently being formed. When the boundary judge fires (or the
+//! forced maximum is hit), the node is sealed, stored, and its
+//! [`Piece`] cascades as an item into the builder one level up — the
+//! "bottom-up build order" whose batching advantage §5.2/§5.3.1 highlight.
+//!
+//! Builders also support *pass-through*: an untouched old node can be
+//! re-used wholesale when every builder at its level and below is sitting
+//! exactly on a node boundary. Because chunking state resets at node
+//! starts, the chunker would provably reproduce the same node — this is
+//! what makes incremental updates O(polylog) instead of O(N) while keeping
+//! the tree Structurally Invariant.
+
+use bytes::Bytes;
+use siri_core::{entry_codec, Entry};
+use siri_crypto::{Hash, RollingHash};
+use siri_encoding::ByteWriter;
+use siri_store::SharedStore;
+
+use crate::node::{Node, Piece};
+use crate::params::{InternalChunking, PosParams, SplitPolicy};
+
+/// An item flowing through a level: an entry (level 0) or a child piece.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    Entry(Entry),
+    Ref(Piece),
+}
+
+impl Item {
+    pub fn key(&self) -> &Bytes {
+        match self {
+            Item::Entry(e) => &e.key,
+            Item::Ref(p) => &p.max_key,
+        }
+    }
+}
+
+/// Content-defined boundary detector for one level.
+enum Judge {
+    /// Roll a window over item bytes; fire when the low `bits` of the
+    /// fingerprint are all ones (the paper's example pattern).
+    Roller { roller: RollingHash, mask: u64 },
+    /// Test the low bits of the child digest directly (§3.4.3's
+    /// optimization for internal layers).
+    HashBits { mask: u64 },
+}
+
+impl Judge {
+    fn leaf(params: &PosParams) -> Judge {
+        Judge::Roller {
+            roller: RollingHash::new(params.window),
+            mask: (1u64 << params.leaf_pattern_bits) - 1,
+        }
+    }
+
+    fn internal(params: &PosParams) -> Judge {
+        match params.internal_chunking {
+            InternalChunking::HashPattern => {
+                Judge::HashBits { mask: (1u64 << params.internal_pattern_bits) - 1 }
+            }
+            InternalChunking::RollingWindow => Judge::Roller {
+                roller: RollingHash::new(params.window),
+                mask: (1u64 << params.internal_pattern_bits) - 1,
+            },
+        }
+    }
+
+    /// Feed one item; true if a boundary fires at (or within) it.
+    fn feed(&mut self, item: &Item) -> bool {
+        match self {
+            Judge::HashBits { mask } => match item {
+                Item::Ref(p) => p.hash.low64() & *mask == *mask,
+                Item::Entry(_) => unreachable!("hash judge on leaf level"),
+            },
+            Judge::Roller { roller, mask } => {
+                let mut fired = false;
+                let mut feed_bytes = |bytes: &[u8]| {
+                    for &b in bytes {
+                        roller.push(b);
+                        // Only a fully-populated window counts: a cold
+                        // window right after a node boundary would make the
+                        // decision depend on too few bytes — in the worst
+                        // case firing deterministically inside a repeated
+                        // max-key prefix and growing an unbounded tower of
+                        // single-child nodes.
+                        if roller.is_warm() && roller.fingerprint() & *mask == *mask {
+                            fired = true;
+                        }
+                    }
+                };
+                match item {
+                    Item::Entry(e) => {
+                        let mut w = ByteWriter::with_capacity(entry_codec::entry_encoded_len(e));
+                        entry_codec::write_entry(&mut w, e);
+                        feed_bytes(&w.into_vec());
+                    }
+                    Item::Ref(p) => {
+                        feed_bytes(&p.max_key);
+                        feed_bytes(p.hash.as_bytes());
+                    }
+                }
+                fired
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        if let Judge::Roller { roller, .. } = self {
+            roller.reset();
+        }
+    }
+}
+
+/// Builds the nodes of one level.
+pub struct LevelBuilder {
+    level: u32,
+    salt: u64,
+    judge: Judge,
+    items: Vec<Item>,
+    bytes_in_node: usize,
+    forced_max: Option<usize>,
+}
+
+impl LevelBuilder {
+    pub fn new(level: u32, salt: u64, params: &PosParams) -> Self {
+        let judge = if level == 0 { Judge::leaf(params) } else { Judge::internal(params) };
+        let forced_max = match params.split_policy {
+            SplitPolicy::Pattern => None,
+            SplitPolicy::ForcedSplice { max_node_bytes } => Some(max_node_bytes),
+        };
+        LevelBuilder { level, salt, judge, items: Vec::new(), bytes_in_node: 0, forced_max }
+    }
+
+    /// No node currently under construction.
+    pub fn at_boundary(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn pending_items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Push one item; returns the sealed node's piece if a boundary fired.
+    pub fn push(&mut self, item: Item, store: &SharedStore) -> Option<Piece> {
+        let fired = self.judge.feed(&item);
+        self.bytes_in_node += match &item {
+            Item::Entry(e) => entry_codec::entry_encoded_len(e),
+            Item::Ref(p) => p.max_key.len() + Hash::LEN,
+        };
+        self.items.push(item);
+        let forced = self.forced_max.is_some_and(|max| self.bytes_in_node >= max);
+        if fired || forced {
+            Some(self.seal(store))
+        } else {
+            None
+        }
+    }
+
+    /// Seal the trailing node at end of stream, if any.
+    pub fn finish(&mut self, store: &SharedStore) -> Option<Piece> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.seal(store))
+        }
+    }
+
+    fn seal(&mut self, store: &SharedStore) -> Piece {
+        let items = std::mem::take(&mut self.items);
+        self.bytes_in_node = 0;
+        self.judge.reset();
+        let node = if self.level == 0 {
+            let entries = items
+                .into_iter()
+                .map(|i| match i {
+                    Item::Entry(e) => e,
+                    Item::Ref(_) => unreachable!("ref at leaf level"),
+                })
+                .collect();
+            Node::Leaf { salt: self.salt, entries }
+        } else {
+            let children = items
+                .into_iter()
+                .map(|i| match i {
+                    Item::Ref(p) => p,
+                    Item::Entry(_) => unreachable!("entry at internal level"),
+                })
+                .collect();
+            Node::Internal { salt: self.salt, level: self.level, children }
+        };
+        let max_key = node.max_key().expect("sealed nodes are non-empty");
+        let hash = store.put(node.encode());
+        Piece { max_key, hash }
+    }
+}
+
+/// The full builder pipeline, one [`LevelBuilder`] per level, with cascade
+/// and pass-through plumbing.
+pub struct Builders<'a> {
+    store: &'a SharedStore,
+    params: &'a PosParams,
+    salt: u64,
+    levels: Vec<LevelBuilder>,
+}
+
+impl<'a> Builders<'a> {
+    pub fn new(store: &'a SharedStore, params: &'a PosParams, salt: u64) -> Self {
+        Builders { store, params, salt, levels: Vec::new() }
+    }
+
+    fn ensure_level(&mut self, level: u32) {
+        while self.levels.len() <= level as usize {
+            self.levels.push(LevelBuilder::new(self.levels.len() as u32, self.salt, self.params));
+        }
+    }
+
+    /// Feed one item into `level`, cascading sealed nodes upward.
+    pub fn push(&mut self, level: u32, item: Item) {
+        self.ensure_level(level);
+        if let Some(piece) = self.levels[level as usize].push(item, self.store) {
+            self.push(level + 1, Item::Ref(piece));
+        }
+    }
+
+    /// All builders at `level` and below sit exactly on node boundaries —
+    /// the pass-through precondition.
+    pub fn clean_below(&self, level: u32) -> bool {
+        self.levels
+            .iter()
+            .take(level as usize + 1)
+            .all(LevelBuilder::at_boundary)
+    }
+
+    /// Re-use an untouched old node of `level` wholesale. Caller must have
+    /// checked [`Builders::clean_below`]`(level)`.
+    pub fn pass_through(&mut self, level: u32, piece: Piece) {
+        debug_assert!(self.clean_below(level), "pass-through requires clean builders");
+        self.push(level + 1, Item::Ref(piece));
+    }
+
+    /// Seal every trailing node bottom-up and collapse to the root piece.
+    /// `None` means the tree is empty.
+    ///
+    /// Invariant exploited: whenever the *top* builder holds exactly one
+    /// pending child reference once all lower levels are sealed, that child
+    /// is the root — wrapping it would create a useless single-child chain
+    /// (and break structural invariance, since chain length would depend on
+    /// history).
+    pub fn finalize(mut self) -> Option<Piece> {
+        let mut level = 0usize;
+        while level < self.levels.len() {
+            let is_top = level + 1 == self.levels.len();
+            if is_top {
+                if let [Item::Ref(piece)] = self.levels[level].pending_items() {
+                    return Some(piece.clone());
+                }
+            }
+            if let Some(piece) = self.levels[level].finish(self.store) {
+                self.push(level as u32 + 1, Item::Ref(piece));
+            }
+            level += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siri_core::MemStore;
+
+    fn entries(n: usize) -> Vec<Entry> {
+        (0..n)
+            .map(|i| Entry::new(format!("key{i:06}").into_bytes(), vec![0xAB; 100]))
+            .collect()
+    }
+
+    fn build(store: &SharedStore, params: &PosParams, es: &[Entry]) -> Option<Piece> {
+        let mut b = Builders::new(store, params, 0);
+        for e in es {
+            b.push(0, Item::Entry(e.clone()));
+        }
+        b.finalize()
+    }
+
+    #[test]
+    fn empty_build_yields_none() {
+        let store = MemStore::new_shared();
+        assert!(build(&store, &PosParams::default(), &[]).is_none());
+    }
+
+    #[test]
+    fn single_entry_yields_single_leaf_root() {
+        let store = MemStore::new_shared();
+        let es = entries(1);
+        let piece = build(&store, &PosParams::default(), &es).unwrap();
+        let node = Node::decode(&store.get(&piece.hash).unwrap()).unwrap();
+        assert!(matches!(node, Node::Leaf { .. }));
+    }
+
+    #[test]
+    fn large_build_produces_multiple_levels_with_expected_node_sizes() {
+        let store = MemStore::new_shared();
+        let es = entries(4000); // ~430 KB of payload, ~1 KB target nodes
+        let root = build(&store, &PosParams::default(), &es).unwrap();
+        let root_node = Node::decode(&store.get(&root.hash).unwrap()).unwrap();
+        assert!(matches!(root_node, Node::Internal { .. }));
+
+        // Expected leaf size 2^10 = 1024 bytes; check the average is within
+        // a loose band (probabilistic balance, §3.4.3).
+        let stats = store.stats();
+        let avg_page = stats.unique_bytes as f64 / stats.unique_pages as f64;
+        assert!(
+            avg_page > 300.0 && avg_page < 4000.0,
+            "average page size {avg_page} outside sanity band"
+        );
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let s1 = MemStore::new_shared();
+        let s2 = MemStore::new_shared();
+        let es = entries(2000);
+        let r1 = build(&s1, &PosParams::default(), &es).unwrap();
+        let r2 = build(&s2, &PosParams::default(), &es).unwrap();
+        assert_eq!(r1.hash, r2.hash);
+    }
+
+    #[test]
+    fn forced_split_caps_node_size() {
+        let store = MemStore::new_shared();
+        let params = PosParams::forced_split();
+        let es = entries(500);
+        let root = build(&store, &params, &es).unwrap();
+        // Walk all leaves; none may exceed max_node_bytes by more than one
+        // entry's worth.
+        let SplitPolicy::ForcedSplice { max_node_bytes } = params.split_policy else {
+            unreachable!()
+        };
+        let mut stack = vec![root.hash];
+        while let Some(h) = stack.pop() {
+            let page = store.get(&h).unwrap();
+            match Node::decode(&page).unwrap() {
+                Node::Internal { children, .. } => stack.extend(children.iter().map(|c| c.hash)),
+                Node::Leaf { entries, .. } => {
+                    let bytes: usize =
+                        entries.iter().map(siri_core::entry_codec::entry_encoded_len).sum();
+                    assert!(bytes <= max_node_bytes + 200, "leaf overflow: {bytes}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_window_internal_chunking_also_builds() {
+        let store = MemStore::new_shared();
+        let es = entries(3000);
+        let root = build(&store, &PosParams::noms(), &es).unwrap();
+        let node = Node::decode(&store.get(&root.hash).unwrap()).unwrap();
+        assert!(matches!(node, Node::Internal { .. }));
+    }
+}

@@ -1,0 +1,293 @@
+//! In-order cursor over a POS-Tree — the engine behind scans and the
+//! subtree-skipping diff.
+
+use siri_core::{Entry, IndexError, Result};
+use siri_crypto::Hash;
+use siri_store::SharedStore;
+
+use crate::node::{Node, Piece};
+
+struct Frame {
+    children: Vec<Piece>,
+    idx: usize,
+}
+
+/// Iterates entries in key order while exposing the node boundaries the
+/// current position sits on, so callers can skip whole shared subtrees.
+pub struct Cursor<'a> {
+    store: &'a SharedStore,
+    /// Internal-node frames from the root down; empty when the root is a
+    /// leaf.
+    stack: Vec<Frame>,
+    /// Hash of the leaf currently being read.
+    leaf_hash: Hash,
+    leaf: Vec<Entry>,
+    leaf_idx: usize,
+    done: bool,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(store: &'a SharedStore, root: Hash) -> Result<Self> {
+        let mut c = Cursor {
+            store,
+            stack: Vec::new(),
+            leaf_hash: Hash::ZERO,
+            leaf: Vec::new(),
+            leaf_idx: 0,
+            done: root.is_zero(),
+        };
+        if !c.done {
+            c.descend_to_first_leaf(root)?;
+        }
+        Ok(c)
+    }
+
+    fn fetch(&self, hash: &Hash) -> Result<Node> {
+        let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+        Node::decode_zc(&page)
+    }
+
+    fn descend_to_first_leaf(&mut self, mut hash: Hash) -> Result<()> {
+        loop {
+            match self.fetch(&hash)? {
+                Node::Leaf { entries, .. } => {
+                    if entries.is_empty() {
+                        return Err(IndexError::CorruptStructure("empty stored leaf"));
+                    }
+                    self.leaf_hash = hash;
+                    self.leaf = entries;
+                    self.leaf_idx = 0;
+                    return Ok(());
+                }
+                Node::Internal { children, .. } => {
+                    hash = children[0].hash;
+                    self.stack.push(Frame { children, idx: 0 });
+                }
+            }
+        }
+    }
+
+    /// The entry at the current position.
+    pub fn peek(&self) -> Option<&Entry> {
+        if self.done {
+            None
+        } else {
+            self.leaf.get(self.leaf_idx)
+        }
+    }
+
+    /// Move to the next entry.
+    pub fn advance(&mut self) -> Result<()> {
+        if self.done {
+            return Ok(());
+        }
+        self.leaf_idx += 1;
+        if self.leaf_idx >= self.leaf.len() {
+            self.move_to_next_leaf()?;
+        }
+        Ok(())
+    }
+
+    fn move_to_next_leaf(&mut self) -> Result<()> {
+        loop {
+            let Some(frame) = self.stack.last_mut() else {
+                self.done = true;
+                return Ok(());
+            };
+            frame.idx += 1;
+            if frame.idx < frame.children.len() {
+                let hash = frame.children[frame.idx].hash;
+                return self.descend_to_first_leaf(hash);
+            }
+            self.stack.pop();
+        }
+    }
+
+    /// Hashes of every node whose *first* entry is the current position,
+    /// innermost (leaf) first. Non-empty only at leaf starts.
+    pub fn start_hashes(&self) -> Vec<Hash> {
+        let mut out = Vec::new();
+        if self.done || self.leaf_idx != 0 {
+            return out;
+        }
+        out.push(self.leaf_hash);
+        // Walking outward, the node at depth i starts here iff every deeper
+        // frame sits on its first child. (The root itself is excluded:
+        // callers compare roots before cursoring.)
+        for i in (1..self.stack.len()).rev() {
+            if self.stack[i].idx != 0 {
+                break;
+            }
+            let f = &self.stack[i - 1];
+            out.push(f.children[f.idx].hash);
+        }
+        out
+    }
+
+    /// Skip the subtree whose root has `hash`, which must be one of
+    /// [`Cursor::start_hashes`]. Positions the cursor at the first entry
+    /// after that subtree.
+    pub fn skip_subtree(&mut self, hash: Hash) -> Result<()> {
+        debug_assert!(!self.done);
+        if self.leaf_hash == hash {
+            self.move_to_next_leaf()?;
+            return Ok(());
+        }
+        // Find the frame whose current child is the subtree.
+        let Some(depth) = self
+            .stack
+            .iter()
+            .position(|f| f.children[f.idx].hash == hash)
+        else {
+            return Err(IndexError::CorruptStructure("skip target not on cursor path"));
+        };
+        self.stack.truncate(depth + 1);
+        let frame = self.stack.last_mut().expect("non-empty");
+        frame.idx += 1;
+        if frame.idx < frame.children.len() {
+            let next = frame.children[frame.idx].hash;
+            self.descend_to_first_leaf(next)
+        } else {
+            self.stack.pop();
+            self.move_up_and_descend()
+        }
+    }
+
+    fn move_up_and_descend(&mut self) -> Result<()> {
+        loop {
+            let Some(frame) = self.stack.last_mut() else {
+                self.done = true;
+                return Ok(());
+            };
+            frame.idx += 1;
+            if frame.idx < frame.children.len() {
+                let hash = frame.children[frame.idx].hash;
+                return self.descend_to_first_leaf(hash);
+            }
+            self.stack.pop();
+        }
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Position the cursor at the first entry with key ≥ `key`
+    /// (or exhaust it if no such entry exists). O(log N).
+    pub fn seek(store: &'a SharedStore, root: Hash, key: &[u8]) -> Result<Self> {
+        let mut c = Cursor {
+            store,
+            stack: Vec::new(),
+            leaf_hash: Hash::ZERO,
+            leaf: Vec::new(),
+            leaf_idx: 0,
+            done: root.is_zero(),
+        };
+        if c.done {
+            return Ok(c);
+        }
+        let mut hash = root;
+        loop {
+            match c.fetch(&hash)? {
+                Node::Leaf { entries, .. } => {
+                    if entries.is_empty() {
+                        return Err(IndexError::CorruptStructure("empty stored leaf"));
+                    }
+                    let idx = entries.partition_point(|e| e.key.as_ref() < key);
+                    c.leaf_hash = hash;
+                    c.leaf = entries;
+                    c.leaf_idx = idx;
+                    if c.leaf_idx >= c.leaf.len() {
+                        // Key is beyond this leaf (can only happen on the
+                        // rightmost spine): move on.
+                        c.move_to_next_leaf()?;
+                    }
+                    return Ok(c);
+                }
+                Node::Internal { children, .. } => {
+                    // First child whose max_key ≥ key; clamp to the right
+                    // so seeks past the maximum land at stream end.
+                    let slot = children.partition_point(|p| p.max_key.as_ref() < key);
+                    let slot = slot.min(children.len() - 1);
+                    hash = children[slot].hash;
+                    c.stack.push(Frame { children, idx: slot });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::build_from_entries;
+    use crate::PosParams;
+    use siri_core::MemStore;
+
+    fn entries(n: usize) -> Vec<Entry> {
+        (0..n)
+            .map(|i| Entry::new(format!("key{i:05}").into_bytes(), vec![(i % 251) as u8; 100]))
+            .collect()
+    }
+
+    #[test]
+    fn iterates_all_entries_in_order() {
+        let store = MemStore::new_shared();
+        let es = entries(2500);
+        let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap();
+        let mut c = Cursor::new(&store, root.hash).unwrap();
+        let mut seen = Vec::new();
+        while let Some(e) = c.peek() {
+            seen.push(e.clone());
+            c.advance().unwrap();
+        }
+        assert_eq!(seen, es);
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn empty_tree_cursor() {
+        let store = MemStore::new_shared();
+        let c = Cursor::new(&store, Hash::ZERO).unwrap();
+        assert!(c.peek().is_none());
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn start_hashes_at_boundaries() {
+        let store = MemStore::new_shared();
+        let es = entries(2500);
+        let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap();
+        let mut c = Cursor::new(&store, root.hash).unwrap();
+        // At position 0 the leaf (and possibly enclosing nodes) start here.
+        let starts = c.start_hashes();
+        assert!(!starts.is_empty());
+        c.advance().unwrap();
+        assert!(c.start_hashes().is_empty(), "mid-leaf positions are not starts");
+    }
+
+    #[test]
+    fn skip_subtree_jumps_exactly_past_it() {
+        let store = MemStore::new_shared();
+        let es = entries(2500);
+        let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap();
+        // Reference iteration to know leaf extents.
+        let mut reference = Cursor::new(&store, root.hash).unwrap();
+        let leaf_hash = reference.start_hashes()[0];
+        let mut leaf_len = 0;
+        while reference.peek().is_some() {
+            if reference.start_hashes().first() == Some(&leaf_hash) && leaf_len > 0 {
+                break;
+            }
+            leaf_len += 1;
+            reference.advance().unwrap();
+            if !reference.start_hashes().is_empty() {
+                break; // reached the next leaf start
+            }
+        }
+        // Now skip that first leaf with a fresh cursor and compare.
+        let mut c = Cursor::new(&store, root.hash).unwrap();
+        c.skip_subtree(leaf_hash).unwrap();
+        assert_eq!(c.peek().map(|e| e.key.clone()), Some(es[leaf_len].key.clone()));
+    }
+}

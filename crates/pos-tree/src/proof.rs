@@ -1,0 +1,117 @@
+//! POS-Tree Merkle proofs: the root→leaf page path under max-key routing.
+
+use bytes::Bytes;
+use siri_core::{Proof, ProofVerdict};
+use siri_crypto::{sha256, Hash};
+
+use crate::node::{route, Node};
+
+pub(crate) fn verify(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
+    if root.is_zero() {
+        return if proof.is_empty() {
+            ProofVerdict::Absent
+        } else {
+            ProofVerdict::Invalid("non-empty proof for empty tree")
+        };
+    }
+    let pages = proof.pages();
+    if pages.is_empty() {
+        return ProofVerdict::Invalid("empty proof for non-empty tree");
+    }
+    let mut expected = root;
+    for (depth, page) in pages.iter().enumerate() {
+        if sha256(page) != expected {
+            return ProofVerdict::Invalid("broken hash link");
+        }
+        let is_last = depth + 1 == pages.len();
+        match Node::decode(page) {
+            Ok(Node::Internal { children, .. }) => {
+                if key > children.last().expect("non-empty").max_key.as_ref() {
+                    // This (digest-checked) node already proves the key is
+                    // larger than everything stored below it.
+                    return if is_last {
+                        ProofVerdict::Absent
+                    } else {
+                        ProofVerdict::Invalid("pages after proven absence")
+                    };
+                }
+                if is_last {
+                    return ProofVerdict::Invalid("proof ends at internal node");
+                }
+                expected = children[route(&children, key)].hash;
+            }
+            Ok(Node::Leaf { entries, .. }) => {
+                if !is_last {
+                    return ProofVerdict::Invalid("leaf before end of proof");
+                }
+                return match entries.binary_search_by(|e| e.key.as_ref().cmp(key)) {
+                    Ok(i) => ProofVerdict::Present(Bytes::copy_from_slice(&entries[i].value)),
+                    Err(_) => ProofVerdict::Absent,
+                };
+            }
+            Err(_) => return ProofVerdict::Invalid("page undecodable"),
+        }
+    }
+    ProofVerdict::Invalid("proof exhausted before a leaf")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PosParams, PosTree};
+    use siri_core::{Entry, MemStore, SiriIndex};
+
+    fn tree() -> PosTree {
+        let mut t = PosTree::new(MemStore::new_shared(), PosParams::default());
+        t.batch_insert(
+            (0..2000)
+                .map(|i| Entry::new(format!("key{i:05}").into_bytes(), vec![(i % 251) as u8; 100]))
+                .collect(),
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn presence_and_absence() {
+        let t = tree();
+        let p = t.prove(b"key01234").unwrap();
+        match PosTree::verify_proof(t.root(), b"key01234", &p) {
+            ProofVerdict::Present(v) => assert_eq!(v.len(), 100),
+            other => panic!("expected Present, got {other:?}"),
+        }
+        let p = t.prove(b"key01234x").unwrap();
+        assert_eq!(PosTree::verify_proof(t.root(), b"key01234x", &p), ProofVerdict::Absent);
+    }
+
+    #[test]
+    fn tamper_detection_everywhere() {
+        let t = tree();
+        let proof = t.prove(b"key00999").unwrap();
+        assert!(proof.len() >= 2);
+        for page in 0..proof.len() {
+            let mut p = proof.clone();
+            p.tamper(page, 21);
+            assert!(!PosTree::verify_proof(t.root(), b"key00999", &p).is_valid(), "page {page}");
+        }
+    }
+
+    #[test]
+    fn proofs_bound_to_root_version() {
+        let t = tree();
+        let v1 = t.clone();
+        let mut v2 = t;
+        v2.insert(b"key00999", bytes::Bytes::from_static(b"new")).unwrap();
+        let p1 = v1.prove(b"key00999").unwrap();
+        // The old proof must not verify the key against the *new* root.
+        let verdict = PosTree::verify_proof(v2.root(), b"key00999", &p1);
+        assert!(!verdict.is_valid());
+    }
+
+    #[test]
+    fn empty_tree_proofs() {
+        let t = PosTree::new(MemStore::new_shared(), PosParams::default());
+        let p = t.prove(b"any").unwrap();
+        assert_eq!(PosTree::verify_proof(t.root(), b"any", &p), ProofVerdict::Absent);
+    }
+}

@@ -1,0 +1,160 @@
+//! Client-side node cache over a remote store.
+//!
+//! Models the Forkbase deployment of §5.6.1: reads issued by a client first
+//! consult a local node cache and fall back to the server, paying a remote
+//! fetch. Real networking is substituted by a synthetic, configurable
+//! per-fetch cost that the caller folds into measured time (see DESIGN.md
+//! §2); the *shape* of Figure 21 is driven by the cache hit ratio, which
+//! this layer reproduces faithfully.
+//!
+//! Writes bypass the cache entirely — in Forkbase "the write operations
+//! will be performed on the server side completely".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use siri_crypto::{FxHashMap, Hash};
+
+use crate::{NodeStore, SharedStore, StoreStats};
+
+/// A read-through node cache in front of a shared ("server") store.
+pub struct CachingStore {
+    server: SharedStore,
+    cache: RwLock<FxHashMap<Hash, Bytes>>,
+    /// Nanoseconds of synthetic latency charged per remote fetch.
+    fetch_cost_nanos: u64,
+    remote_fetches: AtomicU64,
+    local_hits: AtomicU64,
+    synthetic_nanos: AtomicU64,
+}
+
+impl CachingStore {
+    /// `fetch_cost_nanos` is the modelled round-trip cost of pulling one
+    /// page from the server.
+    pub fn new(server: SharedStore, fetch_cost_nanos: u64) -> Self {
+        CachingStore {
+            server,
+            cache: RwLock::new(FxHashMap::default()),
+            fetch_cost_nanos,
+            remote_fetches: AtomicU64::new(0),
+            local_hits: AtomicU64::new(0),
+            synthetic_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Pages fetched from the server (cache misses).
+    pub fn remote_fetches(&self) -> u64 {
+        self.remote_fetches.load(Ordering::Relaxed)
+    }
+
+    /// Reads served from the local cache.
+    pub fn local_hits(&self) -> u64 {
+        self.local_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total synthetic latency accumulated so far, in nanoseconds. Harnesses
+    /// add this to wall-clock time when computing client-side throughput.
+    pub fn synthetic_nanos(&self) -> u64 {
+        self.synthetic_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Cache hit ratio over all reads so far (1.0 if no reads).
+    pub fn hit_ratio(&self) -> f64 {
+        let hits = self.local_hits() as f64;
+        let total = hits + self.remote_fetches() as f64;
+        if total == 0.0 {
+            1.0
+        } else {
+            hits / total
+        }
+    }
+
+    /// Drop all cached pages (e.g. to model a fresh client).
+    pub fn clear(&self) {
+        self.cache.write().clear();
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.cache.read().len()
+    }
+}
+
+impl NodeStore for CachingStore {
+    fn put(&self, page: Bytes) -> Hash {
+        // Server-side write; the page is *not* installed in the local cache
+        // (matches Forkbase: clients cache nodes only after reading them).
+        self.server.put(page)
+    }
+
+    fn get(&self, hash: &Hash) -> Option<Bytes> {
+        if let Some(page) = self.cache.read().get(hash) {
+            self.local_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(page.clone());
+        }
+        let fetched = self.server.get(hash)?;
+        self.remote_fetches.fetch_add(1, Ordering::Relaxed);
+        self.synthetic_nanos.fetch_add(self.fetch_cost_nanos, Ordering::Relaxed);
+        self.cache.write().insert(*hash, fetched.clone());
+        Some(fetched)
+    }
+
+    fn contains(&self, hash: &Hash) -> bool {
+        self.cache.read().contains_key(hash) || self.server.contains(hash)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.server.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+
+    #[test]
+    fn second_read_hits_cache() {
+        let server = MemStore::new_shared();
+        let h = server.put(Bytes::from_static(b"page"));
+        let client = CachingStore::new(server, 1_000);
+        assert!(client.get(&h).is_some());
+        assert!(client.get(&h).is_some());
+        assert_eq!(client.remote_fetches(), 1);
+        assert_eq!(client.local_hits(), 1);
+        assert_eq!(client.synthetic_nanos(), 1_000);
+        assert!((client.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writes_do_not_populate_cache() {
+        let server = MemStore::new_shared();
+        let client = CachingStore::new(server, 500);
+        let h = client.put(Bytes::from_static(b"written"));
+        assert_eq!(client.cached_pages(), 0);
+        // First read is still remote.
+        assert!(client.get(&h).is_some());
+        assert_eq!(client.remote_fetches(), 1);
+    }
+
+    #[test]
+    fn missing_pages_cost_nothing() {
+        let server = MemStore::new_shared();
+        let client = CachingStore::new(server, 500);
+        assert!(client.get(&siri_crypto::sha256(b"ghost")).is_none());
+        assert_eq!(client.remote_fetches(), 0);
+        assert_eq!(client.synthetic_nanos(), 0);
+    }
+
+    #[test]
+    fn clear_forces_refetch() {
+        let server = MemStore::new_shared();
+        let h = server.put(Bytes::from_static(b"page"));
+        let client = CachingStore::new(server, 100);
+        client.get(&h);
+        client.clear();
+        client.get(&h);
+        assert_eq!(client.remote_fetches(), 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Mark-and-sweep garbage collection for retired versions.
+//!
+//! Immutability means nothing is ever deleted in place — but once a
+//! version is no longer referenced by any branch or retention policy, its
+//! exclusive pages can be reclaimed. Callers mark by collecting the
+//! [`PageSet`]s of every root that must survive (e.g. branch heads plus a
+//! retention window) and sweep the rest.
+
+use crate::{MemStore, PageSet};
+
+/// Reclaim every page not reachable from `live` page sets.
+/// Returns (pages reclaimed, bytes reclaimed).
+///
+/// ```
+/// use bytes::Bytes;
+/// use siri_store::{gc, MemStore, NodeStore, PageSet};
+///
+/// let store = MemStore::new();
+/// let keep = store.put(Bytes::from_static(b"live page"));
+/// store.put(Bytes::from_static(b"dead page"));
+/// let mut live = PageSet::new();
+/// live.insert(keep, 9);
+/// let (pages, bytes) = gc::sweep_unreachable(&store, &[live]);
+/// assert_eq!((pages, bytes), (1, 9));
+/// assert!(store.contains(&keep));
+/// ```
+pub fn sweep_unreachable(store: &MemStore, live: &[PageSet]) -> (u64, u64) {
+    let union = PageSet::union_of(live);
+    store.sweep(&union)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeStore;
+    use bytes::Bytes;
+
+    #[test]
+    fn keeps_union_of_live_sets() {
+        let store = MemStore::new();
+        let a = store.put(Bytes::from_static(b"version-a page"));
+        let b = store.put(Bytes::from_static(b"version-b page"));
+        let shared = store.put(Bytes::from_static(b"shared page"));
+        let dead = store.put(Bytes::from_static(b"retired page"));
+
+        let mut live_a = PageSet::new();
+        live_a.insert(a, 14);
+        live_a.insert(shared, 11);
+        let mut live_b = PageSet::new();
+        live_b.insert(b, 14);
+        live_b.insert(shared, 11);
+
+        let (pages, _) = sweep_unreachable(&store, &[live_a, live_b]);
+        assert_eq!(pages, 1);
+        assert!(store.contains(&a) && store.contains(&b) && store.contains(&shared));
+        assert!(!store.contains(&dead));
+    }
+
+    #[test]
+    fn empty_live_set_reclaims_everything() {
+        let store = MemStore::new();
+        store.put(Bytes::from_static(b"x"));
+        store.put(Bytes::from_static(b"y"));
+        let (pages, _) = sweep_unreachable(&store, &[]);
+        assert_eq!(pages, 2);
+        assert!(store.is_empty());
+    }
+}

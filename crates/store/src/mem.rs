@@ -1,0 +1,211 @@
+//! In-memory content-addressed store.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use siri_crypto::{sha256, FxHashMap, FxHashSet, Hash};
+
+use crate::{NodeStore, PageSet, StoreStats};
+
+/// The default store used by all experiments: a hash map from content
+/// address to page bytes behind a read/write lock, with the accounting
+/// counters of [`StoreStats`].
+///
+/// `Bytes` values make `get` an O(1) reference-count bump; pages are never
+/// copied after the initial `put`.
+pub struct MemStore {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    pages: FxHashMap<Hash, Bytes>,
+    stats: StoreStats,
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemStore {
+    pub fn new() -> Self {
+        MemStore { inner: RwLock::new(Inner::default()) }
+    }
+
+    /// Wrap in an `Arc` trait object — the handle the index crates take.
+    pub fn new_shared() -> crate::SharedStore {
+        std::sync::Arc::new(Self::new())
+    }
+
+    /// Number of distinct pages held.
+    pub fn len(&self) -> usize {
+        self.inner.read().pages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every page not contained in `live`, returning (pages, bytes)
+    /// reclaimed. `live` is typically the union of [`crate::reachable_pages`]
+    /// over the roots that must survive — a mark-and-sweep GC where callers
+    /// provide the mark phase.
+    pub fn sweep(&self, live: &PageSet) -> (u64, u64) {
+        let mut inner = self.inner.write();
+        let mut dropped_pages = 0u64;
+        let mut dropped_bytes = 0u64;
+        inner.pages.retain(|h, page| {
+            if live.contains(h) {
+                true
+            } else {
+                dropped_pages += 1;
+                dropped_bytes += page.len() as u64;
+                false
+            }
+        });
+        inner.stats.unique_pages -= dropped_pages;
+        inner.stats.unique_bytes -= dropped_bytes;
+        (dropped_pages, dropped_bytes)
+    }
+
+    /// Set of all page hashes currently stored (diagnostics/tests).
+    pub fn page_hashes(&self) -> FxHashSet<Hash> {
+        self.inner.read().pages.keys().copied().collect()
+    }
+
+    /// Corrupt a stored page by flipping one bit — failure-injection hook
+    /// used by the tamper-evidence tests. Returns false if the page is
+    /// absent. The page keeps its (now wrong) content address, which is
+    /// precisely the situation digests and proofs must detect.
+    pub fn corrupt_page(&self, hash: &Hash, bit: usize) -> bool {
+        let mut inner = self.inner.write();
+        let Some(page) = inner.pages.get(hash) else {
+            return false;
+        };
+        let mut raw = page.to_vec();
+        if raw.is_empty() {
+            return false;
+        }
+        let byte = (bit / 8) % raw.len();
+        raw[byte] ^= 1 << (bit % 8);
+        inner.pages.insert(*hash, Bytes::from(raw));
+        true
+    }
+}
+
+impl NodeStore for MemStore {
+    fn put(&self, page: Bytes) -> Hash {
+        let hash = sha256(&page);
+        let mut inner = self.inner.write();
+        inner.stats.puts += 1;
+        inner.stats.logical_bytes += page.len() as u64;
+        if !inner.pages.contains_key(&hash) {
+            inner.stats.unique_pages += 1;
+            inner.stats.unique_bytes += page.len() as u64;
+            inner.pages.insert(hash, page);
+        }
+        hash
+    }
+
+    fn get(&self, hash: &Hash) -> Option<Bytes> {
+        let mut inner = self.inner.write();
+        inner.stats.gets += 1;
+        let page = inner.pages.get(hash).cloned();
+        if page.is_some() {
+            inner.stats.hits += 1;
+        }
+        page
+    }
+
+    fn contains(&self, hash: &Hash) -> bool {
+        self.inner.read().pages.contains_key(hash)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.read().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_is_idempotent_and_deduplicating() {
+        let store = MemStore::new();
+        let h1 = store.put(Bytes::from_static(b"same page"));
+        let h2 = store.put(Bytes::from_static(b"same page"));
+        assert_eq!(h1, h2);
+        let s = store.stats();
+        assert_eq!(s.puts, 2);
+        assert_eq!(s.unique_pages, 1);
+        assert_eq!(s.logical_bytes, 18);
+        assert_eq!(s.unique_bytes, 9);
+    }
+
+    #[test]
+    fn get_returns_exact_bytes() {
+        let store = MemStore::new();
+        let h = store.put(Bytes::from_static(b"some data"));
+        assert_eq!(store.get(&h).unwrap(), Bytes::from_static(b"some data"));
+        assert!(store.get(&sha256(b"absent")).is_none());
+        let s = store.stats();
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn content_address_matches_sha256() {
+        let store = MemStore::new();
+        let h = store.put(Bytes::from_static(b"addressed"));
+        assert_eq!(h, sha256(b"addressed"));
+    }
+
+    #[test]
+    fn sweep_reclaims_unreachable() {
+        let store = MemStore::new();
+        let keep = store.put(Bytes::from_static(b"keep me"));
+        let _drop = store.put(Bytes::from_static(b"drop me"));
+        let mut live = PageSet::new();
+        live.insert(keep, 7);
+        let (pages, bytes) = store.sweep(&live);
+        assert_eq!((pages, bytes), (1, 7));
+        assert!(store.contains(&keep));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().unique_pages, 1);
+    }
+
+    #[test]
+    fn corrupt_page_flips_content() {
+        let store = MemStore::new();
+        let h = store.put(Bytes::from_static(b"integrity"));
+        assert!(store.corrupt_page(&h, 3));
+        let tampered = store.get(&h).unwrap();
+        assert_ne!(sha256(&tampered), h, "tampering must break the address");
+        assert!(!store.corrupt_page(&sha256(b"missing"), 0));
+    }
+
+    #[test]
+    fn concurrent_puts_share_pages() {
+        use std::sync::Arc;
+        let store = Arc::new(MemStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u32 {
+                    // Every thread writes the same 250 pages.
+                    let _ = t;
+                    s.put(Bytes::from(i.to_le_bytes().to_vec()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = store.stats();
+        assert_eq!(s.puts, 1000);
+        assert_eq!(s.unique_pages, 250);
+    }
+}

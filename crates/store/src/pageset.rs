@@ -1,0 +1,140 @@
+//! The reachable page set P(I) of one index instance.
+
+use siri_crypto::{FxHashMap, Hash};
+
+/// The set of pages reachable from one index root, with their byte sizes —
+/// the P(I) of the paper's SIRI definition (§3.1) and the operand of the
+/// deduplication-ratio and node-sharing-ratio metrics (§4.2, §5.4.2).
+#[derive(Debug, Clone, Default)]
+pub struct PageSet {
+    pages: FxHashMap<Hash, u64>,
+}
+
+impl PageSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, hash: Hash, bytes: u64) {
+        self.pages.insert(hash, bytes);
+    }
+
+    pub fn contains(&self, hash: &Hash) -> bool {
+        self.pages.contains_key(hash)
+    }
+
+    /// |P| — the page count.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// byte(P) — the summed byte size of the set (paper §4.2.1).
+    pub fn byte_size(&self) -> u64 {
+        self.pages.values().sum()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Hash, &u64)> {
+        self.pages.iter()
+    }
+
+    /// In-place union; sizes agree by construction (content addressing), so
+    /// duplicate keys simply collapse.
+    pub fn union_with(&mut self, other: &PageSet) {
+        for (h, b) in other.pages.iter() {
+            self.pages.insert(*h, *b);
+        }
+    }
+
+    /// Pages in `self` but not in `other`.
+    pub fn difference(&self, other: &PageSet) -> PageSet {
+        let pages = self
+            .pages
+            .iter()
+            .filter(|(h, _)| !other.contains(h))
+            .map(|(h, b)| (*h, *b))
+            .collect();
+        PageSet { pages }
+    }
+
+    /// Pages present in both sets.
+    pub fn intersection(&self, other: &PageSet) -> PageSet {
+        // Iterate the smaller side.
+        let (small, big) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let pages = small
+            .pages
+            .iter()
+            .filter(|(h, _)| big.contains(h))
+            .map(|(h, b)| (*h, *b))
+            .collect();
+        PageSet { pages }
+    }
+
+    /// Union of many sets: `P1 ∪ P2 ∪ ... ∪ Pk`.
+    pub fn union_of<'a>(sets: impl IntoIterator<Item = &'a PageSet>) -> PageSet {
+        let mut out = PageSet::new();
+        for s in sets {
+            out.union_with(s);
+        }
+        out
+    }
+}
+
+impl FromIterator<(Hash, u64)> for PageSet {
+    fn from_iter<I: IntoIterator<Item = (Hash, u64)>>(iter: I) -> Self {
+        PageSet { pages: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siri_crypto::sha256;
+
+    fn h(s: &str) -> Hash {
+        sha256(s.as_bytes())
+    }
+
+    #[test]
+    fn byte_size_sums_sizes() {
+        let set: PageSet = [(h("a"), 10), (h("b"), 20)].into_iter().collect();
+        assert_eq!(set.byte_size(), 30);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn union_collapses_shared_pages() {
+        let a: PageSet = [(h("a"), 10), (h("s"), 5)].into_iter().collect();
+        let b: PageSet = [(h("b"), 20), (h("s"), 5)].into_iter().collect();
+        let u = PageSet::union_of([&a, &b]);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.byte_size(), 35);
+    }
+
+    #[test]
+    fn difference_and_intersection() {
+        let a: PageSet = [(h("a"), 10), (h("s"), 5)].into_iter().collect();
+        let b: PageSet = [(h("b"), 20), (h("s"), 5)].into_iter().collect();
+        let d = a.difference(&b);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&h("a")));
+        let i = a.intersection(&b);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(&h("s")));
+        // Recursively Identical check shape: |P ∩ P'| vs |P − P'|.
+        assert!(i.len() >= d.len() - 1);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let e = PageSet::new();
+        assert!(e.is_empty());
+        assert_eq!(e.byte_size(), 0);
+        let a: PageSet = [(h("a"), 10)].into_iter().collect();
+        assert_eq!(a.difference(&e).len(), 1);
+        assert_eq!(a.intersection(&e).len(), 0);
+    }
+}

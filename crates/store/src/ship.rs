@@ -1,0 +1,136 @@
+//! Page shipping: transfer one index version between stores, sending only
+//! the pages the receiver is missing.
+//!
+//! This is the paper's Figure 1 "transmission" scenario as an operation:
+//! deduplication doesn't just save disk, it saves the wire — a receiver
+//! that already holds an earlier version needs only the δ pages of the new
+//! one. The walk prunes at any page the receiver already has, because a
+//! present page implies (by the Merkle property) that its entire subtree is
+//! present too.
+
+use siri_crypto::Hash;
+
+use crate::NodeStore;
+
+/// Statistics from one [`ship_version`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShipReport {
+    /// Pages actually transferred.
+    pub pages_sent: u64,
+    /// Bytes actually transferred.
+    pub bytes_sent: u64,
+    /// Subtrees skipped because the receiver already held their root page.
+    pub subtrees_skipped: u64,
+}
+
+/// Copy the pages reachable from `root` out of `from` into `to`, skipping
+/// any subtree whose root page `to` already holds. `children` is the
+/// index's page decoder (e.g. `Node::children_of_page`).
+///
+/// Errors are impossible by construction: missing pages in `from` are a
+/// dangling-reference bug surfaced as a panic in debug builds and skipped
+/// in release (the receiving side will detect the hole through digest
+/// verification, not silent corruption).
+pub fn ship_version<F>(
+    from: &dyn NodeStore,
+    to: &dyn NodeStore,
+    root: Hash,
+    children: F,
+) -> ShipReport
+where
+    F: Fn(&[u8]) -> Vec<Hash>,
+{
+    let mut report = ShipReport::default();
+    if root.is_zero() {
+        return report;
+    }
+    let mut stack = vec![root];
+    let mut visited = siri_crypto::FxHashSet::default();
+    while let Some(h) = stack.pop() {
+        if !visited.insert(h) {
+            continue;
+        }
+        if to.contains(&h) {
+            // Merkle property: the receiver holding this page implies it
+            // holds (or can verify it holds) everything beneath it.
+            report.subtrees_skipped += 1;
+            continue;
+        }
+        let Some(page) = from.get(&h) else {
+            debug_assert!(false, "dangling page {h:?} while shipping");
+            continue;
+        };
+        stack.extend(children(&page));
+        report.pages_sent += 1;
+        report.bytes_sent += page.len() as u64;
+        to.put(page);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+    use bytes::Bytes;
+
+    fn children(page: &[u8]) -> Vec<Hash> {
+        page.chunks_exact(32).filter_map(Hash::from_slice).collect()
+    }
+
+    /// Two-level page graph: root references two children.
+    fn build(store: &MemStore, leaf_a: &[u8], leaf_b: &[u8]) -> Hash {
+        let a = store.put(Bytes::copy_from_slice(leaf_a));
+        let b = store.put(Bytes::copy_from_slice(leaf_b));
+        let mut root = Vec::new();
+        root.extend_from_slice(a.as_bytes());
+        root.extend_from_slice(b.as_bytes());
+        store.put(Bytes::from(root))
+    }
+
+    #[test]
+    fn cold_receiver_gets_everything() {
+        let src = MemStore::new();
+        let dst = MemStore::new();
+        let root = build(&src, b"leaf one", b"leaf two");
+        let report = ship_version(&src, &dst, root, children);
+        assert_eq!(report.pages_sent, 3);
+        assert_eq!(report.subtrees_skipped, 0);
+        assert!(dst.contains(&root));
+    }
+
+    #[test]
+    fn warm_receiver_gets_only_the_delta() {
+        let src = MemStore::new();
+        let dst = MemStore::new();
+        let v1 = build(&src, b"shared leaf", b"old leaf");
+        ship_version(&src, &dst, v1, children);
+
+        // New version shares one leaf with v1.
+        let v2 = build(&src, b"shared leaf", b"new leaf");
+        let report = ship_version(&src, &dst, v2, children);
+        assert_eq!(report.pages_sent, 2, "new root + new leaf only");
+        assert_eq!(report.subtrees_skipped, 1, "shared leaf pruned");
+        assert!(dst.contains(&v2));
+    }
+
+    #[test]
+    fn identical_version_costs_nothing() {
+        let src = MemStore::new();
+        let dst = MemStore::new();
+        let root = build(&src, b"a", b"b");
+        ship_version(&src, &dst, root, children);
+        let report = ship_version(&src, &dst, root, children);
+        assert_eq!(report.pages_sent, 0);
+        assert_eq!(report.bytes_sent, 0);
+        assert_eq!(report.subtrees_skipped, 1, "pruned at the root");
+    }
+
+    #[test]
+    fn empty_root_is_a_noop() {
+        let src = MemStore::new();
+        let dst = MemStore::new();
+        let report = ship_version(&src, &dst, Hash::ZERO, children);
+        assert_eq!(report, ShipReport::default());
+    }
+}

@@ -1,0 +1,57 @@
+//! Workload generators for the experimental evaluation (§5.1).
+//!
+//! Three dataset families, all deterministic under a seed:
+//!
+//! * [`ycsb`] — YCSB-style key-value records (keys 5–15 B, values ≈256 B)
+//!   with uniform or Zipfian (θ ∈ {0, 0.5, 0.9}) access skew, read/write/
+//!   mixed operation streams, and the overlap-ratio / batch-size
+//!   collaboration workloads of §5.4.2 (Table 2 parameters).
+//! * [`wiki`] — synthetic Wikipedia abstract dumps: URL keys (avg ≈50 B),
+//!   plain-text abstract values (avg ≈96 B), evolved over versions
+//!   (§5.1.2).
+//! * [`eth`] — synthetic Ethereum blocks: RLP-encoded transactions
+//!   (avg ≈532 B, heavy right tail) keyed by 64-byte hex transaction
+//!   hashes, one version per block (§5.1.3).
+//!
+//! Substitution note (DESIGN.md §2): the real Wikipedia/Ethereum corpora
+//! are replaced by generators matching their published size distributions;
+//! everything the indexes *see* (key/value lengths, version deltas,
+//! skew) follows the paper.
+
+pub mod eth;
+pub mod wiki;
+pub mod ycsb;
+pub mod zipf;
+
+pub use ycsb::{Op, YcsbConfig};
+
+/// Table 2 — the experiment parameter grid, kept here as named constants
+/// so harness code reads like the paper.
+pub mod params {
+    /// Dataset sizes ×10⁴: 1, 2, 4, … 256.
+    pub const DATASET_SIZES: &[usize] =
+        &[10_000, 20_000, 40_000, 80_000, 160_000, 320_000, 640_000, 1_280_000, 2_560_000];
+    /// Batch sizes ×10³.
+    pub const BATCH_SIZES: &[usize] = &[1_000, 2_000, 4_000, 8_000, 16_000];
+    /// Overlap ratios (%).
+    pub const OVERLAP_RATIOS: &[u32] = &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+    /// Write ratios (%).
+    pub const WRITE_RATIOS: &[u32] = &[0, 50, 100];
+    /// Zipfian θ.
+    pub const THETAS: &[f64] = &[0.0, 0.5, 0.9];
+    /// The paper tunes every index node to ≈1 KB.
+    pub const NODE_BYTES: usize = 1024;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn parameter_grid_matches_table_2() {
+        use super::params::*;
+        assert_eq!(DATASET_SIZES.len(), 9);
+        assert_eq!(BATCH_SIZES, &[1000, 2000, 4000, 8000, 16000]);
+        assert_eq!(OVERLAP_RATIOS.len(), 11);
+        assert_eq!(WRITE_RATIOS, &[0, 50, 100]);
+        assert_eq!(THETAS, &[0.0, 0.5, 0.9]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Synthetic Wikipedia abstract dumps (§5.1.2).
+//!
+//! Keys are page URLs (31–298 bytes, average ≈50); values are plain-text
+//! abstracts (1–1036 bytes, average ≈96). The corpus evolves over
+//! versions: each version rewrites a fraction of abstracts and adds a few
+//! pages, mimicking the three months of real dumps the paper divides into
+//! 300 versions.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use siri_core::Entry;
+
+const URL_PREFIX: &str = "https://en.wikipedia.org/wiki/";
+
+/// A compact word pool; titles and abstracts are drawn from it so the text
+/// is compressible and plausibly token-shaped, like real abstracts.
+const WORDS: &[&str] = &[
+    "history", "system", "theory", "music", "river", "language", "science", "world", "city",
+    "county", "island", "battle", "church", "school", "station", "album", "species", "film",
+    "village", "football", "railway", "museum", "national", "american", "german", "french",
+    "ancient", "modern", "northern", "southern", "empire", "university", "population", "district",
+    "region", "century", "company", "family", "player", "season", "government", "building",
+    "mountain", "valley", "bridge", "castle", "temple", "garden", "festival", "library",
+];
+
+/// Wiki corpus generator.
+#[derive(Debug, Clone, Copy)]
+pub struct WikiConfig {
+    /// Pages in the initial dump.
+    pub pages: usize,
+    /// Fraction (percent) of pages whose abstract changes each version.
+    pub update_pct: u32,
+    /// New pages added each version.
+    pub new_pages_per_version: usize,
+    pub seed: u64,
+}
+
+impl Default for WikiConfig {
+    fn default() -> Self {
+        WikiConfig { pages: 10_000, update_pct: 1, new_pages_per_version: 20, seed: 77 }
+    }
+}
+
+impl WikiConfig {
+    /// URL key for page `i` — length distribution matching the paper
+    /// (31–298 bytes, mean ≈50).
+    pub fn url(&self, i: u64) -> Bytes {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ i.wrapping_mul(0xA076_1D64_78BD_642F));
+        // Mean title ≈20 bytes ⇒ mean URL ≈50; occasionally very long.
+        let words = if rng.gen_range(0..100) < 3 {
+            rng.gen_range(8..30) // rare long titles (up to ~298 B URLs)
+        } else {
+            rng.gen_range(1..5)
+        };
+        let mut title = String::new();
+        for w in 0..words {
+            if w > 0 {
+                title.push('_');
+            }
+            title.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+        }
+        // Unique suffix to avoid collisions between pages, then clamp to
+        // the paper's 298-byte URL maximum.
+        title.push_str(&format!("_({i})"));
+        let mut url = format!("{URL_PREFIX}{title}").into_bytes();
+        url.truncate(298);
+        Bytes::from(url)
+    }
+
+    /// Abstract text for page `i` as of `version` — 1–1036 bytes, mean
+    /// ≈96.
+    pub fn abstract_text(&self, i: u64, version: u32) -> Bytes {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ i.rotate_left(23) ^ (version as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        // Mean ≈16 words × ~6 bytes ≈ 96; geometric-ish tail to 1036.
+        let mut words = rng.gen_range(1..=24);
+        while rng.gen_range(0..100) < 12 && words < 160 {
+            words += rng.gen_range(4..24);
+        }
+        let mut text = String::new();
+        for w in 0..words {
+            if w > 0 {
+                text.push(' ');
+            }
+            text.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+        }
+        text.truncate(1036);
+        Bytes::from(text.into_bytes())
+    }
+
+    pub fn page(&self, i: u64, version: u32) -> Entry {
+        Entry { key: self.url(i), value: self.abstract_text(i, version) }
+    }
+
+    /// The initial dump (version 0).
+    pub fn initial_dump(&self) -> Vec<Entry> {
+        (0..self.pages as u64).map(|i| self.page(i, 0)).collect()
+    }
+
+    /// The batch of changes for `version` (≥1): rewritten abstracts for a
+    /// deterministic pseudo-random subset, plus a few new pages.
+    pub fn version_delta(&self, version: u32) -> Vec<Entry> {
+        assert!(version >= 1);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (version as u64) << 32);
+        let updates = (self.pages as u64 * self.update_pct as u64 / 100).max(1);
+        let mut out = Vec::with_capacity(updates as usize + self.new_pages_per_version);
+        for _ in 0..updates {
+            let page = rng.gen_range(0..self.pages as u64);
+            out.push(self.page(page, version));
+        }
+        for n in 0..self.new_pages_per_version as u64 {
+            let id = self.pages as u64 + (version as u64 - 1) * self.new_pages_per_version as u64 + n;
+            out.push(self.page(id, version));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_lengths_match_paper_band() {
+        let cfg = WikiConfig::default();
+        let lens: Vec<usize> = (0..5000u64).map(|i| cfg.url(i).len()).collect();
+        let avg = lens.iter().sum::<usize>() / lens.len();
+        assert!((40..=70).contains(&avg), "avg URL length {avg}");
+        assert!(*lens.iter().max().unwrap() <= 298);
+        assert!(*lens.iter().min().unwrap() >= 31);
+    }
+
+    #[test]
+    fn abstract_lengths_match_paper_band() {
+        let cfg = WikiConfig::default();
+        let lens: Vec<usize> = (0..5000u64).map(|i| cfg.abstract_text(i, 0).len()).collect();
+        let avg = lens.iter().sum::<usize>() / lens.len();
+        assert!((70..=140).contains(&avg), "avg abstract length {avg}");
+        assert!(*lens.iter().max().unwrap() <= 1036);
+        assert!(*lens.iter().min().unwrap() >= 1);
+    }
+
+    #[test]
+    fn urls_unique() {
+        let cfg = WikiConfig { pages: 3000, ..Default::default() };
+        let dump = cfg.initial_dump();
+        let keys: std::collections::HashSet<_> = dump.iter().map(|e| e.key.clone()).collect();
+        assert_eq!(keys.len(), dump.len());
+    }
+
+    #[test]
+    fn deltas_change_content_deterministically() {
+        let cfg = WikiConfig { pages: 1000, update_pct: 2, ..Default::default() };
+        let d1 = cfg.version_delta(1);
+        let d1_again = cfg.version_delta(1);
+        assert_eq!(d1, d1_again);
+        assert!(d1.len() >= 20, "updates + new pages");
+        // An updated page's text differs from version 0.
+        let updated = &d1[0];
+        let page_v0 = cfg.initial_dump().iter().find(|e| e.key == updated.key).cloned();
+        if let Some(orig) = page_v0 {
+            assert_ne!(orig.value, updated.value);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! YCSB-style key-value workloads (§5.1.1, Table 2).
+//!
+//! Keys are alphanumeric, 5–15 bytes; values average 256 bytes. Operation
+//! streams mix reads and writes at a configurable ratio and select keys
+//! uniformly or Zipfian-skewed. The §5.4.2 collaboration scenarios build
+//! per-party workloads whose key/value sets overlap by a controlled ratio.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use siri_core::Entry;
+
+use crate::zipf::Zipfian;
+
+const KEY_ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+/// Key/value generation parameters (defaults follow §5.1.1).
+#[derive(Debug, Clone, Copy)]
+pub struct YcsbConfig {
+    pub key_len_min: usize,
+    pub key_len_max: usize,
+    /// Average value length; actual lengths are uniform in ±50%.
+    pub value_len_avg: usize,
+    pub seed: u64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig { key_len_min: 5, key_len_max: 15, value_len_avg: 256, seed: 42 }
+    }
+}
+
+/// One operation of a workload stream.
+#[derive(Debug, Clone)]
+pub enum Op {
+    Read(Bytes),
+    Write(Entry),
+}
+
+impl YcsbConfig {
+    /// Deterministic key for record id `i` — stable across calls so reads
+    /// and writes can reference dataset records by id.
+    pub fn key(&self, i: u64) -> Bytes {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let len = rng.gen_range(self.key_len_min..=self.key_len_max);
+        // Prefix with a base62 rendering of i to guarantee uniqueness, then
+        // pad with random alphanumerics to the drawn length.
+        let mut key = Vec::with_capacity(len.max(11));
+        let mut v = i;
+        loop {
+            key.push(KEY_ALPHABET[(v % 62) as usize]);
+            v /= 62;
+            if v == 0 {
+                break;
+            }
+        }
+        while key.len() < len {
+            key.push(KEY_ALPHABET[rng.gen_range(0..62)]);
+        }
+        Bytes::from(key)
+    }
+
+    /// Deterministic value for record id `i` at write-version `version`.
+    pub fn value(&self, i: u64, version: u32) -> Bytes {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ i.rotate_left(17) ^ (version as u64).wrapping_mul(0xDEAD_BEEF_CAFE_F00D),
+        );
+        let half = self.value_len_avg / 2;
+        let len = rng.gen_range(self.value_len_avg - half..=self.value_len_avg + half);
+        let mut value = vec![0u8; len];
+        rng.fill(&mut value[..]);
+        Bytes::from(value)
+    }
+
+    pub fn entry(&self, i: u64, version: u32) -> Entry {
+        Entry { key: self.key(i), value: self.value(i, version) }
+    }
+
+    /// The initial dataset: records `0..n` at version 0.
+    pub fn dataset(&self, n: usize) -> Vec<Entry> {
+        (0..n as u64).map(|i| self.entry(i, 0)).collect()
+    }
+
+    /// An operation stream over an `n`-record dataset.
+    ///
+    /// `write_ratio` ∈ 0..=100 is the percentage of writes; `theta` the
+    /// Zipfian parameter (0 = uniform). Writes bump the record's version so
+    /// they change real bytes.
+    pub fn operations(
+        &self,
+        n: usize,
+        ops: usize,
+        write_ratio: u32,
+        theta: f64,
+        stream_seed: u64,
+    ) -> Vec<Op> {
+        let zipf = Zipfian::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ stream_seed);
+        (0..ops)
+            .map(|op_idx| {
+                let id = zipf.next(&mut rng) as u64;
+                if rng.gen_range(0..100) < write_ratio {
+                    Op::Write(self.entry(id, 1 + (op_idx / n.max(1)) as u32))
+                } else {
+                    Op::Read(self.key(id))
+                }
+            })
+            .collect()
+    }
+
+    /// §5.4.2 collaboration workload: `parties` streams of `ops` writes
+    /// each, in which `overlap_pct`% of records are identical (same key
+    /// and value) across all parties and the rest are party-private.
+    ///
+    /// Each party executes its stream in its own order (deterministic
+    /// per-party shuffle): Structurally Invariant indexes still converge
+    /// on identical pages for the shared content, order-dependent ones do
+    /// not — which is exactly what the §5.5.1 ablation measures.
+    pub fn collaboration(
+        &self,
+        parties: usize,
+        ops: usize,
+        overlap_pct: u32,
+    ) -> Vec<Vec<Entry>> {
+        use rand::seq::SliceRandom;
+        let shared = (ops as u64 * overlap_pct as u64 / 100) as usize;
+        (0..parties)
+            .map(|p| {
+                let mut out = Vec::with_capacity(ops);
+                for i in 0..ops as u64 {
+                    if (i as usize) < shared {
+                        // Common pool: identical records for every party.
+                        out.push(self.entry(1_000_000 + i, 0));
+                    } else {
+                        // Private records, disjoint id ranges per party.
+                        out.push(self.entry(2_000_000 + (p as u64) * 10_000_000 + i, 0));
+                    }
+                }
+                let mut rng = StdRng::seed_from_u64(self.seed ^ (p as u64) << 17);
+                out.shuffle(&mut rng);
+                out
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_unique_and_sized_per_paper() {
+        let cfg = YcsbConfig::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..20_000u64 {
+            let k = cfg.key(i);
+            assert!(k.len() >= 2 && k.len() <= 15, "key length {}", k.len());
+            assert!(seen.insert(k), "duplicate key for id {i}");
+        }
+    }
+
+    #[test]
+    fn values_average_near_256() {
+        let cfg = YcsbConfig::default();
+        let total: usize = (0..2000u64).map(|i| cfg.value(i, 0).len()).sum();
+        let avg = total / 2000;
+        assert!((200..=312).contains(&avg), "avg value length {avg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = YcsbConfig::default();
+        assert_eq!(cfg.entry(7, 0), cfg.entry(7, 0));
+        assert_ne!(cfg.value(7, 0), cfg.value(7, 1), "versions must differ");
+    }
+
+    #[test]
+    fn write_ratio_respected() {
+        let cfg = YcsbConfig::default();
+        let ops = cfg.operations(1000, 10_000, 50, 0.0, 1);
+        let writes = ops.iter().filter(|o| matches!(o, Op::Write(_))).count();
+        assert!((4000..6000).contains(&writes), "writes {writes}");
+        let all_reads = cfg.operations(1000, 1000, 0, 0.0, 2);
+        assert!(all_reads.iter().all(|o| matches!(o, Op::Read(_))));
+        let all_writes = cfg.operations(1000, 1000, 100, 0.0, 3);
+        assert!(all_writes.iter().all(|o| matches!(o, Op::Write(_))));
+    }
+
+    #[test]
+    fn collaboration_overlap_is_exact() {
+        let cfg = YcsbConfig::default();
+        let parties = cfg.collaboration(3, 1000, 40);
+        assert_eq!(parties.len(), 3);
+        let a: std::collections::HashSet<_> =
+            parties[0].iter().map(|e| e.key.clone()).collect();
+        let b: std::collections::HashSet<_> =
+            parties[1].iter().map(|e| e.key.clone()).collect();
+        let common = a.intersection(&b).count();
+        assert_eq!(common, 400, "40% of 1000 must be shared");
+    }
+
+    #[test]
+    fn zero_and_full_overlap_edges() {
+        let cfg = YcsbConfig::default();
+        let p = cfg.collaboration(2, 100, 0);
+        let a: std::collections::HashSet<_> = p[0].iter().map(|e| e.key.clone()).collect();
+        assert!(p[1].iter().all(|e| !a.contains(&e.key)));
+        let p = cfg.collaboration(2, 100, 100);
+        // Same record *set* — but each party applies it in its own order.
+        let sort = |v: &[Entry]| {
+            let mut s = v.to_vec();
+            s.sort();
+            s
+        };
+        assert_eq!(sort(&p[0]), sort(&p[1]));
+        assert_ne!(p[0], p[1], "parties must execute in different orders");
+    }
+}

@@ -1,0 +1,139 @@
+//! Zipfian rank generator (the YCSB / Gray et al. construction).
+//!
+//! θ = 0 degenerates to the uniform distribution; θ = 0.9 is the paper's
+//! "highly skewed" setting. Ranks are scrambled through a fast hash so the
+//! hot keys are spread across the keyspace, as YCSB's scrambled-Zipfian
+//! does — otherwise skew would also mean key-locality, which the paper's
+//! workloads do not imply.
+
+use rand::Rng;
+use siri_crypto::fx_hash_bytes;
+
+/// Zipfian distribution over `0..n`.
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "empty support");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let n = n as u64;
+        if theta == 0.0 {
+            // Uniform: the zeta machinery is unused.
+            return Zipfian { n, theta, alpha: 0.0, zetan: 0.0, eta: 0.0, zeta2: 0.0 };
+        }
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draw a rank in `0..n` (0 = hottest before scrambling).
+    pub fn next_rank<R: Rng>(&self, rng: &mut R) -> u64 {
+        if self.theta == 0.0 {
+            return rng.gen_range(0..self.n);
+        }
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let _ = self.zeta2;
+        ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64 % self.n
+    }
+
+    /// Draw a scrambled index in `0..n`.
+    pub fn next<R: Rng>(&self, rng: &mut R) -> usize {
+        let rank = self.next_rank(rng);
+        if self.theta == 0.0 {
+            rank as usize
+        } else {
+            (fx_hash_bytes(&rank.to_le_bytes()) % self.n) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(theta: f64, n: usize, draws: usize) -> Vec<usize> {
+        let z = Zipfian::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut h = vec![0usize; n];
+        for _ in 0..draws {
+            h[(z.next_rank(&mut rng) as usize).min(n - 1)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let h = histogram(0.0, 100, 100_000);
+        let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
+        assert!(*max < *min * 2, "uniform histogram too skewed: {min}..{max}");
+    }
+
+    #[test]
+    fn high_theta_concentrates_mass() {
+        let h = histogram(0.9, 1000, 100_000);
+        let top10: usize = {
+            let mut s = h.clone();
+            s.sort_unstable_by(|a, b| b.cmp(a));
+            s[..10].iter().sum()
+        };
+        assert!(
+            top10 as f64 > 0.3 * 100_000.0,
+            "θ=0.9 should put >30% of mass on the top-10 ranks, got {top10}"
+        );
+    }
+
+    #[test]
+    fn moderate_theta_in_between() {
+        let h0 = histogram(0.0, 1000, 100_000);
+        let h5 = histogram(0.5, 1000, 100_000);
+        let h9 = histogram(0.9, 1000, 100_000);
+        let max = |h: &[usize]| *h.iter().max().unwrap();
+        assert!(max(&h5) > max(&h0));
+        assert!(max(&h9) > max(&h5));
+    }
+
+    #[test]
+    fn all_draws_in_range() {
+        let z = Zipfian::new(50, 0.9);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.next(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipfian::new(500, 0.5);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(11);
+            (0..100).map(|_| z.next(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(11);
+            (0..100).map(|_| z.next(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: versioned, tamper-evident key-value indexing in a few lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use siri::{Bytes, MemStore, MergeStrategy, PosParams, PosTree, SiriIndex};
+
+fn main() -> siri::Result<()> {
+    // One shared content-addressed store; every index version lives in it.
+    let store = MemStore::new_shared();
+    let mut accounts = PosTree::new(store, PosParams::default());
+
+    // Insert some records. Each batch creates a new immutable version.
+    accounts.batch_insert(vec![
+        siri::Entry::new(&b"alice"[..], &b"100"[..]),
+        siri::Entry::new(&b"bob"[..], &b"250"[..]),
+        siri::Entry::new(&b"carol"[..], &b"75"[..]),
+    ])?;
+    println!("v1 digest: {}", accounts.root());
+
+    // Snapshots are free: clone the handle.
+    let v1 = accounts.clone();
+    accounts.insert(b"alice", Bytes::from_static(b"42"))?;
+    println!("v2 digest: {}", accounts.root());
+
+    // Old versions stay fully readable.
+    assert_eq!(v1.get(b"alice")?.unwrap().as_ref(), b"100");
+    assert_eq!(accounts.get(b"alice")?.unwrap().as_ref(), b"42");
+
+    // Diff two versions structurally — only changed subtrees are visited.
+    let changes = v1.diff(&accounts)?;
+    println!("v1 → v2 changed {} record(s):", changes.len());
+    for d in &changes {
+        println!(
+            "  {}: {:?} → {:?}",
+            String::from_utf8_lossy(&d.key),
+            d.left.as_deref().map(String::from_utf8_lossy),
+            d.right.as_deref().map(String::from_utf8_lossy),
+        );
+    }
+
+    // Merge a divergent branch (strict: conflicting keys abort the merge).
+    let mut branch = v1.clone();
+    branch.insert(b"dave", Bytes::from_static(b"500"))?;
+    let outcome = siri::merge(&accounts, &branch, MergeStrategy::Strict)?;
+    println!(
+        "merged branch: +{} record(s), digest {}",
+        outcome.added_from_right,
+        outcome.merged.root()
+    );
+
+    // Tamper evidence: prove membership against the digest alone.
+    let proof = accounts.prove(b"bob")?;
+    let verdict = PosTree::verify_proof(accounts.root(), b"bob", &proof);
+    println!("proof for bob ({} pages): {:?}", proof.len(), verdict.value().is_some());
+
+    // A tampered proof is rejected.
+    let mut bad = proof.clone();
+    bad.tamper(0, 12);
+    assert!(!PosTree::verify_proof(accounts.root(), b"bob", &bad).is_valid());
+    println!("tampered proof rejected ✓");
+    Ok(())
+}

@@ -1,0 +1,182 @@
+//! `siri` — a small CLI over a persistent POS-Tree store.
+//!
+//! A versioned, tamper-evident key-value database in one file:
+//!
+//! ```text
+//! siri --db ./data.siri put <key> <value>     # new version per write
+//! siri --db ./data.siri get <key> [--root H]  # read head or any version
+//! siri --db ./data.siri scan [prefix]
+//! siri --db ./data.siri log                   # version history (digests)
+//! siri --db ./data.siri prove <key>           # emit a proof (hex pages)
+//! siri --db ./data.siri diff <rootA> <rootB>
+//! siri --db ./data.siri stats
+//! ```
+//!
+//! The head pointer and history live in a sidecar file `<db>.head` (the
+//! page log itself is append-only and content-addressed, so the sidecar is
+//! the only mutable state).
+
+use std::sync::Arc;
+
+use siri::{Hash, NodeStore, PosParams, PosTree, SharedStore, SiriIndex};
+use siri_store::FileStore;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: siri --db <path> <command>\n\
+         commands:\n\
+         \x20 put <key> <value>      write one record (creates a version)\n\
+         \x20 get <key> [--root H]   read from head or a specific version\n\
+         \x20 scan [prefix]          list records (optionally by prefix)\n\
+         \x20 log                    list version digests, newest first\n\
+         \x20 prove <key>            print a Merkle proof for the key\n\
+         \x20 verify <key> <root> <proof-hex...>  check a proof offline\n\
+         \x20 diff <rootA> <rootB>   compare two versions\n\
+         \x20 stats                  storage statistics"
+    );
+    std::process::exit(2);
+}
+
+fn load_history(path: &str) -> Vec<Hash> {
+    std::fs::read_to_string(path)
+        .unwrap_or_default()
+        .lines()
+        .filter_map(Hash::from_hex)
+        .collect()
+}
+
+fn append_history(path: &str, root: Hash) {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new().append(true).create(true).open(path).unwrap();
+    writeln!(f, "{root}").unwrap();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut db = String::from("./siri.db");
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--db" {
+            i += 1;
+            db = args.get(i).cloned().unwrap_or_else(|| usage());
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    if rest.is_empty() {
+        usage();
+    }
+
+    let head_file = format!("{db}.head");
+    let (fs, _) = FileStore::open(&db).expect("cannot open database file");
+    let store: SharedStore = Arc::new(fs);
+    let history = load_history(&head_file);
+    let head_root = history.last().copied().unwrap_or(Hash::ZERO);
+    let params = PosParams::default();
+    let head = PosTree::open(store.clone(), params, head_root);
+
+    match rest[0].as_str() {
+        "put" => {
+            let (key, value) = match (rest.get(1), rest.get(2)) {
+                (Some(k), Some(v)) => (k.clone(), v.clone()),
+                _ => usage(),
+            };
+            let mut next = head.clone();
+            next.insert(key.as_bytes(), bytes::Bytes::from(value.into_bytes())).unwrap();
+            append_history(&head_file, next.root());
+            println!("{}", next.root());
+        }
+        "get" => {
+            let key = rest.get(1).unwrap_or_else(|| usage());
+            let view = match rest.iter().position(|a| a == "--root") {
+                Some(p) => {
+                    let h = rest.get(p + 1).and_then(|s| Hash::from_hex(s)).unwrap_or_else(|| usage());
+                    PosTree::open(store.clone(), params, h)
+                }
+                None => head,
+            };
+            match view.get(key.as_bytes()).unwrap() {
+                Some(v) => println!("{}", String::from_utf8_lossy(&v)),
+                None => {
+                    eprintln!("(not found)");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "scan" => {
+            let entries = match rest.get(1) {
+                Some(prefix) => {
+                    let start = prefix.as_bytes().to_vec();
+                    let mut end = start.clone();
+                    end.push(0xff);
+                    head.scan_range(&start, &end).unwrap()
+                }
+                None => head.scan().unwrap(),
+            };
+            for e in entries {
+                println!("{}\t{}", String::from_utf8_lossy(&e.key), String::from_utf8_lossy(&e.value));
+            }
+        }
+        "log" => {
+            for (n, h) in history.iter().enumerate().rev() {
+                println!("v{n}\t{h}");
+            }
+        }
+        "prove" => {
+            let key = rest.get(1).unwrap_or_else(|| usage());
+            let proof = head.prove(key.as_bytes()).unwrap();
+            println!("root\t{}", head.root());
+            for page in proof.pages() {
+                println!("{}", siri::crypto::hex::encode(page));
+            }
+        }
+        "verify" => {
+            let key = rest.get(1).unwrap_or_else(|| usage());
+            let root = rest.get(2).and_then(|s| Hash::from_hex(s)).unwrap_or_else(|| usage());
+            let pages: Vec<bytes::Bytes> = rest[3..]
+                .iter()
+                .map(|h| bytes::Bytes::from(siri::crypto::hex::decode(h).expect("bad hex page")))
+                .collect();
+            let proof = siri::Proof::new(pages);
+            match PosTree::verify_proof(root, key.as_bytes(), &proof) {
+                siri::ProofVerdict::Present(v) => {
+                    println!("PRESENT\t{}", String::from_utf8_lossy(&v))
+                }
+                siri::ProofVerdict::Absent => println!("ABSENT"),
+                siri::ProofVerdict::Invalid(why) => {
+                    println!("INVALID\t{why}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "diff" => {
+            let a = rest.get(1).and_then(|s| Hash::from_hex(s)).unwrap_or_else(|| usage());
+            let b = rest.get(2).and_then(|s| Hash::from_hex(s)).unwrap_or_else(|| usage());
+            let va = PosTree::open(store.clone(), params, a);
+            let vb = PosTree::open(store.clone(), params, b);
+            for d in va.diff(&vb).unwrap() {
+                let tag = match d.side() {
+                    siri::DiffSide::LeftOnly => "-",
+                    siri::DiffSide::RightOnly => "+",
+                    siri::DiffSide::Changed => "~",
+                };
+                println!("{tag} {}", String::from_utf8_lossy(&d.key));
+            }
+        }
+        "stats" => {
+            let s = store.stats();
+            println!("versions       {}", history.len());
+            println!("unique pages   {}", s.unique_pages);
+            println!("unique bytes   {}", s.unique_bytes);
+            println!("logical bytes  {}", s.logical_bytes);
+            println!("dedup savings  {:.1}%", s.dedup_savings() * 100.0);
+            if !head_root.is_zero() {
+                let reopened = PosTree::open(store, params, head_root);
+                println!("records        {}", reopened.len().unwrap());
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,54 @@
+//! # siri — Indexing Structures for Immutable Data
+//!
+//! A faithful Rust reproduction of *"Analysis of Indexing Structures for
+//! Immutable Data"* (SIGMOD 2020): the three SIRI structures — Merkle
+//! Patricia Trie, Merkle Bucket Tree, POS-Tree — and the MVMB+-Tree
+//! baseline, unified behind one [`SiriIndex`] interface over a shared
+//! content-addressed page store, plus the paper's workloads, metrics and
+//! benchmark harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use siri::{MemStore, PosParams, PosTree, SiriIndex};
+//!
+//! let store = MemStore::new_shared();
+//! let mut index = PosTree::new(store, PosParams::default());
+//!
+//! // Every update produces a new immutable version; clones are snapshots.
+//! index.insert(b"alice", bytes::Bytes::from_static(b"100")).unwrap();
+//! let v1 = index.clone();
+//! index.insert(b"alice", bytes::Bytes::from_static(b"250")).unwrap();
+//!
+//! assert_eq!(v1.get(b"alice").unwrap().unwrap().as_ref(), b"100");
+//! assert_eq!(index.get(b"alice").unwrap().unwrap().as_ref(), b"250");
+//!
+//! // The root digest is tamper-evident; proofs verify against it alone.
+//! let proof = index.prove(b"alice").unwrap();
+//! let verdict = PosTree::verify_proof(index.root(), b"alice", &proof);
+//! assert_eq!(verdict.value().unwrap().as_ref(), b"250");
+//! ```
+//!
+//! See `examples/` for full scenarios (blockchain ledger, collaborative
+//! analytics, wiki versioning) and DESIGN.md / EXPERIMENTS.md for the
+//! paper-reproduction map.
+
+pub use siri_core::{
+    cost_model, diff_by_scan, diff_sorted_entries, entry_codec, merge, metrics, normalize_batch,
+    siri_properties, Bytes, DiffEntry, DiffSide, Entry, Hash, IndexError, LookupTrace, MemStore,
+    MergeOutcome, MergeStrategy, NodeStore, PageSet, Proof, ProofVerdict, Result, SharedStore,
+    SiriIndex, StoreStats, VersionStore, VersionTag,
+};
+
+pub use siri_crypto as crypto;
+pub use siri_encoding as encoding;
+pub use siri_forkbase::{
+    Forkbase, IndexFactory, MbtFactory, MptFactory, MvmbFactory, NomsEngine, PosFactory,
+    DEFAULT_FETCH_COST_NANOS,
+};
+pub use siri_mbt::{MerkleBucketTree, DEFAULT_BUCKETS, DEFAULT_FANOUT};
+pub use siri_mpt::MerklePatriciaTrie;
+pub use siri_mvmb::{MvmbParams, MvmbTree};
+pub use siri_pos_tree::{self as pos_tree, InternalChunking, PosParams, PosTree, SplitPolicy};
+pub use siri_store::{gc, ship, CachingStore, FileStore};
+pub use siri_workloads as workloads;

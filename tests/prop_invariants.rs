@@ -1,0 +1,154 @@
+//! Property-based tests over the whole stack: for arbitrary record sets,
+//! the three SIRI structures are order-insensitive, all four agree with a
+//! model map, and diff/merge round-trip.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use siri::{
+    diff_by_scan, merge, Entry, IndexFactory, MbtFactory, MemStore, MergeStrategy, MptFactory,
+    MvmbFactory, MvmbParams, PosFactory, PosParams, SiriIndex,
+};
+
+/// Random small key/value pairs; keys constrained to provoke shared
+/// prefixes (MPT extensions) and duplicates (last-write-wins).
+fn arb_entries(max: usize) -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(proptest::num::u8::ANY, 1..6),
+            proptest::collection::vec(proptest::num::u8::ANY, 0..24),
+        ),
+        1..max,
+    )
+}
+
+fn to_entries(raw: &[(Vec<u8>, Vec<u8>)]) -> Vec<Entry> {
+    raw.iter().map(|(k, v)| Entry::new(k.clone(), v.clone())).collect()
+}
+
+fn model(raw: &[(Vec<u8>, Vec<u8>)]) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    raw.iter().cloned().collect()
+}
+
+fn check_matches_model<I: SiriIndex>(idx: &I, model: &BTreeMap<Vec<u8>, Vec<u8>>) {
+    assert_eq!(idx.len().unwrap(), model.len(), "{}", idx.kind());
+    for (k, v) in model {
+        assert_eq!(
+            idx.get(k).unwrap().as_deref(),
+            Some(v.as_slice()),
+            "{} missing key {k:?}",
+            idx.kind()
+        );
+    }
+    let scan = idx.scan().unwrap();
+    assert!(scan.windows(2).all(|w| w[0].key < w[1].key), "{} scan unsorted", idx.kind());
+    assert_eq!(scan.len(), model.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_indexes_match_a_model_map(raw in arb_entries(120)) {
+        let entries = to_entries(&raw);
+        let m = model(&raw);
+
+        macro_rules! check {
+            ($factory:expr) => {{
+                let mut idx = $factory.empty(MemStore::new_shared());
+                idx.batch_insert(entries.clone()).unwrap();
+                check_matches_model(&idx, &m);
+            }};
+        }
+        check!(PosFactory(PosParams::default()));
+        check!(MptFactory);
+        check!(MbtFactory { buckets: 32, fanout: 4 });
+        check!(MvmbFactory(MvmbParams::default()));
+    }
+
+    #[test]
+    fn siri_roots_are_insertion_order_invariant(raw in arb_entries(80), seed in 0u64..1000) {
+        // Deduplicate keys first: with duplicates, last-write-wins makes
+        // different orders legitimately produce different *content*.
+        let entries: Vec<Entry> =
+            model(&raw).into_iter().map(|(k, v)| Entry::new(k, v)).collect();
+        // A deterministic permutation + different batching from the seed.
+        let mut shuffled = entries.clone();
+        let n = shuffled.len();
+        for i in (1..n).rev() {
+            let j = ((seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)) % (i as u64 + 1)) as usize;
+            shuffled.swap(i, j);
+        }
+        let chunk = (seed as usize % 7) + 1;
+
+        macro_rules! invariant {
+            ($factory:expr) => {{
+                let factory = $factory;
+                let mut a = factory.empty(MemStore::new_shared());
+                a.batch_insert(entries.clone()).unwrap();
+                let mut b = factory.empty(MemStore::new_shared());
+                for c in shuffled.chunks(chunk) {
+                    b.batch_insert(c.to_vec()).unwrap();
+                }
+                prop_assert_eq!(a.root(), b.root(), "structure {} not invariant", a.kind());
+            }};
+        }
+        invariant!(PosFactory(PosParams::default()));
+        invariant!(MptFactory);
+        invariant!(MbtFactory { buckets: 32, fanout: 4 });
+    }
+
+    #[test]
+    fn diff_matches_scan_reference_and_merge_roundtrips(
+        left_raw in arb_entries(60),
+        right_raw in arb_entries(60),
+    ) {
+        let factory = PosFactory(PosParams::default());
+        let store = MemStore::new_shared();
+        let mut left = factory.empty(store.clone());
+        left.batch_insert(to_entries(&left_raw)).unwrap();
+        let mut right = factory.empty(store);
+        right.batch_insert(to_entries(&right_raw)).unwrap();
+
+        // Structure-aware diff ≡ scan-based reference diff.
+        let structural = left.diff(&right).unwrap();
+        let reference = diff_by_scan(&left, &right).unwrap();
+        prop_assert_eq!(&structural, &reference);
+
+        // merge(left, right, PreferRight) contains exactly model-left ∪
+        // model-right with right winning conflicts.
+        let outcome = merge(&left, &right, MergeStrategy::PreferRight).unwrap();
+        let mut expect = model(&left_raw);
+        for (k, v) in model(&right_raw) {
+            expect.insert(k, v);
+        }
+        let merged_scan = outcome.merged.scan().unwrap();
+        prop_assert_eq!(merged_scan.len(), expect.len());
+        for e in &merged_scan {
+            prop_assert_eq!(expect.get(e.key.as_ref()).map(|v| v.as_slice()), Some(e.value.as_ref()));
+        }
+
+        // And merging right into the merged index is then conflict-free.
+        let again = merge(&outcome.merged, &right, MergeStrategy::Strict).unwrap();
+        prop_assert_eq!(again.added_from_right, 0);
+    }
+
+    #[test]
+    fn proofs_verify_for_arbitrary_content(raw in arb_entries(60)) {
+        let entries = to_entries(&raw);
+        let m = model(&raw);
+        let mut idx = PosFactory(PosParams::default()).empty(MemStore::new_shared());
+        idx.batch_insert(entries).unwrap();
+        let root = idx.root();
+        for (k, v) in m.iter().take(5) {
+            let proof = idx.prove(k).unwrap();
+            let verdict = siri::PosTree::verify_proof(root, k, &proof);
+            prop_assert_eq!(verdict.value().map(|b| b.as_ref()), Some(v.as_slice()));
+        }
+        let proof = idx.prove(b"\xff\xff\xff absent").unwrap();
+        prop_assert!(matches!(
+            siri::PosTree::verify_proof(root, b"\xff\xff\xff absent", &proof),
+            siri::ProofVerdict::Absent
+        ));
+    }
+}
