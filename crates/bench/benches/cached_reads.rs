@@ -1,0 +1,137 @@
+//! Cache-on vs cache-off point lookups across the four indexes, plus the
+//! Figure 21-style client-cache capacity sweep.
+//!
+//! The acceptance bar for the read-path overhaul: on a ≥100k-entry index,
+//! cached point lookups must be ≥2× faster than the uncached path for MPT
+//! and POS-Tree. `cached` uses the default decoded-node cache (warmed by
+//! one pass); `uncached` sets capacity 0, so every fetch pays
+//! store-lock + page-clone + decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siri::workloads::YcsbConfig;
+use siri::{
+    MemStore, MerkleBucketTree, MerklePatriciaTrie, MvmbParams, MvmbTree, PosParams, PosTree,
+    SiriIndex,
+};
+use siri_bench::harness::client_cache_sweep;
+
+const N: usize = 100_000;
+
+/// Cache sized to hold the whole decoded working set of a 100k-entry
+/// index — the "cache covers the hot set" end of the sweep, where the
+/// §5.6.1 hit ratio approaches 1.
+const WARM_CACHE_NODES: usize = 512 * 1024;
+
+fn bench_cached_reads(c: &mut Criterion) {
+    let ycsb = YcsbConfig::default();
+    let data = ycsb.dataset(N);
+    // Pre-generated lookup keys so the measured loop is pure index work.
+    let lookup_keys: Vec<_> = (0..N as u64).map(|i| ycsb.key(i)).collect();
+
+    // One index per structure over its own store, built once.
+    macro_rules! bench_pair {
+        ($group:expr, $name:expr, $build:expr) => {{
+            let idx = $build;
+            // Cached: node cache sized to the working set, fully warmed.
+            let cached = idx.clone().with_node_cache_capacity(WARM_CACHE_NODES);
+            for key in &lookup_keys {
+                let _ = cached.get(key).unwrap();
+            }
+            let mut i = 0usize;
+            $group.bench_function(BenchmarkId::new($name, "cached"), |b| {
+                b.iter(|| {
+                    i = (i + 7) % N;
+                    std::hint::black_box(cached.get(&lookup_keys[i]).unwrap())
+                })
+            });
+            // Uncached: capacity 0 — every lookup re-fetches and re-decodes.
+            let uncached = idx.with_node_cache_capacity(0);
+            let mut i = 0usize;
+            $group.bench_function(BenchmarkId::new($name, "uncached"), |b| {
+                b.iter(|| {
+                    i = (i + 7) % N;
+                    std::hint::black_box(uncached.get(&lookup_keys[i]).unwrap())
+                })
+            });
+        }};
+    }
+
+    let mut group = c.benchmark_group("lookup_100k");
+    group.sample_size(20);
+    bench_pair!(group, "mpt", {
+        let mut t = MerklePatriciaTrie::new(MemStore::new_shared());
+        for chunk in data.chunks(10_000) {
+            t.batch_insert(chunk.to_vec()).unwrap();
+        }
+        t
+    });
+    bench_pair!(group, "pos-tree", {
+        let mut t = PosTree::new(MemStore::new_shared(), PosParams::default());
+        t.batch_insert(data.clone()).unwrap();
+        t
+    });
+    bench_pair!(group, "mbt", {
+        let mut t = MerkleBucketTree::new(MemStore::new_shared(), 4096, 32).unwrap();
+        for chunk in data.chunks(10_000) {
+            t.batch_insert(chunk.to_vec()).unwrap();
+        }
+        t
+    });
+    bench_pair!(group, "mvmb+", {
+        let mut t = MvmbTree::new(MemStore::new_shared(), MvmbParams::for_node_size(1024, 271, 10));
+        t.batch_insert(data.clone()).unwrap();
+        t
+    });
+    group.finish();
+
+    // Figure 21-style capacity sweep: lookups through a bounded client
+    // page cache with a 100 µs modelled remote fetch. Printed once per
+    // capacity (hit ratio + modelled client latency), then the pure
+    // wall-clock cost is measured per capacity.
+    let server = MemStore::new_shared();
+    let mut base = PosTree::new(server.clone(), PosParams::default());
+    base.batch_insert(ycsb.dataset(20_000)).unwrap();
+    let root = base.root();
+    let keys: Vec<_> = (0..10_000u64).map(|i| ycsb.key(i % 20_000)).collect();
+    let params = PosParams::default();
+    let points = client_cache_sweep(
+        &server,
+        |store| PosTree::open(store, params, root).with_node_cache_capacity(0),
+        &keys,
+        &[64, 512, 4096, 32_768],
+        100_000,
+    );
+    for p in &points {
+        println!(
+            "client_cache_sweep/pos-tree capacity {:>6}: hit ratio {:.3}, \
+             modelled client latency {:>10.0} ns/lookup, {} evictions",
+            p.capacity,
+            p.hit_ratio,
+            p.client_nanos_per_lookup(keys.len()),
+            p.evictions
+        );
+    }
+    let mut group = c.benchmark_group("client_cache_wall_clock");
+    group.sample_size(10);
+    for capacity in [512usize, 32_768] {
+        let point_keys = keys.clone();
+        let server = server.clone();
+        group.bench_function(BenchmarkId::from_parameter(capacity), move |b| {
+            let client = std::sync::Arc::new(siri::CachingStore::with_capacity(
+                server.clone(),
+                0, // wall clock only; the modelled cost is reported above
+                capacity,
+            ));
+            let idx = PosTree::open(client, params, root).with_node_cache_capacity(0);
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % point_keys.len();
+                std::hint::black_box(idx.get(&point_keys[i]).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cached_reads);
+criterion_main!(benches);

@@ -17,16 +17,10 @@ fn bench_decode(c: &mut Criterion) {
     t.batch_insert(ycsb.dataset(5_000)).unwrap();
 
     // Grab a representative leaf page and an internal page.
-    let pages: Vec<bytes::Bytes> = t
-        .page_set()
-        .iter()
-        .map(|(h, _)| shared.get(h).unwrap())
-        .collect();
-    let leaf = pages
-        .iter()
-        .find(|p| matches!(Node::decode(p), Ok(Node::Leaf { .. })))
-        .unwrap()
-        .clone();
+    let pages: Vec<bytes::Bytes> =
+        t.page_set().iter().map(|(h, _)| shared.get(h).unwrap()).collect();
+    let leaf =
+        pages.iter().find(|p| matches!(Node::decode(p), Ok(Node::Leaf { .. }))).unwrap().clone();
     let internal = pages
         .iter()
         .find(|p| matches!(Node::decode(p), Ok(Node::Internal { .. })))

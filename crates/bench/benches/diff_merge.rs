@@ -3,7 +3,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use siri::workloads::YcsbConfig;
 use siri::{merge, Entry, MergeStrategy, SiriIndex};
-use siri_bench::harness::{load_batched, mbt_factory, mpt_factory, mvmb_factory, pos_factory, IndexCfg};
+use siri_bench::harness::{
+    load_batched, mbt_factory, mpt_factory, mvmb_factory, pos_factory, IndexCfg,
+};
 
 const N: usize = 20_000;
 const DELTA: usize = 200;

@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use siri::workloads::YcsbConfig;
 use siri::{MerkleBucketTree, MerklePatriciaTrie, MvmbTree, PosTree, SiriIndex};
-use siri_bench::harness::{load_batched, mbt_factory, mpt_factory, mvmb_factory, pos_factory, IndexCfg};
+use siri_bench::harness::{
+    load_batched, mbt_factory, mpt_factory, mvmb_factory, pos_factory, IndexCfg,
+};
 
 const N: usize = 20_000;
 

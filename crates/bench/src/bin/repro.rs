@@ -16,9 +16,9 @@
 use std::time::Instant;
 
 use siri::workloads::eth::EthConfig;
+use siri::workloads::params;
 use siri::workloads::wiki::WikiConfig;
 use siri::workloads::ycsb::YcsbConfig;
-use siri::workloads::params;
 use siri::{
     cost_model, metrics, Entry, Forkbase, IndexFactory, MemStore, NomsEngine, PosFactory,
     PosParams, PosTree, SiriIndex,
@@ -113,8 +113,10 @@ fn fig1(cfg: RunConfig) -> Vec<Table> {
     let ycsb = YcsbConfig::default();
     let initial = cfg.scaled(100_000);
     let per_version = cfg.scaled(1_000).min(initial / 10).max(100);
-    let checkpoints: Vec<usize> =
-        [100usize, 200, 300, 400, 500].iter().map(|v| ((*v as f64 * cfg.scale) as usize).max(5)).collect();
+    let checkpoints: Vec<usize> = [100usize, 200, 300, 400, 500]
+        .iter()
+        .map(|v| ((*v as f64 * cfg.scale) as usize).max(5))
+        .collect();
     let max_versions = *checkpoints.last().unwrap();
 
     let factory = PosFactory(PosParams::default());
@@ -129,8 +131,9 @@ fn fig1(cfg: RunConfig) -> Vec<Table> {
     let mut raw_bytes: u64 = index.page_set().byte_size();
     let mut union = index.page_set();
     for v in 1..=max_versions {
-        let updates: Vec<Entry> =
-            (0..per_version as u64).map(|i| ycsb.entry((v as u64 * 7919 + i) % initial as u64, v as u32)).collect();
+        let updates: Vec<Entry> = (0..per_version as u64)
+            .map(|i| ycsb.entry((v as u64 * 7919 + i) % initial as u64, v as u32))
+            .collect();
         index.batch_insert(updates).unwrap();
         let pages = index.page_set();
         raw_bytes += pages.byte_size();
@@ -193,7 +196,10 @@ fn fig7(cfg: RunConfig) -> Vec<Table> {
     let versions = ((300.0 * cfg.scale) as u32).max(5);
     let icfg = IndexCfg::wiki(cfg.node_bytes);
     let mut t = Table::new(
-        format!("Figure 7(a) — Wiki throughput (kops/s), {} pages, {} versions", wiki.pages, versions),
+        format!(
+            "Figure 7(a) — Wiki throughput (kops/s), {} pages, {} versions",
+            wiki.pages, versions
+        ),
         &["workload", "pos-tree", "mbt", "mpt", "mvmb+"],
     );
     let mut read_cells = vec!["read".to_string()];
@@ -227,7 +233,10 @@ fn fig7(cfg: RunConfig) -> Vec<Table> {
     let eth = EthConfig::default();
     let blocks = ((300_000.0 * cfg.scale / 1000.0) as u64).clamp(10, 200);
     let mut t = Table::new(
-        format!("Figure 7(b) — Ethereum throughput (kops/s), {blocks} blocks × {} txs", eth.txs_per_block),
+        format!(
+            "Figure 7(b) — Ethereum throughput (kops/s), {blocks} blocks × {} txs",
+            eth.txs_per_block
+        ),
         &["workload", "pos-tree", "mbt", "mpt", "mvmb+"],
     );
     let mut read_cells = vec!["read".to_string()];
@@ -278,8 +287,10 @@ fn fig7(cfg: RunConfig) -> Vec<Table> {
 // ---------------------------------------------------------------------------
 fn fig8(cfg: RunConfig) -> Vec<Table> {
     let ycsb = YcsbConfig::default();
-    let sizes: Vec<usize> =
-        [500_000usize, 1_000_000, 1_500_000, 2_000_000, 2_500_000].iter().map(|s| cfg.scaled(*s)).collect();
+    let sizes: Vec<usize> = [500_000usize, 1_000_000, 1_500_000, 2_000_000, 2_500_000]
+        .iter()
+        .map(|s| cfg.scaled(*s))
+        .collect();
     let icfg = IndexCfg::ycsb(cfg.node_bytes);
     let mut t = Table::new(
         "Figure 8 — diff latency (ms) between two versions loaded in different orders",
@@ -290,7 +301,8 @@ fn fig8(cfg: RunConfig) -> Vec<Table> {
         let data = ycsb.dataset(n);
         let mut data_shuffled = data.clone();
         data_shuffled.reverse();
-        let changes: Vec<Entry> = (0..delta as u64).map(|i| ycsb.entry(i * 97 % n as u64, 1)).collect();
+        let changes: Vec<Entry> =
+            (0..delta as u64).map(|i| ycsb.entry(i * 97 % n as u64, 1)).collect();
         let mut cells = vec![n.to_string()];
         for_each_index!(icfg, |_name, factory| {
             // Version A loaded forward, version B loaded in another order
@@ -433,7 +445,9 @@ fn fig12(cfg: RunConfig) -> Vec<Table> {
     let blocks = ((100_000.0 * cfg.scale / 1000.0) as u64).clamp(5, 50);
     let icfg = IndexCfg::eth(cfg.node_bytes);
     let mut t = Table::new(
-        format!("Figure 12 — Ethereum latency percentiles (µs), {blocks} blocks (reads scan the chain)"),
+        format!(
+            "Figure 12 — Ethereum latency percentiles (µs), {blocks} blocks (reads scan the chain)"
+        ),
         &["index", "class", "p50", "p90", "p99"],
     );
     for_each_index!(icfg, |name, factory| {
@@ -554,8 +568,10 @@ fn fig14(cfg: RunConfig) -> Vec<Table> {
 fn fig15(cfg: RunConfig) -> Vec<Table> {
     let wiki = WikiConfig { pages: cfg.scaled(200_000), update_pct: 1, ..Default::default() };
     let icfg = IndexCfg::wiki(cfg.node_bytes);
-    let checkpoints: Vec<u32> =
-        [100u32, 150, 200, 250, 300].iter().map(|v| ((*v as f64 * cfg.scale) as u32).max(3)).collect();
+    let checkpoints: Vec<u32> = [100u32, 150, 200, 250, 300]
+        .iter()
+        .map(|v| ((*v as f64 * cfg.scale) as u32).max(3))
+        .collect();
     let max_v = *checkpoints.last().unwrap();
     let mut storage = Table::new(
         format!("Figure 15(a) — Wiki storage (MiB), {} pages", wiki.pages),
@@ -600,8 +616,10 @@ fn fig15(cfg: RunConfig) -> Vec<Table> {
 fn fig16(cfg: RunConfig) -> Vec<Table> {
     let eth = EthConfig::default();
     let icfg = IndexCfg::eth(cfg.node_bytes);
-    let checkpoints: Vec<u64> =
-        [100_000u64, 200_000, 300_000].iter().map(|b| ((*b as f64 * cfg.scale / 100.0) as u64).max(20)).collect();
+    let checkpoints: Vec<u64> = [100_000u64, 200_000, 300_000]
+        .iter()
+        .map(|b| ((*b as f64 * cfg.scale / 100.0) as u64).max(20))
+        .collect();
     let max_b = *checkpoints.last().unwrap();
     let mut storage = Table::new(
         format!("Figure 16(a) — Ethereum storage (MiB), {} txs/block", eth.txs_per_block),
@@ -667,10 +685,8 @@ fn fig17_18(cfg: RunConfig, fixed_overlap: Option<u32>) -> Vec<Table> {
         ),
     };
 
-    let mut storage = Table::new(
-        format!("{title}: storage (MiB)"),
-        &[xlabel, "pos-tree", "mbt", "mpt", "mvmb+"],
-    );
+    let mut storage =
+        Table::new(format!("{title}: storage (MiB)"), &[xlabel, "pos-tree", "mbt", "mpt", "mvmb+"]);
     let mut nodes = Table::new(
         format!("{title}: stored pages (x1000)"),
         &[xlabel, "pos-tree", "mbt", "mpt", "mvmb+"],
@@ -691,7 +707,8 @@ fn fig17_18(cfg: RunConfig, fixed_overlap: Option<u32>) -> Vec<Table> {
         };
         let init_data = ycsb.dataset(init);
         let party_loads = ycsb.collaboration(parties, ops, overlap);
-        let mut cells: Vec<Vec<String>> = vec![vec![x.clone()], vec![x.clone()], vec![x.clone()], vec![x]];
+        let mut cells: Vec<Vec<String>> =
+            vec![vec![x.clone()], vec![x.clone()], vec![x.clone()], vec![x]];
         for_each_index!(icfg, |_name, factory| {
             let store = MemStore::new_shared();
             let mut sets = Vec::new();
@@ -803,10 +820,8 @@ fn fig19_20(cfg: RunConfig, kind: AblationKind) -> Vec<Table> {
         format!("{title}: deduplication ratio"),
         &["overlap_%", normal_lbl, ablated_lbl],
     );
-    let mut sharing = Table::new(
-        format!("{title}: node sharing ratio"),
-        &["overlap_%", normal_lbl, ablated_lbl],
-    );
+    let mut sharing =
+        Table::new(format!("{title}: node sharing ratio"), &["overlap_%", normal_lbl, ablated_lbl]);
 
     for &overlap in params::OVERLAP_RATIOS.iter().skip(1) {
         let init_data = ycsb.dataset(init);
@@ -970,7 +985,17 @@ fn bounds(cfg: RunConfig) -> Vec<Table> {
     sizes.dedup();
     let mut t = Table::new(
         "§4.1 bounds — measured avg traversed height (pages) vs model predictions",
-        &["records", "pos", "pos_model", "mbt", "mbt_model", "mpt", "mpt_model", "mvmb+", "mvmb_model"],
+        &[
+            "records",
+            "pos",
+            "pos_model",
+            "mbt",
+            "mbt_model",
+            "mpt",
+            "mpt_model",
+            "mvmb+",
+            "mvmb_model",
+        ],
     );
     for &n in &sizes {
         let data = ycsb.dataset(n);

@@ -1,11 +1,12 @@
 //! Index-agnostic experiment drivers.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use siri::workloads::ycsb::Op;
 use siri::{
-    Entry, Hash, IndexFactory, MbtFactory, MemStore, MptFactory, MvmbFactory, MvmbParams,
-    PageSet, PosFactory, PosParams, SiriIndex,
+    Bytes, CachingStore, Entry, Hash, IndexFactory, MbtFactory, MemStore, MptFactory, MvmbFactory,
+    MvmbParams, PageSet, PosFactory, PosParams, SharedStore, SiriIndex,
 };
 
 /// Per-workload structure tuning, following §5's "node size ≈ 1 KB" rule.
@@ -117,12 +118,8 @@ impl WorkloadStats {
 
     /// Latency percentile over the selected op class (µs).
     pub fn percentile_micros(&self, writes: bool, p: f64) -> f64 {
-        let mut lats: Vec<u64> = self
-            .latencies
-            .iter()
-            .filter(|(w, _)| *w == writes)
-            .map(|(_, n)| *n)
-            .collect();
+        let mut lats: Vec<u64> =
+            self.latencies.iter().filter(|(w, _)| *w == writes).map(|(_, n)| *n).collect();
         if lats.is_empty() {
             return 0.0;
         }
@@ -136,7 +133,8 @@ impl WorkloadStats {
 /// applied one at a time (per-op versions), as in the paper's
 /// throughput/latency runs.
 pub fn run_ops<I: SiriIndex>(index: &mut I, ops: &[Op]) -> WorkloadStats {
-    let mut stats = WorkloadStats { latencies: Vec::with_capacity(ops.len()), ..Default::default() };
+    let mut stats =
+        WorkloadStats { latencies: Vec::with_capacity(ops.len()), ..Default::default() };
     for op in ops {
         match op {
             Op::Read(key) => {
@@ -166,9 +164,65 @@ pub fn version_page_sets<F: IndexFactory>(
     store: &siri::SharedStore,
     roots: &[Hash],
 ) -> Vec<PageSet> {
-    roots
+    roots.iter().map(|r| factory.open(store.clone(), *r).page_set()).collect()
+}
+
+/// One point of a Figure 21-style client-cache sweep: lookup traffic
+/// through a [`CachingStore`] of the given capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheSweepPoint {
+    /// Client cache capacity in pages (the sweep's x-axis).
+    pub capacity: usize,
+    /// Page-cache hit ratio over the whole run (Figure 21's left axis).
+    pub hit_ratio: f64,
+    /// Modelled remote-fetch latency accumulated (ns) — added to wall time
+    /// for client-side latency, the right axis.
+    pub synthetic_nanos: u64,
+    /// Wall-clock time of the lookups (ns), excluding the synthetic cost.
+    pub wall_nanos: u64,
+    /// Pages evicted to stay under the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheSweepPoint {
+    /// Modelled client-side latency per lookup in nanoseconds.
+    pub fn client_nanos_per_lookup(&self, lookups: usize) -> f64 {
+        (self.wall_nanos + self.synthetic_nanos) as f64 / lookups.max(1) as f64
+    }
+}
+
+/// Replay `keys` as point lookups through a bounded client cache at each
+/// capacity in `capacities`, reproducing the §5.6.1 hit-ratio/latency
+/// tradeoff. `open` builds the index handle over the (cache-wrapped) store
+/// — pass a closure that also disables the in-process node cache when the
+/// *page*-cache effect is what you want to isolate.
+pub fn client_cache_sweep<I: SiriIndex>(
+    server: &SharedStore,
+    open: impl Fn(SharedStore) -> I,
+    keys: &[Bytes],
+    capacities: &[usize],
+    fetch_cost_nanos: u64,
+) -> Vec<CacheSweepPoint> {
+    capacities
         .iter()
-        .map(|r| factory.open(store.clone(), *r).page_set())
+        .map(|&capacity| {
+            let client =
+                Arc::new(CachingStore::with_capacity(server.clone(), fetch_cost_nanos, capacity));
+            let shared: SharedStore = client.clone();
+            let index = open(shared);
+            let started = Instant::now();
+            for key in keys {
+                let _ = index.get(key).expect("sweep lookup failed");
+            }
+            let wall_nanos = started.elapsed().as_nanos() as u64;
+            CacheSweepPoint {
+                capacity,
+                hit_ratio: client.hit_ratio(),
+                synthetic_nanos: client.synthetic_nanos(),
+                wall_nanos,
+                evictions: client.evictions(),
+            }
+        })
         .collect()
 }
 
@@ -224,6 +278,35 @@ mod tests {
             names.push(name);
         });
         assert_eq!(names, vec!["pos-tree", "mbt", "mpt", "mvmb+"]);
+    }
+
+    #[test]
+    fn cache_sweep_hit_ratio_grows_with_capacity() {
+        let cfg = IndexCfg::ycsb(1024);
+        let ycsb = YcsbConfig::default();
+        let server = MemStore::new_shared();
+        let factory = pos_factory(cfg);
+        let mut base = factory.empty(server.clone());
+        base.batch_insert(ycsb.dataset(3_000)).unwrap();
+        let root = base.root();
+        let keys: Vec<_> = (0..2_000u64).map(|i| ycsb.key(i % 3_000)).collect();
+
+        let points = client_cache_sweep(
+            &server,
+            // Node cache off: isolate the page cache under test.
+            |store| factory.open(store, root).with_node_cache_capacity(0),
+            &keys,
+            &[0, 64, 100_000],
+            1_000,
+        );
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].hit_ratio, 0.0, "capacity 0 cannot hit");
+        assert!(points[2].hit_ratio > points[1].hit_ratio, "{points:?}");
+        assert!(points[2].hit_ratio > 0.5, "unbounded-ish cache must mostly hit");
+        assert!(points[1].evictions > 0, "64-page cache must evict");
+        // Synthetic cost shrinks as the hit ratio grows.
+        assert!(points[2].synthetic_nanos < points[0].synthetic_nanos);
+        assert!(points[0].client_nanos_per_lookup(keys.len()) > 0.0);
     }
 
     #[test]

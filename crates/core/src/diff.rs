@@ -51,11 +51,19 @@ pub fn diff_sorted_entries(l: &[Entry], r: &[Entry]) -> Vec<DiffEntry> {
     while i < l.len() && j < r.len() {
         match l[i].key.cmp(&r[j].key) {
             std::cmp::Ordering::Less => {
-                out.push(DiffEntry { key: l[i].key.clone(), left: Some(l[i].value.clone()), right: None });
+                out.push(DiffEntry {
+                    key: l[i].key.clone(),
+                    left: Some(l[i].value.clone()),
+                    right: None,
+                });
                 i += 1;
             }
             std::cmp::Ordering::Greater => {
-                out.push(DiffEntry { key: r[j].key.clone(), left: None, right: Some(r[j].value.clone()) });
+                out.push(DiffEntry {
+                    key: r[j].key.clone(),
+                    left: None,
+                    right: Some(r[j].value.clone()),
+                });
                 j += 1;
             }
             std::cmp::Ordering::Equal => {
@@ -117,7 +125,11 @@ impl<I> std::fmt::Debug for MergeOutcome<I> {
 /// paper describes: a structural diff marks differing records, then the
 /// right-side-only (and, per strategy, conflicting) records are applied on
 /// top of a copy-on-write snapshot of the left side.
-pub fn merge<I: SiriIndex>(left: &I, right: &I, strategy: MergeStrategy) -> Result<MergeOutcome<I>> {
+pub fn merge<I: SiriIndex>(
+    left: &I,
+    right: &I,
+    strategy: MergeStrategy,
+) -> Result<MergeOutcome<I>> {
     let diffs = left.diff(right)?;
     let mut to_apply: Vec<Entry> = Vec::new();
     let mut conflicts: Vec<DiffEntry> = Vec::new();

@@ -67,7 +67,10 @@ pub fn decode_entries_zc(page: &Bytes, body_start: usize) -> Result<Vec<Entry>, 
         let vlen = r.get_varint()? as usize;
         let voff = body_start + r.offset();
         r.get_raw(vlen)?;
-        out.push(Entry { key: page.slice(koff..koff + klen), value: page.slice(voff..voff + vlen) });
+        out.push(Entry {
+            key: page.slice(koff..koff + klen),
+            value: page.slice(voff..voff + vlen),
+        });
     }
     r.finish()?;
     Ok(out)

@@ -17,7 +17,8 @@ use crate::{DiffEntry, Entry, Proof, ProofVerdict, Result};
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LookupTrace {
     /// Pages fetched from the store along the path (tree height, counting
-    /// the leaf/bucket page).
+    /// the leaf/bucket page). Node-cache hits count too: the page was
+    /// *needed*, it just wasn't re-fetched (see `cache_hits`).
     pub pages_loaded: u32,
     /// Levels traversed root→leaf, counting both ends.
     pub height: u32,
@@ -28,6 +29,11 @@ pub struct LookupTrace {
     pub load_nanos: u64,
     /// Nanoseconds spent searching within the leaf ("scan time", Fig. 13).
     pub scan_nanos: u64,
+    /// Path nodes served from the index's decoded-node cache — no store
+    /// access, no decode (the §5.6.1 hit-ratio lever, per lookup).
+    pub cache_hits: u32,
+    /// Path nodes that had to be fetched from the store and decoded.
+    pub cache_misses: u32,
 }
 
 /// The SIRI index interface (paper §3, §4).
@@ -61,6 +67,13 @@ pub trait SiriIndex: Clone + Send + Sync {
     /// Content address of the root page; [`Hash::ZERO`] for an empty index.
     /// This is the tamper-evident digest of the entire dataset.
     fn root(&self) -> Hash;
+
+    /// A handle to a *different version* of this index sharing everything
+    /// else — store, parameters and the decoded-node cache. Cheaper than
+    /// a factory `open` (which allocates a fresh cache) and the right way
+    /// to follow a moving head: versions of one lineage share most pages,
+    /// so re-rooting keeps the cache warm.
+    fn at_root(&self, root: Hash) -> Self;
 
     /// Point lookup.
     fn get(&self, key: &[u8]) -> Result<Option<Bytes>>;

@@ -29,7 +29,9 @@ pub mod entry_codec;
 pub mod metrics;
 pub mod siri_properties;
 
-pub use diff::{diff_by_scan, diff_sorted_entries, merge, DiffEntry, DiffSide, MergeOutcome, MergeStrategy};
+pub use diff::{
+    diff_by_scan, diff_sorted_entries, merge, DiffEntry, DiffSide, MergeOutcome, MergeStrategy,
+};
 pub use entry::{normalize_batch, Entry};
 pub use error::{IndexError, Result};
 pub use index::{LookupTrace, SiriIndex};
@@ -39,4 +41,7 @@ pub use version::{VersionStore, VersionTag};
 // Re-exports so downstream crates (and examples) need only `siri_core`.
 pub use bytes::Bytes;
 pub use siri_crypto::Hash;
-pub use siri_store::{MemStore, NodeStore, PageSet, SharedStore, StoreStats};
+pub use siri_store::{
+    CacheStats, MemStore, NodeCache, NodeStore, PageSet, SharedStore, StoreStats,
+    DEFAULT_NODE_CACHE_CAPACITY,
+};

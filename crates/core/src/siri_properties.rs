@@ -30,7 +30,11 @@ fn shuffle<T>(items: &mut [T], seed: u64) {
 /// addressing makes equivalent. Builds the index `rounds` times with
 /// different insertion orders *and* different batch splits; returns Ok(true)
 /// iff all roots agree.
-pub fn check_structurally_invariant<I, F>(make_empty: F, entries: &[Entry], rounds: usize) -> Result<bool>
+pub fn check_structurally_invariant<I, F>(
+    make_empty: F,
+    entries: &[Entry],
+    rounds: usize,
+) -> Result<bool>
 where
     I: SiriIndex,
     F: Fn() -> I,

@@ -192,10 +192,7 @@ mod tests {
             }
         }
         let rate = hits as f64 / N as f64;
-        assert!(
-            (rate - 1.0 / 64.0).abs() < 0.006,
-            "boundary rate {rate} too far from 1/64"
-        );
+        assert!((rate - 1.0 / 64.0).abs() < 0.006, "boundary rate {rate} too far from 1/64");
     }
 
     #[test]

@@ -62,11 +62,7 @@ impl Nibbles {
 
     /// Number of leading nibbles shared with `other`.
     pub fn common_prefix_len(&self, other: &Nibbles) -> usize {
-        self.0
-            .iter()
-            .zip(other.0.iter())
-            .take_while(|(a, b)| a == b)
-            .count()
+        self.0.iter().zip(other.0.iter()).take_while(|(a, b)| a == b).count()
     }
 
     pub fn starts_with(&self, prefix: &Nibbles) -> bool {
@@ -90,12 +86,7 @@ impl Nibbles {
         if !self.0.len().is_multiple_of(2) {
             return None;
         }
-        Some(
-            self.0
-                .chunks_exact(2)
-                .map(|p| p[0] << 4 | p[1])
-                .collect(),
-        )
+        Some(self.0.chunks_exact(2).map(|p| p[0] << 4 | p[1]).collect())
     }
 
     /// Hex-prefix encode this path (Ethereum yellow paper appendix C).

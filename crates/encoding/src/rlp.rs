@@ -230,6 +230,75 @@ pub fn decode_partial(input: &[u8]) -> Result<(RlpItem, &[u8]), RlpError> {
     }
 }
 
+/// Zero-copy parse of one top-level RLP **list of byte strings**: returns
+/// the payload range of every element, indexed into `input`.
+///
+/// This is the shape of every MPT node (a 17- or 2-string list), and the
+/// ranges let the node codec slice keys/values straight out of a
+/// refcounted page instead of copying them through [`RlpItem`] — the MPT
+/// counterpart of the POS-Tree `decode_zc` hot path.
+///
+/// Validation is identical to [`decode_partial`]: canonical-form rules are
+/// enforced, trailing bytes are rejected, and a nested list inside the
+/// payload is a `TypeMismatch` (MPT nodes never contain one).
+pub fn flat_list_ranges(input: &[u8]) -> Result<Vec<std::ops::Range<usize>>, RlpError> {
+    let (&first, _) = input.split_first().ok_or(RlpError::Truncated)?;
+    let (payload_start, payload_len) = match first {
+        0xc0..=0xf7 => (1usize, (first - 0xc0) as usize),
+        0xf8..=0xff => {
+            let len_len = (first - 0xf7) as usize;
+            let (len, _) = read_be_len(&input[1..], len_len)?;
+            if len <= 55 {
+                return Err(RlpError::NonCanonical); // short list long-form
+            }
+            (1 + len_len, len)
+        }
+        _ => return Err(RlpError::TypeMismatch { expected: "list" }),
+    };
+    let payload_end = payload_start.checked_add(payload_len).ok_or(RlpError::LengthOverflow)?;
+    if payload_end > input.len() {
+        return Err(RlpError::Truncated);
+    }
+    if payload_end != input.len() {
+        return Err(RlpError::TrailingBytes);
+    }
+
+    let mut ranges = Vec::new();
+    let mut pos = payload_start;
+    while pos < payload_end {
+        let first = input[pos];
+        let (start, len) = match first {
+            0x00..=0x7f => (pos, 1usize),
+            0x80..=0xb7 => {
+                let len = (first - 0x80) as usize;
+                if len == 1 {
+                    let b = *input.get(pos + 1).ok_or(RlpError::Truncated)?;
+                    if b < 0x80 {
+                        return Err(RlpError::NonCanonical); // should be a single byte
+                    }
+                }
+                (pos + 1, len)
+            }
+            0xb8..=0xbf => {
+                let len_len = (first - 0xb7) as usize;
+                let (len, _) = read_be_len(&input[pos + 1..], len_len)?;
+                if len <= 55 {
+                    return Err(RlpError::NonCanonical); // short string long-form
+                }
+                (pos + 1 + len_len, len)
+            }
+            _ => return Err(RlpError::TypeMismatch { expected: "bytes" }),
+        };
+        let end = start.checked_add(len).ok_or(RlpError::LengthOverflow)?;
+        if end > payload_end {
+            return Err(RlpError::Truncated);
+        }
+        ranges.push(start..end);
+        pos = end;
+    }
+    Ok(ranges)
+}
+
 fn decode_list_payload(mut payload: &[u8]) -> Result<Vec<RlpItem>, RlpError> {
     let mut items = Vec::new();
     while !payload.is_empty() {
@@ -295,7 +364,10 @@ mod tests {
         let three = RlpItem::list(vec![
             RlpItem::list(Vec::new()),
             RlpItem::list(vec![RlpItem::list(Vec::new())]),
-            RlpItem::list(vec![RlpItem::list(Vec::new()), RlpItem::list(vec![RlpItem::list(Vec::new())])]),
+            RlpItem::list(vec![
+                RlpItem::list(Vec::new()),
+                RlpItem::list(vec![RlpItem::list(Vec::new())]),
+            ]),
         ]);
         assert_eq!(three.encode(), vec![0xc7, 0xc0, 0xc1, 0xc0, 0xc3, 0xc0, 0xc1, 0xc0]);
     }
@@ -327,12 +399,12 @@ mod tests {
     #[test]
     fn nested_structures_round_trip() {
         let tx = RlpItem::list(vec![
-            RlpItem::uint(42),                       // nonce
-            RlpItem::uint(20_000_000_000),           // gas price
-            RlpItem::uint(21_000),                   // gas limit
-            RlpItem::bytes(vec![0xaa; 20]),          // to
-            RlpItem::uint(1_000_000_000_000_000_000),// value
-            RlpItem::bytes(vec![0xde, 0xad, 0xbe]),  // payload
+            RlpItem::uint(42),                        // nonce
+            RlpItem::uint(20_000_000_000),            // gas price
+            RlpItem::uint(21_000),                    // gas limit
+            RlpItem::bytes(vec![0xaa; 20]),           // to
+            RlpItem::uint(1_000_000_000_000_000_000), // value
+            RlpItem::bytes(vec![0xde, 0xad, 0xbe]),   // payload
         ]);
         rt(&tx);
     }
@@ -354,15 +426,9 @@ mod tests {
         // single byte < 0x80 wrapped in a string header
         assert_eq!(RlpItem::decode_all(&[0x81, 0x05]), Err(RlpError::NonCanonical));
         // short string with long-form header
-        assert_eq!(
-            RlpItem::decode_all(&[0xb8, 0x01, 0x99]),
-            Err(RlpError::NonCanonical)
-        );
+        assert_eq!(RlpItem::decode_all(&[0xb8, 0x01, 0x99]), Err(RlpError::NonCanonical));
         // length with leading zero
-        assert_eq!(
-            RlpItem::decode_all(&[0xb9, 0x00, 0x38]),
-            Err(RlpError::NonCanonical)
-        );
+        assert_eq!(RlpItem::decode_all(&[0xb9, 0x00, 0x38]), Err(RlpError::NonCanonical));
     }
 
     #[test]
@@ -377,6 +443,50 @@ mod tests {
     fn uint_rejects_leading_zero_and_overflow() {
         assert_eq!(RlpItem::bytes(vec![0x00, 0x01]).as_uint(), Err(RlpError::NonCanonical));
         assert_eq!(RlpItem::bytes(vec![1; 9]).as_uint(), Err(RlpError::LengthOverflow));
+    }
+
+    #[test]
+    fn flat_list_ranges_match_decoded_items() {
+        // A 17-ish string list with every header form: single byte, short
+        // string, empty string, long string.
+        let items = vec![
+            RlpItem::bytes(vec![0x05]),
+            RlpItem::bytes(b"short".to_vec()),
+            RlpItem::bytes(Vec::new()),
+            RlpItem::bytes(vec![0xaa; 60]),
+        ];
+        let list = RlpItem::list(items.clone());
+        let enc = list.encode();
+        let ranges = flat_list_ranges(&enc).unwrap();
+        assert_eq!(ranges.len(), items.len());
+        for (range, item) in ranges.iter().zip(&items) {
+            assert_eq!(&enc[range.clone()], item.as_bytes().unwrap());
+        }
+        // Empty list → no ranges.
+        assert_eq!(flat_list_ranges(&RlpItem::list(Vec::new()).encode()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn flat_list_ranges_reject_bad_input() {
+        // Not a list.
+        assert!(matches!(
+            flat_list_ranges(&RlpItem::bytes(b"x".to_vec()).encode()),
+            Err(RlpError::TypeMismatch { .. })
+        ));
+        // Nested list inside.
+        let nested = RlpItem::list(vec![RlpItem::list(Vec::new())]).encode();
+        assert!(matches!(flat_list_ranges(&nested), Err(RlpError::TypeMismatch { .. })));
+        // Truncated and trailing input.
+        let good = RlpItem::list(vec![RlpItem::bytes(b"abc".to_vec())]).encode();
+        assert!(matches!(flat_list_ranges(&good[..good.len() - 1]), Err(RlpError::Truncated)));
+        let mut trailing = good.clone();
+        trailing.push(0x00);
+        assert!(matches!(flat_list_ranges(&trailing), Err(RlpError::TrailingBytes)));
+        // Non-canonical single byte wrapped in a string header.
+        assert!(matches!(flat_list_ranges(&[0xc2, 0x81, 0x05]), Err(RlpError::NonCanonical)));
+        // Ranges agree with decode_partial on every canonical node-like list.
+        let probe = RlpItem::list(vec![RlpItem::bytes(vec![7u8; 56]); 2]).encode();
+        assert_eq!(flat_list_ranges(&probe).unwrap().len(), 2);
     }
 
     #[test]

@@ -23,6 +23,7 @@ mod proof;
 mod topology;
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
@@ -31,7 +32,9 @@ use siri_core::{
     Proof, ProofVerdict, Result, SiriIndex,
 };
 use siri_crypto::{FxHashMap, Hash};
-use siri_store::{reachable_pages, PageSet, SharedStore};
+use siri_store::{
+    reachable_pages, CacheStats, NodeCache, PageSet, SharedStore, DEFAULT_NODE_CACHE_CAPACITY,
+};
 
 pub use node::Node;
 pub use topology::Topology;
@@ -41,12 +44,23 @@ pub const DEFAULT_BUCKETS: usize = 1024;
 /// Default fanout, sized so internal pages are ≈1 KB as in §5's setup.
 pub const DEFAULT_FANOUT: usize = 32;
 
-/// Handle to one MBT version: `(store, topology, root hash)`.
+/// Handle to one MBT version: `(store, topology, root hash)` plus the
+/// decoded-node cache every clone shares. MBT benefits doubly from the
+/// cache: its shape is fixed, so the root-side internal nodes are revisited
+/// by *every* lookup and pin themselves at the LRU front.
 #[derive(Clone)]
 pub struct MerkleBucketTree {
     store: SharedStore,
     topo: Topology,
     root: Hash,
+    cache: Arc<NodeCache<Node>>,
+}
+
+/// A decoded root→bucket path plus the cache traffic loading it caused.
+struct LoadedPath {
+    nodes: Vec<(Hash, Arc<Node>)>,
+    cache_hits: u32,
+    cache_misses: u32,
 }
 
 impl MerkleBucketTree {
@@ -68,8 +82,7 @@ impl MerkleBucketTree {
             let mut next = Vec::with_capacity(level.len().div_ceil(fanout));
             for chunk in level.chunks(fanout) {
                 let h = *memo.entry(chunk.len()).or_insert_with(|| {
-                    let node =
-                        Node::Internal { buckets: b, fanout: m, children: chunk.to_vec() };
+                    let node = Node::Internal { buckets: b, fanout: m, children: chunk.to_vec() };
                     store.put(node.encode())
                 });
                 next.push(h);
@@ -77,46 +90,85 @@ impl MerkleBucketTree {
             level = next;
         }
         let root = level[0];
-        Ok(MerkleBucketTree { store, topo, root })
+        Ok(MerkleBucketTree {
+            store,
+            topo,
+            root,
+            cache: NodeCache::new_shared(DEFAULT_NODE_CACHE_CAPACITY),
+        })
     }
 
     /// Re-open an existing version by root hash. The parameters must match
     /// those the tree was built with; they are validated against the root
     /// page on first access.
     pub fn open(store: SharedStore, buckets: usize, fanout: usize, root: Hash) -> Self {
-        MerkleBucketTree { store, topo: Topology::new(buckets, fanout), root }
+        MerkleBucketTree {
+            store,
+            topo: Topology::new(buckets, fanout),
+            root,
+            cache: NodeCache::new_shared(DEFAULT_NODE_CACHE_CAPACITY),
+        }
     }
 
     pub fn topology(&self) -> &Topology {
         &self.topo
     }
 
-    fn fetch(&self, hash: &Hash) -> Result<Node> {
-        let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
-        Node::decode_zc(&page)
+    /// Replace the node cache with one bounded to `capacity` decoded nodes
+    /// (0 disables caching — every fetch decodes). Benchmarks use this for
+    /// cache-size sweeps; clones made *after* this call share the new cache.
+    pub fn with_node_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = NodeCache::new_shared(capacity);
+        self
+    }
+
+    /// Hit/miss/eviction counters of the shared decoded-node cache.
+    pub fn node_cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn fetch(&self, hash: &Hash) -> Result<Arc<Node>> {
+        Ok(self.fetch_traced(hash)?.0)
+    }
+
+    /// Fetch a node through the cache; the flag reports whether it was a
+    /// cache hit (no store access, no decode).
+    fn fetch_traced(&self, hash: &Hash) -> Result<(Arc<Node>, bool)> {
+        self.cache.get_or_load(hash, || {
+            let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+            Node::decode_zc(&page)
+        })
     }
 
     /// Decoded nodes along the root→bucket path.
-    fn load_path(&self, bucket: usize) -> Result<Vec<(Hash, Node)>> {
+    fn load_path(&self, bucket: usize) -> Result<LoadedPath> {
         let path = self.topo.path_to_bucket(bucket);
-        let mut out = Vec::with_capacity(path.len());
+        let mut out =
+            LoadedPath { nodes: Vec::with_capacity(path.len()), cache_hits: 0, cache_misses: 0 };
         let mut hash = self.root;
         for (i, id) in path.iter().enumerate() {
-            let node = self.fetch(&hash)?;
+            let (node, cached) = self.fetch_traced(&hash)?;
+            if cached {
+                out.cache_hits += 1;
+            } else {
+                out.cache_misses += 1;
+            }
             if i + 1 < path.len() {
-                let next = match &node {
+                let next = match &*node {
                     Node::Internal { children, .. } => {
                         let slot = self.topo.slot_in_parent(path[i + 1]);
-                        *children.get(slot).ok_or(IndexError::CorruptStructure("missing child slot"))?
+                        *children
+                            .get(slot)
+                            .ok_or(IndexError::CorruptStructure("missing child slot"))?
                     }
                     Node::Bucket { .. } => {
                         return Err(IndexError::CorruptStructure("bucket above leaf level"))
                     }
                 };
-                out.push((hash, node));
+                out.nodes.push((hash, node));
                 hash = next;
             } else {
-                out.push((hash, node));
+                out.nodes.push((hash, node));
             }
             let _ = id;
         }
@@ -153,8 +205,8 @@ impl MerkleBucketTree {
     /// Entries of one bucket by index.
     fn bucket_entries(&self, bucket: usize) -> Result<Vec<Entry>> {
         let path = self.load_path(bucket)?;
-        match path.into_iter().last() {
-            Some((_, Node::Bucket { entries, .. })) => Ok(entries),
+        match path.nodes.last().map(|(_, node)| &**node) {
+            Some(Node::Bucket { entries, .. }) => Ok(entries.clone()),
             _ => Err(IndexError::CorruptStructure("path did not end in a bucket")),
         }
     }
@@ -192,11 +244,8 @@ impl MerkleBucketTree {
         }
         let na = self.fetch(&ha)?;
         let nb = other.fetch(&hb)?;
-        match (na, nb) {
-            (
-                Node::Internal { children: ca, .. },
-                Node::Internal { children: cb, .. },
-            ) => {
+        match (&*na, &*nb) {
+            (Node::Internal { children: ca, .. }, Node::Internal { children: cb, .. }) => {
                 if ca.len() != cb.len() {
                     return Err(IndexError::CorruptStructure("fan-in mismatch in diff"));
                 }
@@ -207,7 +256,7 @@ impl MerkleBucketTree {
                 Ok(())
             }
             (Node::Bucket { entries: ea, .. }, Node::Bucket { entries: eb, .. }) => {
-                out.extend(diff_sorted_entries(&ea, &eb));
+                out.extend(diff_sorted_entries(ea, eb));
                 Ok(())
             }
             _ => Err(IndexError::CorruptStructure("node kind mismatch in diff")),
@@ -228,12 +277,16 @@ impl SiriIndex for MerkleBucketTree {
         self.root
     }
 
+    fn at_root(&self, root: Hash) -> Self {
+        let mut handle = self.clone();
+        handle.root = root;
+        handle
+    }
+
     fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
-        let entries = self.bucket_entries(self.topo.bucket_of(key))?;
-        Ok(entries
-            .binary_search_by(|e| e.key.as_ref().cmp(key))
-            .ok()
-            .map(|i| entries[i].value.clone()))
+        // Through get_traced: it searches the bucket by reference out of
+        // the cached Arc<Node> instead of cloning the entry Vec.
+        Ok(self.get_traced(key)?.0)
     }
 
     fn get_traced(&self, key: &[u8]) -> Result<(Option<Bytes>, LookupTrace)> {
@@ -241,10 +294,12 @@ impl SiriIndex for MerkleBucketTree {
         let load_start = Instant::now();
         let path = self.load_path(self.topo.bucket_of(key))?;
         trace.load_nanos = load_start.elapsed().as_nanos() as u64;
-        trace.pages_loaded = path.len() as u32;
-        trace.height = path.len() as u32;
+        trace.pages_loaded = path.nodes.len() as u32;
+        trace.height = path.nodes.len() as u32;
+        trace.cache_hits = path.cache_hits;
+        trace.cache_misses = path.cache_misses;
 
-        let entries = match &path.last().expect("non-empty path").1 {
+        let entries = match &*path.nodes.last().expect("non-empty path").1 {
             Node::Bucket { entries, .. } => entries,
             _ => return Err(IndexError::CorruptStructure("path did not end in a bucket")),
         };
@@ -305,8 +360,8 @@ impl SiriIndex for MerkleBucketTree {
                 let leftmost_bucket = parent * self.topo.fanout().pow(level as u32);
                 let path = self.load_path(leftmost_bucket.min(self.topo.buckets() - 1))?;
                 let depth_from_root = self.topo.height() - 1 - level;
-                let (_, old_node) = &path[depth_from_root];
-                let mut children = match old_node {
+                let (_, old_node) = &path.nodes[depth_from_root];
+                let mut children = match &**old_node {
                     Node::Internal { children, .. } => children.clone(),
                     Node::Bucket { .. } => {
                         return Err(IndexError::CorruptStructure("bucket at internal level"))
@@ -459,7 +514,8 @@ mod tests {
 
     #[test]
     fn batch_equals_singles() {
-        let entries: Vec<Entry> = (0..200).map(|i| e(&format!("key{i:04}"), &format!("val{i}"))).collect();
+        let entries: Vec<Entry> =
+            (0..200).map(|i| e(&format!("key{i:04}"), &format!("val{i}"))).collect();
         let mut batched = make(32, 4);
         batched.batch_insert(entries.clone()).unwrap();
         let mut singles = make(32, 4);

@@ -125,11 +125,7 @@ mod tests {
 
     #[test]
     fn bucket_round_trip() {
-        let node = Node::Bucket {
-            buckets: 8,
-            fanout: 2,
-            entries: vec![e("a", "1"), e("b", "2")],
-        };
+        let node = Node::Bucket { buckets: 8, fanout: 2, entries: vec![e("a", "1"), e("b", "2")] };
         let enc = node.encode();
         assert_eq!(Node::decode(&enc).unwrap(), node);
     }
@@ -145,16 +141,9 @@ mod tests {
 
     #[test]
     fn decode_rejects_unsorted_bucket() {
-        let node = Node::Bucket {
-            buckets: 8,
-            fanout: 2,
-            entries: vec![e("b", "2"), e("a", "1")],
-        };
+        let node = Node::Bucket { buckets: 8, fanout: 2, entries: vec![e("b", "2"), e("a", "1")] };
         // encode() doesn't sort; decode must reject.
-        assert!(matches!(
-            Node::decode(&node.encode()),
-            Err(IndexError::CorruptStructure(_))
-        ));
+        assert!(matches!(Node::decode(&node.encode()), Err(IndexError::CorruptStructure(_))));
     }
 
     #[test]

@@ -78,7 +78,9 @@ mod tests {
     fn tree_with_data() -> MerkleBucketTree {
         let mut t = MerkleBucketTree::new(MemStore::new_shared(), 32, 4).unwrap();
         let entries: Vec<Entry> = (0..100)
-            .map(|i| Entry::new(format!("key{i:03}").into_bytes(), format!("value{i}").into_bytes()))
+            .map(|i| {
+                Entry::new(format!("key{i:03}").into_bytes(), format!("value{i}").into_bytes())
+            })
             .collect();
         t.batch_insert(entries).unwrap();
         t

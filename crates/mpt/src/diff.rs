@@ -9,7 +9,7 @@
 //! nibble at a time, materializing nodes only when the digests differ.
 
 use bytes::Bytes;
-use siri_core::{DiffEntry, IndexError, Result, SiriIndex};
+use siri_core::{DiffEntry, Result, SiriIndex};
 use siri_crypto::Hash;
 use siri_encoding::Nibbles;
 
@@ -51,29 +51,28 @@ fn expand(trie: &MerklePatriciaTrie, cursor: Cursor) -> Result<(Option<Bytes>, S
             Ok((None, slots))
         }
         Cursor::Node { hash, .. } => {
-            let page = trie
-                .store()
-                .get(&hash)
-                .ok_or(IndexError::MissingPage(hash))?;
-            match Node::decode(&page)? {
+            // Through the trie's node cache: diffing adjacent versions
+            // re-visits the shared spine, which the cache serves for free.
+            match &*trie.fetch(&hash)? {
                 Node::Leaf { path, value } => {
                     if path.is_empty() {
-                        return Ok((Some(value), slots));
+                        return Ok((Some(value.clone()), slots));
                     }
                     let head = path.at(0) as usize;
-                    slots[head] = Some(Cursor::Value { path: path.suffix(1), value });
+                    slots[head] =
+                        Some(Cursor::Value { path: path.suffix(1), value: value.clone() });
                     Ok((None, slots))
                 }
                 Node::Extension { path, child } => {
                     let head = path.at(0) as usize;
-                    slots[head] = Some(Cursor::Node { path: path.suffix(1), hash: child });
+                    slots[head] = Some(Cursor::Node { path: path.suffix(1), hash: *child });
                     Ok((None, slots))
                 }
                 Node::Branch { children, value } => {
-                    for (i, c) in children.into_iter().enumerate() {
+                    for (i, c) in children.iter().enumerate() {
                         slots[i] = c.map(|h| Cursor::Node { path: Nibbles::empty(), hash: h });
                     }
-                    Ok((value, slots))
+                    Ok((value.clone(), slots))
                 }
             }
         }
@@ -103,11 +102,7 @@ fn diff_rec(
         None => (None, empty_slots()),
     };
     if va != vb {
-        out.push(DiffEntry {
-            key: crate::nibbles_to_key_for_diff(prefix)?,
-            left: va,
-            right: vb,
-        });
+        out.push(DiffEntry { key: crate::nibbles_to_key_for_diff(prefix)?, left: va, right: vb });
     }
     for (i, (ca, cb)) in slots_a.into_iter().zip(*slots_b).enumerate() {
         if ca.is_none() && cb.is_none() {
@@ -141,7 +136,9 @@ mod tests {
         let mut t = MerklePatriciaTrie::new(MemStore::new_shared());
         t.batch_insert(
             (0..n)
-                .map(|i| Entry::new(format!("key{i:04}").into_bytes(), format!("v{i}").into_bytes()))
+                .map(|i| {
+                    Entry::new(format!("key{i:04}").into_bytes(), format!("v{i}").into_bytes())
+                })
                 .collect(),
         )
         .unwrap();

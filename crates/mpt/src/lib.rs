@@ -25,6 +25,7 @@ mod mem;
 mod node;
 mod proof;
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
@@ -34,48 +35,83 @@ use siri_core::{
 };
 use siri_crypto::Hash;
 use siri_encoding::Nibbles;
-use siri_store::{reachable_pages, PageSet, SharedStore};
+use siri_store::{
+    reachable_pages, CacheStats, NodeCache, PageSet, SharedStore, DEFAULT_NODE_CACHE_CAPACITY,
+};
 
 pub use node::Node;
 
-/// Handle to one MPT version: `(store, root digest)`.
+/// Handle to one MPT version: `(store, root digest)` plus the decoded-node
+/// cache every clone of this handle shares. Content addressing keeps the
+/// cache coherent across versions for free: a digest names one immutable
+/// node forever, so snapshots and their successors warm each other.
 #[derive(Clone)]
 pub struct MerklePatriciaTrie {
     store: SharedStore,
     root: Hash,
+    cache: Arc<NodeCache<Node>>,
 }
 
 impl MerklePatriciaTrie {
     /// An empty trie (root = zero digest, the paper's *null* node).
     pub fn new(store: SharedStore) -> Self {
-        MerklePatriciaTrie { store, root: Hash::ZERO }
+        MerklePatriciaTrie {
+            store,
+            root: Hash::ZERO,
+            cache: NodeCache::new_shared(DEFAULT_NODE_CACHE_CAPACITY),
+        }
     }
 
     /// Re-open an existing version by root digest.
     pub fn open(store: SharedStore, root: Hash) -> Self {
-        MerklePatriciaTrie { store, root }
+        MerklePatriciaTrie {
+            store,
+            root,
+            cache: NodeCache::new_shared(DEFAULT_NODE_CACHE_CAPACITY),
+        }
     }
 
-    fn fetch(&self, hash: &Hash) -> Result<Node> {
-        let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
-        Node::decode(&page)
+    /// Replace the node cache with one bounded to `capacity` decoded nodes
+    /// (0 disables caching — every fetch decodes). Benchmarks use this for
+    /// cache-size sweeps; clones made *after* this call share the new cache.
+    pub fn with_node_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = NodeCache::new_shared(capacity);
+        self
+    }
+
+    /// Hit/miss/eviction counters of the shared decoded-node cache.
+    pub fn node_cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    pub(crate) fn fetch(&self, hash: &Hash) -> Result<Arc<Node>> {
+        Ok(self.fetch_traced(hash)?.0)
+    }
+
+    /// Fetch a node through the cache; the flag reports whether it was a
+    /// cache hit (no store access, no decode).
+    fn fetch_traced(&self, hash: &Hash) -> Result<(Arc<Node>, bool)> {
+        self.cache.get_or_load(hash, || {
+            let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+            Node::decode_zc(&page)
+        })
     }
 
     fn scan_rec(&self, hash: Hash, prefix: &mut Vec<u8>, out: &mut Vec<Entry>) -> Result<()> {
-        match self.fetch(&hash)? {
+        match &*self.fetch(&hash)? {
             Node::Leaf { path, value } => {
                 prefix.extend_from_slice(path.as_slice());
-                out.push(Entry { key: nibbles_to_key(prefix)?, value });
+                out.push(Entry { key: nibbles_to_key(prefix)?, value: value.clone() });
                 prefix.truncate(prefix.len() - path.len());
             }
             Node::Extension { path, child } => {
                 prefix.extend_from_slice(path.as_slice());
-                self.scan_rec(child, prefix, out)?;
+                self.scan_rec(*child, prefix, out)?;
                 prefix.truncate(prefix.len() - path.len());
             }
             Node::Branch { children, value } => {
                 if let Some(v) = value {
-                    out.push(Entry { key: nibbles_to_key(prefix)?, value: v });
+                    out.push(Entry { key: nibbles_to_key(prefix)?, value: v.clone() });
                 }
                 for (i, child) in children.iter().enumerate() {
                     if let Some(c) = child {
@@ -107,14 +143,14 @@ impl MerklePatriciaTrie {
             if offset >= target.len() {
                 break; // everything below `hash` matches the prefix
             }
-            match self.fetch(&hash)? {
+            match &*self.fetch(&hash)? {
                 Node::Leaf { path, value } => {
                     // Single candidate: check it.
                     let mut full = consumed.clone();
                     full.extend_from_slice(path.as_slice());
                     let key = nibbles_to_key(&full)?;
                     if key.starts_with(prefix) {
-                        out.push(Entry { key, value });
+                        out.push(Entry { key, value: value.clone() });
                     }
                     return Ok(out);
                 }
@@ -122,13 +158,13 @@ impl MerklePatriciaTrie {
                     // The extension must agree with the remaining prefix on
                     // their common length.
                     let remaining = target.suffix(offset);
-                    let common = remaining.common_prefix_len(&path);
+                    let common = remaining.common_prefix_len(path);
                     if common < path.len() && common < remaining.len() {
                         return Ok(out); // diverged: nothing matches
                     }
                     consumed.extend_from_slice(path.as_slice());
                     offset += path.len();
-                    hash = child;
+                    hash = *child;
                 }
                 Node::Branch { children, .. } => {
                     let nib = target.at(offset);
@@ -162,21 +198,21 @@ impl MerklePatriciaTrie {
         let mut max = 0u32;
         let mut stack: Vec<(Hash, u32)> = vec![(self.root, 1)];
         while let Some((h, depth)) = stack.pop() {
-            match self.fetch(&h)? {
+            match &*self.fetch(&h)? {
                 Node::Leaf { .. } => {
                     total += depth as u64;
                     count += 1;
                     max = max.max(depth);
                 }
-                Node::Extension { child, .. } => stack.push((child, depth + 1)),
+                Node::Extension { child, .. } => stack.push((*child, depth + 1)),
                 Node::Branch { children, value } => {
                     if value.is_some() {
                         total += depth as u64;
                         count += 1;
                         max = max.max(depth);
                     }
-                    for c in children.into_iter().flatten() {
-                        stack.push((c, depth + 1));
+                    for c in children.iter().flatten() {
+                        stack.push((*c, depth + 1));
                     }
                 }
             }
@@ -191,9 +227,7 @@ fn nibbles_to_key(nibbles: &[u8]) -> Result<Bytes> {
     if !nibbles.len().is_multiple_of(2) {
         return Err(IndexError::CorruptStructure("odd-length key path"));
     }
-    Ok(Bytes::from(
-        nibbles.chunks_exact(2).map(|p| p[0] << 4 | p[1]).collect::<Vec<u8>>(),
-    ))
+    Ok(Bytes::from(nibbles.chunks_exact(2).map(|p| p[0] << 4 | p[1]).collect::<Vec<u8>>()))
 }
 
 impl SiriIndex for MerklePatriciaTrie {
@@ -207,6 +241,12 @@ impl SiriIndex for MerklePatriciaTrie {
 
     fn root(&self) -> Hash {
         self.root
+    }
+
+    fn at_root(&self, root: Hash) -> Self {
+        let mut handle = self.clone();
+        handle.root = root;
+        handle
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
@@ -223,28 +263,33 @@ impl SiriIndex for MerklePatriciaTrie {
         let mut hash = self.root;
         let started = Instant::now();
         loop {
-            let node = self.fetch(&hash)?;
+            let (node, cached) = self.fetch_traced(&hash)?;
             trace.pages_loaded += 1;
             trace.height += 1;
-            match node {
+            if cached {
+                trace.cache_hits += 1;
+            } else {
+                trace.cache_misses += 1;
+            }
+            match &*node {
                 Node::Leaf { path, value } => {
                     trace.load_nanos = started.elapsed().as_nanos() as u64;
                     trace.leaf_entries_scanned = 1;
                     let rest = nibbles.suffix(offset);
-                    return Ok(((rest == path).then_some(value), trace));
+                    return Ok(((rest == *path).then(|| value.clone()), trace));
                 }
                 Node::Extension { path, child } => {
-                    if !nibbles.suffix(offset).starts_with(&path) {
+                    if !nibbles.suffix(offset).starts_with(path) {
                         trace.load_nanos = started.elapsed().as_nanos() as u64;
                         return Ok((None, trace));
                     }
                     offset += path.len();
-                    hash = child;
+                    hash = *child;
                 }
                 Node::Branch { children, value } => {
                     if offset == nibbles.len() {
                         trace.load_nanos = started.elapsed().as_nanos() as u64;
-                        return Ok((value, trace));
+                        return Ok((value.clone(), trace));
                     }
                     match children[nibbles.at(offset) as usize] {
                         Some(child) => {
@@ -266,14 +311,11 @@ impl SiriIndex for MerklePatriciaTrie {
         if norm.is_empty() {
             return Ok(());
         }
-        let mut overlay = if self.root.is_zero() {
-            None
-        } else {
-            Some(mem::MemNode::Stored(self.root))
-        };
+        let mut overlay =
+            if self.root.is_zero() { None } else { Some(mem::MemNode::Stored(self.root)) };
         for e in norm {
             let suffix = Nibbles::from_key(&e.key);
-            overlay = Some(mem::MemNode::insert(overlay, &self.store, suffix, e.value)?);
+            overlay = Some(mem::MemNode::insert(overlay, self, suffix, e.value)?);
         }
         self.root = overlay.expect("batch was non-empty").commit(&self.store);
         Ok(())
@@ -414,9 +456,8 @@ mod tests {
     #[test]
     fn scan_round_trips_binary_keys() {
         let mut t = make();
-        let entries: Vec<Entry> = (0..=255u8)
-            .map(|b| Entry::new(vec![b, b ^ 0x5a], vec![b]))
-            .collect();
+        let entries: Vec<Entry> =
+            (0..=255u8).map(|b| Entry::new(vec![b, b ^ 0x5a], vec![b])).collect();
         t.batch_insert(entries.clone()).unwrap();
         let mut expected = entries;
         expected.sort();

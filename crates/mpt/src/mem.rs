@@ -7,20 +7,30 @@
 //! (§4.1.2).
 
 use bytes::Bytes;
-use siri_core::{IndexError, Result};
+use siri_core::Result;
 use siri_crypto::Hash;
 use siri_encoding::Nibbles;
 use siri_store::SharedStore;
 
 use crate::node::Node;
+use crate::MerklePatriciaTrie;
 
 /// A node in the mutable overlay.
 pub(crate) enum MemNode {
     /// An untouched subtree, by page digest.
     Stored(Hash),
-    Branch { children: Box<[Option<MemNode>; 16]>, value: Option<Bytes> },
-    Extension { path: Nibbles, child: Box<MemNode> },
-    Leaf { path: Nibbles, value: Bytes },
+    Branch {
+        children: Box<[Option<MemNode>; 16]>,
+        value: Option<Bytes>,
+    },
+    Extension {
+        path: Nibbles,
+        child: Box<MemNode>,
+    },
+    Leaf {
+        path: Nibbles,
+        value: Bytes,
+    },
 }
 
 fn empty_children() -> Box<[Option<MemNode>; 16]> {
@@ -29,21 +39,23 @@ fn empty_children() -> Box<[Option<MemNode>; 16]> {
 
 impl MemNode {
     /// Materialize a stored page as a shallow overlay node (children remain
-    /// `Stored` stubs).
-    fn load(store: &SharedStore, hash: Hash) -> Result<MemNode> {
-        let page = store.get(&hash).ok_or(IndexError::MissingPage(hash))?;
-        Ok(match Node::decode(&page)? {
+    /// `Stored` stubs). Loads go through the trie's node cache, so batched
+    /// updates re-walking a hot spine skip the store and the decode.
+    fn load(trie: &MerklePatriciaTrie, hash: Hash) -> Result<MemNode> {
+        Ok(match &*trie.fetch(&hash)? {
             Node::Branch { children, value } => {
                 let mut slots = empty_children();
-                for (i, c) in children.into_iter().enumerate() {
+                for (i, c) in children.iter().enumerate() {
                     slots[i] = c.map(MemNode::Stored);
                 }
-                MemNode::Branch { children: slots, value }
+                MemNode::Branch { children: slots, value: value.clone() }
             }
             Node::Extension { path, child } => {
-                MemNode::Extension { path, child: Box::new(MemNode::Stored(child)) }
+                MemNode::Extension { path: path.clone(), child: Box::new(MemNode::Stored(*child)) }
             }
-            Node::Leaf { path, value } => MemNode::Leaf { path, value },
+            Node::Leaf { path, value } => {
+                MemNode::Leaf { path: path.clone(), value: value.clone() }
+            }
         })
     }
 
@@ -52,13 +64,13 @@ impl MemNode {
     /// branch creation at diverging bytes).
     pub(crate) fn insert(
         this: Option<MemNode>,
-        store: &SharedStore,
+        trie: &MerklePatriciaTrie,
         suffix: Nibbles,
         value: Bytes,
     ) -> Result<MemNode> {
         let node = match this {
             None => return Ok(MemNode::Leaf { path: suffix, value }),
-            Some(MemNode::Stored(h)) => Self::load(store, h)?,
+            Some(MemNode::Stored(h)) => Self::load(trie, h)?,
             Some(other) => other,
         };
         match node {
@@ -89,8 +101,7 @@ impl MemNode {
             MemNode::Extension { path, child } => {
                 let common = suffix.common_prefix_len(&path);
                 if common == path.len() {
-                    let new_child =
-                        Self::insert(Some(*child), store, suffix.suffix(common), value)?;
+                    let new_child = Self::insert(Some(*child), trie, suffix.suffix(common), value)?;
                     return Ok(MemNode::Extension { path, child: Box::new(new_child) });
                 }
                 // Diverged inside the compacted run: split it with a branch
@@ -118,7 +129,7 @@ impl MemNode {
                 }
                 let slot = suffix.at(0) as usize;
                 let taken = children[slot].take();
-                children[slot] = Some(Self::insert(taken, store, suffix.suffix(1), value)?);
+                children[slot] = Some(Self::insert(taken, trie, suffix.suffix(1), value)?);
                 Ok(MemNode::Branch { children, value: branch_value })
             }
             MemNode::Stored(_) => unreachable!("materialized above"),

@@ -16,7 +16,7 @@
 use bytes::Bytes;
 use siri_core::{IndexError, Result};
 use siri_crypto::Hash;
-use siri_encoding::{Nibbles, RlpItem};
+use siri_encoding::{rlp, Nibbles, RlpItem};
 
 /// A decoded MPT node.
 ///
@@ -82,6 +82,56 @@ impl Node {
             ]),
         };
         Bytes::from(item.encode())
+    }
+
+    /// Zero-copy decode: branch/leaf values are refcounted slices of the
+    /// page — the hot read path, mirroring POS-Tree's `decode_zc`. A cache
+    /// hit downstream therefore shares the page allocation instead of
+    /// re-copying values out of it. Validation is byte-for-byte identical
+    /// to [`Node::decode`] (both reject the same corrupt inputs).
+    pub fn decode_zc(page: &Bytes) -> Result<Node> {
+        let ranges = rlp::flat_list_ranges(page)?;
+        match ranges.len() {
+            17 => {
+                let mut children: [Option<Hash>; 16] = Default::default();
+                for (i, range) in ranges[..16].iter().enumerate() {
+                    let raw = &page[range.clone()];
+                    children[i] = if raw.is_empty() {
+                        None
+                    } else {
+                        Some(
+                            Hash::from_slice(raw)
+                                .ok_or(IndexError::CorruptStructure("bad child digest length"))?,
+                        )
+                    };
+                }
+                let vr = &ranges[16];
+                let value = match page[vr.clone()].split_first() {
+                    None => None,
+                    Some((0x01, _)) => Some(page.slice(vr.start + 1..vr.end)),
+                    Some(_) => return Err(IndexError::CorruptStructure("bad branch value marker")),
+                };
+                if value.is_none() && children.iter().all(Option::is_none) {
+                    return Err(IndexError::CorruptStructure("empty branch node"));
+                }
+                Ok(Node::Branch { children, value })
+            }
+            2 => {
+                let (path, is_leaf) = Nibbles::hex_prefix_decode(&page[ranges[0].clone()])
+                    .ok_or(IndexError::CorruptStructure("bad hex-prefix path"))?;
+                if is_leaf {
+                    Ok(Node::Leaf { path, value: page.slice(ranges[1].clone()) })
+                } else {
+                    if path.is_empty() {
+                        return Err(IndexError::CorruptStructure("empty extension path"));
+                    }
+                    let child = Hash::from_slice(&page[ranges[1].clone()])
+                        .ok_or(IndexError::CorruptStructure("bad extension child digest"))?;
+                    Ok(Node::Extension { path, child })
+                }
+            }
+            _ => Err(IndexError::CorruptStructure("MPT node is neither branch nor pair")),
+        }
     }
 
     pub fn decode(page: &[u8]) -> Result<Node> {
@@ -184,7 +234,8 @@ mod tests {
     fn rejects_malformed() {
         assert!(Node::decode(b"not rlp").is_err());
         // A 3-element list is no MPT node.
-        let bad = RlpItem::list(vec![RlpItem::uint(1), RlpItem::uint(2), RlpItem::uint(3)]).encode();
+        let bad =
+            RlpItem::list(vec![RlpItem::uint(1), RlpItem::uint(2), RlpItem::uint(3)]).encode();
         assert!(Node::decode(&bad).is_err());
         // Extension with empty path.
         let bad = RlpItem::list(vec![
@@ -197,6 +248,52 @@ mod tests {
         let mut items = vec![RlpItem::bytes(Vec::new()); 16];
         items.push(RlpItem::bytes(Vec::new()));
         assert!(Node::decode(&RlpItem::list(items).encode()).is_err());
+    }
+
+    #[test]
+    fn zero_copy_decode_matches_copying_decode() {
+        let mut children: [Option<Hash>; 16] = Default::default();
+        children[2] = Some(sha256(b"c2"));
+        children[9] = Some(sha256(b"c9"));
+        let nodes = vec![
+            Node::Leaf { path: nib(&[1, 2, 3]), value: Bytes::from_static(b"value bytes") },
+            Node::Leaf { path: Nibbles::empty(), value: Bytes::new() },
+            Node::Extension { path: nib(&[0xa, 0xb]), child: sha256(b"child") },
+            Node::Branch { children, value: Some(Bytes::from_static(b"bv")) },
+            Node::Branch { children, value: None },
+        ];
+        for node in nodes {
+            let page = node.encode();
+            assert_eq!(Node::decode_zc(&page).unwrap(), node);
+            assert_eq!(Node::decode(&page).unwrap(), node);
+        }
+        // Values are slices of the page (no copy).
+        let leaf = Node::Leaf { path: nib(&[1]), value: Bytes::from_static(b"shared-payload") };
+        let page = leaf.encode();
+        let Node::Leaf { value, .. } = Node::decode_zc(&page).unwrap() else { panic!() };
+        let base = page.as_ptr() as usize;
+        let v = value.as_ptr() as usize;
+        assert!(v > base && v < base + page.len(), "value must point into the page");
+    }
+
+    #[test]
+    fn zero_copy_decode_rejects_what_decode_rejects() {
+        let bad_inputs: Vec<Vec<u8>> = vec![
+            b"not rlp".to_vec(),
+            RlpItem::list(vec![RlpItem::uint(1), RlpItem::uint(2), RlpItem::uint(3)]).encode(),
+            {
+                // Branch with a non-0x01 value marker.
+                let mut items = vec![RlpItem::bytes(sha256(b"c").as_bytes().to_vec())];
+                items.extend(std::iter::repeat_n(RlpItem::bytes(Vec::new()), 15));
+                items.push(RlpItem::bytes(vec![0x02, 0xff]));
+                RlpItem::list(items).encode()
+            },
+        ];
+        for raw in bad_inputs {
+            let page = Bytes::from(raw.clone());
+            assert!(Node::decode_zc(&page).is_err(), "input {raw:?}");
+            assert!(Node::decode(&raw).is_err());
+        }
     }
 
     #[test]

@@ -137,7 +137,9 @@ mod tests {
         let mut t = MerklePatriciaTrie::new(MemStore::new_shared());
         t.batch_insert(
             (0..150)
-                .map(|i| Entry::new(format!("addr{i:03}").into_bytes(), format!("bal{i}").into_bytes()))
+                .map(|i| {
+                    Entry::new(format!("addr{i:03}").into_bytes(), format!("bal{i}").into_bytes())
+                })
                 .collect(),
         )
         .unwrap();

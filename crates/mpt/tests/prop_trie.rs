@@ -14,7 +14,10 @@ use siri_mpt::MerklePatriciaTrie;
 fn arb_prefixy_entries() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
     proptest::collection::vec(
         (
-            proptest::collection::vec(prop_oneof![Just(0x00u8), Just(0x01), Just(0x10), Just(0xff)], 0..5),
+            proptest::collection::vec(
+                prop_oneof![Just(0x00u8), Just(0x01), Just(0x10), Just(0xff)],
+                0..5,
+            ),
             proptest::collection::vec(proptest::num::u8::ANY, 1..8),
         ),
         1..60,

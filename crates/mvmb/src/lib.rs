@@ -20,6 +20,7 @@
 mod node;
 mod proof;
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
@@ -28,7 +29,9 @@ use siri_core::{
     SiriIndex,
 };
 use siri_crypto::Hash;
-use siri_store::{reachable_pages, PageSet, SharedStore};
+use siri_store::{
+    reachable_pages, CacheStats, NodeCache, PageSet, SharedStore, DEFAULT_NODE_CACHE_CAPACITY,
+};
 
 pub use node::{route, ChildRef, Node};
 
@@ -61,12 +64,14 @@ impl MvmbParams {
     }
 }
 
-/// Handle to one MVMB+-Tree version.
+/// Handle to one MVMB+-Tree version. Clones share the decoded-node cache
+/// (coherent for free under content addressing).
 #[derive(Clone)]
 pub struct MvmbTree {
     store: SharedStore,
     params: MvmbParams,
     root: Hash,
+    cache: Arc<NodeCache<Node>>,
 }
 
 /// A rebuilt subtree piece handed back to the parent: (max key, page hash).
@@ -77,21 +82,47 @@ impl MvmbTree {
     pub fn new(store: SharedStore, params: MvmbParams) -> Self {
         assert!(params.max_leaf_entries >= 2, "leaf capacity must be ≥ 2");
         assert!(params.max_internal_children >= 2, "fanout must be ≥ 2");
-        MvmbTree { store, params, root: Hash::ZERO }
+        MvmbTree {
+            store,
+            params,
+            root: Hash::ZERO,
+            cache: NodeCache::new_shared(DEFAULT_NODE_CACHE_CAPACITY),
+        }
     }
 
     /// Re-open an existing version by root hash.
     pub fn open(store: SharedStore, params: MvmbParams, root: Hash) -> Self {
-        MvmbTree { store, params, root }
+        MvmbTree { store, params, root, cache: NodeCache::new_shared(DEFAULT_NODE_CACHE_CAPACITY) }
     }
 
     pub fn params(&self) -> MvmbParams {
         self.params
     }
 
-    fn fetch(&self, hash: &Hash) -> Result<Node> {
-        let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
-        Node::decode_zc(&page)
+    /// Replace the node cache with one bounded to `capacity` decoded nodes
+    /// (0 disables caching — every fetch decodes). Benchmarks use this for
+    /// cache-size sweeps; clones made *after* this call share the new cache.
+    pub fn with_node_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = NodeCache::new_shared(capacity);
+        self
+    }
+
+    /// Hit/miss/eviction counters of the shared decoded-node cache.
+    pub fn node_cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn fetch(&self, hash: &Hash) -> Result<Arc<Node>> {
+        Ok(self.fetch_traced(hash)?.0)
+    }
+
+    /// Fetch a node through the cache; the flag reports whether it was a
+    /// cache hit (no store access, no decode).
+    fn fetch_traced(&self, hash: &Hash) -> Result<(Arc<Node>, bool)> {
+        self.cache.get_or_load(hash, || {
+            let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+            Node::decode_zc(&page)
+        })
     }
 
     fn put_node(&self, node: &Node) -> Piece {
@@ -112,10 +143,7 @@ impl MvmbTree {
         }
         let parts = items.len().div_ceil(max);
         let per = items.len().div_ceil(parts);
-        items
-            .chunks(per)
-            .map(|c| self.put_node(&build(c.to_vec())))
-            .collect()
+        items.chunks(per).map(|c| self.put_node(&build(c.to_vec()))).collect()
     }
 
     /// Recursive copy-on-write batch insert. `entries` is sorted with
@@ -128,9 +156,9 @@ impl MvmbTree {
             let max = node.max_key().ok_or(IndexError::CorruptStructure("empty node"))?;
             return Ok(vec![(max, node_hash)]);
         }
-        match self.fetch(&node_hash)? {
+        match &*self.fetch(&node_hash)? {
             Node::Leaf(old) => {
-                let merged = merge_entries(&old, entries);
+                let merged = merge_entries(old, entries);
                 Ok(self.emit_chunks(merged, self.params.max_leaf_entries, Node::Leaf))
             }
             Node::Internal(children) => {
@@ -162,10 +190,8 @@ impl MvmbTree {
     fn build_fresh(&self, entries: Vec<Entry>) -> Vec<Piece> {
         let mut pieces = self.emit_chunks(entries, self.params.max_leaf_entries, Node::Leaf);
         while pieces.len() > 1 {
-            let refs: Vec<ChildRef> = pieces
-                .into_iter()
-                .map(|(max_key, child)| ChildRef { max_key, child })
-                .collect();
+            let refs: Vec<ChildRef> =
+                pieces.into_iter().map(|(max_key, child)| ChildRef { max_key, child }).collect();
             pieces = self.emit_chunks(refs, self.params.max_internal_children, Node::Internal);
         }
         pieces
@@ -183,7 +209,7 @@ impl MvmbTree {
     }
 
     fn range_rec(&self, hash: Hash, start: &[u8], end: &[u8], out: &mut Vec<Entry>) -> Result<()> {
-        match self.fetch(&hash)? {
+        match &*self.fetch(&hash)? {
             Node::Leaf(entries) => {
                 let from = entries.partition_point(|e| e.key.as_ref() < start);
                 for e in &entries[from..] {
@@ -196,16 +222,16 @@ impl MvmbTree {
             Node::Internal(children) => {
                 // Children cover (prev_max, max]; visit every child whose
                 // range intersects [start, end).
-                let mut prev_max: Option<Bytes> = None;
+                let mut prev_max: Option<&Bytes> = None;
                 for c in children {
-                    let past_end = prev_max.as_ref().is_some_and(|p| end <= p.as_ref());
+                    let past_end = prev_max.is_some_and(|p| end <= p.as_ref());
                     if past_end {
                         break;
                     }
                     if c.max_key.as_ref() >= start {
                         self.range_rec(c.child, start, end, out)?;
                     }
-                    prev_max = Some(c.max_key);
+                    prev_max = Some(&c.max_key);
                 }
             }
         }
@@ -220,7 +246,7 @@ impl MvmbTree {
         let mut h = 1;
         let mut hash = self.root;
         loop {
-            match self.fetch(&hash)? {
+            match &*self.fetch(&hash)? {
                 Node::Leaf(_) => return Ok(h),
                 Node::Internal(children) => {
                     hash = children[0].child;
@@ -231,8 +257,8 @@ impl MvmbTree {
     }
 
     fn scan_rec(&self, hash: Hash, out: &mut Vec<Entry>) -> Result<()> {
-        match self.fetch(&hash)? {
-            Node::Leaf(mut entries) => out.append(&mut entries),
+        match &*self.fetch(&hash)? {
+            Node::Leaf(entries) => out.extend(entries.iter().cloned()),
             Node::Internal(children) => {
                 for c in children {
                     self.scan_rec(c.child, out)?;
@@ -282,6 +308,12 @@ impl SiriIndex for MvmbTree {
         self.root
     }
 
+    fn at_root(&self, root: Hash) -> Self {
+        let mut handle = self.clone();
+        handle.root = root;
+        handle
+    }
+
     fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
         Ok(self.get_traced(key)?.0)
     }
@@ -294,16 +326,21 @@ impl SiriIndex for MvmbTree {
         let mut hash = self.root;
         let load_start = Instant::now();
         loop {
-            let node = self.fetch(&hash)?;
+            let (node, cached) = self.fetch_traced(&hash)?;
             trace.pages_loaded += 1;
             trace.height += 1;
-            match node {
+            if cached {
+                trace.cache_hits += 1;
+            } else {
+                trace.cache_misses += 1;
+            }
+            match &*node {
                 Node::Internal(children) => {
                     if key > children.last().expect("non-empty").max_key.as_ref() {
                         trace.load_nanos = load_start.elapsed().as_nanos() as u64;
                         return Ok((None, trace));
                     }
-                    hash = children[route(&children, key)].child;
+                    hash = children[route(children, key)].child;
                 }
                 Node::Leaf(entries) => {
                     trace.load_nanos = load_start.elapsed().as_nanos() as u64;
@@ -341,10 +378,8 @@ impl SiriIndex for MvmbTree {
         };
         // Grow upward while the top level overflows a single node.
         while pieces.len() > 1 {
-            let refs: Vec<ChildRef> = pieces
-                .into_iter()
-                .map(|(max_key, child)| ChildRef { max_key, child })
-                .collect();
+            let refs: Vec<ChildRef> =
+                pieces.into_iter().map(|(max_key, child)| ChildRef { max_key, child }).collect();
             pieces = self.emit_chunks(refs, self.params.max_internal_children, Node::Internal);
         }
         self.root = pieces.pop().expect("at least one piece").1;
@@ -494,11 +529,7 @@ mod tests {
         // Same content either way…
         assert_eq!(bulk.scan().unwrap(), incremental.scan().unwrap());
         // …but (generally) different structure.
-        assert_ne!(
-            bulk.root(),
-            incremental.root(),
-            "baseline expected to be order-dependent"
-        );
+        assert_ne!(bulk.root(), incremental.root(), "baseline expected to be order-dependent");
     }
 
     #[test]

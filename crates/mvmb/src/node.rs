@@ -140,10 +140,7 @@ mod tests {
 
     #[test]
     fn max_key() {
-        assert_eq!(
-            Node::Leaf(vec![e("a", "1"), e("q", "2")]).max_key().unwrap().as_ref(),
-            b"q"
-        );
+        assert_eq!(Node::Leaf(vec![e("a", "1"), e("q", "2")]).max_key().unwrap().as_ref(), b"q");
         assert_eq!(
             Node::Internal(vec![cr("m", "x"), cr("z", "y")]).max_key().unwrap().as_ref(),
             b"z"

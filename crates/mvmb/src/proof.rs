@@ -65,7 +65,9 @@ mod tests {
         let mut t = MvmbTree::new(MemStore::new_shared(), MvmbParams::default());
         t.batch_insert(
             (0..200)
-                .map(|i| Entry::new(format!("key{i:04}").into_bytes(), format!("v{i}").into_bytes()))
+                .map(|i| {
+                    Entry::new(format!("key{i:04}").into_bytes(), format!("v{i}").into_bytes())
+                })
                 .collect(),
         )
         .unwrap();

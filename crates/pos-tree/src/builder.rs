@@ -229,10 +229,7 @@ impl<'a> Builders<'a> {
     /// All builders at `level` and below sit exactly on node boundaries —
     /// the pass-through precondition.
     pub fn clean_below(&self, level: u32) -> bool {
-        self.levels
-            .iter()
-            .take(level as usize + 1)
-            .all(LevelBuilder::at_boundary)
+        self.levels.iter().take(level as usize + 1).all(LevelBuilder::at_boundary)
     }
 
     /// Re-use an untouched old node of `level` wholesale. Caller must have
@@ -274,9 +271,7 @@ mod tests {
     use siri_core::MemStore;
 
     fn entries(n: usize) -> Vec<Entry> {
-        (0..n)
-            .map(|i| Entry::new(format!("key{i:06}").into_bytes(), vec![0xAB; 100]))
-            .collect()
+        (0..n).map(|i| Entry::new(format!("key{i:06}").into_bytes(), vec![0xAB; 100])).collect()
     }
 
     fn build(store: &SharedStore, params: &PosParams, es: &[Entry]) -> Option<Piece> {

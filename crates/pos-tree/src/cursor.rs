@@ -1,38 +1,66 @@
 //! In-order cursor over a POS-Tree — the engine behind scans and the
 //! subtree-skipping diff.
 
+use std::sync::Arc;
+
 use siri_core::{Entry, IndexError, Result};
 use siri_crypto::Hash;
-use siri_store::SharedStore;
+use siri_store::{NodeCache, SharedStore};
 
 use crate::node::{Node, Piece};
 
 struct Frame {
-    children: Vec<Piece>,
+    /// Always an `Internal` node.
+    node: Arc<Node>,
     idx: usize,
+}
+
+impl Frame {
+    fn children(&self) -> &[Piece] {
+        match &*self.node {
+            Node::Internal { children, .. } => children,
+            Node::Leaf { .. } => unreachable!("frames hold internal nodes only"),
+        }
+    }
 }
 
 /// Iterates entries in key order while exposing the node boundaries the
 /// current position sits on, so callers can skip whole shared subtrees.
+///
+/// Nodes are held as `Arc`s straight out of the tree's decoded-node cache
+/// (when one is supplied): advancing across a leaf boundary on a warm
+/// cache costs a shard probe, not a store fetch + decode.
 pub struct Cursor<'a> {
     store: &'a SharedStore,
+    cache: Option<&'a NodeCache<Node>>,
     /// Internal-node frames from the root down; empty when the root is a
     /// leaf.
     stack: Vec<Frame>,
     /// Hash of the leaf currently being read.
     leaf_hash: Hash,
-    leaf: Vec<Entry>,
+    /// The current leaf node; `None` before the first descent / when done.
+    leaf: Option<Arc<Node>>,
     leaf_idx: usize,
     done: bool,
 }
 
 impl<'a> Cursor<'a> {
     pub fn new(store: &'a SharedStore, root: Hash) -> Result<Self> {
+        Self::with_cache(store, None, root)
+    }
+
+    /// A cursor whose node loads go through `cache`.
+    pub fn with_cache(
+        store: &'a SharedStore,
+        cache: Option<&'a NodeCache<Node>>,
+        root: Hash,
+    ) -> Result<Self> {
         let mut c = Cursor {
             store,
+            cache,
             stack: Vec::new(),
             leaf_hash: Hash::ZERO,
-            leaf: Vec::new(),
+            leaf: None,
             leaf_idx: 0,
             done: root.is_zero(),
         };
@@ -42,26 +70,40 @@ impl<'a> Cursor<'a> {
         Ok(c)
     }
 
-    fn fetch(&self, hash: &Hash) -> Result<Node> {
-        let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
-        Node::decode_zc(&page)
+    fn fetch(&self, hash: &Hash) -> Result<Arc<Node>> {
+        let load = || {
+            let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+            Node::decode_zc(&page)
+        };
+        match self.cache {
+            Some(cache) => cache.get_or_load(hash, load).map(|(node, _)| node),
+            None => load().map(Arc::new),
+        }
+    }
+
+    fn leaf_entries(&self) -> &[Entry] {
+        match self.leaf.as_deref() {
+            Some(Node::Leaf { entries, .. }) => entries,
+            _ => &[],
+        }
     }
 
     fn descend_to_first_leaf(&mut self, mut hash: Hash) -> Result<()> {
         loop {
-            match self.fetch(&hash)? {
+            let node = self.fetch(&hash)?;
+            match &*node {
                 Node::Leaf { entries, .. } => {
                     if entries.is_empty() {
                         return Err(IndexError::CorruptStructure("empty stored leaf"));
                     }
                     self.leaf_hash = hash;
-                    self.leaf = entries;
+                    self.leaf = Some(node);
                     self.leaf_idx = 0;
                     return Ok(());
                 }
                 Node::Internal { children, .. } => {
                     hash = children[0].hash;
-                    self.stack.push(Frame { children, idx: 0 });
+                    self.stack.push(Frame { node: node.clone(), idx: 0 });
                 }
             }
         }
@@ -72,7 +114,7 @@ impl<'a> Cursor<'a> {
         if self.done {
             None
         } else {
-            self.leaf.get(self.leaf_idx)
+            self.leaf_entries().get(self.leaf_idx)
         }
     }
 
@@ -82,7 +124,7 @@ impl<'a> Cursor<'a> {
             return Ok(());
         }
         self.leaf_idx += 1;
-        if self.leaf_idx >= self.leaf.len() {
+        if self.leaf_idx >= self.leaf_entries().len() {
             self.move_to_next_leaf()?;
         }
         Ok(())
@@ -95,8 +137,8 @@ impl<'a> Cursor<'a> {
                 return Ok(());
             };
             frame.idx += 1;
-            if frame.idx < frame.children.len() {
-                let hash = frame.children[frame.idx].hash;
+            if frame.idx < frame.children().len() {
+                let hash = frame.children()[frame.idx].hash;
                 return self.descend_to_first_leaf(hash);
             }
             self.stack.pop();
@@ -119,7 +161,7 @@ impl<'a> Cursor<'a> {
                 break;
             }
             let f = &self.stack[i - 1];
-            out.push(f.children[f.idx].hash);
+            out.push(f.children()[f.idx].hash);
         }
         out
     }
@@ -134,18 +176,14 @@ impl<'a> Cursor<'a> {
             return Ok(());
         }
         // Find the frame whose current child is the subtree.
-        let Some(depth) = self
-            .stack
-            .iter()
-            .position(|f| f.children[f.idx].hash == hash)
-        else {
+        let Some(depth) = self.stack.iter().position(|f| f.children()[f.idx].hash == hash) else {
             return Err(IndexError::CorruptStructure("skip target not on cursor path"));
         };
         self.stack.truncate(depth + 1);
         let frame = self.stack.last_mut().expect("non-empty");
         frame.idx += 1;
-        if frame.idx < frame.children.len() {
-            let next = frame.children[frame.idx].hash;
+        if frame.idx < frame.children().len() {
+            let next = frame.children()[frame.idx].hash;
             self.descend_to_first_leaf(next)
         } else {
             self.stack.pop();
@@ -160,8 +198,8 @@ impl<'a> Cursor<'a> {
                 return Ok(());
             };
             frame.idx += 1;
-            if frame.idx < frame.children.len() {
-                let hash = frame.children[frame.idx].hash;
+            if frame.idx < frame.children().len() {
+                let hash = frame.children()[frame.idx].hash;
                 return self.descend_to_first_leaf(hash);
             }
             self.stack.pop();
@@ -175,11 +213,22 @@ impl<'a> Cursor<'a> {
     /// Position the cursor at the first entry with key ≥ `key`
     /// (or exhaust it if no such entry exists). O(log N).
     pub fn seek(store: &'a SharedStore, root: Hash, key: &[u8]) -> Result<Self> {
+        Self::seek_with_cache(store, None, root, key)
+    }
+
+    /// [`Cursor::seek`] with node loads through `cache`.
+    pub fn seek_with_cache(
+        store: &'a SharedStore,
+        cache: Option<&'a NodeCache<Node>>,
+        root: Hash,
+        key: &[u8],
+    ) -> Result<Self> {
         let mut c = Cursor {
             store,
+            cache,
             stack: Vec::new(),
             leaf_hash: Hash::ZERO,
-            leaf: Vec::new(),
+            leaf: None,
             leaf_idx: 0,
             done: root.is_zero(),
         };
@@ -188,16 +237,17 @@ impl<'a> Cursor<'a> {
         }
         let mut hash = root;
         loop {
-            match c.fetch(&hash)? {
+            let node = c.fetch(&hash)?;
+            match &*node {
                 Node::Leaf { entries, .. } => {
                     if entries.is_empty() {
                         return Err(IndexError::CorruptStructure("empty stored leaf"));
                     }
                     let idx = entries.partition_point(|e| e.key.as_ref() < key);
                     c.leaf_hash = hash;
-                    c.leaf = entries;
+                    c.leaf = Some(node.clone());
                     c.leaf_idx = idx;
-                    if c.leaf_idx >= c.leaf.len() {
+                    if c.leaf_idx >= c.leaf_entries().len() {
                         // Key is beyond this leaf (can only happen on the
                         // rightmost spine): move on.
                         c.move_to_next_leaf()?;
@@ -210,7 +260,7 @@ impl<'a> Cursor<'a> {
                     let slot = children.partition_point(|p| p.max_key.as_ref() < key);
                     let slot = slot.min(children.len() - 1);
                     hash = children[slot].hash;
-                    c.stack.push(Frame { children, idx: slot });
+                    c.stack.push(Frame { node: node.clone(), idx: slot });
                 }
             }
         }
@@ -243,6 +293,28 @@ mod tests {
         }
         assert_eq!(seen, es);
         assert!(c.is_done());
+    }
+
+    #[test]
+    fn cached_cursor_agrees_and_hits() {
+        let store = MemStore::new_shared();
+        let es = entries(2500);
+        let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap();
+        let cache = NodeCache::new(4096);
+        let collect = |cache: Option<&NodeCache<Node>>| {
+            let mut c = Cursor::with_cache(&store, cache, root.hash).unwrap();
+            let mut seen = Vec::new();
+            while let Some(e) = c.peek() {
+                seen.push(e.clone());
+                c.advance().unwrap();
+            }
+            seen
+        };
+        assert_eq!(collect(Some(&cache)), es, "cold cached scan");
+        let misses_after_first = cache.stats().misses;
+        assert_eq!(collect(Some(&cache)), es, "warm cached scan");
+        assert_eq!(cache.stats().misses, misses_after_first, "second scan must be all cache hits");
+        assert_eq!(collect(None), es, "uncached scan agrees");
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod params;
 mod proof;
 mod update;
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
@@ -43,14 +44,18 @@ use siri_core::{
     SiriIndex,
 };
 use siri_crypto::Hash;
-use siri_store::{reachable_pages, PageSet, SharedStore};
+use siri_store::{
+    reachable_pages, CacheStats, NodeCache, PageSet, SharedStore, DEFAULT_NODE_CACHE_CAPACITY,
+};
 
 pub use builder::{Builders, Item, LevelBuilder};
 pub use cursor::Cursor;
 pub use node::{route, Node, Piece};
 pub use params::{InternalChunking, PosParams, SplitPolicy};
 
-/// Handle to one POS-Tree version.
+/// Handle to one POS-Tree version. Clones (= version snapshots) share the
+/// decoded-node cache: content addressing keeps it coherent across
+/// versions, and the shared spine of adjacent versions warms it for free.
 #[derive(Clone)]
 pub struct PosTree {
     store: SharedStore,
@@ -61,17 +66,32 @@ pub struct PosTree {
     /// §5.5.2 ablation: rebuild every page on every batch so no page is
     /// ever shared between versions.
     copy_all: bool,
+    cache: Arc<NodeCache<Node>>,
 }
 
 impl PosTree {
     /// An empty tree with the given chunking parameters.
     pub fn new(store: SharedStore, params: PosParams) -> Self {
-        PosTree { store, params, root: Hash::ZERO, salt: 0, copy_all: false }
+        PosTree {
+            store,
+            params,
+            root: Hash::ZERO,
+            salt: 0,
+            copy_all: false,
+            cache: NodeCache::new_shared(DEFAULT_NODE_CACHE_CAPACITY),
+        }
     }
 
     /// Re-open an existing version by root digest.
     pub fn open(store: SharedStore, params: PosParams, root: Hash) -> Self {
-        PosTree { store, params, root, salt: 0, copy_all: false }
+        PosTree {
+            store,
+            params,
+            root,
+            salt: 0,
+            copy_all: false,
+            cache: NodeCache::new_shared(DEFAULT_NODE_CACHE_CAPACITY),
+        }
     }
 
     /// §5.5.1 ablation: forced splits + leaf-local splice updates. The
@@ -87,22 +107,50 @@ impl PosTree {
     /// addressing, un-salted identical pages would still deduplicate,
     /// which is exactly the property this ablation removes.
     pub fn new_copy_all(store: SharedStore, params: PosParams, namespace: u64) -> Self {
-        PosTree { store, params, root: Hash::ZERO, salt: namespace << 20, copy_all: true }
+        PosTree {
+            store,
+            params,
+            root: Hash::ZERO,
+            salt: namespace << 20,
+            copy_all: true,
+            cache: NodeCache::new_shared(DEFAULT_NODE_CACHE_CAPACITY),
+        }
     }
 
     pub fn params(&self) -> &PosParams {
         &self.params
     }
 
-    fn fetch(&self, hash: &Hash) -> Result<Node> {
-        let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
-        Node::decode_zc(&page)
+    /// Replace the node cache with one bounded to `capacity` decoded nodes
+    /// (0 disables caching — every fetch decodes). Benchmarks use this for
+    /// cache-size sweeps; clones made *after* this call share the new cache.
+    pub fn with_node_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = NodeCache::new_shared(capacity);
+        self
+    }
+
+    /// Hit/miss/eviction counters of the shared decoded-node cache.
+    pub fn node_cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn fetch(&self, hash: &Hash) -> Result<Arc<Node>> {
+        Ok(self.fetch_traced(hash)?.0)
+    }
+
+    /// Fetch a node through the cache; the flag reports whether it was a
+    /// cache hit (no store access, no decode).
+    fn fetch_traced(&self, hash: &Hash) -> Result<(Arc<Node>, bool)> {
+        self.cache.get_or_load(hash, || {
+            let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+            Node::decode_zc(&page)
+        })
     }
 
     /// All entries with `start <= key < end`, in key order — the range
     /// query the B+-tree-like layout exists for. O(log N + results).
     pub fn scan_range(&self, start: &[u8], end: &[u8]) -> Result<Vec<Entry>> {
-        let mut cursor = Cursor::seek(&self.store, self.root, start)?;
+        let mut cursor = Cursor::seek_with_cache(&self.store, Some(&self.cache), self.root, start)?;
         let mut out = Vec::new();
         while let Some(e) = cursor.peek() {
             if e.key.as_ref() >= end {
@@ -151,7 +199,7 @@ impl PosTree {
         if self.root.is_zero() {
             return Ok(0);
         }
-        Ok(match self.fetch(&self.root)? {
+        Ok(match &*self.fetch(&self.root)? {
             Node::Leaf { .. } => 1,
             Node::Internal { level, .. } => level + 1,
         })
@@ -178,6 +226,12 @@ impl SiriIndex for PosTree {
         self.root
     }
 
+    fn at_root(&self, root: Hash) -> Self {
+        let mut handle = self.clone();
+        handle.root = root;
+        handle
+    }
+
     fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
         Ok(self.get_traced(key)?.0)
     }
@@ -190,16 +244,21 @@ impl SiriIndex for PosTree {
         let mut hash = self.root;
         let load_start = Instant::now();
         loop {
-            let node = self.fetch(&hash)?;
+            let (node, cached) = self.fetch_traced(&hash)?;
             trace.pages_loaded += 1;
             trace.height += 1;
-            match node {
+            if cached {
+                trace.cache_hits += 1;
+            } else {
+                trace.cache_misses += 1;
+            }
+            match &*node {
                 Node::Internal { children, .. } => {
                     if key > children.last().expect("non-empty").max_key.as_ref() {
                         trace.load_nanos = load_start.elapsed().as_nanos() as u64;
                         return Ok((None, trace));
                     }
-                    hash = children[route(&children, key)].hash;
+                    hash = children[route(children, key)].hash;
                 }
                 Node::Leaf { entries, .. } => {
                     trace.load_nanos = load_start.elapsed().as_nanos() as u64;
@@ -254,7 +313,7 @@ impl SiriIndex for PosTree {
     }
 
     fn scan(&self) -> Result<Vec<Entry>> {
-        let mut cursor = Cursor::new(&self.store, self.root)?;
+        let mut cursor = Cursor::with_cache(&self.store, Some(&self.cache), self.root)?;
         let mut out = Vec::new();
         while let Some(e) = cursor.peek() {
             out.push(e.clone());
@@ -457,7 +516,8 @@ mod tests {
     #[test]
     fn node_size_parameter_shifts_page_sizes() {
         let small_store = MemStore::new_shared();
-        let mut small = PosTree::new(small_store.clone(), PosParams::default().with_node_bytes(512));
+        let mut small =
+            PosTree::new(small_store.clone(), PosParams::default().with_node_bytes(512));
         small.batch_insert((0..2000).map(e).collect()).unwrap();
         let large_store = MemStore::new_shared();
         let mut large =

@@ -143,7 +143,8 @@ mod tests {
     fn round_trips() {
         let leaf = Node::Leaf { salt: 0, entries: vec![e("a", "1"), e("b", "2")] };
         assert_eq!(Node::decode(&leaf.encode()).unwrap(), leaf);
-        let internal = Node::Internal { salt: 3, level: 2, children: vec![p("m", "x"), p("z", "y")] };
+        let internal =
+            Node::Internal { salt: 3, level: 2, children: vec![p("m", "x"), p("z", "y")] };
         assert_eq!(Node::decode(&internal.encode()).unwrap(), internal);
     }
 

@@ -106,9 +106,6 @@ mod tests {
 
     #[test]
     fn ablation_uses_forced_splits() {
-        assert!(matches!(
-            PosParams::forced_split().split_policy,
-            SplitPolicy::ForcedSplice { .. }
-        ));
+        assert!(matches!(PosParams::forced_split().split_policy, SplitPolicy::ForcedSplice { .. }));
     }
 }

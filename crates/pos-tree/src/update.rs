@@ -208,8 +208,11 @@ fn splice_rec(
             let mut new_children: Vec<Piece> = Vec::with_capacity(children.len() + 2);
             for (slot, piece) in children.iter().enumerate() {
                 let last = slot + 1 == children.len();
-                let split =
-                    if last { rest.len() } else { rest.partition_point(|e| e.key <= piece.max_key) };
+                let split = if last {
+                    rest.len()
+                } else {
+                    rest.partition_point(|e| e.key <= piece.max_key)
+                };
                 let (mine, remaining) = rest.split_at(split);
                 rest = remaining;
                 if mine.is_empty() {
@@ -259,9 +262,7 @@ mod tests {
 
     /// Same keys, different payloads — real overwrites, not no-ops.
     fn edits(range: std::ops::Range<usize>) -> Vec<Entry> {
-        range
-            .map(|i| Entry::new(format!("key{i:06}").into_bytes(), vec![0xEE; 90]))
-            .collect()
+        range.map(|i| Entry::new(format!("key{i:06}").into_bytes(), vec![0xEE; 90])).collect()
     }
 
     #[test]
@@ -275,9 +276,7 @@ mod tests {
         // overwrite, appended tail — each with changed payloads.
         for edit_range in [100..101, 1500..1540, 3000..3100] {
             let delta = edits(edit_range.clone());
-            let updated = streaming_update(&store, &params, 0, root.hash, &delta)
-                .unwrap()
-                .unwrap();
+            let updated = streaming_update(&store, &params, 0, root.hash, &delta).unwrap().unwrap();
             let merged = merge_entries(&base, &delta);
             let fresh = build_from_entries(&store, &params, 0, &merged).unwrap();
             assert_ne!(updated.hash, root.hash, "edits must change the digest");
@@ -322,9 +321,8 @@ mod tests {
     fn update_into_empty_tree_builds() {
         let store = MemStore::new_shared();
         let params = PosParams::default();
-        let piece = streaming_update(&store, &params, 0, Hash::ZERO, &entries(0..10))
-            .unwrap()
-            .unwrap();
+        let piece =
+            streaming_update(&store, &params, 0, Hash::ZERO, &entries(0..10)).unwrap().unwrap();
         assert_eq!(piece.max_key.as_ref(), b"key000009");
     }
 

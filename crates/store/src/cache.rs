@@ -1,0 +1,514 @@
+//! Sharded, capacity-bounded LRU caching keyed by content address.
+//!
+//! Two users share the machinery (see DESIGN.md §3):
+//!
+//! * [`ShardedLru`] — a generic `Hash → V` LRU. [`CachingStore`] uses it
+//!   with `V = Bytes` to bound its client-side *page* cache.
+//! * [`NodeCache`] — a thin typed wrapper with `V = Arc<N>` holding
+//!   *decoded* nodes. The index crates thread one through their read
+//!   paths so a hot lookup costs a shard probe and a refcount bump
+//!   instead of a store lock + page clone + full decode.
+//!
+//! Content addressing makes the cache trivially coherent: a `Hash` names
+//! one immutable byte string forever, so entries can never go stale —
+//! eviction exists purely to bound memory. Each shard is an independent
+//! `Mutex<LruShard>` (an intrusive doubly-linked list over a slot vector +
+//! an FxHashMap index), selected by the low bits of the content address;
+//! SHA-256 output is uniform, so shards balance without extra hashing.
+//!
+//! [`CachingStore`]: crate::CachingStore
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use siri_crypto::{FxHashMap, Hash};
+
+/// Counter snapshot for a cache (also folded into
+/// [`crate::StoreStats`] by stores that embed one).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes that found the entry.
+    pub hits: u64,
+    /// Probes that missed.
+    pub misses: u64,
+    /// Entries evicted to stay under capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Maximum resident entries (0 = caching disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit ratio over all probes so far (1.0 if no probes).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+struct Slot<V> {
+    hash: Hash,
+    value: V,
+    prev: u32,
+    next: u32,
+}
+
+/// One shard: an LRU list threaded through `slots`, with `map` as the
+/// content-address index. `head` is most-recent, `tail` least-recent.
+struct LruShard<V> {
+    map: FxHashMap<Hash, u32>,
+    slots: Vec<Slot<V>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+}
+
+impl<V> LruShard<V> {
+    fn new() -> Self {
+        LruShard {
+            map: FxHashMap::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = &self.slots[idx as usize];
+            (s.prev, s.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n as usize].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let s = &mut self.slots[idx as usize];
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: u32) {
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+
+    /// Remove the least-recently-used entry. Returns false on empty.
+    fn evict_tail(&mut self) -> bool {
+        let tail = self.tail;
+        if tail == NIL {
+            return false;
+        }
+        self.unlink(tail);
+        let hash = self.slots[tail as usize].hash;
+        self.map.remove(&hash);
+        self.free.push(tail);
+        true
+    }
+
+    fn insert(&mut self, hash: Hash, value: V, capacity: usize) -> u64 {
+        if let Some(&idx) = self.map.get(&hash) {
+            // Same content address ⇒ same content; refresh recency only.
+            self.touch(idx);
+            return 0;
+        }
+        let mut evicted = 0u64;
+        while self.map.len() >= capacity {
+            if !self.evict_tail() {
+                break;
+            }
+            evicted += 1;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Slot { hash, value, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.slots.push(Slot { hash, value, prev: NIL, next: NIL });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.map.insert(hash, idx);
+        self.push_front(idx);
+        evicted
+    }
+}
+
+/// One shard plus its share of the capacity bound.
+struct Shard<V> {
+    lru: Mutex<LruShard<V>>,
+    /// This shard's entry bound; shard capacities sum to exactly the
+    /// requested total (the remainder of `capacity / SHARDS` is spread
+    /// over the first shards).
+    capacity: usize,
+}
+
+/// A sharded, bounded, thread-safe LRU map keyed by content address.
+pub struct ShardedLru<V> {
+    shards: Box<[Shard<V>]>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Shards per cache. 16 keeps contention negligible for the thread counts
+/// the benches drive while costing only 16 small mutexes.
+const SHARDS: usize = 16;
+
+impl<V: Clone> ShardedLru<V> {
+    /// `capacity` is the **exact** total entry bound across shards; 0
+    /// disables caching entirely (every probe misses, inserts are
+    /// dropped). Individual shards get `capacity / SHARDS` (±1), so a
+    /// skewed key set may evict slightly before the total is reached, but
+    /// resident entries never exceed `capacity`. Capacities below the
+    /// shard count leave some shards with no budget (their inserts are
+    /// dropped) — use ≥ 16 for a cache that can hold every key.
+    pub fn new(capacity: usize) -> Self {
+        let shards = (0..SHARDS)
+            .map(|i| Shard {
+                lru: Mutex::new(LruShard::new()),
+                capacity: capacity / SHARDS + usize::from(i < capacity % SHARDS),
+            })
+            .collect::<Vec<_>>();
+        ShardedLru {
+            shards: shards.into_boxed_slice(),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, hash: &Hash) -> &Shard<V> {
+        // Low byte of a SHA-256 digest is uniform.
+        &self.shards[(hash.as_bytes()[0] as usize) & (SHARDS - 1)]
+    }
+
+    /// Probe the cache, refreshing recency on hit.
+    pub fn get(&self, hash: &Hash) -> Option<V> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let shard = self.shard(hash);
+        let mut lru = shard.lru.lock();
+        match lru.map.get(hash).copied() {
+            Some(idx) => {
+                lru.touch(idx);
+                let v = lru.slots[idx as usize].value.clone();
+                drop(lru);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                drop(lru);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Side-effect-free membership probe: no counter bumps, no recency
+    /// refresh. For existence checks (`NodeStore::contains`) that must not
+    /// distort the hit-ratio metrics or the eviction order.
+    pub fn peek(&self, hash: &Hash) -> bool {
+        self.capacity != 0 && self.shard(hash).lru.lock().map.contains_key(hash)
+    }
+
+    /// Install a value (no-op when capacity is 0). Inserting an existing
+    /// address only refreshes its recency — the value cannot differ, the
+    /// key *is* the content hash.
+    pub fn insert(&self, hash: Hash, value: V) {
+        let shard = self.shard(&hash);
+        if shard.capacity == 0 {
+            // Total capacity 0, or a sub-16 capacity leaving this shard
+            // with no budget: drop the insert rather than exceed the bound.
+            return;
+        }
+        let evicted = shard.lru.lock().insert(hash, value, shard.capacity);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every cached entry (counters are kept).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut s = shard.lru.lock();
+            *s = LruShard::new();
+        }
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lru.lock().map.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// Typed cache of decoded nodes, shared by every clone (= version handle)
+/// of an index. See the module docs for the design; index `fetch` paths
+/// are one call:
+///
+/// ```ignore
+/// let (node, was_hit) = cache.get_or_load(hash, || {
+///     let page = store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+///     Node::decode_zc(&page)
+/// })?;
+/// ```
+pub struct NodeCache<N> {
+    lru: ShardedLru<Arc<N>>,
+}
+
+/// Default per-index decoded-node budget. At the paper's ≈1 KB node size
+/// this is ≈8 MB of pages kept alive per index family — comfortably more
+/// than the working set of a point-lookup benchmark, small enough to
+/// evict under scan-heavy churn.
+pub const DEFAULT_NODE_CACHE_CAPACITY: usize = 8192;
+
+impl<N> NodeCache<N> {
+    pub fn new(capacity: usize) -> Self {
+        NodeCache { lru: ShardedLru::new(capacity) }
+    }
+
+    /// A cache wrapped in the `Arc` the index handles share.
+    pub fn new_shared(capacity: usize) -> Arc<Self> {
+        Arc::new(Self::new(capacity))
+    }
+
+    pub fn get(&self, hash: &Hash) -> Option<Arc<N>> {
+        self.lru.get(hash)
+    }
+
+    pub fn insert(&self, hash: Hash, node: Arc<N>) {
+        self.lru.insert(hash, node);
+    }
+
+    /// The one fetch path every index shares: probe the cache, and on a
+    /// miss run `load` (store fetch + decode) and install the result. The
+    /// flag reports whether this was a hit — no store access, no decode.
+    /// `load` runs outside any shard lock, so concurrent misses on the
+    /// same hash decode redundantly rather than serializing (harmless:
+    /// both decodes are identical, last insert refreshes recency).
+    pub fn get_or_load<E>(
+        &self,
+        hash: &Hash,
+        load: impl FnOnce() -> Result<N, E>,
+    ) -> Result<(Arc<N>, bool), E> {
+        if let Some(node) = self.get(hash) {
+            return Ok((node, true));
+        }
+        let node = Arc::new(load()?);
+        self.insert(*hash, node.clone());
+        Ok((node, false))
+    }
+
+    pub fn clear(&self) {
+        self.lru.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.lru.capacity()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.lru.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siri_crypto::sha256;
+
+    fn h(i: u64) -> Hash {
+        sha256(&i.to_le_bytes())
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let c: ShardedLru<u64> = ShardedLru::new(64);
+        assert_eq!(c.get(&h(1)), None);
+        c.insert(h(1), 11);
+        assert_eq!(c.get(&h(1)), Some(11));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.len), (1, 1, 0, 1));
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_zero_disables() {
+        let c: ShardedLru<u64> = ShardedLru::new(0);
+        c.insert(h(1), 1);
+        assert_eq!(c.get(&h(1)), None);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        // Single-shard-sized capacity so eviction order is deterministic
+        // within a shard: find 3 hashes landing in the same shard.
+        let c: ShardedLru<u64> = ShardedLru::new(2 * SHARDS); // 2 per shard
+        let same_shard: Vec<Hash> = (0..1000u64)
+            .map(h)
+            .filter(|x| x.as_bytes()[0] & (SHARDS as u8 - 1) == 3)
+            .take(3)
+            .collect();
+        let &[a, b, x] = &same_shard[..] else { panic!() };
+        c.insert(a, 1);
+        c.insert(b, 2);
+        assert_eq!(c.get(&a), Some(1)); // refresh a: b is now LRU
+        c.insert(x, 3); // evicts b
+        assert_eq!(c.get(&b), None, "LRU entry must be evicted");
+        assert_eq!(c.get(&a), Some(1));
+        assert_eq!(c.get(&x), Some(3));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn bounded_under_churn() {
+        let c: ShardedLru<u64> = ShardedLru::new(128);
+        for i in 0..10_000u64 {
+            c.insert(h(i), i);
+        }
+        assert!(c.len() <= 128, "len {} exceeds capacity", c.len());
+        let s = c.stats();
+        assert_eq!(s.evictions + c.len() as u64, 10_000);
+    }
+
+    #[test]
+    fn reinsert_same_hash_refreshes_not_duplicates() {
+        let c: ShardedLru<u64> = ShardedLru::new(SHARDS);
+        c.insert(h(1), 1);
+        c.insert(h(1), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let c: ShardedLru<u64> = ShardedLru::new(SHARDS);
+        c.insert(h(1), 1);
+        c.get(&h(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&h(1)), None);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn capacity_is_an_exact_bound() {
+        // 20 over 16 shards: shards 0..4 get 2 slots, the rest get 1 —
+        // the shard budgets sum to exactly the requested capacity.
+        let c: ShardedLru<u64> = ShardedLru::new(20);
+        for i in 0..10_000u64 {
+            c.insert(h(i), i);
+        }
+        assert!(c.len() <= 20, "resident {} exceeds the requested bound", c.len());
+        // Sub-shard-count capacities drop inserts on budget-less shards
+        // rather than exceed the bound.
+        let tiny: ShardedLru<u64> = ShardedLru::new(3);
+        for i in 0..1_000u64 {
+            tiny.insert(h(i), i);
+        }
+        assert!(tiny.len() <= 3);
+
+        // And the side-effect-free peek never moves the counters.
+        let before = c.stats();
+        for i in 0..100u64 {
+            let _ = c.peek(&h(i));
+        }
+        let after = c.stats();
+        assert_eq!((before.hits, before.misses), (after.hits, after.misses));
+    }
+
+    #[test]
+    fn node_cache_shares_arcs() {
+        let c: NodeCache<Vec<u8>> = NodeCache::new(16);
+        let node = Arc::new(vec![1u8, 2, 3]);
+        c.insert(h(1), node.clone());
+        let got = c.get(&h(1)).unwrap();
+        assert!(Arc::ptr_eq(&node, &got), "hits must be refcount bumps");
+    }
+
+    #[test]
+    fn concurrent_probes_stay_coherent() {
+        let c: Arc<ShardedLru<u64>> = Arc::new(ShardedLru::new(256));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let k = (t * 31 + i) % 500;
+                    if let Some(v) = c.get(&h(k)) {
+                        assert_eq!(v, k, "value must match its key");
+                    } else {
+                        c.insert(h(k), k);
+                    }
+                }
+            }));
+        }
+        for hnd in handles {
+            hnd.join().unwrap();
+        }
+        assert!(c.len() <= 256);
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 16_000);
+    }
+}

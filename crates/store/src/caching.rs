@@ -7,50 +7,74 @@
 //! §2); the *shape* of Figure 21 is driven by the cache hit ratio, which
 //! this layer reproduces faithfully.
 //!
+//! The cache is a capacity-bounded [`ShardedLru`] (DESIGN.md §3): earlier
+//! revisions used an unbounded map, which grew without limit on long
+//! workloads — exactly what the Figure 21 cache-size sweep cannot tolerate,
+//! since the sweep's x-axis *is* the bound. Hit/miss/eviction counters are
+//! folded into [`StoreStats`] (`cache_*` fields).
+//!
 //! Writes bypass the cache entirely — in Forkbase "the write operations
 //! will be performed on the server side completely".
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
-use parking_lot::RwLock;
-use siri_crypto::{FxHashMap, Hash};
+use siri_crypto::Hash;
 
+use crate::cache::{CacheStats, ShardedLru};
 use crate::{NodeStore, SharedStore, StoreStats};
 
-/// A read-through node cache in front of a shared ("server") store.
+/// Default page capacity of a client cache: ≈16 MB at 1 KB pages, the
+/// mid-range point of the §5.6.1 sweep.
+pub const DEFAULT_CLIENT_CACHE_PAGES: usize = 16 * 1024;
+
+/// A read-through, capacity-bounded page cache in front of a shared
+/// ("server") store.
 pub struct CachingStore {
     server: SharedStore,
-    cache: RwLock<FxHashMap<Hash, Bytes>>,
+    cache: ShardedLru<Bytes>,
     /// Nanoseconds of synthetic latency charged per remote fetch.
     fetch_cost_nanos: u64,
-    remote_fetches: AtomicU64,
-    local_hits: AtomicU64,
     synthetic_nanos: AtomicU64,
+    remote_fetch_count: AtomicU64,
 }
 
 impl CachingStore {
     /// `fetch_cost_nanos` is the modelled round-trip cost of pulling one
-    /// page from the server.
+    /// page from the server. The cache holds up to
+    /// [`DEFAULT_CLIENT_CACHE_PAGES`] pages; use
+    /// [`CachingStore::with_capacity`] for the Figure 21 sweep.
     pub fn new(server: SharedStore, fetch_cost_nanos: u64) -> Self {
+        Self::with_capacity(server, fetch_cost_nanos, DEFAULT_CLIENT_CACHE_PAGES)
+    }
+
+    /// A client cache bounded to `capacity` pages (0 = no caching: every
+    /// read is a remote fetch).
+    pub fn with_capacity(server: SharedStore, fetch_cost_nanos: u64, capacity: usize) -> Self {
         CachingStore {
             server,
-            cache: RwLock::new(FxHashMap::default()),
+            cache: ShardedLru::new(capacity),
             fetch_cost_nanos,
-            remote_fetches: AtomicU64::new(0),
-            local_hits: AtomicU64::new(0),
             synthetic_nanos: AtomicU64::new(0),
+            remote_fetch_count: AtomicU64::new(0),
         }
     }
 
-    /// Pages fetched from the server (cache misses).
+    /// Pages fetched from the server (cache misses that found the page).
     pub fn remote_fetches(&self) -> u64 {
-        self.remote_fetches.load(Ordering::Relaxed)
+        // A miss on a page the server doesn't have either is not a fetch;
+        // misses are counted at probe time, fetches at transfer time.
+        self.remote_fetch_count.load(Ordering::Relaxed)
     }
 
     /// Reads served from the local cache.
     pub fn local_hits(&self) -> u64 {
-        self.local_hits.load(Ordering::Relaxed)
+        self.cache.stats().hits
+    }
+
+    /// Pages evicted from the local cache to stay under its bound.
+    pub fn evictions(&self) -> u64 {
+        self.cache.stats().evictions
     }
 
     /// Total synthetic latency accumulated so far, in nanoseconds. Harnesses
@@ -70,14 +94,19 @@ impl CachingStore {
         }
     }
 
+    /// Raw cache counters (hits, misses, evictions, len, capacity).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Drop all cached pages (e.g. to model a fresh client).
     pub fn clear(&self) {
-        self.cache.write().clear();
+        self.cache.clear();
     }
 
     /// Number of pages currently cached.
     pub fn cached_pages(&self) -> usize {
-        self.cache.read().len()
+        self.cache.len()
     }
 }
 
@@ -89,23 +118,30 @@ impl NodeStore for CachingStore {
     }
 
     fn get(&self, hash: &Hash) -> Option<Bytes> {
-        if let Some(page) = self.cache.read().get(hash) {
-            self.local_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(page.clone());
+        if let Some(page) = self.cache.get(hash) {
+            return Some(page);
         }
         let fetched = self.server.get(hash)?;
-        self.remote_fetches.fetch_add(1, Ordering::Relaxed);
+        self.remote_fetch_count.fetch_add(1, Ordering::Relaxed);
         self.synthetic_nanos.fetch_add(self.fetch_cost_nanos, Ordering::Relaxed);
-        self.cache.write().insert(*hash, fetched.clone());
+        self.cache.insert(*hash, fetched.clone());
         Some(fetched)
     }
 
     fn contains(&self, hash: &Hash) -> bool {
-        self.cache.read().contains_key(hash) || self.server.contains(hash)
+        // `peek`, not `get`: an existence check is not a read — it must not
+        // count toward the hit ratio or disturb LRU recency.
+        self.cache.peek(hash) || self.server.contains(hash)
     }
 
     fn stats(&self) -> StoreStats {
-        self.server.stats()
+        let cache = self.cache.stats();
+        StoreStats {
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            ..self.server.stats()
+        }
     }
 }
 
@@ -125,6 +161,9 @@ mod tests {
         assert_eq!(client.local_hits(), 1);
         assert_eq!(client.synthetic_nanos(), 1_000);
         assert!((client.hit_ratio() - 0.5).abs() < 1e-12);
+        let s = client.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
     }
 
     #[test]
@@ -156,5 +195,53 @@ mod tests {
         client.clear();
         client.get(&h);
         assert_eq!(client.remote_fetches(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_resident_pages() {
+        let server = MemStore::new_shared();
+        let hashes: Vec<_> =
+            (0..500u32).map(|i| server.put(Bytes::from(i.to_le_bytes().to_vec()))).collect();
+        let client = CachingStore::with_capacity(server, 100, 64);
+        for h in &hashes {
+            assert!(client.get(h).is_some());
+        }
+        assert!(client.cached_pages() <= 64, "cache grew past its bound");
+        assert!(client.evictions() > 0, "500 pages through a 64-page cache must evict");
+        assert_eq!(client.stats().cache_evictions, client.evictions());
+        // Synthetic cost was charged for every remote fetch.
+        assert_eq!(client.synthetic_nanos(), 100 * client.remote_fetches());
+    }
+
+    #[test]
+    fn zero_capacity_is_pure_remote() {
+        let server = MemStore::new_shared();
+        let h = server.put(Bytes::from_static(b"page"));
+        let client = CachingStore::with_capacity(server, 10, 0);
+        client.get(&h);
+        client.get(&h);
+        assert_eq!(client.remote_fetches(), 2);
+        assert_eq!(client.local_hits(), 0);
+        assert_eq!(client.cached_pages(), 0);
+    }
+
+    #[test]
+    fn smaller_cache_lower_hit_ratio() {
+        // The Figure 21 mechanism in miniature: same access stream,
+        // shrinking capacity, monotonically (weakly) worse hit ratio.
+        let server = MemStore::new_shared();
+        let hashes: Vec<_> =
+            (0..200u32).map(|i| server.put(Bytes::from(i.to_le_bytes().to_vec()))).collect();
+        let mut ratios = Vec::new();
+        for cap in [256usize, 64, 16] {
+            let client = CachingStore::with_capacity(server.clone(), 100, cap);
+            for _ in 0..3 {
+                for h in &hashes {
+                    client.get(h);
+                }
+            }
+            ratios.push(client.hit_ratio());
+        }
+        assert!(ratios[0] > ratios[2], "256-page cache must beat 16-page: {ratios:?}");
     }
 }

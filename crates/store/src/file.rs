@@ -24,6 +24,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use siri_crypto::{sha256, FxHashMap, Hash};
 
+use crate::stats::AtomicStoreStats;
 use crate::{NodeStore, StoreStats};
 
 const FRAME_MAGIC: u8 = 0xA5;
@@ -36,13 +37,16 @@ struct Inner {
     index: FxHashMap<Hash, (u64, u32)>,
     /// Append position.
     end: u64,
-    stats: StoreStats,
 }
 
-/// File-backed [`NodeStore`]. All operations go through one mutex — the
-/// store is shared via `Arc` exactly like [`crate::MemStore`].
+/// File-backed [`NodeStore`]. Data operations go through one mutex (the
+/// file cursor is shared state) but the counters live outside it in
+/// [`AtomicStoreStats`], mirroring [`crate::MemStore`]: `stats()` never
+/// waits behind a reader's seek+read, and counting a `get` never extends
+/// the critical section.
 pub struct FileStore {
     inner: Mutex<Inner>,
+    stats: AtomicStoreStats,
 }
 
 impl FileStore {
@@ -52,7 +56,7 @@ impl FileStore {
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<(Self, usize)> {
         let mut file = OpenOptions::new().read(true).append(true).create(true).open(path)?;
         let mut index = FxHashMap::default();
-        let mut stats = StoreStats::default();
+        let stats = AtomicStoreStats::default();
 
         // Recovery scan.
         let file_len = file.seek(SeekFrom::End(0))?;
@@ -82,8 +86,8 @@ impl FileStore {
                 break; // bit rot in the tail: stop at the last good frame
             }
             index.insert(digest, (pos + 37, len));
-            stats.unique_pages += 1;
-            stats.unique_bytes += len as u64;
+            AtomicStoreStats::add(&stats.unique_pages, 1);
+            AtomicStoreStats::add(&stats.unique_bytes, len as u64);
             pos += 37 + len as u64;
             valid_end = pos;
         }
@@ -96,7 +100,10 @@ impl FileStore {
         file.seek(SeekFrom::Start(valid_end))?;
 
         let recovered = index.len();
-        Ok((FileStore { inner: Mutex::new(Inner { file, index, end: valid_end, stats }) }, recovered))
+        Ok((
+            FileStore { inner: Mutex::new(Inner { file, index, end: valid_end }), stats },
+            recovered,
+        ))
     }
 
     /// Flush appended pages to the OS (callers that need durability across
@@ -118,9 +125,9 @@ impl FileStore {
 impl NodeStore for FileStore {
     fn put(&self, page: Bytes) -> Hash {
         let digest = sha256(&page);
+        AtomicStoreStats::add(&self.stats.puts, 1);
+        AtomicStoreStats::add(&self.stats.logical_bytes, page.len() as u64);
         let mut inner = self.inner.lock();
-        inner.stats.puts += 1;
-        inner.stats.logical_bytes += page.len() as u64;
         if inner.index.contains_key(&digest) {
             return digest;
         }
@@ -133,14 +140,14 @@ impl NodeStore for FileStore {
         let payload_off = inner.end + 37;
         inner.index.insert(digest, (payload_off, page.len() as u32));
         inner.end += frame.len() as u64;
-        inner.stats.unique_pages += 1;
-        inner.stats.unique_bytes += page.len() as u64;
+        AtomicStoreStats::add(&self.stats.unique_pages, 1);
+        AtomicStoreStats::add(&self.stats.unique_bytes, page.len() as u64);
         digest
     }
 
     fn get(&self, hash: &Hash) -> Option<Bytes> {
+        AtomicStoreStats::add(&self.stats.gets, 1);
         let mut inner = self.inner.lock();
-        inner.stats.gets += 1;
         let (off, len) = *inner.index.get(hash)?;
         let mut buf = vec![0u8; len as usize];
         inner.file.seek(SeekFrom::Start(off)).ok()?;
@@ -148,7 +155,8 @@ impl NodeStore for FileStore {
         // Restore the append position invariant.
         let end = inner.end;
         inner.file.seek(SeekFrom::Start(end)).ok()?;
-        inner.stats.hits += 1;
+        drop(inner);
+        AtomicStoreStats::add(&self.stats.hits, 1);
         Some(Bytes::from(buf))
     }
 
@@ -157,7 +165,7 @@ impl NodeStore for FileStore {
     }
 
     fn stats(&self) -> StoreStats {
-        self.inner.lock().stats
+        self.stats.snapshot()
     }
 }
 

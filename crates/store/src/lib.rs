@@ -8,29 +8,37 @@
 //! deduplication ratio η (§4.2).
 //!
 //! * [`NodeStore`] — the storage abstraction all four indexes run on.
-//! * [`MemStore`] — in-memory store with logical-vs-physical accounting.
-//! * [`CachingStore`] — client-side node cache over a remote store with a
-//!   synthetic per-fetch cost; models the Forkbase client/server deployment
-//!   of §5.6.1.
+//! * [`MemStore`] — in-memory store (sharded, lock-free-read) with
+//!   logical-vs-physical accounting.
+//! * [`CachingStore`] — bounded client-side page cache over a remote store
+//!   with a synthetic per-fetch cost; models the Forkbase client/server
+//!   deployment of §5.6.1.
+//! * [`NodeCache`] — sharded LRU of *decoded* nodes keyed by content
+//!   address; the index crates thread one through their read paths so hot
+//!   lookups skip the store lock, the page clone and the decode entirely.
 //! * [`PageSet`] — the reachable page set P(I) of one index instance, the
 //!   input to the deduplication metrics.
+//!
+//! The layering and the cache design are documented in DESIGN.md.
 
+mod cache;
 mod caching;
 mod file;
 pub mod gc;
-pub mod ship;
 mod mem;
 mod pageset;
+pub mod ship;
 mod stats;
 
 use bytes::Bytes;
 use siri_crypto::Hash;
 
-pub use caching::CachingStore;
+pub use cache::{CacheStats, NodeCache, ShardedLru, DEFAULT_NODE_CACHE_CAPACITY};
+pub use caching::{CachingStore, DEFAULT_CLIENT_CACHE_PAGES};
 pub use file::FileStore;
 pub use mem::MemStore;
 pub use pageset::PageSet;
-pub use stats::StoreStats;
+pub use stats::{AtomicStoreStats, StoreStats};
 
 /// Storage for immutable, content-addressed pages.
 ///
@@ -128,9 +136,7 @@ mod tests {
         let root = store.put(Bytes::from(root_page));
 
         let set = reachable_pages(&store, root, |page| {
-            page.chunks_exact(32)
-                .filter_map(Hash::from_slice)
-                .collect()
+            page.chunks_exact(32).filter_map(Hash::from_slice).collect()
         });
         assert_eq!(set.len(), 4, "root + 2 parents + 1 shared leaf");
         assert!(set.contains(&leaf));

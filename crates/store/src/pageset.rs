@@ -51,12 +51,8 @@ impl PageSet {
 
     /// Pages in `self` but not in `other`.
     pub fn difference(&self, other: &PageSet) -> PageSet {
-        let pages = self
-            .pages
-            .iter()
-            .filter(|(h, _)| !other.contains(h))
-            .map(|(h, b)| (*h, *b))
-            .collect();
+        let pages =
+            self.pages.iter().filter(|(h, _)| !other.contains(h)).map(|(h, b)| (*h, *b)).collect();
         PageSet { pages }
     }
 
@@ -64,12 +60,8 @@ impl PageSet {
     pub fn intersection(&self, other: &PageSet) -> PageSet {
         // Iterate the smaller side.
         let (small, big) = if self.len() <= other.len() { (self, other) } else { (other, self) };
-        let pages = small
-            .pages
-            .iter()
-            .filter(|(h, _)| big.contains(h))
-            .map(|(h, b)| (*h, *b))
-            .collect();
+        let pages =
+            small.pages.iter().filter(|(h, _)| big.contains(h)).map(|(h, b)| (*h, *b)).collect();
         PageSet { pages }
     }
 

@@ -1,11 +1,17 @@
 //! Storage counters distinguishing logical writes from physical storage.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Counters maintained by a [`crate::NodeStore`].
 ///
 /// The split between *logical* and *unique* is what the paper's Figure 1
 /// plots as "Raw" vs "Deduplicated" storage: logical counts every page ever
 /// written (as if each version kept private copies), unique counts the
 /// content-addressed union actually stored.
+///
+/// The `cache_*` fields are zero for plain stores; caching layers
+/// ([`crate::CachingStore`]) fold their page-cache counters in so harnesses
+/// read one struct (Figure 21's hit-ratio axis).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Number of `put` calls.
@@ -20,6 +26,12 @@ pub struct StoreStats {
     pub gets: u64,
     /// `get` calls that found the page.
     pub hits: u64,
+    /// Page-cache hits (caching stores only).
+    pub cache_hits: u64,
+    /// Page-cache misses (caching stores only).
+    pub cache_misses: u64,
+    /// Page-cache evictions (caching stores only).
+    pub cache_evictions: u64,
 }
 
 impl StoreStats {
@@ -41,6 +53,60 @@ impl StoreStats {
             self.hits as f64 / self.gets as f64
         }
     }
+
+    /// Page-cache hit rate; 1.0 when the store has no cache or it was
+    /// never probed.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Lock-free accumulator behind [`StoreStats`].
+///
+/// Stores bump these with relaxed atomics so *read* operations never take a
+/// write lock just to count themselves (the regression this replaces held
+/// `inner.write()` across every `get`). Relaxed ordering is enough: the
+/// counters are monotone tallies, not synchronization edges, and
+/// [`AtomicStoreStats::snapshot`] only promises per-counter atomicity — a
+/// snapshot taken mid-operation may see `gets` without the matching `hits`,
+/// exactly like the old struct read under a momentarily released lock.
+#[derive(Debug, Default)]
+pub struct AtomicStoreStats {
+    pub puts: AtomicU64,
+    pub logical_bytes: AtomicU64,
+    pub unique_pages: AtomicU64,
+    pub unique_bytes: AtomicU64,
+    pub gets: AtomicU64,
+    pub hits: AtomicU64,
+}
+
+impl AtomicStoreStats {
+    #[inline]
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(counter: &AtomicU64, v: u64) {
+        counter.fetch_sub(v, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            puts: self.puts.load(Ordering::Relaxed),
+            logical_bytes: self.logical_bytes.load(Ordering::Relaxed),
+            unique_pages: self.unique_pages.load(Ordering::Relaxed),
+            unique_bytes: self.unique_bytes.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            ..StoreStats::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -52,6 +118,7 @@ mod tests {
         let empty = StoreStats::default();
         assert_eq!(empty.dedup_savings(), 0.0);
         assert_eq!(empty.hit_rate(), 1.0);
+        assert_eq!(empty.cache_hit_rate(), 1.0);
 
         let s = StoreStats {
             puts: 4,
@@ -60,8 +127,24 @@ mod tests {
             unique_bytes: 100,
             gets: 10,
             hits: 9,
+            cache_hits: 3,
+            cache_misses: 1,
+            cache_evictions: 0,
         };
         assert!((s.dedup_savings() - 0.75).abs() < 1e-12);
         assert!((s.hit_rate() - 0.9).abs() < 1e-12);
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atomic_snapshot_round_trips() {
+        let a = AtomicStoreStats::default();
+        AtomicStoreStats::add(&a.puts, 3);
+        AtomicStoreStats::add(&a.unique_pages, 2);
+        AtomicStoreStats::sub(&a.unique_pages, 1);
+        let s = a.snapshot();
+        assert_eq!(s.puts, 3);
+        assert_eq!(s.unique_pages, 1);
+        assert_eq!(s.cache_hits, 0);
     }
 }

@@ -16,12 +16,56 @@ const URL_PREFIX: &str = "https://en.wikipedia.org/wiki/";
 /// A compact word pool; titles and abstracts are drawn from it so the text
 /// is compressible and plausibly token-shaped, like real abstracts.
 const WORDS: &[&str] = &[
-    "history", "system", "theory", "music", "river", "language", "science", "world", "city",
-    "county", "island", "battle", "church", "school", "station", "album", "species", "film",
-    "village", "football", "railway", "museum", "national", "american", "german", "french",
-    "ancient", "modern", "northern", "southern", "empire", "university", "population", "district",
-    "region", "century", "company", "family", "player", "season", "government", "building",
-    "mountain", "valley", "bridge", "castle", "temple", "garden", "festival", "library",
+    "history",
+    "system",
+    "theory",
+    "music",
+    "river",
+    "language",
+    "science",
+    "world",
+    "city",
+    "county",
+    "island",
+    "battle",
+    "church",
+    "school",
+    "station",
+    "album",
+    "species",
+    "film",
+    "village",
+    "football",
+    "railway",
+    "museum",
+    "national",
+    "american",
+    "german",
+    "french",
+    "ancient",
+    "modern",
+    "northern",
+    "southern",
+    "empire",
+    "university",
+    "population",
+    "district",
+    "region",
+    "century",
+    "company",
+    "family",
+    "player",
+    "season",
+    "government",
+    "building",
+    "mountain",
+    "valley",
+    "bridge",
+    "castle",
+    "temple",
+    "garden",
+    "festival",
+    "library",
 ];
 
 /// Wiki corpus generator.
@@ -111,7 +155,8 @@ impl WikiConfig {
             out.push(self.page(page, version));
         }
         for n in 0..self.new_pages_per_version as u64 {
-            let id = self.pages as u64 + (version as u64 - 1) * self.new_pages_per_version as u64 + n;
+            let id =
+                self.pages as u64 + (version as u64 - 1) * self.new_pages_per_version as u64 + n;
             out.push(self.page(id, version));
         }
         out

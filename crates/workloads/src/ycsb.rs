@@ -116,12 +116,7 @@ impl YcsbConfig {
     /// per-party shuffle): Structurally Invariant indexes still converge
     /// on identical pages for the shared content, order-dependent ones do
     /// not — which is exactly what the §5.5.1 ablation measures.
-    pub fn collaboration(
-        &self,
-        parties: usize,
-        ops: usize,
-        overlap_pct: u32,
-    ) -> Vec<Vec<Entry>> {
+    pub fn collaboration(&self, parties: usize, ops: usize, overlap_pct: u32) -> Vec<Vec<Entry>> {
         use rand::seq::SliceRandom;
         let shared = (ops as u64 * overlap_pct as u64 / 100) as usize;
         (0..parties)
@@ -191,10 +186,8 @@ mod tests {
         let cfg = YcsbConfig::default();
         let parties = cfg.collaboration(3, 1000, 40);
         assert_eq!(parties.len(), 3);
-        let a: std::collections::HashSet<_> =
-            parties[0].iter().map(|e| e.key.clone()).collect();
-        let b: std::collections::HashSet<_> =
-            parties[1].iter().map(|e| e.key.clone()).collect();
+        let a: std::collections::HashSet<_> = parties[0].iter().map(|e| e.key.clone()).collect();
+        let b: std::collections::HashSet<_> = parties[1].iter().map(|e| e.key.clone()).collect();
         let common = a.intersection(&b).count();
         assert_eq!(common, 400, "40% of 1000 must be shared");
     }

@@ -41,14 +41,20 @@ fn main() -> siri::Result<()> {
         report.node_sharing_ratio,
     );
 
-    // Merge everything back. Disjoint edits merge cleanly…
-    for team in ["cleaning", "enrichment", "qa"] {
+    // Merge everything back. Enrichment and QA only *added* records, so
+    // the strict policy merges them cleanly…
+    for team in ["enrichment", "qa"] {
         let outcome = lab.merge_branches("master", team, MergeStrategy::Strict)?;
         println!(
             "merged {team}: +{} records, {} conflicts",
             outcome.added_from_right, outcome.conflicts_resolved
         );
     }
+    // …while cleaning *edited* shared records. Two-way merge sees every
+    // edit-vs-base pair as a conflict (§4.1.4: a selection strategy must
+    // be given), so absorb the team's edits by preferring their side.
+    let outcome = lab.merge_branches("master", "cleaning", MergeStrategy::PreferRight)?;
+    println!("merged cleaning: {} edited record(s) absorbed", outcome.conflicts_resolved);
 
     // …while overlapping edits are caught.
     lab.fork("master", "rogue")?;

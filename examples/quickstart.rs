@@ -38,13 +38,18 @@ fn main() -> siri::Result<()> {
         );
     }
 
-    // Merge a divergent branch (strict: conflicting keys abort the merge).
+    // Merge a divergent branch. Both sides touched `alice` (main set it to
+    // 42, the branch still carries 100), so the strict policy aborts —
+    // "the process must be interrupted and a selection strategy must be
+    // given by the end user" (§4.1.4). Resolve by preferring main.
     let mut branch = v1.clone();
     branch.insert(b"dave", Bytes::from_static(b"500"))?;
-    let outcome = siri::merge(&accounts, &branch, MergeStrategy::Strict)?;
+    assert!(siri::merge(&accounts, &branch, MergeStrategy::Strict).is_err());
+    let outcome = siri::merge(&accounts, &branch, MergeStrategy::PreferLeft)?;
     println!(
-        "merged branch: +{} record(s), digest {}",
+        "merged branch: +{} record(s), {} conflict(s) resolved, digest {}",
         outcome.added_from_right,
+        outcome.conflicts_resolved,
         outcome.merged.root()
     );
 

@@ -38,11 +38,7 @@ fn usage() -> ! {
 }
 
 fn load_history(path: &str) -> Vec<Hash> {
-    std::fs::read_to_string(path)
-        .unwrap_or_default()
-        .lines()
-        .filter_map(Hash::from_hex)
-        .collect()
+    std::fs::read_to_string(path).unwrap_or_default().lines().filter_map(Hash::from_hex).collect()
 }
 
 fn append_history(path: &str, root: Hash) {
@@ -92,7 +88,8 @@ fn main() {
             let key = rest.get(1).unwrap_or_else(|| usage());
             let view = match rest.iter().position(|a| a == "--root") {
                 Some(p) => {
-                    let h = rest.get(p + 1).and_then(|s| Hash::from_hex(s)).unwrap_or_else(|| usage());
+                    let h =
+                        rest.get(p + 1).and_then(|s| Hash::from_hex(s)).unwrap_or_else(|| usage());
                     PosTree::open(store.clone(), params, h)
                 }
                 None => head,
@@ -116,7 +113,11 @@ fn main() {
                 None => head.scan().unwrap(),
             };
             for e in entries {
-                println!("{}\t{}", String::from_utf8_lossy(&e.key), String::from_utf8_lossy(&e.value));
+                println!(
+                    "{}\t{}",
+                    String::from_utf8_lossy(&e.key),
+                    String::from_utf8_lossy(&e.value)
+                );
             }
         }
         "log" => {

@@ -5,9 +5,7 @@
 use std::sync::Arc;
 
 use siri::workloads::YcsbConfig;
-use siri::{
-    CachingStore, Entry, MemStore, PageSet, PosParams, PosTree, SharedStore, SiriIndex,
-};
+use siri::{CachingStore, Entry, MemStore, PageSet, PosParams, PosTree, SharedStore, SiriIndex};
 use siri_store::{gc, FileStore};
 
 fn tmp(name: &str) -> std::path::PathBuf {

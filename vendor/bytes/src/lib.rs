@@ -1,0 +1,257 @@
+//! Minimal, vendored stand-in for the `bytes` crate.
+//!
+//! The container this repository builds in has no network access to a cargo
+//! registry, so the handful of external crates the codebase relies on are
+//! vendored as small, API-compatible subsets. This one provides [`Bytes`]:
+//! a cheaply cloneable, immutable byte buffer whose `clone` and `slice` are
+//! reference-count bumps, which is the property the store and node codecs
+//! depend on (pages are shared, never copied, after `put`).
+//!
+//! Only the API surface the workspace uses is implemented.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+///
+/// `Static` avoids allocation for literals; `Shared` holds an `Arc`'d
+/// allocation plus a window, so `slice()` never copies.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared { buf: Arc<[u8]>, off: usize, len: usize },
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Self {
+        Bytes { repr: Repr::Static(&[]) }
+    }
+
+    /// Wrap a `'static` slice (no allocation).
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes { repr: Repr::Static(bytes) }
+    }
+
+    /// Copy a slice into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { repr: Repr::Shared { buf: Arc::from(data), off: 0, len: data.len() } }
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Static(s) => s.len(),
+            Repr::Shared { len, .. } => *len,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A zero-copy sub-window of this buffer.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds (mirrors `bytes::Bytes::slice`).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let len = self.len();
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(start <= end, "slice start {start} > end {end}");
+        assert!(end <= len, "slice end {end} out of bounds (len {len})");
+        match &self.repr {
+            Repr::Static(s) => Bytes { repr: Repr::Static(&s[start..end]) },
+            Repr::Shared { buf, off, .. } => Bytes {
+                repr: Repr::Shared { buf: Arc::clone(buf), off: off + start, len: end - start },
+            },
+        }
+    }
+
+    #[allow(clippy::should_implement_trait)] // also implemented as the trait; inherent copy avoids imports
+    pub fn as_ref(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared { buf, off, len } => &buf[*off..*off + *len],
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        Bytes::as_ref(self)
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state)
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { repr: Repr::Shared { off: 0, len: v.len(), buf: Arc::from(v) } }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        // Same backing allocation: pointer falls inside the parent's range.
+        let parent = b.as_ref().as_ptr() as usize;
+        let child = s.as_ref().as_ptr() as usize;
+        assert_eq!(child, parent + 1);
+    }
+
+    #[test]
+    fn slice_open_ranges() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.slice(..).as_ref(), &[1, 2, 3]);
+        assert_eq!(b.slice(1..).as_ref(), &[2, 3]);
+        assert_eq!(b.slice(..2).as_ref(), &[1, 2]);
+        assert_eq!(b.slice(..=1).as_ref(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![1u8]).slice(0..2);
+    }
+
+    #[test]
+    fn equality_and_order() {
+        assert_eq!(Bytes::from_static(b"abc"), Bytes::copy_from_slice(b"abc"));
+        assert!(Bytes::from_static(b"a") < Bytes::from_static(b"b"));
+        assert_eq!(Bytes::from_static(b"xy"), *b"xy");
+    }
+
+    #[test]
+    fn deref_gives_slice_methods() {
+        let b = Bytes::from_static(b"hello world");
+        assert!(b.starts_with(b"hello"));
+        assert_eq!(b.get(0..5).unwrap(), b"hello");
+        assert_eq!(b[6], b'w');
+    }
+}

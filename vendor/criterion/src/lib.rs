@@ -1,0 +1,233 @@
+//! Minimal, vendored stand-in for the `criterion` crate.
+//!
+//! Implements the subset the bench files use — `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function`, `Bencher::iter` — with a simple but
+//! honest measurement loop: per sample, the closure runs in a timed batch
+//! sized to ≈5 ms, and the harness reports the median, minimum and maximum
+//! per-iteration time across samples (median is robust against scheduler
+//! noise, which is what criterion's estimator is after). Results print as
+//!
+//! ```text
+//! group/name            median   12_345 ns/iter  (min 11_900, max 13_001, 20 samples)
+//! ```
+//!
+//! Filters work like libtest: `cargo bench -- <substring>` runs only
+//! benchmarks whose `group/name` id contains the substring.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("function", parameter)`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Id carrying only a parameter (`BenchmarkId::from_parameter(p)`).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation; folded into the report as MB/s or Melem/s.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level harness state.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Parse libtest-style CLI args (first non-flag argument = filter).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && a != "--bench");
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            filter: self.filter.clone(),
+        }
+    }
+
+    /// Ungrouped benchmark (prints under the pseudo-group "bench").
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    filter: Option<String>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into().id);
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+
+        // Calibration pass: size a batch to ≈5 ms.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: batch, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let min = samples_ns[0];
+        let max = samples_ns[samples_ns.len() - 1];
+
+        let thrpt = match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                format!("  {:>8.1} MB/s", bytes as f64 / median * 1e9 / 1e6)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>8.2} Melem/s", n as f64 / median * 1e9 / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{full_id:<44} median {median:>12.0} ns/iter  (min {min:.0}, max {max:.0}, {} samples){thrpt}",
+            samples_ns.len()
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the measured closure; `iter` times `iters` runs of the body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("mpt").id, "mpt");
+    }
+}

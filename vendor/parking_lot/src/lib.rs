@@ -1,0 +1,114 @@
+//! Minimal, vendored stand-in for the `parking_lot` crate.
+//!
+//! Wraps `std::sync` primitives with `parking_lot`'s non-poisoning API
+//! (no `.unwrap()` at call sites). Lock poisoning is translated into a
+//! panic-with-inner-data recovery: if a writer panicked, we still hand out
+//! the guard, matching parking_lot semantics where locks are never poisoned.
+
+use std::sync::{self, PoisonError};
+
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        // parking_lot semantics: no poisoning, lock still usable.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}

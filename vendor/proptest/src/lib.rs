@@ -1,0 +1,407 @@
+//! Minimal, vendored stand-in for the `proptest` crate.
+//!
+//! Provides the subset the repository's property tests use: the
+//! [`Strategy`] trait (`prop_map`, `prop_recursive`, ranges, tuples,
+//! `Just`), `collection::vec`, `num::*::ANY`, `bool::ANY`, the
+//! `proptest!` / `prop_oneof!` / `prop_assert*` macros and
+//! [`ProptestConfig`]. Generation is deterministic (seeded from the test
+//! name) and there is **no shrinking** — a failing case reports its case
+//! number and panics with the underlying assertion message.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// Runner configuration (subset: `cases`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 48, max_shrink_iters: 0 }
+    }
+}
+
+/// The random source handed to strategies.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    pub fn usize_in(&mut self, lo: usize, hi_exclusive: usize) -> usize {
+        self.rng.gen_range(lo..hi_exclusive)
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+
+    /// Build recursive strategies: `depth` rounds of wrapping the
+    /// accumulated strategy via `recurse`, with a coin-flip fallback to the
+    /// leaf at every level so generation terminates.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            let l = leaf.clone();
+            strat = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                if rng.next_u64() & 1 == 0 {
+                    l.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            }));
+        }
+        strat
+    }
+}
+
+/// Type-erased strategy (cheaply cloneable).
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between strategies of one value type (`prop_oneof!`).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_in(0, self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.lo, self.size.hi_exclusive);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Length range for collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub lo: usize,
+    pub hi_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange { lo: r.start, hi_exclusive: r.end.max(r.start + 1) }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi_exclusive: n + 1 }
+    }
+}
+
+macro_rules! num_any_mod {
+    ($($m:ident : $t:ty),*) => {$(
+        pub mod $m {
+            /// Marker strategy producing any value of the type.
+            #[derive(Clone, Copy, Debug)]
+            pub struct Any;
+            pub const ANY: Any = Any;
+
+            impl super::Strategy for Any {
+                type Value = $t;
+                fn generate(&self, rng: &mut super::TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+/// Numeric `ANY` strategies (`proptest::num::u8::ANY`, …).
+pub mod num {
+    use super::{Strategy, TestRng};
+    num_any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize,
+                 i8: i8, i16: i16, i32: i32, i64: i64, isize: isize);
+}
+
+/// `proptest::bool::ANY`.
+pub mod bool {
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+    pub const ANY: Any = Any;
+
+    impl super::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut super::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The test-defining macro. Each `#[test] fn name(arg in strategy, ...)`
+/// becomes a standard test that runs `cases` random instantiations of the
+/// body. Failures report the 0-based case index (generation is
+/// deterministic per test name, so a failing case reproduces exactly).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || $body));
+                if let Err(cause) = result {
+                    eprintln!(
+                        "proptest case {case}/{} failed in {}",
+                        config.cases,
+                        stringify!($name)
+                    );
+                    ::std::panic::resume_unwind(cause);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_generate_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("t1");
+        for _ in 0..200 {
+            let v = (5u8..10).generate(&mut rng);
+            assert!((5..10).contains(&v));
+            let xs = crate::collection::vec(crate::num::u8::ANY, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&xs.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map() {
+        let mut rng = crate::TestRng::deterministic("t2");
+        let s = prop_oneof![Just(1u8), Just(2u8)].prop_map(|v| v * 10);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v == 10 || v == 20);
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let mut rng = crate::TestRng::deterministic("t3");
+        let leaf = crate::num::u8::ANY.prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        for _ in 0..100 {
+            let _ = strat.generate(&mut rng);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_roundtrip(xs in crate::collection::vec(crate::num::u16::ANY, 0..20), k in 1usize..5) {
+            let doubled: Vec<u16> = xs.iter().map(|v| v.wrapping_mul(2)).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            prop_assert!((1..5).contains(&k));
+        }
+    }
+}
