@@ -101,6 +101,12 @@ pub fn load_batched<F: IndexFactory>(
 pub struct WorkloadStats {
     pub reads: usize,
     pub writes: usize,
+    /// Delete ops (also counted into `writes`: they mutate the tree).
+    pub deletes: usize,
+    /// Scan ops (also counted into `reads`); `scan_entries` tallies the
+    /// entries their cursors streamed.
+    pub scans: usize,
+    pub scan_entries: usize,
     pub read_nanos: u64,
     pub write_nanos: u64,
     /// (is_write, latency ns) per op, for the distribution figures.
@@ -129,10 +135,12 @@ impl WorkloadStats {
     }
 }
 
-/// Replay an op stream against an index, timing each operation. Writes are
-/// applied one at a time (per-op versions), as in the paper's
-/// throughput/latency runs.
+/// Replay an op stream against an index, timing each operation. Writes and
+/// deletes are applied one at a time (per-op versions), as in the paper's
+/// throughput/latency runs; scans stream through the unified range cursor
+/// without materializing.
 pub fn run_ops<I: SiriIndex>(index: &mut I, ops: &[Op]) -> WorkloadStats {
+    use std::ops::Bound;
     let mut stats =
         WorkloadStats { latencies: Vec::with_capacity(ops.len()), ..Default::default() };
     for op in ops {
@@ -152,6 +160,29 @@ pub fn run_ops<I: SiriIndex>(index: &mut I, ops: &[Op]) -> WorkloadStats {
                 stats.writes += 1;
                 stats.write_nanos += n;
                 stats.latencies.push((true, n));
+            }
+            Op::Delete(key) => {
+                let t = Instant::now();
+                index.delete(key).expect("delete failed");
+                let n = t.elapsed().as_nanos() as u64;
+                stats.writes += 1;
+                stats.deletes += 1;
+                stats.write_nanos += n;
+                stats.latencies.push((true, n));
+            }
+            Op::Scan { start, limit } => {
+                let t = Instant::now();
+                let mut streamed = 0usize;
+                for entry in index.range(Bound::Included(start), Bound::Unbounded).take(*limit) {
+                    entry.expect("scan failed");
+                    streamed += 1;
+                }
+                let n = t.elapsed().as_nanos() as u64;
+                stats.reads += 1;
+                stats.scans += 1;
+                stats.scan_entries += streamed;
+                stats.read_nanos += n;
+                stats.latencies.push((false, n));
             }
         }
     }
@@ -267,6 +298,23 @@ mod tests {
     }
 
     #[test]
+    fn crud_scan_stream_runs_on_every_structure() {
+        let cfg = IndexCfg::ycsb(1024);
+        let ycsb = YcsbConfig::default();
+        let data = ycsb.dataset(1_000);
+        let mix = siri::workloads::OpMix::crud_scan(50, 20, 15, 15).with_scan_limit(10);
+        let ops = ycsb.operations_mix(1_000, 400, mix, 0.5, 11);
+        for_each_index!(cfg, |name, factory| {
+            let (mut idx, _) = load_batched(&factory, &data, 1_000);
+            let stats = run_ops(&mut idx, &ops);
+            assert_eq!(stats.total_ops(), 400, "{name}");
+            assert!(stats.deletes > 0 && stats.scans > 0, "{name}");
+            assert!(stats.scan_entries >= stats.scans, "{name} scans streamed nothing");
+            assert!(idx.len().unwrap() <= 1_000, "{name} deletes must shrink or hold");
+        });
+    }
+
+    #[test]
     fn for_each_index_covers_four() {
         let cfg = IndexCfg::ycsb(1024);
         let mut names = Vec::new();
@@ -313,10 +361,9 @@ mod tests {
     fn histogram_buckets() {
         let stats = WorkloadStats {
             reads: 2,
-            writes: 0,
             read_nanos: 3_000,
-            write_nanos: 0,
             latencies: vec![(false, 1_000), (false, 2_000), (true, 9_000)],
+            ..Default::default()
         };
         let h = latency_histogram(&stats, false, 1.0, 4);
         assert_eq!(h, vec![0, 1, 1, 0]);

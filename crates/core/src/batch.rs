@@ -1,0 +1,246 @@
+//! Write batches — the atomic unit of mutation (paper §3.1's `put`/`del`).
+//!
+//! A [`WriteBatch`] collects puts and deletes and is applied in **one**
+//! copy-on-write pass by [`crate::SiriIndex::commit`], producing exactly one
+//! new version. Batching is not just ergonomics: the paper's bottom-up
+//! builders amortize path rewrites across a batch (§5.3.1), and a mixed
+//! put/delete batch must resolve per key *before* touching the tree so the
+//! structures stay canonical (Structurally Invariant).
+
+use bytes::Bytes;
+
+use crate::Entry;
+
+/// One mutation in a [`WriteBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Insert or overwrite a record.
+    Put(Entry),
+    /// Remove a record by key. Deleting an absent key is a no-op.
+    Delete(Bytes),
+}
+
+impl Op {
+    pub fn key(&self) -> &Bytes {
+        match self {
+            Op::Put(e) => &e.key,
+            Op::Delete(k) => k,
+        }
+    }
+}
+
+/// An ordered collection of puts and deletes applied atomically by
+/// [`crate::SiriIndex::commit`].
+///
+/// Later operations on the same key win (write order semantics), exactly as
+/// if the operations were applied one by one — but the whole batch costs a
+/// single copy-on-write pass.
+///
+/// ```
+/// use siri_core::WriteBatch;
+///
+/// let mut batch = WriteBatch::new();
+/// batch.put(&b"alice"[..], &b"100"[..]);
+/// batch.delete(&b"mallory"[..]);
+/// assert_eq!(batch.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteBatch {
+    ops: Vec<Op>,
+}
+
+impl WriteBatch {
+    pub fn new() -> Self {
+        WriteBatch { ops: Vec::new() }
+    }
+
+    /// A batch of puts, one per entry — the `batch_insert` compatibility
+    /// shape.
+    pub fn from_entries(entries: Vec<Entry>) -> Self {
+        WriteBatch { ops: entries.into_iter().map(Op::Put).collect() }
+    }
+
+    /// Queue an insert-or-overwrite.
+    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> &mut Self {
+        self.ops.push(Op::Put(Entry { key: key.into(), value: value.into() }));
+        self
+    }
+
+    /// Queue a deletion. Deleting an absent key is a no-op at commit time.
+    pub fn delete(&mut self, key: impl Into<Bytes>) -> &mut Self {
+        self.ops.push(Op::Delete(key.into()));
+        self
+    }
+
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Resolve the batch into sorted, key-unique operations (the last
+    /// operation on a key wins). This is the form every index's `commit`
+    /// consumes: one decision per key, in key order.
+    pub fn normalize(self) -> Vec<BatchOp> {
+        let mut ops: Vec<BatchOp> = self
+            .ops
+            .into_iter()
+            .map(|op| match op {
+                Op::Put(e) => BatchOp { key: e.key, value: Some(e.value) },
+                Op::Delete(k) => BatchOp { key: k, value: None },
+            })
+            .collect();
+        // Stable sort keeps equal keys in write order, so keeping the last
+        // duplicate preserves last-write-wins.
+        ops.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut out: Vec<BatchOp> = Vec::with_capacity(ops.len());
+        for op in ops {
+            match out.last_mut() {
+                Some(last) if last.key == op.key => *last = op,
+                _ => out.push(op),
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Op> for WriteBatch {
+    fn from_iter<T: IntoIterator<Item = Op>>(iter: T) -> Self {
+        WriteBatch { ops: iter.into_iter().collect() }
+    }
+}
+
+/// One normalized batch operation: `value: Some` upserts, `None` deletes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOp {
+    pub key: Bytes,
+    pub value: Option<Bytes>,
+}
+
+impl BatchOp {
+    pub fn is_delete(&self) -> bool {
+        self.value.is_none()
+    }
+
+    /// The entry this op writes, if it is a put.
+    pub fn into_entry(self) -> Option<Entry> {
+        self.value.map(|value| Entry { key: self.key, value })
+    }
+}
+
+/// Apply sorted key-unique `ops` to a sorted key-unique entry run by
+/// merge-join: puts overwrite or insert, deletes drop the key (silently
+/// no-op when absent). The shared leaf/bucket rewrite primitive of every
+/// structure's `commit`.
+pub fn apply_ops(old: &[Entry], ops: &[BatchOp]) -> Vec<Entry> {
+    debug_assert!(ops.windows(2).all(|w| w[0].key < w[1].key), "ops must be normalized");
+    let mut out = Vec::with_capacity(old.len() + ops.len());
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() && j < ops.len() {
+        match old[i].key.cmp(&ops[j].key) {
+            std::cmp::Ordering::Less => {
+                out.push(old[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if let Some(v) = &ops[j].value {
+                    out.push(Entry { key: ops[j].key.clone(), value: v.clone() });
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if let Some(v) = &ops[j].value {
+                    out.push(Entry { key: ops[j].key.clone(), value: v.clone() });
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&old[i..]);
+    for op in &ops[j..] {
+        if let Some(v) = &op.value {
+            out.push(Entry { key: op.key.clone(), value: v.clone() });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(k: &str, v: &str) -> Entry {
+        Entry::new(k.as_bytes().to_vec(), v.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn normalize_sorts_and_last_op_wins() {
+        let mut b = WriteBatch::new();
+        b.put(&b"b"[..], &b"1"[..]);
+        b.put(&b"a"[..], &b"1"[..]);
+        b.delete(&b"b"[..]);
+        b.put(&b"a"[..], &b"2"[..]);
+        let norm = b.normalize();
+        assert_eq!(norm.len(), 2);
+        assert_eq!(norm[0].key.as_ref(), b"a");
+        assert_eq!(norm[0].value.as_deref(), Some(&b"2"[..]));
+        assert_eq!(norm[1].key.as_ref(), b"b");
+        assert!(norm[1].is_delete());
+    }
+
+    #[test]
+    fn put_after_delete_reinstates() {
+        let mut b = WriteBatch::new();
+        b.delete(&b"k"[..]);
+        b.put(&b"k"[..], &b"v"[..]);
+        let norm = b.normalize();
+        assert_eq!(norm.len(), 1);
+        assert_eq!(norm[0].value.as_deref(), Some(&b"v"[..]));
+    }
+
+    #[test]
+    fn from_entries_is_all_puts() {
+        let b = WriteBatch::from_entries(vec![e("x", "1"), e("y", "2")]);
+        assert_eq!(b.len(), 2);
+        assert!(b.ops().iter().all(|op| matches!(op, Op::Put(_))));
+    }
+
+    #[test]
+    fn apply_ops_merges_puts_and_deletes() {
+        let old = vec![e("a", "1"), e("c", "3"), e("e", "5")];
+        let ops = vec![
+            BatchOp { key: Bytes::from_static(b"a"), value: None },
+            BatchOp { key: Bytes::from_static(b"b"), value: Some(Bytes::from_static(b"2")) },
+            BatchOp { key: Bytes::from_static(b"c"), value: Some(Bytes::from_static(b"3'")) },
+            BatchOp { key: Bytes::from_static(b"d"), value: None }, // absent: no-op
+            BatchOp { key: Bytes::from_static(b"f"), value: Some(Bytes::from_static(b"6")) },
+        ];
+        let merged = apply_ops(&old, &ops);
+        let keys: Vec<&[u8]> = merged.iter().map(|x| x.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"b".as_ref(), b"c", b"e", b"f"]);
+        assert_eq!(merged[1].value.as_ref(), b"3'");
+    }
+
+    #[test]
+    fn apply_ops_on_empty_old_keeps_only_puts() {
+        let ops = vec![
+            BatchOp { key: Bytes::from_static(b"a"), value: Some(Bytes::from_static(b"1")) },
+            BatchOp { key: Bytes::from_static(b"b"), value: None },
+        ];
+        let merged = apply_ops(&[], &ops);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].key.as_ref(), b"a");
+    }
+}

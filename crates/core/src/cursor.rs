@@ -1,0 +1,156 @@
+//! The unified streaming read side: [`EntryCursor`] and range-bound
+//! helpers.
+//!
+//! Every structure's `scan`, prefix scan and bounded range scan route
+//! through one lazy cursor type. A cursor walks the tree leaf-by-leaf
+//! through the structure's decoded-node cache and yields entries in key
+//! order — nothing materializes the whole dataset. Errors discovered
+//! mid-walk (missing or corrupt pages) surface as `Err` items in the
+//! stream.
+
+use std::ops::Bound;
+
+use crate::{Entry, IndexError, Result};
+
+/// A lazy, sorted stream of entries — the return type of
+/// [`crate::SiriIndex::range`].
+///
+/// `EntryCursor` is an ordinary iterator over `Result<Entry>`; use iterator
+/// adapters (`take`, `map`, …) freely, or [`EntryCursor::collect_entries`]
+/// to drain it into a `Vec` with the first error propagated.
+pub struct EntryCursor {
+    inner: Box<dyn Iterator<Item = Result<Entry>> + Send>,
+}
+
+impl EntryCursor {
+    /// Wrap any entry iterator. Implementations hand in their tree-walking
+    /// state machine; the box erases the per-structure type.
+    pub fn new(inner: impl Iterator<Item = Result<Entry>> + Send + 'static) -> Self {
+        EntryCursor { inner: Box::new(inner) }
+    }
+
+    /// A cursor over nothing (empty index or empty window).
+    pub fn empty() -> Self {
+        EntryCursor { inner: Box::new(std::iter::empty()) }
+    }
+
+    /// A cursor that yields one error and stops — how constructors report
+    /// failures discovered during the initial descent.
+    pub fn fail(err: IndexError) -> Self {
+        EntryCursor { inner: Box::new(std::iter::once(Err(err))) }
+    }
+
+    /// Drain into a vector, propagating the first error.
+    pub fn collect_entries(self) -> Result<Vec<Entry>> {
+        self.collect()
+    }
+}
+
+impl Iterator for EntryCursor {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+impl std::fmt::Debug for EntryCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EntryCursor").finish_non_exhaustive()
+    }
+}
+
+/// Convert a borrowed range bound into an owned one a cursor can keep.
+pub fn own_bound(bound: Bound<&[u8]>) -> Bound<Vec<u8>> {
+    match bound {
+        Bound::Included(k) => Bound::Included(k.to_vec()),
+        Bound::Excluded(k) => Bound::Excluded(k.to_vec()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// The key a seek-style cursor should position at for `start` (the least
+/// possibly-matching key); exclusive starts are resolved by
+/// [`before_start`] filtering at the first position.
+pub fn start_seek_key(start: &Bound<Vec<u8>>) -> &[u8] {
+    match start {
+        Bound::Included(k) | Bound::Excluded(k) => k,
+        Bound::Unbounded => &[],
+    }
+}
+
+/// `key` sits before the start bound (must be skipped).
+pub fn before_start(start: &Bound<Vec<u8>>, key: &[u8]) -> bool {
+    match start {
+        Bound::Included(s) => key < s.as_slice(),
+        Bound::Excluded(s) => key <= s.as_slice(),
+        Bound::Unbounded => false,
+    }
+}
+
+/// `key` sits past the end bound (the stream is finished: entries arrive
+/// in key order).
+pub fn past_end(end: &Bound<Vec<u8>>, key: &[u8]) -> bool {
+    match end {
+        Bound::Included(e) => key > e.as_slice(),
+        Bound::Excluded(e) => key >= e.as_slice(),
+        Bound::Unbounded => false,
+    }
+}
+
+/// The least key strictly greater than every key starting with `prefix` —
+/// i.e. keys matching `prefix` are exactly `[prefix, successor)`. `None`
+/// when no such key exists (empty prefix or all-0xff): the range is then
+/// unbounded above.
+pub fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut out = prefix.to_vec();
+    while let Some(last) = out.last_mut() {
+        if *last < 0xff {
+            *last += 1;
+            return Some(out);
+        }
+        out.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_collects_and_propagates_errors() {
+        let ok = EntryCursor::new(vec![Ok(Entry::new(&b"a"[..], &b"1"[..]))].into_iter());
+        assert_eq!(ok.collect_entries().unwrap().len(), 1);
+        let bad = EntryCursor::fail(IndexError::CorruptStructure("boom"));
+        assert!(bad.collect_entries().is_err());
+        assert_eq!(EntryCursor::empty().count(), 0);
+    }
+
+    #[test]
+    fn bound_checks() {
+        let start: Bound<Vec<u8>> = Bound::Included(b"b".to_vec());
+        assert!(before_start(&start, b"a"));
+        assert!(!before_start(&start, b"b"));
+        let start: Bound<Vec<u8>> = Bound::Excluded(b"b".to_vec());
+        assert!(before_start(&start, b"b"));
+        assert!(!before_start(&start, b"ba"));
+        assert!(!before_start(&Bound::Unbounded, b""));
+
+        let end: Bound<Vec<u8>> = Bound::Excluded(b"m".to_vec());
+        assert!(past_end(&end, b"m"));
+        assert!(!past_end(&end, b"lz"));
+        let end: Bound<Vec<u8>> = Bound::Included(b"m".to_vec());
+        assert!(!past_end(&end, b"m"));
+        assert!(past_end(&end, b"m\x00"));
+        assert!(!past_end(&Bound::Unbounded, b"\xff\xff"));
+    }
+
+    #[test]
+    fn prefix_successor_edges() {
+        assert_eq!(prefix_successor(b"app").unwrap(), b"apq".to_vec());
+        assert_eq!(prefix_successor(b"a\xff").unwrap(), b"b".to_vec());
+        assert_eq!(prefix_successor(b"\xff\xff"), None);
+        assert_eq!(prefix_successor(b""), None);
+    }
+}

@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 
-use crate::{Entry, IndexError, Result, SiriIndex};
+use crate::{Entry, IndexError, Result, SiriIndex, WriteBatch};
 
 /// One differing key between two index instances.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,12 +102,16 @@ pub enum MergeStrategy {
     PreferRight,
 }
 
-/// Result of a successful [`merge`].
+/// Result of a successful [`merge`] / [`merge_with_base`].
 pub struct MergeOutcome<I> {
-    /// The merged index: all records from either input.
+    /// The merged index.
     pub merged: I,
-    /// Records imported from the right side.
+    /// Records imported from the right side (adds and, for three-way
+    /// merges, edits applied cleanly).
     pub added_from_right: usize,
+    /// Records removed because the right side deleted them since the base
+    /// (always 0 for the two-way [`merge`], which cannot see deletions).
+    pub removed_by_right: usize,
     /// Conflicting keys resolved by a non-strict strategy.
     pub conflicts_resolved: usize,
 }
@@ -116,6 +120,7 @@ impl<I> std::fmt::Debug for MergeOutcome<I> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MergeOutcome")
             .field("added_from_right", &self.added_from_right)
+            .field("removed_by_right", &self.removed_by_right)
             .field("conflicts_resolved", &self.conflicts_resolved)
             .finish_non_exhaustive()
     }
@@ -125,6 +130,12 @@ impl<I> std::fmt::Debug for MergeOutcome<I> {
 /// paper describes: a structural diff marks differing records, then the
 /// right-side-only (and, per strategy, conflicting) records are applied on
 /// top of a copy-on-write snapshot of the left side.
+///
+/// This two-way merge is a **union**: with only two snapshots, "present on
+/// the left, absent on the right" is indistinguishable from "deleted on
+/// the right", so deletions cannot propagate and left-only records always
+/// survive. When branch histories contain deletes, merge from a common
+/// ancestor with [`merge_with_base`] instead.
 pub fn merge<I: SiriIndex>(
     left: &I,
     right: &I,
@@ -160,7 +171,85 @@ pub fn merge<I: SiriIndex>(
 
     let mut merged = left.clone();
     merged.batch_insert(to_apply)?;
-    Ok(MergeOutcome { merged, added_from_right, conflicts_resolved })
+    Ok(MergeOutcome { merged, added_from_right, removed_by_right: 0, conflicts_resolved })
+}
+
+/// Three-way merge from a common ancestor — the deletion-aware variant the
+/// write-batch API makes necessary. `base` is the snapshot both branches
+/// forked from; diffing each side against it makes deletions observable:
+/// a key in `base` missing from one side was deleted there, and the
+/// deletion propagates into the result unless the *other* side also
+/// changed the key (edit-vs-delete is a conflict, resolved per strategy;
+/// both sides converging on the same final state — including both
+/// deleting — is not a conflict).
+///
+/// The result is built by committing one [`WriteBatch`] of the right
+/// side's effective changes (puts *and* deletes) onto a copy-on-write
+/// snapshot of `left`, so a merge still costs O(δ) and one version.
+pub fn merge_with_base<I: SiriIndex>(
+    base: &I,
+    left: &I,
+    right: &I,
+    strategy: MergeStrategy,
+) -> Result<MergeOutcome<I>> {
+    use std::collections::BTreeMap;
+    // For each changed key, the side's *final* state: Some(v) = added or
+    // edited to v, None = deleted (diff is against base, so `d.right` is
+    // the side's value and its absence means the side dropped the key).
+    let left_changes: BTreeMap<Bytes, Option<Bytes>> =
+        base.diff(left)?.into_iter().map(|d| (d.key, d.right)).collect();
+
+    let mut batch = WriteBatch::new();
+    let mut conflicts: Vec<DiffEntry> = Vec::new();
+    let mut added_from_right = 0usize;
+    let mut removed_by_right = 0usize;
+    let mut conflicts_resolved = 0usize;
+
+    for d in base.diff(right)? {
+        let right_final = d.right;
+        match left_changes.get(&d.key) {
+            // Untouched on the left: the right side's change applies.
+            None => match right_final {
+                Some(v) => {
+                    added_from_right += 1;
+                    batch.put(d.key, v);
+                }
+                None => {
+                    removed_by_right += 1;
+                    batch.delete(d.key);
+                }
+            },
+            // Both sides changed it identically (same edit, or both
+            // deleted): converged, nothing to do and nothing to flag.
+            Some(left_final) if *left_final == right_final => {}
+            // Genuine divergence since the base.
+            Some(left_final) => match strategy {
+                MergeStrategy::Strict => {
+                    conflicts.push(DiffEntry {
+                        key: d.key,
+                        left: left_final.clone(),
+                        right: right_final,
+                    });
+                }
+                MergeStrategy::PreferLeft => conflicts_resolved += 1,
+                MergeStrategy::PreferRight => {
+                    conflicts_resolved += 1;
+                    match right_final {
+                        Some(v) => batch.put(d.key, v),
+                        None => batch.delete(d.key),
+                    };
+                }
+            },
+        }
+    }
+
+    if !conflicts.is_empty() {
+        return Err(IndexError::MergeConflict { conflicts });
+    }
+
+    let mut merged = left.clone();
+    merged.commit(batch)?;
+    Ok(MergeOutcome { merged, added_from_right, removed_by_right, conflicts_resolved })
 }
 
 #[cfg(test)]

@@ -39,23 +39,6 @@ impl Ord for Entry {
     }
 }
 
-/// Sort entries by key and drop duplicate keys keeping the *last*
-/// occurrence — the batch-update convention (later writes win) shared by
-/// every index's `batch_insert`.
-pub fn normalize_batch(mut entries: Vec<Entry>) -> Vec<Entry> {
-    // Stable sort keeps the original order of equal keys, so keeping the
-    // last duplicate preserves write order semantics.
-    entries.sort_by(|a, b| a.key.cmp(&b.key));
-    let mut out: Vec<Entry> = Vec::with_capacity(entries.len());
-    for e in entries {
-        match out.last_mut() {
-            Some(last) if last.key == e.key => *last = e,
-            _ => out.push(e),
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,22 +51,6 @@ mod tests {
     fn ordering_is_by_key() {
         assert!(e("a", "zzz") < e("b", "aaa"));
         assert_eq!(e("a", "1").cmp(&e("a", "2")), Ordering::Equal);
-    }
-
-    #[test]
-    fn normalize_sorts_and_keeps_last_write() {
-        let batch = vec![e("b", "1"), e("a", "1"), e("b", "2"), e("c", "1"), e("a", "2")];
-        let norm = normalize_batch(batch);
-        assert_eq!(norm.len(), 3);
-        assert_eq!(norm[0], e("a", "2"));
-        assert_eq!(norm[1], e("b", "2"));
-        assert_eq!(norm[2], e("c", "1"));
-    }
-
-    #[test]
-    fn normalize_empty_and_singleton() {
-        assert!(normalize_batch(Vec::new()).is_empty());
-        assert_eq!(normalize_batch(vec![e("x", "y")]), vec![e("x", "y")]);
     }
 
     #[test]

@@ -1,14 +1,18 @@
 //! The unified index interface — one API over MPT, MBT, POS-Tree and the
-//! MVMB+-Tree baseline, mirroring the paper's benchmarking scheme: lookup,
-//! update, comparison (diff), merge, plus the page-set accessor feeding the
+//! MVMB+-Tree baseline, mirroring the paper's operation set (§3.1, §4.1):
+//! `put`/`del` via atomic [`WriteBatch`] commits, `get`, streaming range
+//! scans, comparison (diff), merge, plus the page-set accessor feeding the
 //! deduplication metrics.
+
+use std::ops::Bound;
 
 use bytes::Bytes;
 
 use siri_crypto::Hash;
 use siri_store::{PageSet, SharedStore};
 
-use crate::{DiffEntry, Entry, Proof, ProofVerdict, Result};
+use crate::cursor::{prefix_successor, EntryCursor};
+use crate::{DiffEntry, Entry, Proof, ProofVerdict, Result, WriteBatch};
 
 /// Instrumentation captured by [`SiriIndex::get_traced`].
 ///
@@ -47,16 +51,32 @@ pub struct LookupTrace {
 /// versions coexist in one store, sharing pages — the paper's immutability
 /// model.
 ///
+/// # Write model
+///
+/// All mutation flows through [`SiriIndex::commit`]: a [`WriteBatch`] of
+/// puts and deletes is resolved per key (last op wins) and applied in one
+/// copy-on-write pass, yielding exactly one new version. `insert`,
+/// `delete` and `batch_insert` are thin single-op / puts-only wrappers.
+///
+/// # Read model
+///
+/// All enumeration flows through [`SiriIndex::range`]: a lazy
+/// [`EntryCursor`] that walks the tree leaf-by-leaf through the decoded-
+/// node cache and yields entries in key order. `scan` and `scan_prefix`
+/// are bound-sugar over it; nothing in the read path materializes the
+/// dataset.
+///
 /// # Contract
 ///
-/// * `batch_insert` with entries `E` must leave the index equal to
-///   inserting `E` one by one (later duplicates win).
+/// * `commit` with batch `B` must leave the index equal to applying `B`'s
+///   operations one by one (later operations on a key win); deleting an
+///   absent key is a no-op.
 /// * For the three SIRI structures (MPT, MBT, POS-Tree), the root hash must
-///   be a pure function of the key/value set — *Structurally Invariant*.
-///   The MVMB+ baseline deliberately violates this.
-/// * `scan` returns entries sorted by key (MBT sorts per bucket; its scan
-///   collates buckets and re-sorts, reflecting that hashing destroys global
-///   order).
+///   be a pure function of the *surviving* key/value set — *Structurally
+///   Invariant*. In particular, delete-then-reinsert restores the identical
+///   root. The MVMB+ baseline deliberately violates this.
+/// * `range` yields entries sorted by key (MBT merge-sorts its buckets on
+///   the fly, reflecting that hashing destroys global order).
 pub trait SiriIndex: Clone + Send + Sync {
     /// Short structure name, e.g. `"pos-tree"` — used in reports.
     fn kind(&self) -> &'static str;
@@ -81,23 +101,64 @@ pub trait SiriIndex: Clone + Send + Sync {
     /// Point lookup with instrumentation (Figures 9 and 13).
     fn get_traced(&self, key: &[u8]) -> Result<(Option<Bytes>, LookupTrace)>;
 
-    /// Insert or overwrite one record, producing a new version in place
-    /// (clone the handle first to keep the old version).
+    /// Apply a [`WriteBatch`] of puts and deletes atomically in one
+    /// copy-on-write pass, returning the new root digest. Operations on the
+    /// same key resolve to the last occurrence; deleting an absent key is a
+    /// no-op. Clone the handle first to keep the old version.
+    fn commit(&mut self, batch: WriteBatch) -> Result<Hash>;
+
+    /// Insert or overwrite one record — a one-put [`WriteBatch`].
     fn insert(&mut self, key: &[u8], value: Bytes) -> Result<()> {
-        self.batch_insert(vec![Entry { key: Bytes::copy_from_slice(key), value }])
+        let mut batch = WriteBatch::new();
+        batch.put(Bytes::copy_from_slice(key), value);
+        self.commit(batch).map(drop)
     }
 
-    /// Insert or overwrite a batch of records in one copy-on-write pass.
+    /// Remove one record — a one-delete [`WriteBatch`]. Removing an absent
+    /// key leaves the root unchanged.
+    fn delete(&mut self, key: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete(Bytes::copy_from_slice(key));
+        self.commit(batch).map(drop)
+    }
+
+    /// Insert or overwrite a batch of records — a puts-only [`WriteBatch`].
     /// Duplicate keys inside the batch resolve to the last occurrence.
-    fn batch_insert(&mut self, entries: Vec<Entry>) -> Result<()>;
+    fn batch_insert(&mut self, entries: Vec<Entry>) -> Result<()> {
+        self.commit(WriteBatch::from_entries(entries)).map(drop)
+    }
 
-    /// All entries, sorted by key.
-    fn scan(&self) -> Result<Vec<Entry>>;
+    /// Stream all entries with keys inside `(start, end)` in key order,
+    /// lazily — the unified read path behind `scan` and `scan_prefix`.
+    /// The cursor walks leaf-by-leaf through the decoded-node cache; errors
+    /// surface as `Err` items.
+    fn range(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> EntryCursor;
 
-    /// Number of records. Default scans; implementations override when they
-    /// can count cheaper.
+    /// All entries whose keys start with `prefix`, in key order — sugar for
+    /// [`SiriIndex::range`] over `[prefix, prefix-successor)`.
+    fn scan_prefix(&self, prefix: &[u8]) -> EntryCursor {
+        match prefix_successor(prefix) {
+            Some(end) => self.range(Bound::Included(prefix), Bound::Excluded(&end)),
+            None => self.range(Bound::Included(prefix), Bound::Unbounded),
+        }
+    }
+
+    /// All entries, sorted by key, materialized. Prefer iterating
+    /// [`SiriIndex::range`] when the result does not need to be held whole.
+    fn scan(&self) -> Result<Vec<Entry>> {
+        self.range(Bound::Unbounded, Bound::Unbounded).collect()
+    }
+
+    /// Number of records. The default drains a cursor (no sort, but still
+    /// O(N) page walks); implementations override when they can count from
+    /// node metadata or leaf traversal without decoding values.
     fn len(&self) -> Result<usize> {
-        Ok(self.scan()?.len())
+        let mut n = 0usize;
+        for entry in self.range(Bound::Unbounded, Bound::Unbounded) {
+            entry?;
+            n += 1;
+        }
+        Ok(n)
     }
 
     fn is_empty(&self) -> bool {

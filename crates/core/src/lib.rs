@@ -3,7 +3,8 @@
 //! This crate is the paper's analytical lens turned into code. It defines:
 //!
 //! * [`SiriIndex`] — the unified interface all four index structures
-//!   implement (lookup, update, scan, diff, merge, proofs, page sets);
+//!   implement: atomic [`WriteBatch`] commits (put + delete), point lookup,
+//!   streaming [`EntryCursor`] range scans, diff, merge, proofs, page sets;
 //! * [`Entry`]/[`entry_codec`] — the canonical record representation shared
 //!   by leaf codecs;
 //! * [`Proof`] — Merkle proofs and the tamper-evidence contract;
@@ -17,6 +18,8 @@
 //! * [`siri_properties`] — executable checks of the three SIRI properties
 //!   from Definition 3.1.
 
+mod batch;
+mod cursor;
 mod diff;
 mod entry;
 mod error;
@@ -29,10 +32,15 @@ pub mod entry_codec;
 pub mod metrics;
 pub mod siri_properties;
 
-pub use diff::{
-    diff_by_scan, diff_sorted_entries, merge, DiffEntry, DiffSide, MergeOutcome, MergeStrategy,
+pub use batch::{apply_ops, BatchOp, Op, WriteBatch};
+pub use cursor::{
+    before_start, own_bound, past_end, prefix_successor, start_seek_key, EntryCursor,
 };
-pub use entry::{normalize_batch, Entry};
+pub use diff::{
+    diff_by_scan, diff_sorted_entries, merge, merge_with_base, DiffEntry, DiffSide, MergeOutcome,
+    MergeStrategy,
+};
+pub use entry::Entry;
 pub use error::{IndexError, Result};
 pub use index::{LookupTrace, SiriIndex};
 pub use proof::{Proof, ProofVerdict};

@@ -119,11 +119,12 @@ impl<I: SiriIndex> VersionStore<I> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DiffEntry, Entry, LookupTrace, Proof, ProofVerdict};
+    use crate::{DiffEntry, Entry, EntryCursor, LookupTrace, Proof, ProofVerdict, WriteBatch};
     use bytes::Bytes;
     use siri_crypto::{sha256, Hash};
     use siri_store::{MemStore, PageSet, SharedStore};
     use std::collections::BTreeMap;
+    use std::ops::Bound;
 
     /// Minimal in-memory SiriIndex for exercising the version manager
     /// without pulling an index crate into a dev-dependency cycle.
@@ -170,14 +171,24 @@ mod tests {
         fn get_traced(&self, key: &[u8]) -> crate::Result<(Option<Bytes>, LookupTrace)> {
             Ok((self.map.get(key).cloned(), LookupTrace::default()))
         }
-        fn batch_insert(&mut self, entries: Vec<Entry>) -> crate::Result<()> {
-            for e in entries {
-                self.map.insert(e.key, e.value);
+        fn commit(&mut self, batch: WriteBatch) -> crate::Result<Hash> {
+            for op in batch.normalize() {
+                match op.value {
+                    Some(v) => self.map.insert(op.key, v),
+                    None => self.map.remove(&op.key),
+                };
             }
-            Ok(())
+            Ok(self.root())
         }
-        fn scan(&self) -> crate::Result<Vec<Entry>> {
-            Ok(self.map.iter().map(|(k, v)| Entry { key: k.clone(), value: v.clone() }).collect())
+        fn range(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> EntryCursor {
+            let start = crate::own_bound(start).map(Bytes::from);
+            let end = crate::own_bound(end).map(Bytes::from);
+            let entries: Vec<_> = self
+                .map
+                .range((start, end))
+                .map(|(k, v)| Ok(Entry { key: k.clone(), value: v.clone() }))
+                .collect();
+            EntryCursor::new(entries.into_iter())
         }
         fn page_set(&self) -> PageSet {
             PageSet::new()

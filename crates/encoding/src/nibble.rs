@@ -80,6 +80,15 @@ impl Nibbles {
         Nibbles(out)
     }
 
+    /// Concatenate two paths — the extension/leaf path merge performed when
+    /// MPT deletion re-compacts a collapsed chain.
+    pub fn concat(&self, rest: &Nibbles) -> Nibbles {
+        let mut out = Vec::with_capacity(self.0.len() + rest.0.len());
+        out.extend_from_slice(&self.0);
+        out.extend_from_slice(&rest.0);
+        Nibbles(out)
+    }
+
     /// Repack an even-length nibble path into bytes. Returns `None` for odd
     /// lengths (callers that need a byte key must have consumed whole bytes).
     pub fn to_key(&self) -> Option<Vec<u8>> {

@@ -20,10 +20,14 @@
 mod factory;
 
 use std::collections::HashMap;
+use std::ops::Bound;
 use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
-use siri_core::{merge, Entry, IndexError, MergeOutcome, MergeStrategy, Result, SiriIndex};
+use siri_core::{
+    merge, merge_with_base, Entry, EntryCursor, IndexError, MergeOutcome, MergeStrategy, Result,
+    SiriIndex, WriteBatch,
+};
 use siri_crypto::Hash;
 use siri_store::{CachingStore, MemStore, NodeStore, SharedStore, StoreStats};
 
@@ -65,42 +69,82 @@ impl<F: IndexFactory> Forkbase<F> {
         }
     }
 
-    /// Server-side batched write to a branch; returns the new root digest.
-    pub fn put(&mut self, branch: &str, entries: Vec<Entry>) -> Result<Hash> {
+    /// Server-side atomic write batch (puts *and* deletes) to a branch;
+    /// returns the new root digest. The primary write path — `put` and
+    /// `delete` are sugar over it.
+    pub fn commit(&mut self, branch: &str, batch: WriteBatch) -> Result<Hash> {
         let index =
             self.branches.get_mut(branch).ok_or(IndexError::Unsupported("unknown branch"))?;
-        index.batch_insert(entries)?;
-        Ok(index.root())
+        index.commit(batch)
     }
 
-    /// Client-side read through the page cache *and* the client view's
-    /// decoded-node cache. The view persists across reads; when the branch
-    /// head has moved it is re-rooted in place, keeping both caches warm
+    /// Server-side batched insert to a branch; returns the new root digest.
+    pub fn put(&mut self, branch: &str, entries: Vec<Entry>) -> Result<Hash> {
+        self.commit(branch, WriteBatch::from_entries(entries))
+    }
+
+    /// Delete keys from a branch; returns the new root digest.
+    pub fn delete(
+        &mut self,
+        branch: &str,
+        keys: impl IntoIterator<Item = impl Into<Bytes>>,
+    ) -> Result<Hash> {
+        let mut batch = WriteBatch::new();
+        for key in keys {
+            batch.delete(key);
+        }
+        self.commit(branch, batch)
+    }
+
+    /// The persistent client-side view of a branch, read through the page
+    /// cache *and* the view's decoded-node cache. When the branch head has
+    /// moved the view is re-rooted in place, keeping both caches warm
     /// (adjacent versions share most pages).
-    pub fn get(&self, branch: &str, key: &[u8]) -> Result<Option<Bytes>> {
+    fn client_view(&self, branch: &str) -> Result<F::Index> {
         let head = self.branches.get(branch).ok_or(IndexError::Unsupported("unknown branch"))?;
         let root = head.root();
         // Clone the handle out and drop the lock before traversing: handles
         // are cheap (store + root + Arc'd cache) and concurrent readers
         // must not serialize on the view map.
-        let view = {
-            let mut views = self.client_views.lock().unwrap_or_else(|e| e.into_inner());
-            match views.get_mut(branch) {
-                Some(view) => {
-                    if view.root() != root {
-                        *view = view.at_root(root);
-                    }
-                    view.clone()
+        let mut views = self.client_views.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(match views.get_mut(branch) {
+            Some(view) => {
+                if view.root() != root {
+                    *view = view.at_root(root);
                 }
-                None => {
-                    let client_store: SharedStore = self.client_store.clone();
-                    let view = self.factory.open(client_store, root);
-                    views.insert(branch.to_string(), view.clone());
-                    view
-                }
+                view.clone()
             }
-        };
-        view.get(key)
+            None => {
+                let client_store: SharedStore = self.client_store.clone();
+                let view = self.factory.open(client_store, root);
+                views.insert(branch.to_string(), view.clone());
+                view
+            }
+        })
+    }
+
+    /// Client-side point read through the persistent branch view's two
+    /// cache layers (decoded nodes above, pages beneath).
+    pub fn get(&self, branch: &str, key: &[u8]) -> Result<Option<Bytes>> {
+        self.client_view(branch)?.get(key)
+    }
+
+    /// Client-side streaming range read: a lazy cursor over the branch
+    /// head, walking leaf-by-leaf through the client's caches. The cursor
+    /// snapshots the head root at creation — concurrent writes to the
+    /// branch do not disturb an open cursor (immutability in action).
+    pub fn range(
+        &self,
+        branch: &str,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+    ) -> Result<EntryCursor> {
+        Ok(self.client_view(branch)?.range(start, end))
+    }
+
+    /// Client-side prefix cursor (sugar over [`Forkbase::range`]).
+    pub fn scan_prefix(&self, branch: &str, prefix: &[u8]) -> Result<EntryCursor> {
+        Ok(self.client_view(branch)?.scan_prefix(prefix))
     }
 
     /// Read bypassing the cache (server-side read, for comparisons).
@@ -117,6 +161,23 @@ impl<F: IndexFactory> Forkbase<F> {
         Ok(())
     }
 
+    /// Drop a branch head (and its client view). Pages stay in the store —
+    /// they are content-addressed and may be shared with other branches;
+    /// reclaiming unreachable ones is the offline GC's job. Other branches'
+    /// page sets are untouched by construction.
+    pub fn delete_branch(&mut self, branch: &str) -> Result<()> {
+        self.branches.remove(branch).ok_or(IndexError::Unsupported("unknown branch"))?;
+        self.client_views.lock().unwrap_or_else(|e| e.into_inner()).remove(branch);
+        Ok(())
+    }
+
+    /// All branch names, sorted.
+    pub fn branches(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.branches.keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
     /// Merge branch `other` into `into` (paper §4.1.4 semantics).
     pub fn merge_branches(
         &mut self,
@@ -131,13 +192,31 @@ impl<F: IndexFactory> Forkbase<F> {
         Ok(outcome)
     }
 
+    /// Three-way merge of `other` into `into` from a common base version —
+    /// usually the root `other` was forked at. Unlike [`Forkbase::merge_branches`]
+    /// (a two-way union), this sees deletions made on either branch since
+    /// the base and propagates them (edit-vs-delete conflicts resolve per
+    /// `strategy`).
+    pub fn merge_branches_with_base(
+        &mut self,
+        into: &str,
+        other: &str,
+        base_root: Hash,
+        strategy: MergeStrategy,
+    ) -> Result<MergeOutcome<F::Index>> {
+        let left = self.branches.get(into).ok_or(IndexError::Unsupported("unknown branch"))?;
+        let right = self.branches.get(other).ok_or(IndexError::Unsupported("unknown branch"))?;
+        // The base is just another version in the shared store; re-rooting
+        // the left handle reads it through the same caches.
+        let base = left.at_root(base_root);
+        let outcome = merge_with_base(&base, left, right, strategy)?;
+        self.branches.insert(into.to_string(), outcome.merged.clone());
+        Ok(outcome)
+    }
+
     /// The branch's current index handle (server-side view).
     pub fn head(&self, branch: &str) -> Option<&F::Index> {
         self.branches.get(branch)
-    }
-
-    pub fn branch_names(&self) -> Vec<&str> {
-        self.branches.keys().map(|s| s.as_str()).collect()
     }
 
     /// Client cache statistics: (hits, remote fetches, synthetic
@@ -304,6 +383,130 @@ mod tests {
         let mut fb = Forkbase::new(PosFactory(PosParams::default()), 0);
         assert!(fb.put("ghost", entries(0..1)).is_err());
         assert!(fb.get("ghost", b"k").is_err());
+        assert!(fb.delete_branch("ghost").is_err());
+        assert!(fb.range("ghost", std::ops::Bound::Unbounded, std::ops::Bound::Unbounded).is_err());
+    }
+
+    #[test]
+    fn branch_deletes_flow_through_write_batches() {
+        let mut fb = Forkbase::new(PosFactory(PosParams::default()), 0);
+        fb.put("master", entries(0..100)).unwrap();
+        let before = fb.head("master").unwrap().root();
+        fb.delete("master", [&b"key00042"[..]]).unwrap();
+        assert_eq!(fb.get("master", b"key00042").unwrap(), None);
+        assert_ne!(fb.head("master").unwrap().root(), before);
+        // Mixed batch through commit.
+        let mut batch = WriteBatch::new();
+        batch.put(&b"zz-new"[..], &b"v"[..]).delete(&b"key00001"[..]);
+        fb.commit("master", batch).unwrap();
+        assert!(fb.get("master", b"zz-new").unwrap().is_some());
+        assert_eq!(fb.get("master", b"key00001").unwrap(), None);
+        // Put-back restores the original digest (structural invariance).
+        let mut batch = WriteBatch::new();
+        batch.delete(&b"zz-new"[..]);
+        for i in [1usize, 42] {
+            let e = &entries(i..i + 1)[0];
+            batch.put(e.key.clone(), e.value.clone());
+        }
+        fb.commit("master", batch).unwrap();
+        assert_eq!(fb.head("master").unwrap().root(), before);
+    }
+
+    #[test]
+    fn three_way_merge_propagates_branch_deletions() {
+        let mut fb = Forkbase::new(PosFactory(PosParams::default()), 0);
+        fb.put("master", entries(0..100)).unwrap();
+        let base_root = fb.head("master").unwrap().root();
+        fb.fork("master", "cleaning").unwrap();
+        // The branch deletes 10 records and edits one; master stays put.
+        fb.delete("cleaning", (0..10).map(|i| format!("key{i:05}").into_bytes())).unwrap();
+        fb.put("cleaning", vec![Entry::new(b"key00050".to_vec(), b"edited".to_vec())]).unwrap();
+
+        // Three-way merge from the fork point propagates the deletions
+        // (the two-way union merge, by documented construction, cannot).
+        let outcome = fb
+            .merge_branches_with_base("master", "cleaning", base_root, MergeStrategy::Strict)
+            .unwrap();
+        assert_eq!(outcome.removed_by_right, 10);
+        assert_eq!(outcome.added_from_right, 1, "the edit applies cleanly");
+        assert_eq!(fb.head("master").unwrap().len().unwrap(), 90);
+        assert_eq!(fb.get_uncached("master", b"key00005").unwrap(), None);
+        assert_eq!(fb.get_uncached("master", b"key00050").unwrap().unwrap().as_ref(), b"edited");
+
+        // Edit-vs-delete is a conflict under Strict, resolvable by policy.
+        let base2 = fb.head("master").unwrap().root();
+        fb.fork("master", "hotfix").unwrap();
+        fb.delete("hotfix", [&b"key00060"[..]]).unwrap();
+        fb.put("master", vec![Entry::new(b"key00060".to_vec(), b"kept".to_vec())]).unwrap();
+        let err = fb
+            .merge_branches_with_base("master", "hotfix", base2, MergeStrategy::Strict)
+            .unwrap_err();
+        assert!(matches!(err, IndexError::MergeConflict { .. }));
+        let outcome = fb
+            .merge_branches_with_base("master", "hotfix", base2, MergeStrategy::PreferRight)
+            .unwrap();
+        assert_eq!(outcome.conflicts_resolved, 1);
+        assert_eq!(fb.get_uncached("master", b"key00060").unwrap(), None, "delete won");
+        // Both sides deleting the same key converges without conflict.
+        let base3 = fb.head("master").unwrap().root();
+        fb.fork("master", "twin").unwrap();
+        fb.delete("twin", [&b"key00070"[..]]).unwrap();
+        fb.delete("master", [&b"key00070"[..]]).unwrap();
+        let outcome =
+            fb.merge_branches_with_base("master", "twin", base3, MergeStrategy::Strict).unwrap();
+        assert_eq!(outcome.conflicts_resolved, 0);
+        assert_eq!(outcome.removed_by_right, 0, "already gone on the left");
+    }
+
+    #[test]
+    fn delete_branch_leaves_other_branches_pages_intact() {
+        let mut fb = Forkbase::new(PosFactory(PosParams::default()), 0);
+        fb.put("master", entries(0..300)).unwrap();
+        fb.fork("master", "doomed").unwrap();
+        fb.put("doomed", entries(300..400)).unwrap();
+        assert_eq!(fb.branches(), vec!["doomed".to_string(), "master".to_string()]);
+
+        let master_pages = fb.head("master").unwrap().page_set();
+        fb.delete_branch("doomed").unwrap();
+        assert_eq!(fb.branches(), vec!["master".to_string()]);
+        // The surviving branch's page set is bit-identical and fully
+        // readable.
+        let after = fb.head("master").unwrap().page_set();
+        assert_eq!(master_pages.len(), after.len());
+        assert_eq!(master_pages.intersection(&after).len(), after.len());
+        assert!(fb.get("master", b"key00123").unwrap().is_some());
+    }
+
+    #[test]
+    fn client_range_cursor_streams_in_key_order() {
+        let mut fb = Forkbase::new(PosFactory(PosParams::default()), 1_000);
+        fb.put("master", entries(0..2000)).unwrap();
+        use std::ops::Bound;
+        let window: Vec<Entry> = fb
+            .range("master", Bound::Included(b"key00100"), Bound::Excluded(b"key00110"))
+            .unwrap()
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(window.len(), 10);
+        assert_eq!(window[0].key.as_ref(), b"key00100");
+        // Prefix cursor.
+        let pre: Vec<Entry> =
+            fb.scan_prefix("master", b"key0003").unwrap().collect::<Result<_>>().unwrap();
+        assert_eq!(pre.len(), 10, "key00030..key00039");
+        // A bounded window must not pull the whole dataset through the
+        // client cache: remote fetches stay far below the page count.
+        let (_, fetches, _) = fb.client_stats();
+        let total_pages = fb.head("master").unwrap().page_set().len() as u64;
+        assert!(fetches < total_pages / 2, "cursor reads fetched {fetches} of {total_pages} pages");
+        // An open cursor survives a concurrent branch write (it reads the
+        // snapshot it was created on).
+        let mut cursor =
+            fb.range("master", Bound::Included(b"key01000"), Bound::Excluded(b"key01005")).unwrap();
+        let first = cursor.next().unwrap().unwrap();
+        fb.put("master", entries(2000..2001)).unwrap();
+        let rest: Vec<Entry> = cursor.collect::<Result<_>>().unwrap();
+        assert_eq!(first.key.as_ref(), b"key01000");
+        assert_eq!(rest.len(), 4);
     }
 
     #[test]

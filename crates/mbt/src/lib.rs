@@ -18,24 +18,27 @@
 //! assert_eq!(mbt.get(b"key").unwrap().unwrap().as_ref(), b"value");
 //! ```
 
+mod cursor;
 mod node;
 mod proof;
 mod topology;
 
 use std::collections::BTreeMap;
+use std::ops::Bound;
 use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
 use siri_core::{
-    diff_sorted_entries, entry_codec, normalize_batch, DiffEntry, Entry, IndexError, LookupTrace,
-    Proof, ProofVerdict, Result, SiriIndex,
+    apply_ops, diff_sorted_entries, entry_codec, own_bound, BatchOp, DiffEntry, Entry, EntryCursor,
+    IndexError, LookupTrace, Proof, ProofVerdict, Result, SiriIndex, WriteBatch,
 };
 use siri_crypto::{FxHashMap, Hash};
 use siri_store::{
     reachable_pages, CacheStats, NodeCache, PageSet, SharedStore, DEFAULT_NODE_CACHE_CAPACITY,
 };
 
+pub use cursor::RangeCursor;
 pub use node::Node;
 pub use topology::Topology;
 
@@ -175,38 +178,20 @@ impl MerkleBucketTree {
         Ok(out)
     }
 
-    /// Merge sorted `updates` (normalized: sorted, unique keys) into sorted
-    /// `old`, overwriting duplicates.
-    fn merge_into_bucket(old: &[Entry], updates: &[Entry]) -> Vec<Entry> {
-        let mut out = Vec::with_capacity(old.len() + updates.len());
-        let (mut i, mut j) = (0, 0);
-        while i < old.len() && j < updates.len() {
-            match old[i].key.cmp(&updates[j].key) {
-                std::cmp::Ordering::Less => {
-                    out.push(old[i].clone());
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    out.push(updates[j].clone());
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    out.push(updates[j].clone()); // update wins
-                    i += 1;
-                    j += 1;
-                }
-            }
+    /// The decoded bucket node at `bucket`, shared out of the node cache —
+    /// how the cursor pins buckets without copying their entries.
+    pub(crate) fn bucket_node(&self, bucket: usize) -> Result<Arc<Node>> {
+        let path = self.load_path(bucket)?;
+        match path.nodes.last() {
+            Some((_, node)) if matches!(&**node, Node::Bucket { .. }) => Ok(node.clone()),
+            _ => Err(IndexError::CorruptStructure("path did not end in a bucket")),
         }
-        out.extend_from_slice(&old[i..]);
-        out.extend_from_slice(&updates[j..]);
-        out
     }
 
-    /// Entries of one bucket by index.
+    /// Entries of one bucket by index (copied; write path only).
     fn bucket_entries(&self, bucket: usize) -> Result<Vec<Entry>> {
-        let path = self.load_path(bucket)?;
-        match path.nodes.last().map(|(_, node)| &**node) {
-            Some(Node::Bucket { entries, .. }) => Ok(entries.clone()),
+        match &*self.bucket_node(bucket)? {
+            Node::Bucket { entries, .. } => Ok(entries.clone()),
             _ => Err(IndexError::CorruptStructure("path did not end in a bucket")),
         }
     }
@@ -324,24 +309,29 @@ impl SiriIndex for MerkleBucketTree {
         Ok((found, trace))
     }
 
-    fn batch_insert(&mut self, entries: Vec<Entry>) -> Result<()> {
-        if entries.is_empty() {
-            return Ok(());
+    fn commit(&mut self, batch: WriteBatch) -> Result<Hash> {
+        let ops = batch.normalize();
+        if ops.is_empty() {
+            return Ok(self.root);
         }
-        let norm = normalize_batch(entries);
         let (b, m) = (self.topo.buckets() as u64, self.topo.fanout() as u64);
 
-        // Group updates by destination bucket.
-        let mut per_bucket: BTreeMap<usize, Vec<Entry>> = BTreeMap::new();
-        for e in norm {
-            per_bucket.entry(self.topo.bucket_of(&e.key)).or_default().push(e);
+        // Group operations by destination bucket; normalization ordered
+        // them by key, and grouping preserves that per-bucket order.
+        let mut per_bucket: BTreeMap<usize, Vec<BatchOp>> = BTreeMap::new();
+        for op in ops {
+            per_bucket.entry(self.topo.bucket_of(&op.key)).or_default().push(op);
         }
 
-        // Rewrite affected buckets.
+        // Rewrite affected buckets. A bucket emptied by deletes re-encodes
+        // as the canonical empty-bucket page (the skeleton's shape is fixed
+        // for life), so content addressing collapses it back onto the page
+        // every empty bucket shares — delete-then-reinsert restores the
+        // identical root.
         let mut changed: FxHashMap<topology::NodeId, Hash> = FxHashMap::default();
-        for (bucket, updates) in &per_bucket {
+        for (bucket, bucket_ops) in &per_bucket {
             let old = self.bucket_entries(*bucket)?;
-            let merged = Self::merge_into_bucket(&old, updates);
+            let merged = apply_ops(&old, bucket_ops);
             let page = Node::Bucket { buckets: b, fanout: m, entries: merged }.encode();
             changed.insert((0, *bucket), self.store.put(page));
         }
@@ -380,23 +370,21 @@ impl SiriIndex for MerkleBucketTree {
 
         let root_id = (self.topo.height() - 1, 0);
         self.root = *changed.get(&root_id).expect("root must change when buckets change");
-        Ok(())
+        Ok(self.root)
     }
 
-    fn scan(&self) -> Result<Vec<Entry>> {
-        // Hashing destroys global key order: collate all buckets, then sort.
-        let mut all = Vec::new();
-        for bucket in 0..self.topo.buckets() {
-            all.extend(self.bucket_entries(bucket)?);
-        }
-        all.sort_by(|a, b| a.key.cmp(&b.key));
-        Ok(all)
+    fn range(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> EntryCursor {
+        EntryCursor::new(cursor::RangeCursor::new(self.clone(), own_bound(start), own_bound(end)))
     }
 
+    /// Counting needs only each bucket's entry count — no collation, no
+    /// sort, and the bucket nodes come shared out of the node cache.
     fn len(&self) -> Result<usize> {
         let mut n = 0;
         for bucket in 0..self.topo.buckets() {
-            n += self.bucket_entries(bucket)?.len();
+            if let Node::Bucket { entries, .. } = &*self.bucket_node(bucket)? {
+                n += entries.len();
+            }
         }
         Ok(n)
     }
@@ -404,7 +392,9 @@ impl SiriIndex for MerkleBucketTree {
     fn is_empty(&self) -> bool {
         // MBT's root is never the zero hash (the skeleton always exists),
         // so emptiness means "no entries".
-        self.len().map(|n| n == 0).unwrap_or(true)
+        // Fail safe: an unreadable store must not masquerade as an empty
+        // index (callers branch on emptiness to skip work).
+        self.len().map(|n| n == 0).unwrap_or(false)
     }
 
     fn page_set(&self) -> PageSet {
@@ -593,6 +583,72 @@ mod tests {
         let (min, max, mean) = t.bucket_fill_stats().unwrap();
         assert!((mean - 10.0).abs() < 1e-9, "640 entries / 64 buckets");
         assert!(min >= 1 && max <= 30, "uniform-ish fill: min={min} max={max}");
+    }
+
+    #[test]
+    fn delete_restores_root_and_prunes_to_empty_bucket_page() {
+        let mut t = make(16, 4);
+        t.batch_insert((0..50).map(|i| e(&format!("key{i:02}"), "v")).collect()).unwrap();
+        let full_root = t.root();
+        t.delete(b"key25").unwrap();
+        assert_eq!(t.get(b"key25").unwrap(), None);
+        assert_eq!(t.len().unwrap(), 49);
+        assert_ne!(t.root(), full_root);
+        // Reinsert: Structurally Invariant ⇒ identical root.
+        t.insert(b"key25", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(t.root(), full_root);
+        // Deleting everything re-canonicalizes to the empty skeleton.
+        let empty = make(16, 4);
+        let mut batch = WriteBatch::new();
+        for i in 0..50 {
+            batch.delete(format!("key{i:02}").into_bytes());
+        }
+        t.commit(batch).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.root(), empty.root(), "empty buckets must dedupe to the shared page");
+        // Deleting from an empty tree is a no-op.
+        let root = t.root();
+        t.delete(b"ghost").unwrap();
+        assert_eq!(t.root(), root);
+    }
+
+    #[test]
+    fn range_cursor_merges_buckets_in_key_order() {
+        let mut t = make(16, 4);
+        t.batch_insert((0..200).map(|i| e(&format!("k{i:03}"), "v")).collect()).unwrap();
+        let r =
+            t.range(Bound::Included(b"k050"), Bound::Excluded(b"k060")).collect_entries().unwrap();
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].key.as_ref(), b"k050");
+        assert!(r.windows(2).all(|w| w[0].key < w[1].key), "cursor must merge sorted");
+        // Full cursor equals the materialized scan.
+        let all: Vec<Entry> =
+            t.range(Bound::Unbounded, Bound::Unbounded).collect_entries().unwrap();
+        assert_eq!(all, t.scan().unwrap());
+        assert_eq!(all.len(), 200);
+        // Exclusive/inclusive bound mix.
+        let r =
+            t.range(Bound::Excluded(b"k100"), Bound::Included(b"k102")).collect_entries().unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].key.as_ref(), b"k101");
+        // An inverted window yields nothing and skips the O(B) bucket pin.
+        let gets_before = t.store().stats().gets;
+        assert_eq!(t.range(Bound::Included(b"z"), Bound::Excluded(b"a")).count(), 0);
+        assert_eq!(t.store().stats().gets, gets_before, "empty window must not touch the store");
+    }
+
+    #[test]
+    fn mixed_commit_applies_puts_and_deletes_atomically() {
+        let mut t = make(8, 2);
+        t.insert(b"stay", Bytes::from_static(b"1")).unwrap();
+        t.insert(b"go", Bytes::from_static(b"2")).unwrap();
+        let mut batch = WriteBatch::new();
+        batch.delete(&b"go"[..]).put(&b"come"[..], &b"3"[..]);
+        let root = t.commit(batch).unwrap();
+        assert_eq!(root, t.root());
+        assert_eq!(t.get(b"go").unwrap(), None);
+        assert_eq!(t.get(b"come").unwrap().unwrap().as_ref(), b"3");
+        assert_eq!(t.len().unwrap(), 2);
     }
 
     #[test]

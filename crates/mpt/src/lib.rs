@@ -20,18 +20,20 @@
 //! assert_eq!(t.get(b"key").unwrap().unwrap().as_ref(), b"value");
 //! ```
 
+mod cursor;
 mod diff;
 mod mem;
 mod node;
 mod proof;
 
+use std::ops::Bound;
 use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
 use siri_core::{
-    normalize_batch, DiffEntry, Entry, IndexError, LookupTrace, Proof, ProofVerdict, Result,
-    SiriIndex,
+    own_bound, DiffEntry, EntryCursor, IndexError, LookupTrace, Proof, ProofVerdict, Result,
+    SiriIndex, WriteBatch,
 };
 use siri_crypto::Hash;
 use siri_encoding::Nibbles;
@@ -39,6 +41,7 @@ use siri_store::{
     reachable_pages, CacheStats, NodeCache, PageSet, SharedStore, DEFAULT_NODE_CACHE_CAPACITY,
 };
 
+pub use cursor::RangeCursor;
 pub use node::Node;
 
 /// Handle to one MPT version: `(store, root digest)` plus the decoded-node
@@ -97,95 +100,6 @@ impl MerklePatriciaTrie {
         })
     }
 
-    fn scan_rec(&self, hash: Hash, prefix: &mut Vec<u8>, out: &mut Vec<Entry>) -> Result<()> {
-        match &*self.fetch(&hash)? {
-            Node::Leaf { path, value } => {
-                prefix.extend_from_slice(path.as_slice());
-                out.push(Entry { key: nibbles_to_key(prefix)?, value: value.clone() });
-                prefix.truncate(prefix.len() - path.len());
-            }
-            Node::Extension { path, child } => {
-                prefix.extend_from_slice(path.as_slice());
-                self.scan_rec(*child, prefix, out)?;
-                prefix.truncate(prefix.len() - path.len());
-            }
-            Node::Branch { children, value } => {
-                if let Some(v) = value {
-                    out.push(Entry { key: nibbles_to_key(prefix)?, value: v.clone() });
-                }
-                for (i, child) in children.iter().enumerate() {
-                    if let Some(c) = child {
-                        prefix.push(i as u8);
-                        self.scan_rec(*c, prefix, out)?;
-                        prefix.pop();
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// All entries whose keys start with `prefix`, in key order — the
-    /// natural trie query (e.g. all wiki pages under one URL path).
-    /// O(prefix + results): descends along the prefix nibbles, then walks
-    /// the subtree below.
-    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<Entry>> {
-        let mut out = Vec::new();
-        if self.root.is_zero() {
-            return Ok(out);
-        }
-        let target = Nibbles::from_key(prefix);
-        // Descend as far as the prefix constrains the path.
-        let mut consumed: Vec<u8> = Vec::new();
-        let mut hash = self.root;
-        let mut offset = 0usize;
-        loop {
-            if offset >= target.len() {
-                break; // everything below `hash` matches the prefix
-            }
-            match &*self.fetch(&hash)? {
-                Node::Leaf { path, value } => {
-                    // Single candidate: check it.
-                    let mut full = consumed.clone();
-                    full.extend_from_slice(path.as_slice());
-                    let key = nibbles_to_key(&full)?;
-                    if key.starts_with(prefix) {
-                        out.push(Entry { key, value: value.clone() });
-                    }
-                    return Ok(out);
-                }
-                Node::Extension { path, child } => {
-                    // The extension must agree with the remaining prefix on
-                    // their common length.
-                    let remaining = target.suffix(offset);
-                    let common = remaining.common_prefix_len(path);
-                    if common < path.len() && common < remaining.len() {
-                        return Ok(out); // diverged: nothing matches
-                    }
-                    consumed.extend_from_slice(path.as_slice());
-                    offset += path.len();
-                    hash = *child;
-                }
-                Node::Branch { children, .. } => {
-                    let nib = target.at(offset);
-                    match children[nib as usize] {
-                        Some(child) => {
-                            consumed.push(nib);
-                            offset += 1;
-                            hash = child;
-                        }
-                        None => return Ok(out),
-                    }
-                }
-            }
-        }
-        // Collect the whole subtree, then filter exact byte-prefix matches
-        // (the final nibble may sit mid-byte).
-        self.scan_rec(hash, &mut consumed, &mut out)?;
-        out.retain(|e| e.key.starts_with(prefix));
-        Ok(out)
-    }
-
     /// Depth statistics over all leaf positions: (average, maximum), in
     /// *nodes traversed*. Drives the L̄ term of the §4.2.2 MPT analysis and
     /// Table 3's key-length sweep.
@@ -223,7 +137,7 @@ impl MerklePatriciaTrie {
 
 /// Nibble path → byte key; keys always have even nibble length because they
 /// are built from whole bytes.
-fn nibbles_to_key(nibbles: &[u8]) -> Result<Bytes> {
+pub(crate) fn nibbles_to_key(nibbles: &[u8]) -> Result<Bytes> {
     if !nibbles.len().is_multiple_of(2) {
         return Err(IndexError::CorruptStructure("odd-length key path"));
     }
@@ -306,32 +220,29 @@ impl SiriIndex for MerklePatriciaTrie {
         }
     }
 
-    fn batch_insert(&mut self, entries: Vec<Entry>) -> Result<()> {
-        let norm = normalize_batch(entries);
-        if norm.is_empty() {
-            return Ok(());
+    fn commit(&mut self, batch: WriteBatch) -> Result<Hash> {
+        let ops = batch.normalize();
+        if ops.is_empty() {
+            return Ok(self.root);
         }
         let mut overlay =
             if self.root.is_zero() { None } else { Some(mem::MemNode::Stored(self.root)) };
-        for e in norm {
-            let suffix = Nibbles::from_key(&e.key);
-            overlay = Some(mem::MemNode::insert(overlay, self, suffix, e.value)?);
+        for op in ops {
+            let suffix = Nibbles::from_key(&op.key);
+            overlay = match op.value {
+                Some(value) => Some(mem::MemNode::insert(overlay, self, suffix, value)?),
+                None => mem::MemNode::remove(overlay, self, suffix)?,
+            };
         }
-        self.root = overlay.expect("batch was non-empty").commit(&self.store);
-        Ok(())
+        self.root = match overlay {
+            Some(overlay) => overlay.commit(&self.store),
+            None => Hash::ZERO, // every record deleted
+        };
+        Ok(self.root)
     }
 
-    fn scan(&self) -> Result<Vec<Entry>> {
-        let mut out = Vec::new();
-        if !self.root.is_zero() {
-            let mut prefix = Vec::new();
-            self.scan_rec(self.root, &mut prefix, &mut out)?;
-        }
-        // Nibble DFS visits keys in lexicographic nibble order, which for
-        // whole-byte keys is byte-lexicographic — but a branch value (a key
-        // that is a strict prefix) is already emitted first, so order holds.
-        debug_assert!(out.windows(2).all(|w| w[0].key < w[1].key));
-        Ok(out)
+    fn range(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> EntryCursor {
+        EntryCursor::new(cursor::RangeCursor::new(self.clone(), own_bound(start), own_bound(end)))
     }
 
     fn page_set(&self) -> PageSet {
@@ -356,7 +267,7 @@ pub(crate) use nibbles_to_key as nibbles_to_key_for_diff;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use siri_core::MemStore;
+    use siri_core::{Entry, MemStore};
 
     fn make() -> MerklePatriciaTrie {
         MerklePatriciaTrie::new(MemStore::new_shared())
@@ -508,15 +419,118 @@ mod tests {
             e("banana", "5"),
         ])
         .unwrap();
-        let r = t.scan_prefix(b"app/").unwrap();
+        let r = t.scan_prefix(b"app/").collect_entries().unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r[0].key.as_ref(), b"app/alpha");
-        let r = t.scan_prefix(b"app").unwrap();
+        let r = t.scan_prefix(b"app").collect_entries().unwrap();
         assert_eq!(r.len(), 4, "app, app/*, apple");
-        assert_eq!(t.scan_prefix(b"zzz").unwrap().len(), 0);
-        assert_eq!(t.scan_prefix(b"").unwrap().len(), 5, "empty prefix = full scan");
-        assert_eq!(t.scan_prefix(b"banana").unwrap().len(), 1);
-        assert_eq!(t.scan_prefix(b"bananas").unwrap().len(), 0);
+        assert_eq!(t.scan_prefix(b"zzz").count(), 0);
+        assert_eq!(t.scan_prefix(b"").count(), 5, "empty prefix = full scan");
+        assert_eq!(t.scan_prefix(b"banana").count(), 1);
+        assert_eq!(t.scan_prefix(b"bananas").count(), 0);
+    }
+
+    #[test]
+    fn range_cursor_respects_bounds_and_is_lazy() {
+        let mut t = make();
+        t.batch_insert((0..300).map(|i| e(&format!("k{i:03}"), "v")).collect()).unwrap();
+        let r =
+            t.range(Bound::Included(b"k100"), Bound::Excluded(b"k110")).collect_entries().unwrap();
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].key.as_ref(), b"k100");
+        assert_eq!(r[9].key.as_ref(), b"k109");
+        // Exclusive start, inclusive end.
+        let r =
+            t.range(Bound::Excluded(b"k100"), Bound::Included(b"k103")).collect_entries().unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].key.as_ref(), b"k101");
+        // A narrow window must not walk the whole trie.
+        let gets_before = t.store().stats().gets + t.node_cache_stats().hits;
+        let _ =
+            t.range(Bound::Included(b"k200"), Bound::Excluded(b"k202")).collect_entries().unwrap();
+        let touched = t.store().stats().gets + t.node_cache_stats().hits - gets_before;
+        assert!(touched < 40, "narrow range touched {touched} nodes");
+        // Inverted and empty windows.
+        assert_eq!(t.range(Bound::Included(b"z"), Bound::Excluded(b"a")).count(), 0);
+        assert_eq!(t.range(Bound::Included(b"k100"), Bound::Excluded(b"k100")).count(), 0);
+    }
+
+    #[test]
+    fn delete_removes_and_restores_root() {
+        let mut t = make();
+        t.batch_insert((0..100).map(|i| e(&format!("user{i:03}"), "v")).collect()).unwrap();
+        let full_root = t.root();
+        t.delete(b"user042").unwrap();
+        assert_eq!(t.get(b"user042").unwrap(), None);
+        assert_eq!(t.len().unwrap(), 99);
+        assert_ne!(t.root(), full_root);
+        // Structural invariance: reinserting restores the identical digest.
+        t.insert(b"user042", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(t.root(), full_root);
+        // And the deleted-only set matches a fresh build.
+        let mut fresh = make();
+        fresh
+            .batch_insert(
+                (0..100).filter(|i| *i != 42).map(|i| e(&format!("user{i:03}"), "v")).collect(),
+            )
+            .unwrap();
+        t.delete(b"user042").unwrap();
+        assert_eq!(t.root(), fresh.root());
+    }
+
+    #[test]
+    fn delete_collapses_branches_and_extensions() {
+        let mut t = make();
+        // "a" sits in a branch value slot above "ab"/"ac"; deleting "ab"
+        // then "ac" must collapse the branch back into a leaf for "a".
+        t.insert(b"a", Bytes::from_static(b"va")).unwrap();
+        let only_a = t.root();
+        t.insert(b"ab", Bytes::from_static(b"vab")).unwrap();
+        t.insert(b"ac", Bytes::from_static(b"vac")).unwrap();
+        t.delete(b"ab").unwrap();
+        t.delete(b"ac").unwrap();
+        assert_eq!(t.root(), only_a, "collapse must re-compact to the single-leaf trie");
+        assert_eq!(t.get(b"a").unwrap().unwrap().as_ref(), b"va");
+        // Deleting the last key empties the trie entirely.
+        t.delete(b"a").unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.root(), Hash::ZERO);
+    }
+
+    #[test]
+    fn delete_branch_value_keeps_subtree() {
+        let mut t = make();
+        t.insert(b"a", Bytes::from_static(b"short")).unwrap();
+        t.insert(b"ab", Bytes::from_static(b"long")).unwrap();
+        t.insert(b"ac", Bytes::from_static(b"other")).unwrap();
+        t.delete(b"a").unwrap();
+        assert_eq!(t.get(b"a").unwrap(), None);
+        assert_eq!(t.get(b"ab").unwrap().unwrap().as_ref(), b"long");
+        assert_eq!(t.get(b"ac").unwrap().unwrap().as_ref(), b"other");
+        let mut fresh = make();
+        fresh.insert(b"ab", Bytes::from_static(b"long")).unwrap();
+        fresh.insert(b"ac", Bytes::from_static(b"other")).unwrap();
+        assert_eq!(t.root(), fresh.root());
+    }
+
+    #[test]
+    fn mixed_batch_resolves_per_key() {
+        let mut t = make();
+        t.insert(b"keep", Bytes::from_static(b"1")).unwrap();
+        t.insert(b"drop", Bytes::from_static(b"2")).unwrap();
+        let mut batch = WriteBatch::new();
+        batch.delete(&b"drop"[..]);
+        batch.put(&b"new"[..], &b"3"[..]);
+        batch.delete(&b"new"[..]); // later op wins: never lands
+        batch.put(&b"drop"[..], &b"2'"[..]); // resurrect in the same batch
+        t.commit(batch).unwrap();
+        assert_eq!(t.get(b"drop").unwrap().unwrap().as_ref(), b"2'");
+        assert_eq!(t.get(b"new").unwrap(), None);
+        assert_eq!(t.len().unwrap(), 2);
+        // Deleting an absent key is a no-op on the digest.
+        let root = t.root();
+        t.delete(b"ghost").unwrap();
+        assert_eq!(t.root(), root);
     }
 
     #[test]

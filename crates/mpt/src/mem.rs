@@ -1,10 +1,16 @@
-//! In-memory overlay used for batched copy-on-write inserts.
+//! In-memory overlay used for batched copy-on-write commits.
 //!
 //! A batch is applied to a tree of [`MemNode`]s: stored pages are pulled in
 //! lazily (one fetch per touched node) and stay as [`MemNode::Stored`]
 //! stubs when untouched, so committing writes exactly one new page per
 //! modified node — the copy-on-write cost the paper's update bound counts
 //! (§4.1.2).
+//!
+//! Deletion ([`MemNode::remove`]) maintains the trie's canonical form so
+//! Structural Invariance survives: a branch left with a lone child (or only
+//! its value) collapses, and the freed nibble run re-compacts into the
+//! surrounding extension/leaf paths — delete-then-reinsert restores the
+//! identical root digest.
 
 use bytes::Bytes;
 use siri_core::Result;
@@ -136,6 +142,53 @@ impl MemNode {
         }
     }
 
+    /// Remove `suffix` from the subtree, consuming the overlay and
+    /// returning its replacement (`None` when the subtree vanishes).
+    /// Deleting an absent key returns the subtree unchanged. The returned
+    /// overlay is re-canonicalized: no single-child branches, no
+    /// extension-of-extension chains.
+    pub(crate) fn remove(
+        this: Option<MemNode>,
+        trie: &MerklePatriciaTrie,
+        suffix: Nibbles,
+    ) -> Result<Option<MemNode>> {
+        let node = match this {
+            None => return Ok(None),
+            Some(MemNode::Stored(h)) => Self::load(trie, h)?,
+            Some(other) => other,
+        };
+        match node {
+            MemNode::Leaf { path, value } => {
+                if path == suffix {
+                    Ok(None)
+                } else {
+                    Ok(Some(MemNode::Leaf { path, value }))
+                }
+            }
+            MemNode::Extension { path, child } => {
+                if !suffix.starts_with(&path) {
+                    return Ok(Some(MemNode::Extension { path, child }));
+                }
+                let rest = suffix.suffix(path.len());
+                match Self::remove(Some(*child), trie, rest)? {
+                    None => Ok(None),
+                    Some(new_child) => Ok(Some(recompact_extension(path, new_child))),
+                }
+            }
+            MemNode::Branch { mut children, value } => {
+                if suffix.is_empty() {
+                    // The key terminates here: drop the branch value.
+                    return collapse_branch(trie, children, None);
+                }
+                let slot = suffix.at(0) as usize;
+                let taken = children[slot].take();
+                children[slot] = Self::remove(taken, trie, suffix.suffix(1))?;
+                collapse_branch(trie, children, value)
+            }
+            MemNode::Stored(_) => unreachable!("materialized above"),
+        }
+    }
+
     /// Persist the overlay, returning the subtree digest. Untouched
     /// `Stored` stubs cost nothing.
     pub(crate) fn commit(self, store: &SharedStore) -> Hash {
@@ -164,5 +217,60 @@ fn wrap_extension(path: Nibbles, node: MemNode) -> MemNode {
         node
     } else {
         MemNode::Extension { path, child: Box::new(node) }
+    }
+}
+
+/// Re-attach `path` above a child that deletion may have collapsed: merge
+/// into the child's own path when the child is a leaf or extension, keep a
+/// plain extension above a branch. The child must be materialized (remove
+/// always returns materialized overlays).
+fn recompact_extension(path: Nibbles, child: MemNode) -> MemNode {
+    match child {
+        MemNode::Leaf { path: rest, value } => MemNode::Leaf { path: path.concat(&rest), value },
+        MemNode::Extension { path: rest, child } => {
+            MemNode::Extension { path: path.concat(&rest), child }
+        }
+        branch @ MemNode::Branch { .. } => wrap_extension(path, branch),
+        MemNode::Stored(_) => unreachable!("remove returns materialized overlays"),
+    }
+}
+
+/// Restore a branch to canonical form after one of its slots (or its
+/// value) was removed:
+///
+/// * value + no children → the branch *is* the record: a leaf with an
+///   empty path;
+/// * no value + no children → the subtree vanished;
+/// * no value + exactly one child → the branch is a useless fork: collapse
+///   into the child, prepending the child's nibble (path re-compaction);
+/// * otherwise the branch genuinely still forks — keep it.
+fn collapse_branch(
+    trie: &MerklePatriciaTrie,
+    mut children: Box<[Option<MemNode>; 16]>,
+    value: Option<Bytes>,
+) -> Result<Option<MemNode>> {
+    let occupied: Vec<usize> =
+        children.iter().enumerate().filter(|(_, c)| c.is_some()).map(|(i, _)| i).collect();
+    if let Some(v) = value {
+        return Ok(Some(if occupied.is_empty() {
+            MemNode::Leaf { path: Nibbles::empty(), value: v }
+        } else {
+            MemNode::Branch { children, value: Some(v) }
+        }));
+    }
+    match occupied.as_slice() {
+        [] => Ok(None),
+        [nib] => {
+            let lone = children[*nib].take().expect("slot is occupied");
+            // The lone survivor may be an untouched stub: materialize it so
+            // its path can absorb the branch's nibble.
+            let lone = match lone {
+                MemNode::Stored(h) => MemNode::load(trie, h)?,
+                other => other,
+            };
+            let prefix = Nibbles::from_raw(vec![*nib as u8]);
+            Ok(Some(recompact_extension(prefix, lone)))
+        }
+        _ => Ok(Some(MemNode::Branch { children, value: None })),
     }
 }

@@ -17,22 +17,25 @@
 //! assert_eq!(t.get(b"k").unwrap().unwrap().as_ref(), b"v");
 //! ```
 
+mod cursor;
 mod node;
 mod proof;
 
+use std::ops::Bound;
 use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
 use siri_core::{
-    normalize_batch, DiffEntry, Entry, IndexError, LookupTrace, Proof, ProofVerdict, Result,
-    SiriIndex,
+    apply_ops, own_bound, BatchOp, DiffEntry, Entry, EntryCursor, IndexError, LookupTrace, Proof,
+    ProofVerdict, Result, SiriIndex, WriteBatch,
 };
 use siri_crypto::Hash;
 use siri_store::{
     reachable_pages, CacheStats, NodeCache, PageSet, SharedStore, DEFAULT_NODE_CACHE_CAPACITY,
 };
 
+pub use cursor::RangeCursor;
 pub use node::{route, ChildRef, Node};
 
 /// Node capacity limits.
@@ -146,10 +149,13 @@ impl MvmbTree {
         items.chunks(per).map(|c| self.put_node(&build(c.to_vec()))).collect()
     }
 
-    /// Recursive copy-on-write batch insert. `entries` is sorted with
-    /// unique keys. Returns the replacement pieces for this subtree.
-    fn insert_rec(&self, node_hash: Hash, entries: &[Entry]) -> Result<Vec<Piece>> {
-        if entries.is_empty() {
+    /// Recursive copy-on-write batch application. `ops` is normalized
+    /// (sorted, key-unique, puts and deletes). Returns the replacement
+    /// pieces for this subtree — possibly none, when deletes empty it
+    /// (underflow handling: emptied nodes are pruned and their siblings
+    /// re-chunked by the parent rebuild).
+    fn apply_rec(&self, node_hash: Hash, ops: &[BatchOp]) -> Result<Vec<Piece>> {
+        if ops.is_empty() {
             // Untouched subtree: reuse wholesale (Recursively Identical in
             // action). Need its max key for the parent rebuild.
             let node = self.fetch(&node_hash)?;
@@ -158,23 +164,23 @@ impl MvmbTree {
         }
         match &*self.fetch(&node_hash)? {
             Node::Leaf(old) => {
-                let merged = merge_entries(old, entries);
+                let merged = apply_ops(old, ops);
                 Ok(self.emit_chunks(merged, self.params.max_leaf_entries, Node::Leaf))
             }
             Node::Internal(children) => {
                 // Partition the batch across children by routing range.
                 let mut pieces: Vec<Piece> = Vec::with_capacity(children.len() + 2);
-                let mut rest = entries;
+                let mut rest = ops;
                 for (slot, child) in children.iter().enumerate() {
                     let is_last = slot + 1 == children.len();
                     let split = if is_last {
                         rest.len() // everything beyond the last max clamps right
                     } else {
-                        rest.partition_point(|e| e.key <= child.max_key)
+                        rest.partition_point(|op| op.key <= child.max_key)
                     };
                     let (mine, remaining) = rest.split_at(split);
                     rest = remaining;
-                    pieces.extend(self.insert_rec(child.child, mine)?);
+                    pieces.extend(self.apply_rec(child.child, mine)?);
                 }
                 debug_assert!(rest.is_empty());
                 let refs: Vec<ChildRef> = pieces
@@ -182,6 +188,21 @@ impl MvmbTree {
                     .map(|(max_key, child)| ChildRef { max_key, child })
                     .collect();
                 Ok(self.emit_chunks(refs, self.params.max_internal_children, Node::Internal))
+            }
+        }
+    }
+
+    /// Deletions can leave a chain of single-child internal nodes above the
+    /// surviving content; drop them so the tree height reflects the data
+    /// (the B+-tree underflow rule, applied at the root).
+    fn collapse_root(&self, mut root: Hash) -> Result<Hash> {
+        loop {
+            if root.is_zero() {
+                return Ok(root);
+            }
+            match &*self.fetch(&root)? {
+                Node::Internal(children) if children.len() == 1 => root = children[0].child,
+                _ => return Ok(root),
             }
         }
     }
@@ -195,47 +216,6 @@ impl MvmbTree {
             pieces = self.emit_chunks(refs, self.params.max_internal_children, Node::Internal);
         }
         pieces
-    }
-
-    /// All entries with `start <= key < end`, in key order.
-    /// O(log N + results): visits only subtrees whose ranges intersect.
-    pub fn scan_range(&self, start: &[u8], end: &[u8]) -> Result<Vec<Entry>> {
-        let mut out = Vec::new();
-        if self.root.is_zero() || start >= end {
-            return Ok(out);
-        }
-        self.range_rec(self.root, start, end, &mut out)?;
-        Ok(out)
-    }
-
-    fn range_rec(&self, hash: Hash, start: &[u8], end: &[u8], out: &mut Vec<Entry>) -> Result<()> {
-        match &*self.fetch(&hash)? {
-            Node::Leaf(entries) => {
-                let from = entries.partition_point(|e| e.key.as_ref() < start);
-                for e in &entries[from..] {
-                    if e.key.as_ref() >= end {
-                        break;
-                    }
-                    out.push(e.clone());
-                }
-            }
-            Node::Internal(children) => {
-                // Children cover (prev_max, max]; visit every child whose
-                // range intersects [start, end).
-                let mut prev_max: Option<&Bytes> = None;
-                for c in children {
-                    let past_end = prev_max.is_some_and(|p| end <= p.as_ref());
-                    if past_end {
-                        break;
-                    }
-                    if c.max_key.as_ref() >= start {
-                        self.range_rec(c.child, start, end, out)?;
-                    }
-                    prev_max = Some(&c.max_key);
-                }
-            }
-        }
-        Ok(())
     }
 
     /// Number of levels (0 for an empty tree).
@@ -255,44 +235,6 @@ impl MvmbTree {
             }
         }
     }
-
-    fn scan_rec(&self, hash: Hash, out: &mut Vec<Entry>) -> Result<()> {
-        match &*self.fetch(&hash)? {
-            Node::Leaf(entries) => out.extend(entries.iter().cloned()),
-            Node::Internal(children) => {
-                for c in children {
-                    self.scan_rec(c.child, out)?;
-                }
-            }
-        }
-        Ok(())
-    }
-}
-
-/// Merge sorted unique `updates` into sorted unique `old`; updates win.
-fn merge_entries(old: &[Entry], updates: &[Entry]) -> Vec<Entry> {
-    let mut out = Vec::with_capacity(old.len() + updates.len());
-    let (mut i, mut j) = (0, 0);
-    while i < old.len() && j < updates.len() {
-        match old[i].key.cmp(&updates[j].key) {
-            std::cmp::Ordering::Less => {
-                out.push(old[i].clone());
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                out.push(updates[j].clone());
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                out.push(updates[j].clone());
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out.extend_from_slice(&old[i..]);
-    out.extend_from_slice(&updates[j..]);
-    out
 }
 
 impl SiriIndex for MvmbTree {
@@ -366,15 +308,16 @@ impl SiriIndex for MvmbTree {
         }
     }
 
-    fn batch_insert(&mut self, entries: Vec<Entry>) -> Result<()> {
-        let norm = normalize_batch(entries);
-        if norm.is_empty() {
-            return Ok(());
+    fn commit(&mut self, batch: WriteBatch) -> Result<Hash> {
+        let ops = batch.normalize();
+        if ops.is_empty() {
+            return Ok(self.root);
         }
         let mut pieces = if self.root.is_zero() {
-            self.build_fresh(norm)
+            let puts: Vec<Entry> = ops.into_iter().filter_map(BatchOp::into_entry).collect();
+            self.build_fresh(puts)
         } else {
-            self.insert_rec(self.root, &norm)?
+            self.apply_rec(self.root, &ops)?
         };
         // Grow upward while the top level overflows a single node.
         while pieces.len() > 1 {
@@ -382,16 +325,23 @@ impl SiriIndex for MvmbTree {
                 pieces.into_iter().map(|(max_key, child)| ChildRef { max_key, child }).collect();
             pieces = self.emit_chunks(refs, self.params.max_internal_children, Node::Internal);
         }
-        self.root = pieces.pop().expect("at least one piece").1;
-        Ok(())
+        // Deletes may have emptied the tree entirely, or left a lone-child
+        // chain at the top; prune both.
+        self.root = match pieces.pop() {
+            Some((_, hash)) => self.collapse_root(hash)?,
+            None => Hash::ZERO,
+        };
+        Ok(self.root)
     }
 
-    fn scan(&self) -> Result<Vec<Entry>> {
-        let mut out = Vec::new();
-        if !self.root.is_zero() {
-            self.scan_rec(self.root, &mut out)?;
-        }
-        Ok(out)
+    fn range(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> EntryCursor {
+        EntryCursor::new(cursor::RangeCursor::new(
+            self.store.clone(),
+            self.cache.clone(),
+            self.root,
+            own_bound(start),
+            own_bound(end),
+        ))
     }
 
     fn page_set(&self) -> PageSet {
@@ -562,21 +512,81 @@ mod tests {
     }
 
     #[test]
-    fn scan_range_returns_exactly_the_window() {
+    fn range_cursor_returns_exactly_the_window() {
         let mut t = make();
         t.batch_insert(keys(1000)).unwrap();
-        let r = t.scan_range(b"key00100", b"key00110").unwrap();
+        let window = |s: &[u8], e: &[u8]| {
+            t.range(Bound::Included(s), Bound::Excluded(e)).collect_entries().unwrap()
+        };
+        let r = window(b"key00100", b"key00110");
         assert_eq!(r.len(), 10);
         assert_eq!(r[0].key.as_ref(), b"key00100");
         // End past the maximum; start between keys.
-        let r = t.scan_range(b"key00995a", b"zzz").unwrap();
+        let r = window(b"key00995a", b"zzz");
         assert_eq!(r.len(), 4);
         // Degenerate windows.
-        assert!(t.scan_range(b"key00100", b"key00100").unwrap().is_empty());
-        assert!(t.scan_range(b"z", b"a").unwrap().is_empty());
-        assert_eq!(t.scan_range(b"", b"\xff").unwrap(), t.scan().unwrap());
+        assert!(window(b"key00100", b"key00100").is_empty());
+        assert!(window(b"z", b"a").is_empty());
+        // Unbounded cursor equals scan; exclusive/inclusive bounds work.
+        let all = t.range(Bound::Unbounded, Bound::Unbounded).collect_entries().unwrap();
+        assert_eq!(all, t.scan().unwrap());
+        let r = t
+            .range(Bound::Excluded(b"key00100"), Bound::Included(b"key00102"))
+            .collect_entries()
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].key.as_ref(), b"key00101");
         // Empty tree.
-        assert!(make().scan_range(b"a", b"z").unwrap().is_empty());
+        assert_eq!(make().range(Bound::Included(b"a"), Bound::Excluded(b"z")).count(), 0);
+    }
+
+    #[test]
+    fn delete_prunes_underflow_and_can_empty_the_tree() {
+        let mut t = make();
+        t.batch_insert(keys(500)).unwrap();
+        t.delete(b"key00250").unwrap();
+        assert_eq!(t.get(b"key00250").unwrap(), None);
+        assert_eq!(t.len().unwrap(), 499);
+        // Deleting a whole region forces leaf merges/prunes but content
+        // stays consistent.
+        let mut batch = WriteBatch::new();
+        for i in 0..400 {
+            batch.delete(format!("key{i:05}").into_bytes());
+        }
+        t.commit(batch).unwrap();
+        assert_eq!(t.len().unwrap(), 100);
+        assert_eq!(t.get(b"key00450").unwrap().unwrap().as_ref(), b"val450");
+        let s = t.scan().unwrap();
+        assert!(s.windows(2).all(|w| w[0].key < w[1].key));
+        // Height shrinks back toward a small tree (no lone-child towers).
+        let h = t.height().unwrap();
+        assert!(h <= 4, "height {h} after mass delete");
+        // Drain everything.
+        let mut batch = WriteBatch::new();
+        for i in 400..500 {
+            batch.delete(format!("key{i:05}").into_bytes());
+        }
+        batch.delete(&b"key00250"[..]); // already gone: no-op
+        t.commit(batch).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.root(), Hash::ZERO);
+        // And the tree is usable again afterwards.
+        t.insert(b"fresh", Bytes::from_static(b"start")).unwrap();
+        assert_eq!(t.get(b"fresh").unwrap().unwrap().as_ref(), b"start");
+    }
+
+    #[test]
+    fn mixed_commit_resolves_in_one_pass() {
+        let mut t = make();
+        t.batch_insert(keys(50)).unwrap();
+        let mut batch = WriteBatch::new();
+        batch.delete(&b"key00010"[..]);
+        batch.put(&b"key00010"[..], &b"back"[..]); // later op wins
+        batch.delete(&b"key00020"[..]);
+        t.commit(batch).unwrap();
+        assert_eq!(t.get(b"key00010").unwrap().unwrap().as_ref(), b"back");
+        assert_eq!(t.get(b"key00020").unwrap(), None);
+        assert_eq!(t.len().unwrap(), 49);
     }
 
     #[test]

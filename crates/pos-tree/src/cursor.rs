@@ -1,9 +1,10 @@
-//! In-order cursor over a POS-Tree — the engine behind scans and the
-//! subtree-skipping diff.
+//! In-order cursor over a POS-Tree — the engine behind scans, bounded
+//! range reads and the subtree-skipping diff.
 
+use std::ops::Bound;
 use std::sync::Arc;
 
-use siri_core::{Entry, IndexError, Result};
+use siri_core::{before_start, past_end, Entry, IndexError, Result};
 use siri_crypto::Hash;
 use siri_store::{NodeCache, SharedStore};
 
@@ -30,9 +31,9 @@ impl Frame {
 /// Nodes are held as `Arc`s straight out of the tree's decoded-node cache
 /// (when one is supplied): advancing across a leaf boundary on a warm
 /// cache costs a shard probe, not a store fetch + decode.
-pub struct Cursor<'a> {
-    store: &'a SharedStore,
-    cache: Option<&'a NodeCache<Node>>,
+pub struct Cursor {
+    store: SharedStore,
+    cache: Option<Arc<NodeCache<Node>>>,
     /// Internal-node frames from the root down; empty when the root is a
     /// leaf.
     stack: Vec<Frame>,
@@ -44,15 +45,17 @@ pub struct Cursor<'a> {
     done: bool,
 }
 
-impl<'a> Cursor<'a> {
-    pub fn new(store: &'a SharedStore, root: Hash) -> Result<Self> {
+impl Cursor {
+    pub fn new(store: SharedStore, root: Hash) -> Result<Self> {
         Self::with_cache(store, None, root)
     }
 
-    /// A cursor whose node loads go through `cache`.
+    /// A cursor whose node loads go through `cache`. The cursor owns its
+    /// store and cache handles (both are `Arc`s), so it is `'static` and
+    /// can outlive the index handle that spawned it.
     pub fn with_cache(
-        store: &'a SharedStore,
-        cache: Option<&'a NodeCache<Node>>,
+        store: SharedStore,
+        cache: Option<Arc<NodeCache<Node>>>,
         root: Hash,
     ) -> Result<Self> {
         let mut c = Cursor {
@@ -75,7 +78,7 @@ impl<'a> Cursor<'a> {
             let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
             Node::decode_zc(&page)
         };
-        match self.cache {
+        match &self.cache {
             Some(cache) => cache.get_or_load(hash, load).map(|(node, _)| node),
             None => load().map(Arc::new),
         }
@@ -212,14 +215,14 @@ impl<'a> Cursor<'a> {
 
     /// Position the cursor at the first entry with key ≥ `key`
     /// (or exhaust it if no such entry exists). O(log N).
-    pub fn seek(store: &'a SharedStore, root: Hash, key: &[u8]) -> Result<Self> {
+    pub fn seek(store: SharedStore, root: Hash, key: &[u8]) -> Result<Self> {
         Self::seek_with_cache(store, None, root, key)
     }
 
     /// [`Cursor::seek`] with node loads through `cache`.
     pub fn seek_with_cache(
-        store: &'a SharedStore,
-        cache: Option<&'a NodeCache<Node>>,
+        store: SharedStore,
+        cache: Option<Arc<NodeCache<Node>>>,
         root: Hash,
         key: &[u8],
     ) -> Result<Self> {
@@ -267,6 +270,60 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Bound-checking iterator adapter over a seeked [`Cursor`] — what
+/// [`crate::PosTree`]'s `range` hands to [`siri_core::EntryCursor`]. The
+/// cursor arrives positioned at the first key ≥ the start bound; this
+/// wrapper skips an exclusive-start match and stops at the end bound
+/// (entries stream in key order, so the first out-of-window key finishes
+/// the iteration).
+pub(crate) struct RangeIter {
+    pub(crate) cursor: Cursor,
+    pub(crate) start: Bound<Vec<u8>>,
+    pub(crate) end: Bound<Vec<u8>>,
+    /// Error hit while advancing *past* an entry that was already read and
+    /// in bounds; delivered on the call after that entry, so a failing
+    /// next-leaf fetch never swallows the last readable entry.
+    pub(crate) pending_err: Option<siri_core::IndexError>,
+    pub(crate) done: bool,
+}
+
+impl Iterator for RangeIter {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if let Some(e) = self.pending_err.take() {
+            self.done = true;
+            return Some(Err(e));
+        }
+        loop {
+            let Some(entry) = self.cursor.peek().cloned() else {
+                self.done = true;
+                return None;
+            };
+            if past_end(&self.end, &entry.key) {
+                self.done = true;
+                return None;
+            }
+            let skipped = before_start(&self.start, &entry.key);
+            if let Err(e) = self.cursor.advance() {
+                if skipped {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                self.pending_err = Some(e);
+                return Some(Ok(entry));
+            }
+            if skipped {
+                continue; // exclusive start: skip the seeked-to match
+            }
+            return Some(Ok(entry));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,7 +342,7 @@ mod tests {
         let store = MemStore::new_shared();
         let es = entries(2500);
         let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap();
-        let mut c = Cursor::new(&store, root.hash).unwrap();
+        let mut c = Cursor::new(store.clone(), root.hash).unwrap();
         let mut seen = Vec::new();
         while let Some(e) = c.peek() {
             seen.push(e.clone());
@@ -300,9 +357,9 @@ mod tests {
         let store = MemStore::new_shared();
         let es = entries(2500);
         let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap();
-        let cache = NodeCache::new(4096);
-        let collect = |cache: Option<&NodeCache<Node>>| {
-            let mut c = Cursor::with_cache(&store, cache, root.hash).unwrap();
+        let cache = NodeCache::new_shared(4096);
+        let collect = |cache: Option<Arc<NodeCache<Node>>>| {
+            let mut c = Cursor::with_cache(store.clone(), cache, root.hash).unwrap();
             let mut seen = Vec::new();
             while let Some(e) = c.peek() {
                 seen.push(e.clone());
@@ -310,9 +367,9 @@ mod tests {
             }
             seen
         };
-        assert_eq!(collect(Some(&cache)), es, "cold cached scan");
+        assert_eq!(collect(Some(cache.clone())), es, "cold cached scan");
         let misses_after_first = cache.stats().misses;
-        assert_eq!(collect(Some(&cache)), es, "warm cached scan");
+        assert_eq!(collect(Some(cache.clone())), es, "warm cached scan");
         assert_eq!(cache.stats().misses, misses_after_first, "second scan must be all cache hits");
         assert_eq!(collect(None), es, "uncached scan agrees");
     }
@@ -320,7 +377,7 @@ mod tests {
     #[test]
     fn empty_tree_cursor() {
         let store = MemStore::new_shared();
-        let c = Cursor::new(&store, Hash::ZERO).unwrap();
+        let c = Cursor::new(store, Hash::ZERO).unwrap();
         assert!(c.peek().is_none());
         assert!(c.is_done());
     }
@@ -330,7 +387,7 @@ mod tests {
         let store = MemStore::new_shared();
         let es = entries(2500);
         let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap();
-        let mut c = Cursor::new(&store, root.hash).unwrap();
+        let mut c = Cursor::new(store.clone(), root.hash).unwrap();
         // At position 0 the leaf (and possibly enclosing nodes) start here.
         let starts = c.start_hashes();
         assert!(!starts.is_empty());
@@ -344,7 +401,7 @@ mod tests {
         let es = entries(2500);
         let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap();
         // Reference iteration to know leaf extents.
-        let mut reference = Cursor::new(&store, root.hash).unwrap();
+        let mut reference = Cursor::new(store.clone(), root.hash).unwrap();
         let leaf_hash = reference.start_hashes()[0];
         let mut leaf_len = 0;
         while reference.peek().is_some() {
@@ -358,7 +415,7 @@ mod tests {
             }
         }
         // Now skip that first leaf with a fresh cursor and compare.
-        let mut c = Cursor::new(&store, root.hash).unwrap();
+        let mut c = Cursor::new(store.clone(), root.hash).unwrap();
         c.skip_subtree(leaf_hash).unwrap();
         assert_eq!(c.peek().map(|e| e.key.clone()), Some(es[leaf_len].key.clone()));
     }

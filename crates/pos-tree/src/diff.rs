@@ -18,8 +18,8 @@ pub(crate) fn diff(a: &PosTree, b: &PosTree) -> Result<Vec<DiffEntry>> {
     if a.root() == b.root() {
         return Ok(out);
     }
-    let mut ca = Cursor::with_cache(a.store(), Some(&a.cache), a.root())?;
-    let mut cb = Cursor::with_cache(b.store(), Some(&b.cache), b.root())?;
+    let mut ca = Cursor::with_cache(a.store().clone(), Some(a.cache.clone()), a.root())?;
+    let mut cb = Cursor::with_cache(b.store().clone(), Some(b.cache.clone()), b.root())?;
 
     loop {
         // Subtree skipping: only meaningful when both cursors are at node

@@ -35,13 +35,14 @@ mod params;
 mod proof;
 mod update;
 
+use std::ops::Bound;
 use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
 use siri_core::{
-    normalize_batch, DiffEntry, Entry, IndexError, LookupTrace, Proof, ProofVerdict, Result,
-    SiriIndex,
+    apply_ops, own_bound, DiffEntry, EntryCursor, IndexError, LookupTrace, Proof, ProofVerdict,
+    Result, SiriIndex, WriteBatch,
 };
 use siri_crypto::Hash;
 use siri_store::{
@@ -145,21 +146,6 @@ impl PosTree {
             let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
             Node::decode_zc(&page)
         })
-    }
-
-    /// All entries with `start <= key < end`, in key order — the range
-    /// query the B+-tree-like layout exists for. O(log N + results).
-    pub fn scan_range(&self, start: &[u8], end: &[u8]) -> Result<Vec<Entry>> {
-        let mut cursor = Cursor::seek_with_cache(&self.store, Some(&self.cache), self.root, start)?;
-        let mut out = Vec::new();
-        while let Some(e) = cursor.peek() {
-            if e.key.as_ref() >= end {
-                break;
-            }
-            out.push(e.clone());
-            cursor.advance()?;
-        }
-        Ok(out)
     }
 
     /// Per-level statistics: for each level from the leaves up,
@@ -284,42 +270,71 @@ impl SiriIndex for PosTree {
         }
     }
 
-    fn batch_insert(&mut self, entries: Vec<Entry>) -> Result<()> {
-        let norm = normalize_batch(entries);
-        if norm.is_empty() {
-            return Ok(());
+    fn commit(&mut self, batch: WriteBatch) -> Result<Hash> {
+        let ops = batch.normalize();
+        if ops.is_empty() {
+            return Ok(self.root);
         }
         if self.copy_all {
             // "Forcibly copying all nodes in the tree": merge, bump the
             // salt, rebuild everything — zero page sharing with the
             // previous version.
-            let merged = update::merge_entries(&self.scan()?, &norm);
+            let merged = apply_ops(&self.scan()?, &ops);
             self.salt += 1;
             self.root = update::build_from_entries(&self.store, &self.params, self.salt, &merged)
                 .map(|p| p.hash)
                 .unwrap_or(Hash::ZERO);
-            return Ok(());
+            return Ok(self.root);
         }
         let piece = match self.params.split_policy {
             SplitPolicy::Pattern => {
-                update::streaming_update(&self.store, &self.params, self.salt, self.root, &norm)?
+                update::streaming_update(&self.store, &self.params, self.salt, self.root, &ops)?
             }
             SplitPolicy::ForcedSplice { .. } => {
-                update::splice_update(&self.store, &self.params, self.salt, self.root, &norm)?
+                update::splice_update(&self.store, &self.params, self.salt, self.root, &ops)?
             }
         };
         self.root = piece.map(|p| p.hash).unwrap_or(Hash::ZERO);
-        Ok(())
+        Ok(self.root)
     }
 
-    fn scan(&self) -> Result<Vec<Entry>> {
-        let mut cursor = Cursor::with_cache(&self.store, Some(&self.cache), self.root)?;
-        let mut out = Vec::new();
-        while let Some(e) = cursor.peek() {
-            out.push(e.clone());
-            cursor.advance()?;
+    fn range(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> EntryCursor {
+        let start = own_bound(start);
+        let cursor = match &start {
+            Bound::Unbounded => {
+                Cursor::with_cache(self.store.clone(), Some(self.cache.clone()), self.root)
+            }
+            Bound::Included(k) | Bound::Excluded(k) => {
+                Cursor::seek_with_cache(self.store.clone(), Some(self.cache.clone()), self.root, k)
+            }
+        };
+        match cursor {
+            Ok(cursor) => EntryCursor::new(cursor::RangeIter {
+                cursor,
+                start,
+                end: own_bound(end),
+                pending_err: None,
+                done: false,
+            }),
+            Err(e) => EntryCursor::fail(e),
         }
-        Ok(out)
+    }
+
+    /// Counting walks the leaves and sums their entry counts; the interior
+    /// descent reuses cached nodes and nothing is cloned or sorted.
+    fn len(&self) -> Result<usize> {
+        if self.root.is_zero() {
+            return Ok(0);
+        }
+        let mut n = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(h) = stack.pop() {
+            match &*self.fetch(&h)? {
+                Node::Leaf { entries, .. } => n += entries.len(),
+                Node::Internal { children, .. } => stack.extend(children.iter().map(|c| c.hash)),
+            }
+        }
+        Ok(n)
     }
 
     fn page_set(&self) -> PageSet {
@@ -363,7 +378,7 @@ impl SiriIndex for PosTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use siri_core::MemStore;
+    use siri_core::{Entry, MemStore};
 
     fn e(i: usize) -> Entry {
         Entry::new(format!("key{i:05}").into_bytes(), vec![(i % 251) as u8; 100])
@@ -473,22 +488,70 @@ mod tests {
     }
 
     #[test]
-    fn scan_range_returns_exactly_the_window() {
+    fn range_cursor_returns_exactly_the_window() {
         let mut t = make();
         t.batch_insert((0..3000).map(e).collect()).unwrap();
-        let r = t.scan_range(b"key01000", b"key01010").unwrap();
+        let window = |s: &[u8], e: &[u8]| {
+            t.range(Bound::Included(s), Bound::Excluded(e)).collect_entries().unwrap()
+        };
+        let r = window(b"key01000", b"key01010");
         assert_eq!(r.len(), 10);
         assert_eq!(r[0].key.as_ref(), b"key01000");
         assert_eq!(r[9].key.as_ref(), b"key01009");
         // Start between keys, end past the maximum.
-        let r = t.scan_range(b"key02995x", b"zzz").unwrap();
+        let r = window(b"key02995x", b"zzz");
         assert_eq!(r.len(), 4, "key02996..key02999");
         // Empty window and window before all keys.
-        assert!(t.scan_range(b"key01000", b"key01000").unwrap().is_empty());
-        let r = t.scan_range(b"", b"key00002").unwrap();
-        assert_eq!(r.len(), 2);
-        // Whole-range scan equals scan().
-        assert_eq!(t.scan_range(b"", b"\xff").unwrap(), t.scan().unwrap());
+        assert!(window(b"key01000", b"key01000").is_empty());
+        assert_eq!(window(b"", b"key00002").len(), 2);
+        // Unbounded cursor equals scan().
+        let all = t.range(Bound::Unbounded, Bound::Unbounded).collect_entries().unwrap();
+        assert_eq!(all, t.scan().unwrap());
+        // Exclusive start / inclusive end.
+        let r = t
+            .range(Bound::Excluded(b"key01000"), Bound::Included(b"key01003"))
+            .collect_entries()
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].key.as_ref(), b"key01001");
+        // A bounded window must not read the whole tree.
+        let gets_before = t.store().stats().gets;
+        let _ = window(b"key02000", b"key02005");
+        let gets = t.store().stats().gets - gets_before;
+        assert!(gets < 30, "bounded range fetched {gets} pages");
+    }
+
+    #[test]
+    fn delete_restores_root_and_prefix_scans_work() {
+        let mut t = make();
+        t.batch_insert((0..2000).map(e).collect()).unwrap();
+        let full_root = t.root();
+        // Delete a cluster spanning leaf boundaries.
+        let mut batch = WriteBatch::new();
+        for i in 700..760 {
+            batch.delete(format!("key{i:05}").into_bytes());
+        }
+        t.commit(batch).unwrap();
+        assert_eq!(t.len().unwrap(), 1940);
+        assert_eq!(t.get(b"key00730").unwrap(), None);
+        // Deleted content equals a fresh build of the remainder.
+        let mut fresh = make();
+        fresh.batch_insert((0..2000).filter(|i| !(700..760).contains(i)).map(e).collect()).unwrap();
+        assert_eq!(t.root(), fresh.root(), "delete must re-chunk canonically");
+        // Reinsert: identical root again.
+        t.batch_insert((700..760).map(e).collect()).unwrap();
+        assert_eq!(t.root(), full_root);
+        // Prefix cursor.
+        let r = t.scan_prefix(b"key0010").collect_entries().unwrap();
+        assert_eq!(r.len(), 10, "key00100..key00109");
+        // Drain the whole tree.
+        let mut batch = WriteBatch::new();
+        for i in 0..2000 {
+            batch.delete(format!("key{i:05}").into_bytes());
+        }
+        t.commit(batch).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.root(), Hash::ZERO);
     }
 
     #[test]
@@ -508,9 +571,9 @@ mod tests {
     }
 
     #[test]
-    fn scan_range_on_empty_tree() {
+    fn range_on_empty_tree() {
         let t = make();
-        assert!(t.scan_range(b"a", b"z").unwrap().is_empty());
+        assert_eq!(t.range(Bound::Included(b"a"), Bound::Excluded(b"z")).count(), 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Tree construction and incremental copy-on-write updates.
+//! Tree construction and incremental copy-on-write commits.
 //!
-//! Two update paths:
+//! Two update paths, both consuming normalized [`BatchOp`]s (puts *and*
+//! deletes):
 //!
 //! * [`streaming_update`] — the sound POS-Tree algorithm. The old tree is
 //!   walked in key order; untouched nodes *pass through* wholesale whenever
@@ -11,46 +12,24 @@
 //!   content — Structurally Invariant, at O(edit-clusters × fanout ×
 //!   height) cost instead of O(N). This mirrors §3.4.3's insert: "starts
 //!   the boundary detection from the first byte of the leaf node, and stops
-//!   when detecting an existing boundary".
+//!   when detecting an existing boundary". Deletion needs no extra
+//!   machinery: the removed entry's bytes simply never feed the chunker, so
+//!   the boundary pattern re-synchronizes across the removed entry's old
+//!   node boundary exactly as it does for an overwrite — and
+//!   delete-then-reinsert reproduces the original chunks bit-for-bit.
 //!
 //! * [`splice_update`] — the §5.5.1 ablation. Edits are applied leaf-
 //!   locally and nodes are re-chunked only within their old extent, so
 //!   boundaries never migrate across old node ends. Cheap, but the
 //!   structure now depends on insertion history — deliberately non-SI.
 
-use siri_core::{Entry, IndexError, Result};
+use siri_core::{apply_ops, BatchOp, Entry, IndexError, Result};
 use siri_crypto::Hash;
 use siri_store::SharedStore;
 
 use crate::builder::{Builders, Item, LevelBuilder};
 use crate::node::{Node, Piece};
 use crate::params::PosParams;
-
-/// Merge sorted unique `updates` into sorted unique `old`; updates win.
-pub(crate) fn merge_entries(old: &[Entry], updates: &[Entry]) -> Vec<Entry> {
-    let mut out = Vec::with_capacity(old.len() + updates.len());
-    let (mut i, mut j) = (0, 0);
-    while i < old.len() && j < updates.len() {
-        match old[i].key.cmp(&updates[j].key) {
-            std::cmp::Ordering::Less => {
-                out.push(old[i].clone());
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                out.push(updates[j].clone());
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                out.push(updates[j].clone());
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out.extend_from_slice(&old[i..]);
-    out.extend_from_slice(&updates[j..]);
-    out
-}
 
 fn fetch(store: &SharedStore, hash: &Hash) -> Result<Node> {
     let page = store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
@@ -80,16 +59,17 @@ pub(crate) fn build_from_entries(
 }
 
 /// Streaming update: walk the old tree, replaying content through the
-/// builder pipeline with pass-through. `edits` must be sorted and unique.
+/// builder pipeline with pass-through. `edits` must be normalized (sorted,
+/// key-unique); deletes drop entries from the replay stream.
 pub(crate) fn streaming_update(
     store: &SharedStore,
     params: &PosParams,
     salt: u64,
     root: Hash,
-    edits: &[Entry],
+    edits: &[BatchOp],
 ) -> Result<Option<Piece>> {
     if root.is_zero() {
-        return Ok(build_from_entries(store, params, salt, edits));
+        return Ok(build_from_entries(store, params, salt, &apply_ops(&[], edits)));
     }
     if edits.is_empty() {
         let node = fetch(store, &root)?;
@@ -112,12 +92,12 @@ fn process(
     store: &SharedStore,
     builders: &mut Builders<'_>,
     node: &Node,
-    edits: &[Entry],
+    edits: &[BatchOp],
     rightmost: bool,
 ) -> Result<()> {
     match node {
         Node::Leaf { entries, .. } => {
-            for e in merge_entries(entries, edits) {
+            for e in apply_ops(entries, edits) {
                 builders.push(0, Item::Entry(e));
             }
             Ok(())
@@ -160,10 +140,10 @@ pub(crate) fn splice_update(
     params: &PosParams,
     salt: u64,
     root: Hash,
-    edits: &[Entry],
+    edits: &[BatchOp],
 ) -> Result<Option<Piece>> {
     if root.is_zero() {
-        return Ok(build_from_entries(store, params, salt, edits));
+        return Ok(build_from_entries(store, params, salt, &apply_ops(&[], edits)));
     }
     if edits.is_empty() {
         let node = fetch(store, &root)?;
@@ -186,11 +166,11 @@ fn splice_rec(
     params: &PosParams,
     salt: u64,
     node: &Node,
-    edits: &[Entry],
+    edits: &[BatchOp],
 ) -> Result<Vec<Piece>> {
     match node {
         Node::Leaf { entries, .. } => {
-            let merged = merge_entries(entries, edits);
+            let merged = apply_ops(entries, edits);
             let mut b = LevelBuilder::new(0, salt, params);
             let mut out = Vec::new();
             for e in merged {
@@ -265,6 +245,21 @@ mod tests {
         range.map(|i| Entry::new(format!("key{i:06}").into_bytes(), vec![0xEE; 90])).collect()
     }
 
+    /// Entries → normalized put ops.
+    fn puts(entries: &[Entry]) -> Vec<BatchOp> {
+        entries
+            .iter()
+            .map(|e| BatchOp { key: e.key.clone(), value: Some(e.value.clone()) })
+            .collect()
+    }
+
+    /// Keys → normalized delete ops.
+    fn dels(range: std::ops::Range<usize>) -> Vec<BatchOp> {
+        range
+            .map(|i| BatchOp { key: format!("key{i:06}").into_bytes().into(), value: None })
+            .collect()
+    }
+
     #[test]
     fn streaming_update_equals_fresh_build() {
         let store = MemStore::new_shared();
@@ -275,9 +270,9 @@ mod tests {
         // Three very different edit shapes: point overwrite, cluster
         // overwrite, appended tail — each with changed payloads.
         for edit_range in [100..101, 1500..1540, 3000..3100] {
-            let delta = edits(edit_range.clone());
+            let delta = puts(&edits(edit_range.clone()));
             let updated = streaming_update(&store, &params, 0, root.hash, &delta).unwrap().unwrap();
-            let merged = merge_entries(&base, &delta);
+            let merged = apply_ops(&base, &delta);
             let fresh = build_from_entries(&store, &params, 0, &merged).unwrap();
             assert_ne!(updated.hash, root.hash, "edits must change the digest");
             assert_eq!(
@@ -294,9 +289,9 @@ mod tests {
         let mut root = build_from_entries(&store, &params, 0, &entries(0..1000)).unwrap().hash;
         let mut all = entries(0..1000);
         for step in 0..5 {
-            let delta = edits(step * 400..step * 400 + 37);
+            let delta = puts(&edits(step * 400..step * 400 + 37));
             root = streaming_update(&store, &params, 0, root, &delta).unwrap().unwrap().hash;
-            all = merge_entries(&all, &delta);
+            all = apply_ops(&all, &delta);
         }
         let fresh = build_from_entries(&store, &params, 0, &all).unwrap();
         assert_eq!(root, fresh.hash);
@@ -309,7 +304,7 @@ mod tests {
         let base = entries(0..20_000);
         let root = build_from_entries(&store, &params, 0, &base).unwrap();
         let puts_before = store.stats().puts;
-        let delta = edits(7000..7001);
+        let delta = puts(&edits(7000..7001));
         streaming_update(&store, &params, 0, root.hash, &delta).unwrap();
         let puts = store.stats().puts - puts_before;
         // One edit must rewrite O(resync-window × height) pages, far fewer
@@ -321,8 +316,9 @@ mod tests {
     fn update_into_empty_tree_builds() {
         let store = MemStore::new_shared();
         let params = PosParams::default();
-        let piece =
-            streaming_update(&store, &params, 0, Hash::ZERO, &entries(0..10)).unwrap().unwrap();
+        let piece = streaming_update(&store, &params, 0, Hash::ZERO, &puts(&entries(0..10)))
+            .unwrap()
+            .unwrap();
         assert_eq!(piece.max_key.as_ref(), b"key000009");
     }
 
@@ -336,6 +332,32 @@ mod tests {
     }
 
     #[test]
+    fn streaming_delete_re_chunks_to_the_fresh_build() {
+        let store = MemStore::new_shared();
+        let params = PosParams::default();
+        let base = entries(0..3000);
+        let root = build_from_entries(&store, &params, 0, &base).unwrap();
+
+        // Delete shapes: a point, a cluster spanning node boundaries, the
+        // tail, and a no-op (absent keys).
+        for del_range in [100..101, 1500..1560, 2900..3000, 5000..5010] {
+            let delta = dels(del_range.clone());
+            let updated = streaming_update(&store, &params, 0, root.hash, &delta).unwrap();
+            let remaining = apply_ops(&base, &delta);
+            let fresh = build_from_entries(&store, &params, 0, &remaining);
+            assert_eq!(
+                updated.map(|p| p.hash),
+                fresh.map(|p| p.hash),
+                "delete re-chunking broken for {del_range:?}"
+            );
+        }
+
+        // Deleting everything collapses to the empty tree.
+        let all_deleted = streaming_update(&store, &params, 0, root.hash, &dels(0..3000)).unwrap();
+        assert!(all_deleted.is_none());
+    }
+
+    #[test]
     fn splice_update_is_correct_but_order_dependent() {
         let store = MemStore::new_shared();
         let params = PosParams::forced_split();
@@ -343,9 +365,9 @@ mod tests {
         let root = build_from_entries(&store, &params, 0, &base).unwrap();
 
         // Content correctness: updated tree contains the merged entries.
-        let delta = edits(100..140);
+        let delta = puts(&edits(100..140));
         let updated = splice_update(&store, &params, 0, root.hash, &delta).unwrap().unwrap();
-        let merged = merge_entries(&base, &delta);
+        let merged = apply_ops(&base, &delta);
         let fresh = build_from_entries(&store, &params, 0, &merged).unwrap();
         // Order dependence: incremental generally ≠ fresh for forced splits.
         // (Not guaranteed for every dataset, but engineered to hold here:

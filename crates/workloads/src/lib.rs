@@ -23,7 +23,7 @@ pub mod wiki;
 pub mod ycsb;
 pub mod zipf;
 
-pub use ycsb::{Op, YcsbConfig};
+pub use ycsb::{Op, OpMix, YcsbConfig};
 
 /// Table 2 — the experiment parameter grid, kept here as named constants
 /// so harness code reads like the paper.

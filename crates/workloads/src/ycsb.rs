@@ -35,6 +35,55 @@ impl Default for YcsbConfig {
 pub enum Op {
     Read(Bytes),
     Write(Entry),
+    /// Remove a record (YCSB's delete verb; the paper's `del`, §3.1).
+    Delete(Bytes),
+    /// Short range scan: stream up to `limit` entries starting at `start`
+    /// (YCSB workload E's shape).
+    Scan {
+        start: Bytes,
+        limit: usize,
+    },
+}
+
+/// Operation percentages of a mixed stream; must sum to 100.
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    pub read_pct: u32,
+    pub write_pct: u32,
+    pub delete_pct: u32,
+    pub scan_pct: u32,
+    /// Entries per scan op (YCSB E defaults to short scans).
+    pub scan_limit: usize,
+}
+
+impl OpMix {
+    /// The legacy two-verb mix: `write_ratio`% writes, the rest reads.
+    pub fn read_write(write_ratio: u32) -> Self {
+        OpMix {
+            read_pct: 100 - write_ratio,
+            write_pct: write_ratio,
+            delete_pct: 0,
+            scan_pct: 0,
+            scan_limit: 50,
+        }
+    }
+
+    /// A CRUD + scan mix exercising every verb of the redesigned API.
+    pub fn crud_scan(read: u32, write: u32, delete: u32, scan: u32) -> Self {
+        assert_eq!(read + write + delete + scan, 100, "mix must sum to 100");
+        OpMix {
+            read_pct: read,
+            write_pct: write,
+            delete_pct: delete,
+            scan_pct: scan,
+            scan_limit: 50,
+        }
+    }
+
+    pub fn with_scan_limit(mut self, limit: usize) -> Self {
+        self.scan_limit = limit;
+        self
+    }
 }
 
 impl YcsbConfig {
@@ -94,13 +143,41 @@ impl YcsbConfig {
         theta: f64,
         stream_seed: u64,
     ) -> Vec<Op> {
+        self.operations_mix(n, ops, OpMix::read_write(write_ratio), theta, stream_seed)
+    }
+
+    /// An operation stream with a full CRUD + scan [`OpMix`]. Deletes pick
+    /// dataset records like reads do (deleting an already-deleted record is
+    /// a legal no-op, as in YCSB); scans start at a dataset key and request
+    /// `mix.scan_limit` entries.
+    pub fn operations_mix(
+        &self,
+        n: usize,
+        ops: usize,
+        mix: OpMix,
+        theta: f64,
+        stream_seed: u64,
+    ) -> Vec<Op> {
+        // OpMix fields are public; re-validate here so hand-built mixes
+        // cannot silently skew the stream (reads are the 100-sum remainder,
+        // so an inconsistent read_pct would otherwise go unnoticed).
+        assert_eq!(
+            mix.read_pct + mix.write_pct + mix.delete_pct + mix.scan_pct,
+            100,
+            "mix must sum to 100"
+        );
         let zipf = Zipfian::new(n, theta);
         let mut rng = StdRng::seed_from_u64(self.seed ^ stream_seed);
         (0..ops)
             .map(|op_idx| {
                 let id = zipf.next(&mut rng) as u64;
-                if rng.gen_range(0..100) < write_ratio {
+                let dice = rng.gen_range(0..100);
+                if dice < mix.write_pct {
                     Op::Write(self.entry(id, 1 + (op_idx / n.max(1)) as u32))
+                } else if dice < mix.write_pct + mix.delete_pct {
+                    Op::Delete(self.key(id))
+                } else if dice < mix.write_pct + mix.delete_pct + mix.scan_pct {
+                    Op::Scan { start: self.key(id), limit: mix.scan_limit }
                 } else {
                     Op::Read(self.key(id))
                 }
@@ -179,6 +256,29 @@ mod tests {
         assert!(all_reads.iter().all(|o| matches!(o, Op::Read(_))));
         let all_writes = cfg.operations(1000, 1000, 100, 0.0, 3);
         assert!(all_writes.iter().all(|o| matches!(o, Op::Write(_))));
+    }
+
+    #[test]
+    fn crud_scan_mix_respected() {
+        let cfg = YcsbConfig::default();
+        let mix = OpMix::crud_scan(60, 20, 10, 10).with_scan_limit(25);
+        let ops = cfg.operations_mix(1000, 10_000, mix, 0.0, 9);
+        let deletes = ops.iter().filter(|o| matches!(o, Op::Delete(_))).count();
+        let scans = ops.iter().filter(|o| matches!(o, Op::Scan { .. })).count();
+        let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        assert!((700..1300).contains(&deletes), "deletes {deletes}");
+        assert!((700..1300).contains(&scans), "scans {scans}");
+        assert!((5200..6800).contains(&reads), "reads {reads}");
+        assert!(ops.iter().all(|o| !matches!(o, Op::Scan { limit, .. } if *limit != 25)));
+        // The legacy wrapper still produces a pure read/write stream.
+        let rw = cfg.operations(1000, 1000, 30, 0.0, 4);
+        assert!(rw.iter().all(|o| matches!(o, Op::Read(_) | Op::Write(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "mix must sum to 100")]
+    fn crud_scan_mix_must_sum_to_100() {
+        let _ = OpMix::crud_scan(50, 20, 10, 10);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! A miniature blockchain transaction ledger — the paper's Ethereum
 //! scenario (§5.1.3): every block gets an index over its transactions,
-//! the root digest goes into the block header, and any client can verify
-//! a transaction against the header chain with a Merkle proof.
+//! the root digest goes into the block header, any client can verify a
+//! transaction against the header chain with a Merkle proof, and explorers
+//! page through transactions with a streaming range cursor.
 //!
 //! Run with: `cargo run --release --example blockchain_ledger`
+
+use std::ops::Bound;
 
 use siri::workloads::eth::EthConfig;
 use siri::{Hash, MemStore, MerklePatriciaTrie, SiriIndex};
@@ -43,6 +46,24 @@ fn main() -> siri::Result<()> {
         verdict.value().is_some()
     );
     assert_eq!(verdict.value().unwrap().as_ref(), tx.rlp_encode());
+
+    // A block explorer pages through block 13's transactions in hash
+    // order: the first page is a bounded cursor, the next starts after the
+    // last key seen — no point materializing 100 RLP payloads per request.
+    let page: Vec<_> = full_node_view
+        .range(Bound::Unbounded, Bound::Unbounded)
+        .take(5)
+        .collect::<siri::Result<_>>()?;
+    let next_page: Vec<_> = full_node_view
+        .range(Bound::Excluded(&page.last().unwrap().key[..]), Bound::Unbounded)
+        .take(5)
+        .collect::<siri::Result<_>>()?;
+    println!(
+        "explorer paging: txs {}… then {}…",
+        &String::from_utf8_lossy(&page[0].key)[..12],
+        &String::from_utf8_lossy(&next_page[0].key)[..12],
+    );
+    assert!(page.last().unwrap().key < next_page[0].key);
 
     // Storage accounting: identical transactions across blocks (there are
     // none here) and identical subtrees deduplicate automatically.

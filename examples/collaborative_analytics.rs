@@ -1,31 +1,46 @@
 //! Collaborative data analytics — the paper's §5.4.2 scenario: several
-//! teams branch the same dataset, clean/curate independently, and merge
-//! back. Page-level deduplication keeps the storage bill near a single
-//! copy, and the deduplication metrics quantify it.
+//! teams branch the same dataset, clean/curate (including *deleting* bad
+//! records via write batches) independently, and merge back. Page-level
+//! deduplication keeps the storage bill near a single copy, and the
+//! deduplication metrics quantify it.
 //!
 //! Run with: `cargo run --release --example collaborative_analytics`
 
 use siri::workloads::YcsbConfig;
-use siri::{metrics, Forkbase, MergeStrategy, PosFactory, PosParams, SiriIndex};
+use siri::{metrics, Forkbase, MergeStrategy, PosFactory, PosParams, SiriIndex, WriteBatch};
 
 fn main() -> siri::Result<()> {
     let ycsb = YcsbConfig::default();
     let mut lab = Forkbase::new(PosFactory(PosParams::default()), 0);
 
-    // The shared source dataset.
+    // The shared source dataset. Remember the fork-point root: it is the
+    // *base* for deletion-aware three-way merges later.
     lab.put("master", ycsb.dataset(20_000))?;
-    println!("master: {} records, digest {}", 20_000, lab.head("master").unwrap().root());
+    let fork_root = lab.head("master").unwrap().root();
+    println!("master: {} records, digest {fork_root}", 20_000);
 
     // Three teams fork and work on different slices.
     for team in ["cleaning", "enrichment", "qa"] {
         lab.fork("master", team)?;
     }
-    // Cleaning team normalizes 500 records.
-    lab.put("cleaning", (0..500).map(|i| ycsb.entry(i * 3, 1)).collect())?;
+    // Cleaning team normalizes 500 records and *drops* 50 known-bad rows
+    // in the same atomic batch — the branch moves one version forward.
+    let mut cleaning = WriteBatch::new();
+    for i in 0..500 {
+        let e = ycsb.entry(i * 3, 1);
+        cleaning.put(e.key, e.value);
+    }
+    for i in 0..50u64 {
+        cleaning.delete(ycsb.key(7_000 + i));
+    }
+    lab.commit("cleaning", cleaning)?;
+    assert_eq!(lab.get("cleaning", &ycsb.key(7_010))?, None);
+    assert!(lab.get("master", &ycsb.key(7_010))?.is_some(), "master unaffected");
     // Enrichment team adds 1000 derived records.
     lab.put("enrichment", (0..1000).map(|i| ycsb.entry(100_000 + i, 0)).collect())?;
     // QA team flags 200 records (disjoint from cleaning's edits).
     lab.put("qa", (0..200).map(|i| ycsb.entry(50_000 + i, 2)).collect())?;
+    println!("branches: {:?}", lab.branches());
 
     // How much storage do four branches cost? Almost one copy:
     let sets: Vec<siri::PageSet> = ["master", "cleaning", "enrichment", "qa"]
@@ -50,11 +65,18 @@ fn main() -> siri::Result<()> {
             outcome.added_from_right, outcome.conflicts_resolved
         );
     }
-    // …while cleaning *edited* shared records. Two-way merge sees every
-    // edit-vs-base pair as a conflict (§4.1.4: a selection strategy must
-    // be given), so absorb the team's edits by preferring their side.
-    let outcome = lab.merge_branches("master", "cleaning", MergeStrategy::PreferRight)?;
-    println!("merged cleaning: {} edited record(s) absorbed", outcome.conflicts_resolved);
+    // …while cleaning *edited* and *deleted* shared records. A two-way
+    // merge cannot see deletions (absent-on-right is indistinguishable
+    // from never-added), so merge three-way from the fork point: edits of
+    // keys master left alone apply cleanly, and the 50 dropped rows
+    // actually stay dropped in master.
+    let outcome =
+        lab.merge_branches_with_base("master", "cleaning", fork_root, MergeStrategy::Strict)?;
+    println!(
+        "merged cleaning (3-way): {} edit(s)/add(s), {} deletion(s) propagated, {} conflict(s)",
+        outcome.added_from_right, outcome.removed_by_right, outcome.conflicts_resolved
+    );
+    assert_eq!(lab.get("master", &ycsb.key(7_010))?, None, "the takedown survived the merge");
 
     // …while overlapping edits are caught.
     lab.fork("master", "rogue")?;
@@ -69,5 +91,12 @@ fn main() -> siri::Result<()> {
     // Resolve by policy.
     let outcome = lab.merge_branches("master", "rogue", MergeStrategy::PreferRight)?;
     println!("re-merged preferring rogue: {} conflict(s) resolved", outcome.conflicts_resolved);
+
+    // Merged and absorbed, the rogue branch can go. Deleting a branch
+    // drops only its head pointer — pages are content-addressed and
+    // shared, so every other branch keeps its full page set.
+    lab.delete_branch("rogue")?;
+    println!("after cleanup, branches: {:?}", lab.branches());
+    assert!(lab.get("master", &ycsb.key(1))?.is_some());
     Ok(())
 }

@@ -1,30 +1,53 @@
-//! Quickstart: versioned, tamper-evident key-value indexing in a few lines.
+//! Quickstart: versioned, tamper-evident key-value indexing in a few
+//! lines — write batches in, streaming cursors out.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use siri::{Bytes, MemStore, MergeStrategy, PosParams, PosTree, SiriIndex};
+use std::ops::Bound;
+
+use siri::{Bytes, MemStore, MergeStrategy, PosParams, PosTree, SiriIndex, WriteBatch};
 
 fn main() -> siri::Result<()> {
     // One shared content-addressed store; every index version lives in it.
     let store = MemStore::new_shared();
     let mut accounts = PosTree::new(store, PosParams::default());
 
-    // Insert some records. Each batch creates a new immutable version.
-    accounts.batch_insert(vec![
-        siri::Entry::new(&b"alice"[..], &b"100"[..]),
-        siri::Entry::new(&b"bob"[..], &b"250"[..]),
-        siri::Entry::new(&b"carol"[..], &b"75"[..]),
-    ])?;
+    // All writes are batches of puts and deletes, applied atomically in
+    // one copy-on-write pass. Each commit creates a new immutable version.
+    let mut genesis = WriteBatch::new();
+    genesis
+        .put(&b"alice"[..], &b"100"[..])
+        .put(&b"bob"[..], &b"250"[..])
+        .put(&b"carol"[..], &b"75"[..]);
+    accounts.commit(genesis)?;
     println!("v1 digest: {}", accounts.root());
 
-    // Snapshots are free: clone the handle.
+    // Snapshots are free: clone the handle. A mixed batch then closes
+    // carol's account and reprices alice in a single version step.
     let v1 = accounts.clone();
-    accounts.insert(b"alice", Bytes::from_static(b"42"))?;
+    let mut day_two = WriteBatch::new();
+    day_two.put(&b"alice"[..], &b"42"[..]).delete(&b"carol"[..]);
+    accounts.commit(day_two)?;
     println!("v2 digest: {}", accounts.root());
 
-    // Old versions stay fully readable.
+    // Old versions stay fully readable — including the deleted record.
     assert_eq!(v1.get(b"alice")?.unwrap().as_ref(), b"100");
+    assert_eq!(v1.get(b"carol")?.unwrap().as_ref(), b"75");
     assert_eq!(accounts.get(b"alice")?.unwrap().as_ref(), b"42");
+    assert_eq!(accounts.get(b"carol")?, None);
+
+    // Reads stream through a lazy cursor: scans, prefix scans and bounded
+    // ranges never materialize the dataset.
+    print!("v2 accounts in [a, c): ");
+    for entry in accounts.range(Bound::Included(b"a"), Bound::Excluded(b"c")) {
+        let entry = entry?;
+        print!(
+            "{}={} ",
+            String::from_utf8_lossy(&entry.key),
+            String::from_utf8_lossy(&entry.value)
+        );
+    }
+    println!();
 
     // Diff two versions structurally — only changed subtrees are visited.
     let changes = v1.diff(&accounts)?;

@@ -1,12 +1,12 @@
 //! Wikipedia-style document versioning — the paper's §5.1.2 scenario: a
 //! corpus of page abstracts evolving over many versions, with history
-//! tracking, rollback, and storage that grows with the *delta*, not the
-//! corpus.
+//! tracking, rollback, page *takedowns* (write-batch deletes), and storage
+//! that grows with the *delta*, not the corpus.
 //!
 //! Run with: `cargo run --release --example wiki_versioning`
 
 use siri::workloads::wiki::WikiConfig;
-use siri::{MemStore, PosParams, PosTree, SiriIndex, VersionStore};
+use siri::{MemStore, PosParams, PosTree, SiriIndex, VersionStore, WriteBatch};
 
 fn main() -> siri::Result<()> {
     let wiki = WikiConfig { pages: 20_000, update_pct: 1, new_pages_per_version: 25, seed: 3 };
@@ -38,6 +38,24 @@ fn main() -> siri::Result<()> {
     let two_weeks_ago = history.history("main")[14].index.clone();
     let drift = index.diff(&two_weeks_ago)?;
     println!("pages changed vs 14 versions ago: {}", drift.len());
+
+    // A takedown request removes three pages — one atomic write batch,
+    // one new version, history untouched.
+    let mut takedown = WriteBatch::new();
+    for page in [100u64, 101, 102] {
+        takedown.delete(wiki.url(page));
+    }
+    index.commit(takedown)?;
+    history.commit("main", &index, "takedown: pages 100-102");
+    assert_eq!(index.get(&wiki.url(101))?, None);
+    println!("after takedown: {} pages (previous versions still serve them)", index.len()?);
+
+    // Browse one URL neighborhood through the streaming prefix cursor —
+    // no corpus-sized allocation.
+    let prefix = wiki.url(200);
+    let prefix = &prefix[..prefix.len().saturating_sub(2)];
+    let nearby = index.scan_prefix(prefix).count();
+    println!("pages sharing the URL prefix {:?}: {nearby}", String::from_utf8_lossy(prefix));
 
     // An editor branches an old version to restore vandalized content.
     history.branch("restore", "main");

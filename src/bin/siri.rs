@@ -26,6 +26,7 @@ fn usage() -> ! {
         "usage: siri --db <path> <command>\n\
          commands:\n\
          \x20 put <key> <value>      write one record (creates a version)\n\
+         \x20 del <key>              delete one record (creates a version)\n\
          \x20 get <key> [--root H]   read from head or a specific version\n\
          \x20 scan [prefix]          list records (optionally by prefix)\n\
          \x20 log                    list version digests, newest first\n\
@@ -84,6 +85,13 @@ fn main() {
             append_history(&head_file, next.root());
             println!("{}", next.root());
         }
+        "del" => {
+            let key = rest.get(1).unwrap_or_else(|| usage());
+            let mut next = head.clone();
+            next.delete(key.as_bytes()).unwrap();
+            append_history(&head_file, next.root());
+            println!("{}", next.root());
+        }
         "get" => {
             let key = rest.get(1).unwrap_or_else(|| usage());
             let view = match rest.iter().position(|a| a == "--root") {
@@ -103,16 +111,14 @@ fn main() {
             }
         }
         "scan" => {
-            let entries = match rest.get(1) {
-                Some(prefix) => {
-                    let start = prefix.as_bytes().to_vec();
-                    let mut end = start.clone();
-                    end.push(0xff);
-                    head.scan_range(&start, &end).unwrap()
-                }
-                None => head.scan().unwrap(),
+            // Stream through the unified cursor — constant memory, even
+            // for a full-database scan.
+            let cursor = match rest.get(1) {
+                Some(prefix) => head.scan_prefix(prefix.as_bytes()),
+                None => head.range(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded),
             };
-            for e in entries {
+            for e in cursor {
+                let e = e.unwrap();
                 println!(
                     "{}\t{}",
                     String::from_utf8_lossy(&e.key),

@@ -10,23 +10,35 @@
 //! ## Quickstart
 //!
 //! ```
-//! use siri::{MemStore, PosParams, PosTree, SiriIndex};
+//! use std::ops::Bound;
+//! use siri::{MemStore, PosParams, PosTree, SiriIndex, WriteBatch};
 //!
 //! let store = MemStore::new_shared();
 //! let mut index = PosTree::new(store, PosParams::default());
 //!
-//! // Every update produces a new immutable version; clones are snapshots.
+//! // Every commit produces a new immutable version; clones are snapshots.
 //! index.insert(b"alice", bytes::Bytes::from_static(b"100")).unwrap();
 //! let v1 = index.clone();
-//! index.insert(b"alice", bytes::Bytes::from_static(b"250")).unwrap();
+//!
+//! // The atomic write unit is a batch of puts and deletes.
+//! let mut batch = WriteBatch::new();
+//! batch.put(&b"bob"[..], &b"75"[..]).delete(&b"alice"[..]);
+//! index.commit(batch).unwrap();
 //!
 //! assert_eq!(v1.get(b"alice").unwrap().unwrap().as_ref(), b"100");
-//! assert_eq!(index.get(b"alice").unwrap().unwrap().as_ref(), b"250");
+//! assert_eq!(index.get(b"alice").unwrap(), None);
+//!
+//! // Reads stream through a lazy cursor; scans never materialize.
+//! let window: Vec<_> = index
+//!     .range(Bound::Included(&b"a"[..]), Bound::Unbounded)
+//!     .map(|e| e.unwrap().key)
+//!     .collect();
+//! assert_eq!(window, vec![bytes::Bytes::from_static(b"bob")]);
 //!
 //! // The root digest is tamper-evident; proofs verify against it alone.
-//! let proof = index.prove(b"alice").unwrap();
-//! let verdict = PosTree::verify_proof(index.root(), b"alice", &proof);
-//! assert_eq!(verdict.value().unwrap().as_ref(), b"250");
+//! let proof = index.prove(b"bob").unwrap();
+//! let verdict = PosTree::verify_proof(index.root(), b"bob", &proof);
+//! assert_eq!(verdict.value().unwrap().as_ref(), b"75");
 //! ```
 //!
 //! See `examples/` for full scenarios (blockchain ledger, collaborative
@@ -34,10 +46,11 @@
 //! paper-reproduction map.
 
 pub use siri_core::{
-    cost_model, diff_by_scan, diff_sorted_entries, entry_codec, merge, metrics, normalize_batch,
-    siri_properties, Bytes, DiffEntry, DiffSide, Entry, Hash, IndexError, LookupTrace, MemStore,
-    MergeOutcome, MergeStrategy, NodeStore, PageSet, Proof, ProofVerdict, Result, SharedStore,
-    SiriIndex, StoreStats, VersionStore, VersionTag,
+    apply_ops, cost_model, diff_by_scan, diff_sorted_entries, entry_codec, merge, merge_with_base,
+    metrics, prefix_successor, siri_properties, BatchOp, Bytes, DiffEntry, DiffSide, Entry,
+    EntryCursor, Hash, IndexError, LookupTrace, MemStore, MergeOutcome, MergeStrategy, NodeStore,
+    Op, PageSet, Proof, ProofVerdict, Result, SharedStore, SiriIndex, StoreStats, VersionStore,
+    VersionTag, WriteBatch,
 };
 
 pub use siri_crypto as crypto;

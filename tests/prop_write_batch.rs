@@ -1,0 +1,209 @@
+//! Property tests for the write-batch + cursor API redesign:
+//!
+//! * random interleaved put/delete sequences agree with a `BTreeMap` model
+//!   on all four structures;
+//! * delete-then-reinsert restores the identical root hash on the three
+//!   SIRI structures (Structural Invariance under the full op set);
+//! * cursor `range()` output equals the filtered full `scan()` for random
+//!   bounds on every structure.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use proptest::prelude::*;
+use siri::{
+    Entry, IndexFactory, MbtFactory, MemStore, MptFactory, MvmbFactory, MvmbParams, PosFactory,
+    PosParams, SiriIndex, WriteBatch,
+};
+
+/// A raw op: `(key, value, tag)`. `tag % 4 == 0` deletes (so roughly a
+/// quarter of the ops are deletes), otherwise the value is put.
+type RawOp = (Vec<u8>, Vec<u8>, u8);
+
+fn is_delete(op: &RawOp) -> bool {
+    op.2.is_multiple_of(4)
+}
+
+/// Random interleaved puts and deletes over a small key space, so deletes
+/// actually hit live keys, collapse paths, and empty nodes.
+fn arb_ops(max_batches: usize) -> impl Strategy<Value = Vec<Vec<RawOp>>> {
+    let key = proptest::collection::vec(proptest::num::u8::ANY, 1..5);
+    let value = proptest::collection::vec(proptest::num::u8::ANY, 0..16);
+    let op = (key, value, proptest::num::u8::ANY);
+    proptest::collection::vec(proptest::collection::vec(op, 1..20), 1..max_batches)
+}
+
+fn to_batch(raw: &[RawOp]) -> WriteBatch {
+    let mut batch = WriteBatch::new();
+    for op in raw {
+        if is_delete(op) {
+            batch.delete(op.0.clone());
+        } else {
+            batch.put(op.0.clone(), op.1.clone());
+        }
+    }
+    batch
+}
+
+fn apply_to_model(model: &mut BTreeMap<Vec<u8>, Vec<u8>>, raw: &[RawOp]) {
+    for op in raw {
+        if is_delete(op) {
+            model.remove(&op.0);
+        } else {
+            model.insert(op.0.clone(), op.1.clone());
+        }
+    }
+}
+
+fn check_against_model<I: SiriIndex>(idx: &I, model: &BTreeMap<Vec<u8>, Vec<u8>>) {
+    assert_eq!(idx.len().unwrap(), model.len(), "{} len", idx.kind());
+    for (k, v) in model {
+        assert_eq!(
+            idx.get(k).unwrap().as_deref(),
+            Some(v.as_slice()),
+            "{} missing {k:?}",
+            idx.kind()
+        );
+    }
+    let scan = idx.scan().unwrap();
+    assert_eq!(scan.len(), model.len(), "{} scan len", idx.kind());
+    assert!(scan.windows(2).all(|w| w[0].key < w[1].key), "{} scan unsorted", idx.kind());
+    for e in &scan {
+        assert_eq!(
+            model.get(e.key.as_ref()).map(|v| v.as_slice()),
+            Some(e.value.as_ref()),
+            "{} phantom entry {:?}",
+            idx.kind(),
+            e.key
+        );
+    }
+}
+
+fn bound_of(sel: u8, key: &[u8]) -> Bound<&[u8]> {
+    match sel % 3 {
+        0 => Bound::Included(key),
+        1 => Bound::Excluded(key),
+        _ => Bound::Unbounded,
+    }
+}
+
+fn in_bounds(start: &Bound<&[u8]>, end: &Bound<&[u8]>, key: &[u8]) -> bool {
+    let after_start = match start {
+        Bound::Included(s) => key >= *s,
+        Bound::Excluded(s) => key > *s,
+        Bound::Unbounded => true,
+    };
+    let before_end = match end {
+        Bound::Included(e) => key <= *e,
+        Bound::Excluded(e) => key < *e,
+        Bound::Unbounded => true,
+    };
+    after_start && before_end
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn interleaved_put_delete_matches_model_on_all_structures(raw in arb_ops(8)) {
+        let mut model = BTreeMap::new();
+        for batch in &raw {
+            apply_to_model(&mut model, batch);
+        }
+
+        macro_rules! check {
+            ($factory:expr) => {{
+                let mut idx = $factory.empty(MemStore::new_shared());
+                for batch in &raw {
+                    idx.commit(to_batch(batch)).unwrap();
+                }
+                check_against_model(&idx, &model);
+            }};
+        }
+        check!(PosFactory(PosParams::default()));
+        check!(MptFactory);
+        check!(MbtFactory { buckets: 32, fanout: 4 });
+        check!(MvmbFactory(MvmbParams::default()));
+    }
+
+    #[test]
+    fn delete_then_reinsert_restores_the_root(raw in arb_ops(4), victims in 1usize..8) {
+        // Build each SIRI structure, delete a deterministic subset of live
+        // keys, reinsert the same records: the root must round-trip.
+        let mut model = BTreeMap::new();
+        for batch in &raw {
+            apply_to_model(&mut model, batch);
+        }
+        if model.is_empty() {
+            return; // vacuous draw: every key ended deleted
+        }
+        let keys: Vec<&Vec<u8>> = model.keys().collect();
+        let chosen: Vec<Entry> = keys
+            .iter()
+            .step_by((keys.len() / victims).max(1))
+            .map(|k| Entry::new((*k).clone(), model[*k].clone()))
+            .collect();
+
+        macro_rules! roundtrip {
+            ($factory:expr) => {{
+                let mut idx = $factory.empty(MemStore::new_shared());
+                for batch in &raw {
+                    idx.commit(to_batch(batch)).unwrap();
+                }
+                let before = idx.root();
+                let mut del = WriteBatch::new();
+                for e in &chosen {
+                    del.delete(e.key.clone());
+                }
+                idx.commit(del).unwrap();
+                prop_assert_ne!(before, idx.root(), "{} delete must move the root", idx.kind());
+                let mut back = WriteBatch::new();
+                for e in &chosen {
+                    back.put(e.key.clone(), e.value.clone());
+                }
+                idx.commit(back).unwrap();
+                prop_assert_eq!(
+                    before,
+                    idx.root(),
+                    "{} delete-then-reinsert must restore the root",
+                    idx.kind()
+                );
+            }};
+        }
+        roundtrip!(PosFactory(PosParams::default()));
+        roundtrip!(MptFactory);
+        roundtrip!(MbtFactory { buckets: 32, fanout: 4 });
+    }
+
+    #[test]
+    fn range_cursor_equals_filtered_scan(
+        raw in arb_ops(4),
+        lo in proptest::collection::vec(proptest::num::u8::ANY, 0..4),
+        hi in proptest::collection::vec(proptest::num::u8::ANY, 0..4),
+        sel in proptest::num::u8::ANY,
+    ) {
+        macro_rules! check {
+            ($factory:expr) => {{
+                let mut idx = $factory.empty(MemStore::new_shared());
+                for batch in &raw {
+                    idx.commit(to_batch(batch)).unwrap();
+                }
+                let start = bound_of(sel, &lo);
+                let end = bound_of(sel / 3, &hi);
+                let got: Vec<Entry> =
+                    idx.range(start, end).collect::<siri::Result<_>>().unwrap();
+                let expect: Vec<Entry> = idx
+                    .scan()
+                    .unwrap()
+                    .into_iter()
+                    .filter(|e| in_bounds(&start, &end, &e.key))
+                    .collect();
+                prop_assert_eq!(&got, &expect, "{} range/scan divergence", idx.kind());
+            }};
+        }
+        check!(PosFactory(PosParams::default()));
+        check!(MptFactory);
+        check!(MbtFactory { buckets: 16, fanout: 4 });
+        check!(MvmbFactory(MvmbParams::default()));
+    }
+}
