@@ -4,12 +4,19 @@ use std::fmt;
 
 use siri_crypto::Hash;
 use siri_encoding::CodecError;
+use siri_store::StoreError;
 
 /// Everything that can go wrong inside an index operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IndexError {
-    /// A page referenced by the structure is missing from the store.
+    /// A page referenced by the structure is missing from the store — a
+    /// *definitive* miss (dangling reference), distinct from
+    /// [`IndexError::Store`], where the page may exist but could not be
+    /// read or written.
     MissingPage(Hash),
+    /// The backing store failed (I/O fault on a durable backend). Not a
+    /// key-not-found: traversal stops because storage misbehaved.
+    Store(StoreError),
     /// A page failed to decode (corruption or version skew).
     Codec(CodecError),
     /// A page's content does not match its content address — tampering.
@@ -27,6 +34,7 @@ impl fmt::Display for IndexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IndexError::MissingPage(h) => write!(f, "missing page {h:?}"),
+            IndexError::Store(e) => write!(f, "{e}"),
             IndexError::Codec(e) => write!(f, "page decode failed: {e}"),
             IndexError::TamperDetected { expected } => {
                 write!(f, "page content does not match address {expected:?} (tampering)")
@@ -51,6 +59,12 @@ impl From<CodecError> for IndexError {
 impl From<siri_encoding::RlpError> for IndexError {
     fn from(e: siri_encoding::RlpError) -> Self {
         IndexError::Codec(CodecError::Rlp(e))
+    }
+}
+
+impl From<StoreError> for IndexError {
+    fn from(e: StoreError) -> Self {
+        IndexError::Store(e)
     }
 }
 

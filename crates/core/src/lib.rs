@@ -50,6 +50,6 @@ pub use version::{VersionStore, VersionTag};
 pub use bytes::Bytes;
 pub use siri_crypto::Hash;
 pub use siri_store::{
-    CacheStats, MemStore, NodeCache, NodeStore, PageSet, SharedStore, StoreStats,
-    DEFAULT_NODE_CACHE_CAPACITY,
+    CacheStats, FileStore, FsyncPolicy, MemStore, NodeCache, NodeStore, PageSet, Reclaim,
+    SharedStore, StoreError, StoreResult, StoreStats, DEFAULT_NODE_CACHE_CAPACITY,
 };

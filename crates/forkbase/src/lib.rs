@@ -29,7 +29,10 @@ use siri_core::{
     SiriIndex, WriteBatch,
 };
 use siri_crypto::Hash;
-use siri_store::{CachingStore, MemStore, NodeStore, SharedStore, StoreStats};
+use siri_store::{
+    CachingStore, FileStore, FileStoreOptions, MemStore, NodeStore, SharedStore, StoreError,
+    StoreStats,
+};
 
 pub use factory::{IndexFactory, MbtFactory, MptFactory, MvmbFactory, PosFactory};
 
@@ -40,9 +43,18 @@ pub use factory::{IndexFactory, MbtFactory, MptFactory, MvmbFactory, PosFactory}
 pub const DEFAULT_FETCH_COST_NANOS: u64 = 20_000;
 
 /// A Forkbase-style versioned KV engine backed by index `F::Index`.
+///
+/// The server-side page store is pluggable: the default is an in-memory
+/// [`MemStore`] (the paper's experiments), while
+/// [`Forkbase::new_durable`] runs the same engine over a [`FileStore`],
+/// fsyncing acknowledged commits per that store's
+/// [`siri_store::FsyncPolicy`].
 pub struct Forkbase<F: IndexFactory> {
     factory: F,
-    server: Arc<MemStore>,
+    server: SharedStore,
+    /// Set when the server store is file-backed: the handle the engine
+    /// drives durability (fsync-per-commit policy) through.
+    durable: Option<Arc<FileStore>>,
     client_store: Arc<CachingStore>,
     branches: HashMap<String, F::Index>,
     /// Per-branch client-side handles, kept across reads so the decoded-
@@ -55,18 +67,52 @@ pub struct Forkbase<F: IndexFactory> {
 impl<F: IndexFactory> Forkbase<F> {
     /// Create an engine with one empty branch `"master"`.
     pub fn new(factory: F, fetch_cost_nanos: u64) -> Self {
-        let server = Arc::new(MemStore::new());
-        let server_shared: SharedStore = server.clone();
-        let client_store = Arc::new(CachingStore::new(server_shared.clone(), fetch_cost_nanos));
+        Self::with_server(factory, Arc::new(MemStore::new()), None, fetch_cost_nanos)
+    }
+
+    /// An engine whose server store persists to `path` (a [`FileStore`]
+    /// directory). Commits are flushed per the options' fsync policy.
+    /// Branch heads themselves are in-memory — callers that need them to
+    /// survive a restart persist the roots (e.g. a sidecar file, as the
+    /// `siri` CLI does) and re-attach with [`Forkbase::open_branch`].
+    pub fn new_durable(
+        factory: F,
+        path: impl AsRef<std::path::Path>,
+        opts: FileStoreOptions,
+        fetch_cost_nanos: u64,
+    ) -> std::io::Result<Self> {
+        let (fs, _) = FileStore::open_with(path, opts)?;
+        let fs = Arc::new(fs);
+        Ok(Self::with_server(factory, fs.clone(), Some(fs), fetch_cost_nanos))
+    }
+
+    fn with_server(
+        factory: F,
+        server: Arc<dyn NodeStore>,
+        durable: Option<Arc<FileStore>>,
+        fetch_cost_nanos: u64,
+    ) -> Self {
+        let server: SharedStore = server;
+        let client_store = Arc::new(CachingStore::new(server.clone(), fetch_cost_nanos));
         let mut branches = HashMap::new();
-        branches.insert("master".to_string(), factory.empty(server_shared));
+        branches.insert("master".to_string(), factory.empty(server.clone()));
         Forkbase {
             factory,
             server,
+            durable,
             client_store,
             branches,
             client_views: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Attach a branch head at an existing root (e.g. one recovered from a
+    /// durable store's sidecar after a restart). Replaces the branch if it
+    /// exists.
+    pub fn open_branch(&mut self, branch: &str, root: Hash) {
+        let index = self.factory.open(self.server.clone(), root);
+        self.branches.insert(branch.to_string(), index);
+        self.client_views.lock().unwrap_or_else(|e| e.into_inner()).remove(branch);
     }
 
     /// Server-side atomic write batch (puts *and* deletes) to a branch;
@@ -75,7 +121,19 @@ impl<F: IndexFactory> Forkbase<F> {
     pub fn commit(&mut self, branch: &str, batch: WriteBatch) -> Result<Hash> {
         let index =
             self.branches.get_mut(branch).ok_or(IndexError::Unsupported("unknown branch"))?;
-        index.commit(batch)
+        let old_root = index.root();
+        let root = index.commit(batch)?;
+        // Acknowledge only once the fsync policy is satisfied: a durable
+        // engine's returned root is a *durable* root. On fsync failure the
+        // branch head rolls back — a failed commit must not be readable —
+        // and the already-written pages are orphans for the next sweep.
+        if let Some(fs) = &self.durable {
+            if let Err(e) = fs.note_commit() {
+                *index = index.at_root(old_root);
+                return Err(IndexError::Store(StoreError::io("fsync", e)));
+            }
+        }
+        Ok(root)
     }
 
     /// Server-side batched insert to a branch; returns the new root digest.
@@ -507,6 +565,31 @@ mod tests {
         let rest: Vec<Entry> = cursor.collect::<Result<_>>().unwrap();
         assert_eq!(first.key.as_ref(), b"key01000");
         assert_eq!(rest.len(), 4);
+    }
+
+    #[test]
+    fn durable_engine_commits_survive_reopen() {
+        use siri_store::FsyncPolicy;
+        let dir = std::env::temp_dir()
+            .join("siri-forkbase-tests")
+            .join(format!("durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = FileStoreOptions { fsync: FsyncPolicy::OnCommit, ..FileStoreOptions::default() };
+
+        let root = {
+            let mut fb =
+                Forkbase::new_durable(PosFactory(PosParams::default()), &dir, opts, 0).unwrap();
+            fb.put("master", entries(0..300)).unwrap()
+        }; // "process exits" — the commit was fsynced before put returned
+
+        let mut fb =
+            Forkbase::new_durable(PosFactory(PosParams::default()), &dir, opts, 0).unwrap();
+        fb.open_branch("master", root);
+        assert_eq!(fb.head("master").unwrap().len().unwrap(), 300);
+        assert_eq!(fb.get("master", b"key00123").unwrap().unwrap().len(), 64);
+        // Writes keep flowing after the reopen.
+        fb.put("master", entries(300..310)).unwrap();
+        assert!(fb.get("master", b"key00305").unwrap().is_some());
     }
 
     #[test]

@@ -75,7 +75,7 @@ impl MerkleBucketTree {
         let (b, m) = (buckets as u64, fanout as u64);
 
         let empty_bucket = Node::Bucket { buckets: b, fanout: m, entries: Vec::new() }.encode();
-        let bucket_hash = store.put(empty_bucket);
+        let bucket_hash = store.try_put(empty_bucket)?;
         let mut level: Vec<Hash> = vec![bucket_hash; buckets];
 
         while level.len() > 1 {
@@ -84,10 +84,16 @@ impl MerkleBucketTree {
             let mut memo: FxHashMap<usize, Hash> = FxHashMap::default();
             let mut next = Vec::with_capacity(level.len().div_ceil(fanout));
             for chunk in level.chunks(fanout) {
-                let h = *memo.entry(chunk.len()).or_insert_with(|| {
-                    let node = Node::Internal { buckets: b, fanout: m, children: chunk.to_vec() };
-                    store.put(node.encode())
-                });
+                let h = match memo.get(&chunk.len()) {
+                    Some(h) => *h,
+                    None => {
+                        let node =
+                            Node::Internal { buckets: b, fanout: m, children: chunk.to_vec() };
+                        let h = store.try_put(node.encode())?;
+                        memo.insert(chunk.len(), h);
+                        h
+                    }
+                };
                 next.push(h);
             }
             level = next;
@@ -138,7 +144,7 @@ impl MerkleBucketTree {
     /// cache hit (no store access, no decode).
     fn fetch_traced(&self, hash: &Hash) -> Result<(Arc<Node>, bool)> {
         self.cache.get_or_load(hash, || {
-            let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+            let page = self.store.try_get(hash)?.ok_or(IndexError::MissingPage(*hash))?;
             Node::decode_zc(&page)
         })
     }
@@ -333,7 +339,7 @@ impl SiriIndex for MerkleBucketTree {
             let old = self.bucket_entries(*bucket)?;
             let merged = apply_ops(&old, bucket_ops);
             let page = Node::Bucket { buckets: b, fanout: m, entries: merged }.encode();
-            changed.insert((0, *bucket), self.store.put(page));
+            changed.insert((0, *bucket), self.store.try_put(page)?);
         }
 
         // Propagate new hashes level by level ("the hashes of the bucket
@@ -364,7 +370,7 @@ impl SiriIndex for MerkleBucketTree {
                     }
                 }
                 let page = Node::Internal { buckets: b, fanout: m, children }.encode();
-                changed.insert(id, self.store.put(page));
+                changed.insert(id, self.store.try_put(page)?);
             }
         }
 
@@ -420,7 +426,7 @@ impl SiriIndex for MerkleBucketTree {
         let mut pages = Vec::with_capacity(path.len());
         let mut hash = self.root;
         for (i, _) in path.iter().enumerate() {
-            let page = self.store.get(&hash).ok_or(IndexError::MissingPage(hash))?;
+            let page = self.store.try_get(&hash)?.ok_or(IndexError::MissingPage(hash))?;
             let node = Node::decode(&page)?;
             pages.push(page);
             if i + 1 < path.len() {

@@ -95,7 +95,7 @@ impl MerklePatriciaTrie {
     /// cache hit (no store access, no decode).
     fn fetch_traced(&self, hash: &Hash) -> Result<(Arc<Node>, bool)> {
         self.cache.get_or_load(hash, || {
-            let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+            let page = self.store.try_get(hash)?.ok_or(IndexError::MissingPage(*hash))?;
             Node::decode_zc(&page)
         })
     }
@@ -235,7 +235,7 @@ impl SiriIndex for MerklePatriciaTrie {
             };
         }
         self.root = match overlay {
-            Some(overlay) => overlay.commit(&self.store),
+            Some(overlay) => overlay.commit(&self.store)?,
             None => Hash::ZERO, // every record deleted
         };
         Ok(self.root)

@@ -190,23 +190,28 @@ impl MemNode {
     }
 
     /// Persist the overlay, returning the subtree digest. Untouched
-    /// `Stored` stubs cost nothing.
-    pub(crate) fn commit(self, store: &SharedStore) -> Hash {
-        match self {
+    /// `Stored` stubs cost nothing. A store fault propagates without
+    /// touching the handle's root — the half-written subtree is garbage a
+    /// future sweep reclaims, never a visible version.
+    pub(crate) fn commit(self, store: &SharedStore) -> Result<Hash> {
+        Ok(match self {
             MemNode::Stored(h) => h,
-            MemNode::Leaf { path, value } => store.put(Node::Leaf { path, value }.encode()),
+            MemNode::Leaf { path, value } => store.try_put(Node::Leaf { path, value }.encode())?,
             MemNode::Extension { path, child } => {
-                let child = child.commit(store);
-                store.put(Node::Extension { path, child }.encode())
+                let child = child.commit(store)?;
+                store.try_put(Node::Extension { path, child }.encode())?
             }
             MemNode::Branch { children, value } => {
                 let mut slots: [Option<Hash>; 16] = Default::default();
                 for (i, c) in children.into_iter().enumerate() {
-                    slots[i] = c.map(|n| n.commit(store));
+                    slots[i] = match c {
+                        Some(n) => Some(n.commit(store)?),
+                        None => None,
+                    };
                 }
-                store.put(Node::Branch { children: slots, value }.encode())
+                store.try_put(Node::Branch { children: slots, value }.encode())?
             }
-        }
+        })
     }
 }
 

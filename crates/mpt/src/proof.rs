@@ -22,7 +22,7 @@ pub(crate) fn prove(trie: &MerklePatriciaTrie, key: &[u8]) -> Result<Proof> {
     let mut offset = 0usize;
     let mut hash = trie.root();
     loop {
-        let page = trie.store().get(&hash).ok_or(IndexError::MissingPage(hash))?;
+        let page = trie.store().try_get(&hash)?.ok_or(IndexError::MissingPage(hash))?;
         let node = Node::decode(&page)?;
         pages.push(page);
         match node {

@@ -70,7 +70,7 @@ impl RangeCursor {
     fn fetch(&self, hash: &Hash) -> Result<Arc<Node>> {
         self.cache
             .get_or_load(hash, || {
-                let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+                let page = self.store.try_get(hash)?.ok_or(IndexError::MissingPage(*hash))?;
                 Node::decode_zc(&page)
             })
             .map(|(node, _)| node)

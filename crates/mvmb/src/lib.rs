@@ -123,14 +123,14 @@ impl MvmbTree {
     /// cache hit (no store access, no decode).
     fn fetch_traced(&self, hash: &Hash) -> Result<(Arc<Node>, bool)> {
         self.cache.get_or_load(hash, || {
-            let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+            let page = self.store.try_get(hash)?.ok_or(IndexError::MissingPage(*hash))?;
             Node::decode_zc(&page)
         })
     }
 
-    fn put_node(&self, node: &Node) -> Piece {
+    fn put_node(&self, node: &Node) -> Result<Piece> {
         let max_key = node.max_key().expect("never store empty nodes");
-        (max_key, self.store.put(node.encode()))
+        Ok((max_key, self.store.try_put(node.encode())?))
     }
 
     /// Split `items` into balanced chunks of at most `max` and emit one
@@ -140,9 +140,9 @@ impl MvmbTree {
         items: Vec<T>,
         max: usize,
         build: impl Fn(Vec<T>) -> Node,
-    ) -> Vec<Piece> {
+    ) -> Result<Vec<Piece>> {
         if items.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let parts = items.len().div_ceil(max);
         let per = items.len().div_ceil(parts);
@@ -165,7 +165,7 @@ impl MvmbTree {
         match &*self.fetch(&node_hash)? {
             Node::Leaf(old) => {
                 let merged = apply_ops(old, ops);
-                Ok(self.emit_chunks(merged, self.params.max_leaf_entries, Node::Leaf))
+                self.emit_chunks(merged, self.params.max_leaf_entries, Node::Leaf)
             }
             Node::Internal(children) => {
                 // Partition the batch across children by routing range.
@@ -187,7 +187,7 @@ impl MvmbTree {
                     .into_iter()
                     .map(|(max_key, child)| ChildRef { max_key, child })
                     .collect();
-                Ok(self.emit_chunks(refs, self.params.max_internal_children, Node::Internal))
+                self.emit_chunks(refs, self.params.max_internal_children, Node::Internal)
             }
         }
     }
@@ -208,14 +208,14 @@ impl MvmbTree {
     }
 
     /// Build a tree bottom-up from scratch for the first batch.
-    fn build_fresh(&self, entries: Vec<Entry>) -> Vec<Piece> {
-        let mut pieces = self.emit_chunks(entries, self.params.max_leaf_entries, Node::Leaf);
+    fn build_fresh(&self, entries: Vec<Entry>) -> Result<Vec<Piece>> {
+        let mut pieces = self.emit_chunks(entries, self.params.max_leaf_entries, Node::Leaf)?;
         while pieces.len() > 1 {
             let refs: Vec<ChildRef> =
                 pieces.into_iter().map(|(max_key, child)| ChildRef { max_key, child }).collect();
-            pieces = self.emit_chunks(refs, self.params.max_internal_children, Node::Internal);
+            pieces = self.emit_chunks(refs, self.params.max_internal_children, Node::Internal)?;
         }
-        pieces
+        Ok(pieces)
     }
 
     /// Number of levels (0 for an empty tree).
@@ -315,7 +315,7 @@ impl SiriIndex for MvmbTree {
         }
         let mut pieces = if self.root.is_zero() {
             let puts: Vec<Entry> = ops.into_iter().filter_map(BatchOp::into_entry).collect();
-            self.build_fresh(puts)
+            self.build_fresh(puts)?
         } else {
             self.apply_rec(self.root, &ops)?
         };
@@ -323,7 +323,7 @@ impl SiriIndex for MvmbTree {
         while pieces.len() > 1 {
             let refs: Vec<ChildRef> =
                 pieces.into_iter().map(|(max_key, child)| ChildRef { max_key, child }).collect();
-            pieces = self.emit_chunks(refs, self.params.max_internal_children, Node::Internal);
+            pieces = self.emit_chunks(refs, self.params.max_internal_children, Node::Internal)?;
         }
         // Deletes may have emptied the tree entirely, or left a lone-child
         // chain at the top; prune both.
@@ -365,7 +365,7 @@ impl SiriIndex for MvmbTree {
         }
         let mut hash = self.root;
         loop {
-            let page = self.store.get(&hash).ok_or(IndexError::MissingPage(hash))?;
+            let page = self.store.try_get(&hash)?.ok_or(IndexError::MissingPage(hash))?;
             let node = Node::decode(&page)?;
             pages.push(page);
             match node {

@@ -15,7 +15,7 @@
 //! the tree Structurally Invariant.
 
 use bytes::Bytes;
-use siri_core::{entry_codec, Entry};
+use siri_core::{entry_codec, Entry, Result};
 use siri_crypto::{Hash, RollingHash};
 use siri_encoding::ByteWriter;
 use siri_store::SharedStore;
@@ -145,7 +145,7 @@ impl LevelBuilder {
     }
 
     /// Push one item; returns the sealed node's piece if a boundary fired.
-    pub fn push(&mut self, item: Item, store: &SharedStore) -> Option<Piece> {
+    pub fn push(&mut self, item: Item, store: &SharedStore) -> Result<Option<Piece>> {
         let fired = self.judge.feed(&item);
         self.bytes_in_node += match &item {
             Item::Entry(e) => entry_codec::entry_encoded_len(e),
@@ -154,22 +154,22 @@ impl LevelBuilder {
         self.items.push(item);
         let forced = self.forced_max.is_some_and(|max| self.bytes_in_node >= max);
         if fired || forced {
-            Some(self.seal(store))
+            Ok(Some(self.seal(store)?))
         } else {
-            None
+            Ok(None)
         }
     }
 
     /// Seal the trailing node at end of stream, if any.
-    pub fn finish(&mut self, store: &SharedStore) -> Option<Piece> {
+    pub fn finish(&mut self, store: &SharedStore) -> Result<Option<Piece>> {
         if self.items.is_empty() {
-            None
+            Ok(None)
         } else {
-            Some(self.seal(store))
+            Ok(Some(self.seal(store)?))
         }
     }
 
-    fn seal(&mut self, store: &SharedStore) -> Piece {
+    fn seal(&mut self, store: &SharedStore) -> Result<Piece> {
         let items = std::mem::take(&mut self.items);
         self.bytes_in_node = 0;
         self.judge.reset();
@@ -193,8 +193,8 @@ impl LevelBuilder {
             Node::Internal { salt: self.salt, level: self.level, children }
         };
         let max_key = node.max_key().expect("sealed nodes are non-empty");
-        let hash = store.put(node.encode());
-        Piece { max_key, hash }
+        let hash = store.try_put(node.encode())?;
+        Ok(Piece { max_key, hash })
     }
 }
 
@@ -219,11 +219,12 @@ impl<'a> Builders<'a> {
     }
 
     /// Feed one item into `level`, cascading sealed nodes upward.
-    pub fn push(&mut self, level: u32, item: Item) {
+    pub fn push(&mut self, level: u32, item: Item) -> Result<()> {
         self.ensure_level(level);
-        if let Some(piece) = self.levels[level as usize].push(item, self.store) {
-            self.push(level + 1, Item::Ref(piece));
+        if let Some(piece) = self.levels[level as usize].push(item, self.store)? {
+            self.push(level + 1, Item::Ref(piece))?;
         }
+        Ok(())
     }
 
     /// All builders at `level` and below sit exactly on node boundaries —
@@ -234,9 +235,9 @@ impl<'a> Builders<'a> {
 
     /// Re-use an untouched old node of `level` wholesale. Caller must have
     /// checked [`Builders::clean_below`]`(level)`.
-    pub fn pass_through(&mut self, level: u32, piece: Piece) {
+    pub fn pass_through(&mut self, level: u32, piece: Piece) -> Result<()> {
         debug_assert!(self.clean_below(level), "pass-through requires clean builders");
-        self.push(level + 1, Item::Ref(piece));
+        self.push(level + 1, Item::Ref(piece))
     }
 
     /// Seal every trailing node bottom-up and collapse to the root piece.
@@ -247,21 +248,21 @@ impl<'a> Builders<'a> {
     /// is the root — wrapping it would create a useless single-child chain
     /// (and break structural invariance, since chain length would depend on
     /// history).
-    pub fn finalize(mut self) -> Option<Piece> {
+    pub fn finalize(mut self) -> Result<Option<Piece>> {
         let mut level = 0usize;
         while level < self.levels.len() {
             let is_top = level + 1 == self.levels.len();
             if is_top {
                 if let [Item::Ref(piece)] = self.levels[level].pending_items() {
-                    return Some(piece.clone());
+                    return Ok(Some(piece.clone()));
                 }
             }
-            if let Some(piece) = self.levels[level].finish(self.store) {
-                self.push(level as u32 + 1, Item::Ref(piece));
+            if let Some(piece) = self.levels[level].finish(self.store)? {
+                self.push(level as u32 + 1, Item::Ref(piece))?;
             }
             level += 1;
         }
-        None
+        Ok(None)
     }
 }
 
@@ -277,9 +278,9 @@ mod tests {
     fn build(store: &SharedStore, params: &PosParams, es: &[Entry]) -> Option<Piece> {
         let mut b = Builders::new(store, params, 0);
         for e in es {
-            b.push(0, Item::Entry(e.clone()));
+            b.push(0, Item::Entry(e.clone())).unwrap();
         }
-        b.finalize()
+        b.finalize().unwrap()
     }
 
     #[test]

@@ -75,7 +75,7 @@ impl Cursor {
 
     fn fetch(&self, hash: &Hash) -> Result<Arc<Node>> {
         let load = || {
-            let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+            let page = self.store.try_get(hash)?.ok_or(IndexError::MissingPage(*hash))?;
             Node::decode_zc(&page)
         };
         match &self.cache {
@@ -341,7 +341,7 @@ mod tests {
     fn iterates_all_entries_in_order() {
         let store = MemStore::new_shared();
         let es = entries(2500);
-        let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap();
+        let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap().unwrap();
         let mut c = Cursor::new(store.clone(), root.hash).unwrap();
         let mut seen = Vec::new();
         while let Some(e) = c.peek() {
@@ -356,7 +356,7 @@ mod tests {
     fn cached_cursor_agrees_and_hits() {
         let store = MemStore::new_shared();
         let es = entries(2500);
-        let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap();
+        let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap().unwrap();
         let cache = NodeCache::new_shared(4096);
         let collect = |cache: Option<Arc<NodeCache<Node>>>| {
             let mut c = Cursor::with_cache(store.clone(), cache, root.hash).unwrap();
@@ -386,7 +386,7 @@ mod tests {
     fn start_hashes_at_boundaries() {
         let store = MemStore::new_shared();
         let es = entries(2500);
-        let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap();
+        let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap().unwrap();
         let mut c = Cursor::new(store.clone(), root.hash).unwrap();
         // At position 0 the leaf (and possibly enclosing nodes) start here.
         let starts = c.start_hashes();
@@ -399,7 +399,7 @@ mod tests {
     fn skip_subtree_jumps_exactly_past_it() {
         let store = MemStore::new_shared();
         let es = entries(2500);
-        let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap();
+        let root = build_from_entries(&store, &PosParams::default(), 0, &es).unwrap().unwrap();
         // Reference iteration to know leaf extents.
         let mut reference = Cursor::new(store.clone(), root.hash).unwrap();
         let leaf_hash = reference.start_hashes()[0];

@@ -143,7 +143,7 @@ impl PosTree {
     /// cache hit (no store access, no decode).
     fn fetch_traced(&self, hash: &Hash) -> Result<(Arc<Node>, bool)> {
         self.cache.get_or_load(hash, || {
-            let page = self.store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+            let page = self.store.try_get(hash)?.ok_or(IndexError::MissingPage(*hash))?;
             Node::decode_zc(&page)
         })
     }
@@ -162,7 +162,7 @@ impl PosTree {
             if !seen.insert(h) {
                 continue;
             }
-            let page = self.store.get(&h).ok_or(IndexError::MissingPage(h))?;
+            let page = self.store.try_get(&h)?.ok_or(IndexError::MissingPage(h))?;
             let node = Node::decode_zc(&page)?;
             let level = match &node {
                 Node::Leaf { .. } => 0usize,
@@ -281,7 +281,7 @@ impl SiriIndex for PosTree {
             // previous version.
             let merged = apply_ops(&self.scan()?, &ops);
             self.salt += 1;
-            self.root = update::build_from_entries(&self.store, &self.params, self.salt, &merged)
+            self.root = update::build_from_entries(&self.store, &self.params, self.salt, &merged)?
                 .map(|p| p.hash)
                 .unwrap_or(Hash::ZERO);
             return Ok(self.root);
@@ -352,7 +352,7 @@ impl SiriIndex for PosTree {
         }
         let mut hash = self.root;
         loop {
-            let page = self.store.get(&hash).ok_or(IndexError::MissingPage(hash))?;
+            let page = self.store.try_get(&hash)?.ok_or(IndexError::MissingPage(hash))?;
             let node = Node::decode(&page)?;
             pages.push(page);
             match node {

@@ -32,7 +32,7 @@ use crate::node::{Node, Piece};
 use crate::params::PosParams;
 
 fn fetch(store: &SharedStore, hash: &Hash) -> Result<Node> {
-    let page = store.get(hash).ok_or(IndexError::MissingPage(*hash))?;
+    let page = store.try_get(hash)?.ok_or(IndexError::MissingPage(*hash))?;
     Node::decode_zc(&page)
 }
 
@@ -50,10 +50,10 @@ pub(crate) fn build_from_entries(
     params: &PosParams,
     salt: u64,
     entries: &[Entry],
-) -> Option<Piece> {
+) -> Result<Option<Piece>> {
     let mut builders = Builders::new(store, params, salt);
     for e in entries {
-        builders.push(0, Item::Entry(e.clone()));
+        builders.push(0, Item::Entry(e.clone()))?;
     }
     builders.finalize()
 }
@@ -69,7 +69,7 @@ pub(crate) fn streaming_update(
     edits: &[BatchOp],
 ) -> Result<Option<Piece>> {
     if root.is_zero() {
-        return Ok(build_from_entries(store, params, salt, &apply_ops(&[], edits)));
+        return build_from_entries(store, params, salt, &apply_ops(&[], edits));
     }
     if edits.is_empty() {
         let node = fetch(store, &root)?;
@@ -79,7 +79,7 @@ pub(crate) fn streaming_update(
     let mut builders = Builders::new(store, params, salt);
     let root_node = fetch(store, &root)?;
     process(store, &mut builders, &root_node, edits, true)?;
-    Ok(builders.finalize())
+    builders.finalize()
 }
 
 /// Feed one old subtree (with its pending edits) into the builders.
@@ -98,7 +98,7 @@ fn process(
     match node {
         Node::Leaf { entries, .. } => {
             for e in apply_ops(entries, edits) {
-                builders.push(0, Item::Entry(e));
+                builders.push(0, Item::Entry(e))?;
             }
             Ok(())
         }
@@ -119,7 +119,7 @@ fn process(
                 if mine.is_empty() && !child_rightmost && builders.clean_below(child_level) {
                     // Untouched, pattern-closed, and the pipeline is on a
                     // boundary: reuse the node wholesale.
-                    builders.pass_through(child_level, piece.clone());
+                    builders.pass_through(child_level, piece.clone())?;
                 } else {
                     let child = fetch(store, &piece.hash)?;
                     if node_level(&child) != child_level {
@@ -143,7 +143,7 @@ pub(crate) fn splice_update(
     edits: &[BatchOp],
 ) -> Result<Option<Piece>> {
     if root.is_zero() {
-        return Ok(build_from_entries(store, params, salt, &apply_ops(&[], edits)));
+        return build_from_entries(store, params, salt, &apply_ops(&[], edits));
     }
     if edits.is_empty() {
         let node = fetch(store, &root)?;
@@ -156,7 +156,7 @@ pub(crate) fn splice_update(
     let mut level = node_level(&root_node);
     while pieces.len() > 1 {
         level += 1;
-        pieces = chunk_pieces(store, params, salt, level, pieces);
+        pieces = chunk_pieces(store, params, salt, level, pieces)?;
     }
     Ok(pieces.pop())
 }
@@ -174,11 +174,11 @@ fn splice_rec(
             let mut b = LevelBuilder::new(0, salt, params);
             let mut out = Vec::new();
             for e in merged {
-                if let Some(p) = b.push(Item::Entry(e), store) {
+                if let Some(p) = b.push(Item::Entry(e), store)? {
                     out.push(p);
                 }
             }
-            if let Some(p) = b.finish(store) {
+            if let Some(p) = b.finish(store)? {
                 out.push(p);
             }
             Ok(out)
@@ -202,7 +202,7 @@ fn splice_rec(
                     new_children.extend(splice_rec(store, params, salt, &child, mine)?);
                 }
             }
-            Ok(chunk_pieces(store, params, salt, *level, new_children))
+            chunk_pieces(store, params, salt, *level, new_children)
         }
     }
 }
@@ -215,18 +215,18 @@ fn chunk_pieces(
     salt: u64,
     level: u32,
     pieces: Vec<Piece>,
-) -> Vec<Piece> {
+) -> Result<Vec<Piece>> {
     let mut b = LevelBuilder::new(level, salt, params);
     let mut out = Vec::new();
     for p in pieces {
-        if let Some(sealed) = b.push(Item::Ref(p), store) {
+        if let Some(sealed) = b.push(Item::Ref(p), store)? {
             out.push(sealed);
         }
     }
-    if let Some(sealed) = b.finish(store) {
+    if let Some(sealed) = b.finish(store)? {
         out.push(sealed);
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -265,7 +265,7 @@ mod tests {
         let store = MemStore::new_shared();
         let params = PosParams::default();
         let base = entries(0..3000);
-        let root = build_from_entries(&store, &params, 0, &base).unwrap();
+        let root = build_from_entries(&store, &params, 0, &base).unwrap().unwrap();
 
         // Three very different edit shapes: point overwrite, cluster
         // overwrite, appended tail — each with changed payloads.
@@ -273,7 +273,7 @@ mod tests {
             let delta = puts(&edits(edit_range.clone()));
             let updated = streaming_update(&store, &params, 0, root.hash, &delta).unwrap().unwrap();
             let merged = apply_ops(&base, &delta);
-            let fresh = build_from_entries(&store, &params, 0, &merged).unwrap();
+            let fresh = build_from_entries(&store, &params, 0, &merged).unwrap().unwrap();
             assert_ne!(updated.hash, root.hash, "edits must change the digest");
             assert_eq!(
                 updated.hash, fresh.hash,
@@ -286,14 +286,15 @@ mod tests {
     fn chained_updates_remain_invariant() {
         let store = MemStore::new_shared();
         let params = PosParams::default();
-        let mut root = build_from_entries(&store, &params, 0, &entries(0..1000)).unwrap().hash;
+        let mut root =
+            build_from_entries(&store, &params, 0, &entries(0..1000)).unwrap().unwrap().hash;
         let mut all = entries(0..1000);
         for step in 0..5 {
             let delta = puts(&edits(step * 400..step * 400 + 37));
             root = streaming_update(&store, &params, 0, root, &delta).unwrap().unwrap().hash;
             all = apply_ops(&all, &delta);
         }
-        let fresh = build_from_entries(&store, &params, 0, &all).unwrap();
+        let fresh = build_from_entries(&store, &params, 0, &all).unwrap().unwrap();
         assert_eq!(root, fresh.hash);
     }
 
@@ -302,7 +303,7 @@ mod tests {
         let store = MemStore::new_shared();
         let params = PosParams::default();
         let base = entries(0..20_000);
-        let root = build_from_entries(&store, &params, 0, &base).unwrap();
+        let root = build_from_entries(&store, &params, 0, &base).unwrap().unwrap();
         let puts_before = store.stats().puts;
         let delta = puts(&edits(7000..7001));
         streaming_update(&store, &params, 0, root.hash, &delta).unwrap();
@@ -326,7 +327,7 @@ mod tests {
     fn empty_edit_batch_is_identity() {
         let store = MemStore::new_shared();
         let params = PosParams::default();
-        let root = build_from_entries(&store, &params, 0, &entries(0..500)).unwrap();
+        let root = build_from_entries(&store, &params, 0, &entries(0..500)).unwrap().unwrap();
         let same = streaming_update(&store, &params, 0, root.hash, &[]).unwrap().unwrap();
         assert_eq!(same.hash, root.hash);
     }
@@ -336,7 +337,7 @@ mod tests {
         let store = MemStore::new_shared();
         let params = PosParams::default();
         let base = entries(0..3000);
-        let root = build_from_entries(&store, &params, 0, &base).unwrap();
+        let root = build_from_entries(&store, &params, 0, &base).unwrap().unwrap();
 
         // Delete shapes: a point, a cluster spanning node boundaries, the
         // tail, and a no-op (absent keys).
@@ -344,7 +345,7 @@ mod tests {
             let delta = dels(del_range.clone());
             let updated = streaming_update(&store, &params, 0, root.hash, &delta).unwrap();
             let remaining = apply_ops(&base, &delta);
-            let fresh = build_from_entries(&store, &params, 0, &remaining);
+            let fresh = build_from_entries(&store, &params, 0, &remaining).unwrap();
             assert_eq!(
                 updated.map(|p| p.hash),
                 fresh.map(|p| p.hash),
@@ -362,13 +363,13 @@ mod tests {
         let store = MemStore::new_shared();
         let params = PosParams::forced_split();
         let base = entries(0..800);
-        let root = build_from_entries(&store, &params, 0, &base).unwrap();
+        let root = build_from_entries(&store, &params, 0, &base).unwrap().unwrap();
 
         // Content correctness: updated tree contains the merged entries.
         let delta = puts(&edits(100..140));
         let updated = splice_update(&store, &params, 0, root.hash, &delta).unwrap().unwrap();
         let merged = apply_ops(&base, &delta);
-        let fresh = build_from_entries(&store, &params, 0, &merged).unwrap();
+        let fresh = build_from_entries(&store, &params, 0, &merged).unwrap().unwrap();
         // Order dependence: incremental generally ≠ fresh for forced splits.
         // (Not guaranteed for every dataset, but engineered to hold here:
         // forced boundaries dominate with these parameters.)

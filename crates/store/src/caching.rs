@@ -22,7 +22,7 @@ use bytes::Bytes;
 use siri_crypto::Hash;
 
 use crate::cache::{CacheStats, ShardedLru};
-use crate::{NodeStore, SharedStore, StoreStats};
+use crate::{NodeStore, SharedStore, StoreResult, StoreStats};
 
 /// Default page capacity of a client cache: ≈16 MB at 1 KB pages, the
 /// mid-range point of the §5.6.1 sweep.
@@ -111,21 +111,25 @@ impl CachingStore {
 }
 
 impl NodeStore for CachingStore {
-    fn put(&self, page: Bytes) -> Hash {
+    fn try_put(&self, page: Bytes) -> StoreResult<Hash> {
         // Server-side write; the page is *not* installed in the local cache
         // (matches Forkbase: clients cache nodes only after reading them).
-        self.server.put(page)
+        self.server.try_put(page)
     }
 
-    fn get(&self, hash: &Hash) -> Option<Bytes> {
+    fn try_get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
         if let Some(page) = self.cache.get(hash) {
-            return Some(page);
+            return Ok(Some(page));
         }
-        let fetched = self.server.get(hash)?;
+        // A server fault propagates; only a definitive miss returns None,
+        // and only a definitive hit is cached.
+        let Some(fetched) = self.server.try_get(hash)? else {
+            return Ok(None);
+        };
         self.remote_fetch_count.fetch_add(1, Ordering::Relaxed);
         self.synthetic_nanos.fetch_add(self.fetch_cost_nanos, Ordering::Relaxed);
         self.cache.insert(*hash, fetched.clone());
-        Some(fetched)
+        Ok(Some(fetched))
     }
 
     fn contains(&self, hash: &Hash) -> bool {

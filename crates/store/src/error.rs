@@ -1,0 +1,68 @@
+//! Store-level errors.
+//!
+//! A store failure is *not* a miss: `try_get` returning `Ok(None)` means
+//! "no such page", while `Err(StoreError)` means "the page may exist but
+//! could not be read" (disk fault, torn file, permission change). Index
+//! traversal must keep the two apart — a dangling reference is a structural
+//! problem reported as `MissingPage`, an I/O fault is an environmental one
+//! reported as a store error.
+//!
+//! The type is `Clone + PartialEq + Eq` (unlike [`std::io::Error`]) so it
+//! can ride inside `IndexError` and test assertions; the original error is
+//! preserved as its [`std::io::ErrorKind`] plus rendered detail.
+
+use std::fmt;
+use std::io;
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An operating-system I/O failure, tagged with the operation that hit
+    /// it (`"append"`, `"read_at"`, `"manifest"` …).
+    Io { op: &'static str, kind: io::ErrorKind, detail: String },
+    /// On-disk bytes that cannot be trusted (frame digest mismatch during
+    /// compaction, unparseable manifest where one must exist).
+    Corrupt(&'static str),
+}
+
+impl StoreError {
+    /// Wrap an [`io::Error`] raised by operation `op`.
+    pub fn io(op: &'static str, err: io::Error) -> Self {
+        StoreError::Io { op, kind: err.kind(), detail: err.to_string() }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, kind, detail } => {
+                write!(f, "store I/O failure during {op} ({kind:?}): {detail}")
+            }
+            StoreError::Corrupt(what) => write!(f, "store corruption: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+pub type StoreResult<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_errors_render_the_operation() {
+        let e = StoreError::io("append", io::Error::new(io::ErrorKind::WriteZero, "disk full"));
+        assert!(e.to_string().contains("append"));
+        assert!(e.to_string().contains("disk full"));
+        assert_eq!(
+            e,
+            StoreError::Io {
+                op: "append",
+                kind: io::ErrorKind::WriteZero,
+                detail: "disk full".into()
+            }
+        );
+    }
+}

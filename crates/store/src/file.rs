@@ -1,6 +1,16 @@
-//! A persistent, append-only, content-addressed page store.
+//! A persistent, segmented, compacting, content-addressed page store.
 //!
-//! Pages are framed into a single log file:
+//! The store is a *directory* holding numbered segment files plus a small
+//! manifest naming the segments that make up the current generation:
+//!
+//! ```text
+//! db/
+//! ├── MANIFEST            # "siri-segments v1" + "seg N" lines + "end"
+//! ├── seg-00000001.seg    # frames, append-only
+//! └── seg-00000002.seg    # ← active segment (appends go here)
+//! ```
+//!
+//! Each segment is a sequence of digest-verified frames:
 //!
 //! ```text
 //! ┌──────┬──────────┬──────────────┬────────────┐
@@ -9,163 +19,701 @@
 //! ```
 //!
 //! Append-only fits immutable pages perfectly: a page is never rewritten,
-//! so recovery is a single forward scan that stops at the first torn or
-//! corrupt frame (partial trailing writes after a crash are expected and
+//! so recovery is a forward scan per segment that stops at the first torn
+//! or corrupt frame (partial trailing writes after a crash are expected and
 //! tolerated — everything before them is intact and digest-verified).
 //!
-//! This store exists so downstream users can actually persist an index;
-//! all experiments use [`crate::MemStore`] for determinism.
+//! ## Why segments
+//!
+//! * **Reads never touch the append path.** `get` resolves a page to
+//!   `(segment, offset, length)` and issues one positioned read
+//!   (`read_at`); there is no shared cursor to seek and no mutex shared
+//!   with writers. The single-log predecessor funnelled every read through
+//!   the append mutex and a seek/read/seek-back dance.
+//! * **Space can be reclaimed.** [`Reclaim::sweep`] compacts by rewriting
+//!   the live pages into a fresh segment generation and atomically swapping
+//!   the manifest (write-temp → fsync → rename → fsync-dir). A crash at any
+//!   point leaves either the old or the new generation fully intact;
+//!   segment files not named by an intact manifest are leftovers of an
+//!   interrupted compaction or rotation and are deleted on open.
+//! * **Writes can fail without lying.** `try_put` propagates I/O errors;
+//!   on a short or failed append the segment is rewound to the last clean
+//!   frame boundary and neither the in-memory index nor the counters move —
+//!   the store behaves as if the call never happened.
+//!
+//! ## Crash matrix
+//!
+//! | crash during            | on-disk state found at reopen                   | outcome |
+//! |-------------------------|--------------------------------------------------|---------|
+//! | append                  | torn frame at active-segment tail                | tail truncated, prefix kept |
+//! | rotation (pre-manifest) | new empty segment not in manifest                | stray deleted |
+//! | compaction (pre-swap)   | partial new generation, old manifest             | new gen deleted, old gen served |
+//! | compaction (post-swap)  | new manifest, old segments linger                | old gen deleted, new gen served |
+//! | manifest torn/missing   | unparseable manifest                             | every on-disk segment loaded (superset recovery — content addressing dedups) |
+//!
+//! Durability of *acknowledged* commits is governed by [`FsyncPolicy`];
+//! the manifest swap itself is always fsynced.
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufReader, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufReader, Read, Write};
+#[cfg(not(unix))]
+use std::io::{Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use siri_crypto::{sha256, FxHashMap, Hash};
 
 use crate::stats::AtomicStoreStats;
-use crate::{NodeStore, StoreStats};
+use crate::{NodeStore, PageSet, Reclaim, StoreError, StoreResult, StoreStats};
 
 const FRAME_MAGIC: u8 = 0xA5;
+/// Frame header bytes preceding the payload: magic + len + digest.
+const FRAME_HEADER: u64 = 1 + 4 + 32;
 /// Refuse absurd frame lengths when scanning (corruption guard).
 const MAX_PAGE: u32 = 64 * 1024 * 1024;
+/// Segments roll over once the active one grows past this.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 64 * 1024 * 1024;
 
-struct Inner {
-    file: File,
-    /// Page digest → (payload offset, payload length).
-    index: FxHashMap<Hash, (u64, u32)>,
-    /// Append position.
+const MANIFEST: &str = "MANIFEST";
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+const MANIFEST_HEADER: &str = "siri-segments v1";
+const MANIFEST_TRAILER: &str = "end";
+
+/// When acknowledged writes are flushed to stable storage.
+///
+/// `put` itself never fsyncs — pages are appended through the OS page
+/// cache. The policy decides what [`FileStore::note_commit`] does, which
+/// engines call once per *logical* commit (a whole [`crate::PageSet`]'s
+/// worth of pages), amortizing the flush the way a WAL group-commit does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Never fsync automatically; callers own durability via
+    /// [`FileStore::sync`]. Fastest, loses the OS-buffered tail on power
+    /// failure (never corrupts — recovery drops torn tails).
+    Never,
+    /// Fsync on every commit: an acknowledged commit survives power loss.
+    #[default]
+    OnCommit,
+    /// Fsync every `n`-th commit — bounded data loss, amortized cost.
+    EveryN(u64),
+}
+
+impl FsyncPolicy {
+    /// Parse `"never"`, `"commit"`, or `"every=N"` (as the `siri` CLI
+    /// accepts).
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "never" => Some(FsyncPolicy::Never),
+            "commit" => Some(FsyncPolicy::OnCommit),
+            _ => s
+                .strip_prefix("every=")
+                .and_then(|n| n.parse().ok())
+                .filter(|&n| n > 0)
+                .map(FsyncPolicy::EveryN),
+        }
+    }
+}
+
+/// Tuning knobs for [`FileStore::open_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct FileStoreOptions {
+    /// Roll to a new segment once the active one reaches this size.
+    pub max_segment_bytes: u64,
+    /// When acknowledged commits reach stable storage.
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for FileStoreOptions {
+    fn default() -> Self {
+        FileStoreOptions { max_segment_bytes: DEFAULT_SEGMENT_BYTES, fsync: FsyncPolicy::default() }
+    }
+}
+
+/// Crash-injection points inside [`FileStore::sweep_with_crash`] — the
+/// compaction aborts (as if the process died) right *after* the named
+/// step. Test-only plumbing for the recovery proptests; hidden from docs.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// New-generation segments fully written and fsynced; no manifest yet.
+    AfterSegmentsWritten,
+    /// `MANIFEST.tmp` written and fsynced; rename not performed.
+    AfterManifestTmp,
+    /// Manifest renamed (swap is live); old segments not yet deleted.
+    AfterSwap,
+}
+
+/// Where one page's payload lives on disk.
+#[derive(Debug, Clone, Copy)]
+struct PageLoc {
+    seg: u32,
+    off: u64,
+    len: u32,
+}
+
+/// Append-side state: the active segment and the current generation's
+/// segment list. One mutex — but only writers (and compaction) take it.
+struct Appender {
+    segments: Vec<u32>,
+    active_id: u32,
+    active: File,
+    /// Clean end of the active segment (next append offset).
     end: u64,
 }
 
-/// File-backed [`NodeStore`]. Data operations go through one mutex (the
-/// file cursor is shared state) but the counters live outside it in
-/// [`AtomicStoreStats`], mirroring [`crate::MemStore`]: `stats()` never
-/// waits behind a reader's seek+read, and counting a `get` never extends
-/// the critical section.
+/// Segmented, compacting, file-backed [`NodeStore`].
+///
+/// Reads resolve through a lock-free-ish path: a shared read lock on the
+/// page index, a shared read lock on the reader-handle cache, then one
+/// positioned `read_at` — no seeking, no interaction with appends.
+/// Counters live in [`AtomicStoreStats`], as in [`crate::MemStore`].
 pub struct FileStore {
-    inner: Mutex<Inner>,
+    dir: PathBuf,
+    /// Page digest → on-disk location.
+    index: RwLock<FxHashMap<Hash, PageLoc>>,
+    /// Lazily opened read handles, one per segment.
+    readers: RwLock<FxHashMap<u32, Arc<File>>>,
+    appender: Mutex<Appender>,
     stats: AtomicStoreStats,
+    opts: FileStoreOptions,
+    commits: AtomicU64,
+}
+
+fn seg_path(dir: &Path, id: u32) -> PathBuf {
+    dir.join(format!("seg-{id:08}.seg"))
+}
+
+fn seg_id_of(name: &str) -> Option<u32> {
+    name.strip_prefix("seg-")?.strip_suffix(".seg")?.parse().ok()
+}
+
+/// Fsync the directory itself so renames/creates inside it are durable.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// One positioned read, independent of any file cursor.
+fn read_exact_at(file: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(buf, off)
+    }
+    #[cfg(not(unix))]
+    {
+        // Portable fallback: clone the handle and seek the clone. Slower,
+        // but keeps the shared handle's cursor untouched.
+        let mut f = file.try_clone()?;
+        f.seek(SeekFrom::Start(off))?;
+        f.read_exact(buf)
+    }
+}
+
+/// One digest-verified frame found by a recovery scan: `(digest, payload
+/// offset, payload length)`.
+type ScannedFrame = (Hash, u64, u32);
+
+/// Forward-scan one segment, returning every digest-verified frame and the
+/// clean end offset (everything past it is torn or corrupt).
+fn scan_segment(path: &Path) -> io::Result<(Vec<ScannedFrame>, u64)> {
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut reader = BufReader::new(file);
+    let mut frames = Vec::new();
+    let mut pos: u64 = 0;
+    let mut valid_end: u64 = 0;
+    loop {
+        let mut header = [0u8; FRAME_HEADER as usize];
+        if reader.read_exact(&mut header).is_err() {
+            break; // clean EOF or torn header
+        }
+        if header[0] != FRAME_MAGIC {
+            break; // corrupt frame boundary: stop, keep prefix
+        }
+        let len = u32::from_le_bytes(header[1..5].try_into().unwrap());
+        if len > MAX_PAGE || pos + FRAME_HEADER + len as u64 > file_len {
+            break; // torn payload
+        }
+        let digest = Hash::from_slice(&header[5..37]).expect("32 bytes");
+        let mut payload = vec![0u8; len as usize];
+        if reader.read_exact(&mut payload).is_err() {
+            break;
+        }
+        if sha256(&payload) != digest {
+            break; // bit rot in the tail: stop at the last good frame
+        }
+        frames.push((digest, pos + FRAME_HEADER, len));
+        pos += FRAME_HEADER + len as u64;
+        valid_end = pos;
+    }
+    Ok((frames, valid_end))
+}
+
+/// Atomically install a manifest naming `segments` (in order).
+fn write_manifest(dir: &Path, segments: &[u32]) -> io::Result<()> {
+    write_manifest_tmp(dir, segments)?;
+    commit_manifest_tmp(dir)
+}
+
+fn write_manifest_tmp(dir: &Path, segments: &[u32]) -> io::Result<()> {
+    let tmp = dir.join(MANIFEST_TMP);
+    let mut f = File::create(&tmp)?;
+    let mut text = String::with_capacity(32 + segments.len() * 14);
+    text.push_str(MANIFEST_HEADER);
+    text.push('\n');
+    for id in segments {
+        text.push_str(&format!("seg {id}\n"));
+    }
+    text.push_str(MANIFEST_TRAILER);
+    text.push('\n');
+    f.write_all(text.as_bytes())?;
+    f.sync_data()?;
+    Ok(())
+}
+
+fn commit_manifest_tmp(dir: &Path) -> io::Result<()> {
+    fs::rename(dir.join(MANIFEST_TMP), dir.join(MANIFEST))?;
+    sync_dir(dir)
+}
+
+/// Parse the manifest. `Some(ids)` only when the trailer is present — a
+/// manifest without it is torn and must not be trusted to *exclude*
+/// segments (see the crash matrix in the module docs).
+fn read_manifest(dir: &Path) -> Option<Vec<u32>> {
+    let text = fs::read_to_string(dir.join(MANIFEST)).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != MANIFEST_HEADER {
+        return None;
+    }
+    let mut ids = Vec::new();
+    let mut sealed = false;
+    for line in lines {
+        if line == MANIFEST_TRAILER {
+            sealed = true;
+            break;
+        }
+        ids.push(line.strip_prefix("seg ")?.parse().ok()?);
+    }
+    sealed.then_some(ids)
+}
+
+/// All segment ids present on disk, ascending.
+fn scan_dir_segments(dir: &Path) -> io::Result<Vec<u32>> {
+    let mut ids = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(id) = entry.file_name().to_str().and_then(seg_id_of) {
+            ids.push(id);
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
 }
 
 impl FileStore {
-    /// Open (or create) a store at `path`, replaying the log to rebuild
-    /// the in-memory index. Returns the store and the number of pages
-    /// recovered.
-    pub fn open(path: impl AsRef<Path>) -> std::io::Result<(Self, usize)> {
-        let mut file = OpenOptions::new().read(true).append(true).create(true).open(path)?;
+    /// Open (or create) a store at `path` with default options, replaying
+    /// segments to rebuild the in-memory index. Returns the store and the
+    /// number of pages recovered.
+    ///
+    /// `path` is a directory; a pre-segmented single-log file at `path` is
+    /// migrated in place (it becomes segment 1 of a fresh directory).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Self, usize)> {
+        Self::open_with(path, FileStoreOptions::default())
+    }
+
+    /// [`FileStore::open`] with explicit [`FileStoreOptions`].
+    pub fn open_with(path: impl AsRef<Path>, opts: FileStoreOptions) -> io::Result<(Self, usize)> {
+        let dir = path.as_ref().to_path_buf();
+
+        // Legacy layout: a single append-only log file. Its frame format is
+        // identical to a segment's, so migration is two renames — staged so
+        // a crash at any point resumes here: the data is always reachable
+        // either at `dir` (untouched log), at the `.legacy-migrate` name
+        // (checked below even when the first rename happened in a previous
+        // process), or as segment 1.
+        let legacy = dir.with_extension("legacy-migrate");
+        if dir.is_file() {
+            fs::rename(&dir, &legacy)?;
+        }
+        if legacy.is_file() {
+            fs::create_dir_all(&dir)?;
+            fs::rename(&legacy, seg_path(&dir, 1))?;
+            write_manifest(&dir, &[1])?;
+        }
+        fs::create_dir_all(&dir)?;
+        let _ = fs::remove_file(dir.join(MANIFEST_TMP));
+
+        // Which segments constitute the store? An intact manifest is
+        // authoritative: files it does not name are strays of an
+        // interrupted rotation/compaction and are deleted. A torn or
+        // missing manifest must not exclude anything — load every segment
+        // on disk (content addressing collapses duplicates) and heal.
+        let (mut segments, intact) = match read_manifest(&dir) {
+            Some(ids) => (ids, true),
+            None => (scan_dir_segments(&dir)?, false),
+        };
+        if intact {
+            for id in scan_dir_segments(&dir)? {
+                if !segments.contains(&id) {
+                    let _ = fs::remove_file(seg_path(&dir, id));
+                }
+            }
+        }
+        if segments.is_empty() {
+            segments.push(1);
+            File::create(seg_path(&dir, 1))?;
+        }
+        if !intact {
+            write_manifest(&dir, &segments)?;
+        }
+
+        // Replay. Later segments win index collisions (they are identical
+        // pages anyway — content addressing).
         let mut index = FxHashMap::default();
         let stats = AtomicStoreStats::default();
-
-        // Recovery scan.
-        let file_len = file.seek(SeekFrom::End(0))?;
-        file.seek(SeekFrom::Start(0))?;
-        let mut reader = BufReader::new(&mut file);
-        let mut pos: u64 = 0;
-        let mut valid_end: u64 = 0;
-        loop {
-            let mut header = [0u8; 1 + 4 + 32];
-            match reader.read_exact(&mut header) {
-                Ok(()) => {}
-                Err(_) => break, // clean EOF or torn header
+        let mut active_end = 0u64;
+        for (i, &id) in segments.iter().enumerate() {
+            let path = seg_path(&dir, id);
+            let (frames, valid_end) = scan_segment(&path)?;
+            for (digest, off, len) in frames {
+                if index.insert(digest, PageLoc { seg: id, off, len }).is_none() {
+                    AtomicStoreStats::add(&stats.unique_pages, 1);
+                    AtomicStoreStats::add(&stats.unique_bytes, len as u64);
+                }
             }
-            if header[0] != FRAME_MAGIC {
-                break; // corrupt frame boundary: stop, keep prefix
+            let is_last = i + 1 == segments.len();
+            if is_last {
+                // Drop any torn tail so future appends start clean.
+                let file_len = fs::metadata(&path)?.len();
+                if valid_end < file_len {
+                    OpenOptions::new().write(true).open(&path)?.set_len(valid_end)?;
+                }
+                active_end = valid_end;
             }
-            let len = u32::from_le_bytes(header[1..5].try_into().unwrap());
-            if len > MAX_PAGE || pos + 37 + len as u64 > file_len {
-                break; // torn payload
-            }
-            let digest = Hash::from_slice(&header[5..37]).expect("32 bytes");
-            let mut payload = vec![0u8; len as usize];
-            if reader.read_exact(&mut payload).is_err() {
-                break;
-            }
-            if sha256(&payload) != digest {
-                break; // bit rot in the tail: stop at the last good frame
-            }
-            index.insert(digest, (pos + 37, len));
-            AtomicStoreStats::add(&stats.unique_pages, 1);
-            AtomicStoreStats::add(&stats.unique_bytes, len as u64);
-            pos += 37 + len as u64;
-            valid_end = pos;
         }
-        drop(reader);
 
-        // Drop any torn tail so future appends start at a clean boundary.
-        if valid_end < file_len {
-            file.set_len(valid_end)?;
-        }
-        file.seek(SeekFrom::Start(valid_end))?;
-
+        let active_id = *segments.last().expect("at least one segment");
+        let active = OpenOptions::new().append(true).open(seg_path(&dir, active_id))?;
         let recovered = index.len();
         Ok((
-            FileStore { inner: Mutex::new(Inner { file, index, end: valid_end }), stats },
+            FileStore {
+                dir,
+                index: RwLock::new(index),
+                readers: RwLock::new(FxHashMap::default()),
+                appender: Mutex::new(Appender { segments, active_id, active, end: active_end }),
+                stats,
+                opts,
+                commits: AtomicU64::new(0),
+            },
             recovered,
         ))
     }
 
-    /// Flush appended pages to the OS (callers that need durability across
-    /// power loss should call this, then `fsync` via [`FileStore::sync`]).
-    pub fn sync(&self) -> std::io::Result<()> {
-        self.inner.lock().file.sync_data()
+    /// Flush the active segment to stable storage (`fdatasync`).
+    pub fn sync(&self) -> io::Result<()> {
+        self.appender.lock().active.sync_data()
+    }
+
+    /// Apply the [`FsyncPolicy`] after one logical commit. Engines call
+    /// this once per acknowledged commit, not per page.
+    pub fn note_commit(&self) -> io::Result<()> {
+        match self.opts.fsync {
+            FsyncPolicy::Never => Ok(()),
+            FsyncPolicy::OnCommit => self.sync(),
+            FsyncPolicy::EveryN(n) => {
+                let c = self.commits.fetch_add(1, Ordering::Relaxed) + 1;
+                if c.is_multiple_of(n) {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+        }
     }
 
     /// Number of distinct pages held.
     pub fn len(&self) -> usize {
-        self.inner.lock().index.len()
+        self.index.read().len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The store's directory.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Segments in the current generation.
+    pub fn segment_count(&self) -> usize {
+        self.appender.lock().segments.len()
+    }
+
+    /// Bytes occupied on disk by the current generation's segment files
+    /// (frame headers included; the manifest is noise).
+    pub fn disk_bytes(&self) -> u64 {
+        let segments = self.appender.lock().segments.clone();
+        segments
+            .iter()
+            .filter_map(|&id| fs::metadata(seg_path(&self.dir, id)).ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    /// A cached positioned-read handle for one segment.
+    fn reader(&self, seg: u32) -> io::Result<Arc<File>> {
+        if let Some(f) = self.readers.read().get(&seg) {
+            return Ok(Arc::clone(f));
+        }
+        let file = Arc::new(File::open(seg_path(&self.dir, seg))?);
+        Ok(Arc::clone(self.readers.write().entry(seg).or_insert(file)))
+    }
+
+    /// Create a brand-new segment file for `id`. A file already at that
+    /// name can only be a stray from an earlier failed rotation/compaction
+    /// (no live generation references it, or the caller would not have
+    /// picked the id), so it is removed rather than wedging every retry
+    /// with `AlreadyExists`.
+    fn create_segment(&self, id: u32) -> io::Result<File> {
+        let path = seg_path(&self.dir, id);
+        let _ = fs::remove_file(&path);
+        OpenOptions::new().append(true).create_new(true).open(path)
+    }
+
+    /// Roll the appender to a fresh segment. The manifest is updated
+    /// *before* the first append to the new segment, so a crash in between
+    /// leaves only an empty stray (deleted at next open) — never an
+    /// unlisted segment holding acknowledged data.
+    fn rotate(&self, ap: &mut Appender) -> io::Result<()> {
+        ap.active.sync_data()?;
+        let id = ap.segments.iter().copied().max().unwrap_or(0) + 1;
+        let file = self.create_segment(id)?;
+        let mut segments = ap.segments.clone();
+        segments.push(id);
+        if let Err(e) = write_manifest(&self.dir, &segments) {
+            // Drop the just-created stray so a retry can recreate it.
+            let _ = fs::remove_file(seg_path(&self.dir, id));
+            return Err(e);
+        }
+        ap.segments = segments;
+        ap.active_id = id;
+        ap.active = file;
+        ap.end = 0;
+        Ok(())
+    }
+
+    /// Compact the store down to `live`, with an optional simulated crash
+    /// for the recovery tests: the compaction stops dead right after the
+    /// named step, leaving the disk exactly as a process death would. The
+    /// in-memory store is stale after a simulated crash — drop it and
+    /// reopen the directory.
+    #[doc(hidden)]
+    pub fn sweep_with_crash(
+        &self,
+        live: &PageSet,
+        crash: Option<CrashPoint>,
+    ) -> StoreResult<(u64, u64)> {
+        let ioerr = StoreError::io;
+        let mut ap = self.appender.lock();
+
+        // Partition the index under a short read lock.
+        let mut survivors: Vec<(Hash, PageLoc)> = Vec::new();
+        let (mut dead_pages, mut dead_bytes) = (0u64, 0u64);
+        for (h, loc) in self.index.read().iter() {
+            if live.contains(h) {
+                survivors.push((*h, *loc));
+            } else {
+                dead_pages += 1;
+                dead_bytes += loc.len as u64;
+            }
+        }
+        if dead_pages == 0 && crash.is_none() {
+            return Ok((0, 0));
+        }
+        // Deterministic output: rewrite in (segment, offset) order — close
+        // to the original append order, and friendly to sequential I/O.
+        survivors.sort_unstable_by_key(|(_, loc)| (loc.seg, loc.off));
+
+        // 1. Write the new generation.
+        let next_id = ap.segments.iter().copied().max().unwrap_or(0) + 1;
+        let mut gen_ids = vec![next_id];
+        let mut cur =
+            self.create_segment(next_id).map_err(|e| ioerr("compact: create segment", e))?;
+        let mut cur_end = 0u64;
+        let mut new_index: FxHashMap<Hash, PageLoc> = FxHashMap::default();
+        for (digest, loc) in &survivors {
+            let reader = self.reader(loc.seg).map_err(|e| ioerr("compact: open segment", e))?;
+            let mut payload = vec![0u8; loc.len as usize];
+            read_exact_at(&reader, &mut payload, loc.off)
+                .map_err(|e| ioerr("compact: read page", e))?;
+            if sha256(&payload) != *digest {
+                return Err(StoreError::Corrupt("live page failed digest check during compaction"));
+            }
+            if cur_end >= self.opts.max_segment_bytes && cur_end > 0 {
+                cur.sync_data().map_err(|e| ioerr("compact: sync segment", e))?;
+                let id = gen_ids.last().unwrap() + 1;
+                cur = self.create_segment(id).map_err(|e| ioerr("compact: create segment", e))?;
+                gen_ids.push(id);
+                cur_end = 0;
+            }
+            let mut frame = Vec::with_capacity(FRAME_HEADER as usize + payload.len());
+            frame.push(FRAME_MAGIC);
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(digest.as_bytes());
+            frame.extend_from_slice(&payload);
+            cur.write_all(&frame).map_err(|e| ioerr("compact: append", e))?;
+            new_index.insert(
+                *digest,
+                PageLoc {
+                    seg: *gen_ids.last().unwrap(),
+                    off: cur_end + FRAME_HEADER,
+                    len: loc.len,
+                },
+            );
+            cur_end += frame.len() as u64;
+        }
+        cur.sync_data().map_err(|e| ioerr("compact: sync segment", e))?;
+        sync_dir(&self.dir).map_err(|e| ioerr("compact: sync dir", e))?;
+        if crash == Some(CrashPoint::AfterSegmentsWritten) {
+            return Ok((0, 0));
+        }
+
+        // 2. Atomic manifest swap — the commit point of the compaction.
+        write_manifest_tmp(&self.dir, &gen_ids).map_err(|e| ioerr("compact: manifest", e))?;
+        if crash == Some(CrashPoint::AfterManifestTmp) {
+            return Ok((0, 0));
+        }
+        commit_manifest_tmp(&self.dir).map_err(|e| ioerr("compact: manifest rename", e))?;
+        if crash == Some(CrashPoint::AfterSwap) {
+            return Ok((0, 0));
+        }
+
+        // 3. Install the new generation in memory, then delete old files.
+        let old_segments = std::mem::take(&mut ap.segments);
+        let active_id = *gen_ids.last().unwrap();
+        let active = OpenOptions::new()
+            .append(true)
+            .open(seg_path(&self.dir, active_id))
+            .map_err(|e| ioerr("compact: reopen active", e))?;
+        *self.index.write() = new_index;
+        self.readers.write().clear();
+        ap.segments = gen_ids;
+        ap.active_id = active_id;
+        ap.active = active;
+        ap.end = cur_end;
+        drop(ap);
+        for id in old_segments {
+            let _ = fs::remove_file(seg_path(&self.dir, id));
+        }
+        AtomicStoreStats::sub(&self.stats.unique_pages, dead_pages);
+        AtomicStoreStats::sub(&self.stats.unique_bytes, dead_bytes);
+        Ok((dead_pages, dead_bytes))
+    }
 }
 
 impl NodeStore for FileStore {
-    fn put(&self, page: Bytes) -> Hash {
+    fn try_put(&self, page: Bytes) -> StoreResult<Hash> {
         let digest = sha256(&page);
-        AtomicStoreStats::add(&self.stats.puts, 1);
-        AtomicStoreStats::add(&self.stats.logical_bytes, page.len() as u64);
-        let mut inner = self.inner.lock();
-        if inner.index.contains_key(&digest) {
-            return digest;
+        // Counters move only on success: `puts`/`logical_bytes` tally
+        // *accepted* writes (including dedup hits), never failed attempts.
+        let count_put = |stats: &AtomicStoreStats| {
+            AtomicStoreStats::add(&stats.puts, 1);
+            AtomicStoreStats::add(&stats.logical_bytes, page.len() as u64);
+        };
+        if self.index.read().contains_key(&digest) {
+            count_put(&self.stats);
+            return Ok(digest);
         }
-        let mut frame = Vec::with_capacity(37 + page.len());
+        let mut ap = self.appender.lock();
+        // Re-check under the appender lock: another writer may have stored
+        // the page between the optimistic check and here.
+        if self.index.read().contains_key(&digest) {
+            count_put(&self.stats);
+            return Ok(digest);
+        }
+        if ap.end >= self.opts.max_segment_bytes && ap.end > 0 {
+            self.rotate(&mut ap).map_err(|e| StoreError::io("rotate", e))?;
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER as usize + page.len());
         frame.push(FRAME_MAGIC);
         frame.extend_from_slice(&(page.len() as u32).to_le_bytes());
         frame.extend_from_slice(digest.as_bytes());
         frame.extend_from_slice(&page);
-        inner.file.write_all(&frame).expect("append failed");
-        let payload_off = inner.end + 37;
-        inner.index.insert(digest, (payload_off, page.len() as u32));
-        inner.end += frame.len() as u64;
+        if let Err(e) = ap.active.write_all(&frame) {
+            // A short write may have left a torn frame: rewind to the last
+            // clean boundary so neither the file nor the index/counters
+            // reflect the failed append.
+            let _ = ap.active.set_len(ap.end);
+            return Err(StoreError::io("append", e));
+        }
+        let loc = PageLoc { seg: ap.active_id, off: ap.end + FRAME_HEADER, len: page.len() as u32 };
+        ap.end += frame.len() as u64;
+        self.index.write().insert(digest, loc);
+        drop(ap);
+        count_put(&self.stats);
         AtomicStoreStats::add(&self.stats.unique_pages, 1);
         AtomicStoreStats::add(&self.stats.unique_bytes, page.len() as u64);
-        digest
+        Ok(digest)
     }
 
-    fn get(&self, hash: &Hash) -> Option<Bytes> {
+    fn try_get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
         AtomicStoreStats::add(&self.stats.gets, 1);
-        let mut inner = self.inner.lock();
-        let (off, len) = *inner.index.get(hash)?;
-        let mut buf = vec![0u8; len as usize];
-        inner.file.seek(SeekFrom::Start(off)).ok()?;
-        inner.file.read_exact(&mut buf).ok()?;
-        // Restore the append position invariant.
-        let end = inner.end;
-        inner.file.seek(SeekFrom::Start(end)).ok()?;
-        drop(inner);
-        AtomicStoreStats::add(&self.stats.hits, 1);
-        Some(Bytes::from(buf))
+        // Two attempts: a concurrent compaction can swap the generation
+        // between the index lookup and the read. The second attempt re-reads
+        // the (then post-swap) index; in-flight reads on already-open
+        // handles are unaffected by unlink.
+        for attempt in 0..2 {
+            let Some(loc) = self.index.read().get(hash).copied() else {
+                return Ok(None);
+            };
+            let file = match self.reader(loc.seg) {
+                Ok(f) => f,
+                Err(_) if attempt == 0 => continue,
+                Err(e) => return Err(StoreError::io("open segment", e)),
+            };
+            let mut buf = vec![0u8; loc.len as usize];
+            match read_exact_at(&file, &mut buf, loc.off) {
+                Ok(()) => {
+                    AtomicStoreStats::add(&self.stats.hits, 1);
+                    return Ok(Some(Bytes::from(buf)));
+                }
+                Err(_) if attempt == 0 => {
+                    self.readers.write().remove(&loc.seg);
+                    continue;
+                }
+                Err(e) => return Err(StoreError::io("read_at", e)),
+            }
+        }
+        unreachable!("second attempt returns or errors")
     }
 
     fn contains(&self, hash: &Hash) -> bool {
-        self.inner.lock().index.contains_key(hash)
+        self.index.read().contains_key(hash)
     }
 
     fn stats(&self) -> StoreStats {
         self.stats.snapshot()
+    }
+}
+
+impl Reclaim for FileStore {
+    /// Reclaim dead pages by rewriting the live ones into a fresh segment
+    /// generation and atomically swapping the manifest. See the module docs
+    /// for the crash matrix.
+    fn sweep(&self, live: &PageSet) -> StoreResult<(u64, u64)> {
+        self.sweep_with_crash(live, None)
     }
 }
 
@@ -176,9 +724,14 @@ mod tests {
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("siri-filestore-tests");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("{name}-{}.log", std::process::id()));
+        let path = dir.join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
         let _ = std::fs::remove_file(&path);
         path
+    }
+
+    fn small_segments(max: u64) -> FileStoreOptions {
+        FileStoreOptions { max_segment_bytes: max, fsync: FsyncPolicy::Never }
     }
 
     #[test]
@@ -223,9 +776,10 @@ mod tests {
             store.put(Bytes::from_static(b"good page"));
             store.sync().unwrap();
         }
-        // Simulate a crash mid-append: garbage half-frame at the tail.
+        // Simulate a crash mid-append: garbage half-frame at the tail of
+        // the active segment.
         {
-            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = OpenOptions::new().append(true).open(seg_path(&path, 1)).unwrap();
             f.write_all(&[FRAME_MAGIC, 0xFF, 0x00]).unwrap();
         }
         let (store, recovered) = FileStore::open(&path).unwrap();
@@ -251,14 +805,101 @@ mod tests {
         }
         // Flip a payload byte in the second frame.
         {
-            let mut data = std::fs::read(&path).unwrap();
+            let seg = seg_path(&path, 1);
+            let mut data = std::fs::read(&seg).unwrap();
             let n = data.len();
             data[n - 3] ^= 0x40;
-            std::fs::write(&path, data).unwrap();
+            std::fs::write(&seg, data).unwrap();
         }
         let (store, recovered) = FileStore::open(&path).unwrap();
         assert_eq!(recovered, 1, "corrupted frame must not be trusted");
         assert!(store.get(&h_good).is_some());
+    }
+
+    #[test]
+    fn segments_rotate_and_recover() {
+        let path = tmp("rotate");
+        let pages: Vec<Bytes> = (0..40u32).map(|i| Bytes::from(vec![i as u8; 64])).collect();
+        let hashes: Vec<Hash>;
+        {
+            let (store, _) = FileStore::open_with(&path, small_segments(256)).unwrap();
+            hashes = pages.iter().map(|p| store.put(p.clone())).collect();
+            assert!(store.segment_count() > 1, "small cap must force rotation");
+            // Every page readable across segments, via positioned reads.
+            for (h, p) in hashes.iter().zip(&pages) {
+                assert_eq!(store.get(h).unwrap(), *p);
+            }
+        }
+        let (store, recovered) = FileStore::open_with(&path, small_segments(256)).unwrap();
+        assert_eq!(recovered, 40);
+        for (h, p) in hashes.iter().zip(&pages) {
+            assert_eq!(store.get(h).unwrap(), *p);
+        }
+    }
+
+    #[test]
+    fn sweep_compacts_disk_down_to_live_set() {
+        let path = tmp("sweep");
+        let (store, _) = FileStore::open_with(&path, small_segments(512)).unwrap();
+        let mut live = PageSet::new();
+        let mut keep = Vec::new();
+        for i in 0..50u32 {
+            let page = Bytes::from(vec![i as u8; 100]);
+            let h = store.put(page);
+            if i % 5 == 0 {
+                live.insert(h, 100);
+                keep.push(h);
+            }
+        }
+        let before = store.disk_bytes();
+        let (pages, bytes) = store.sweep(&live).unwrap();
+        assert_eq!(pages, 40);
+        assert_eq!(bytes, 40 * 100);
+        assert!(store.disk_bytes() < before, "compaction must shrink the disk");
+        assert_eq!(store.len(), 10);
+        for h in &keep {
+            assert_eq!(store.get(h).unwrap().len(), 100);
+        }
+        assert_eq!(store.stats().unique_pages, 10);
+        // Post-compaction appends and reopen both work.
+        let h_new = store.put(Bytes::from_static(b"after compaction"));
+        drop(store);
+        let (store, recovered) = FileStore::open(&path).unwrap();
+        assert_eq!(recovered, 11);
+        assert!(store.get(&h_new).is_some());
+        for h in &keep {
+            assert!(store.get(h).is_some());
+        }
+    }
+
+    #[test]
+    fn sweep_without_garbage_is_a_no_op() {
+        let path = tmp("noop-sweep");
+        let (store, _) = FileStore::open(&path).unwrap();
+        let h = store.put(Bytes::from_static(b"live"));
+        let mut live = PageSet::new();
+        live.insert(h, 4);
+        let before = store.disk_bytes();
+        assert_eq!(store.sweep(&live).unwrap(), (0, 0));
+        assert_eq!(store.disk_bytes(), before, "no rewrite when nothing is dead");
+    }
+
+    #[test]
+    fn legacy_single_log_file_is_migrated() {
+        let path = tmp("legacy");
+        // Hand-write an old-format single log: frames straight in `path`.
+        let payload = b"legacy page".to_vec();
+        let digest = sha256(&payload);
+        let mut frame = vec![FRAME_MAGIC];
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(digest.as_bytes());
+        frame.extend_from_slice(&payload);
+        std::fs::write(&path, &frame).unwrap();
+
+        let (store, recovered) = FileStore::open(&path).unwrap();
+        assert_eq!(recovered, 1);
+        assert_eq!(store.get(&digest).unwrap().as_ref(), b"legacy page");
+        assert!(path.is_dir(), "log file became a store directory");
     }
 
     #[test]
@@ -281,5 +922,31 @@ mod tests {
         let page = store.get(&root).unwrap();
         let child = Hash::from_slice(&page[..32]).unwrap();
         assert_eq!(store.get(&child).unwrap().as_ref(), b"leaf payload");
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("commit"), Some(FsyncPolicy::OnCommit));
+        assert_eq!(FsyncPolicy::parse("every=8"), Some(FsyncPolicy::EveryN(8)));
+        assert_eq!(FsyncPolicy::parse("every=0"), None);
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn note_commit_respects_every_n() {
+        let path = tmp("everyn");
+        let opts = FileStoreOptions {
+            max_segment_bytes: DEFAULT_SEGMENT_BYTES,
+            fsync: FsyncPolicy::EveryN(3),
+        };
+        let (store, _) = FileStore::open_with(&path, opts).unwrap();
+        store.put(Bytes::from_static(b"page"));
+        for _ in 0..9 {
+            store.note_commit().unwrap();
+        }
+        // No assertion on fsync side effects (not observable portably);
+        // this exercises the counter path end to end without panicking.
+        assert_eq!(store.len(), 1);
     }
 }

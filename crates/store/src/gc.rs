@@ -5,8 +5,13 @@
 //! exclusive pages can be reclaimed. Callers mark by collecting the
 //! [`PageSet`]s of every root that must survive (e.g. branch heads plus a
 //! retention window) and sweep the rest.
+//!
+//! The sweep is generic over [`Reclaim`]: [`crate::MemStore`] drops dead
+//! entries in place, [`crate::FileStore`] compacts its segment files and
+//! atomically swaps to the new generation, so the paper's reachable-set
+//! metrics (P(I), §3.1/§4.2) govern *disk* occupancy too, not just memory.
 
-use crate::{MemStore, PageSet};
+use crate::{PageSet, Reclaim, StoreResult};
 
 /// Reclaim every page not reachable from `live` page sets.
 /// Returns (pages reclaimed, bytes reclaimed).
@@ -20,11 +25,14 @@ use crate::{MemStore, PageSet};
 /// store.put(Bytes::from_static(b"dead page"));
 /// let mut live = PageSet::new();
 /// live.insert(keep, 9);
-/// let (pages, bytes) = gc::sweep_unreachable(&store, &[live]);
+/// let (pages, bytes) = gc::sweep_unreachable(&store, &[live]).unwrap();
 /// assert_eq!((pages, bytes), (1, 9));
 /// assert!(store.contains(&keep));
 /// ```
-pub fn sweep_unreachable(store: &MemStore, live: &[PageSet]) -> (u64, u64) {
+pub fn sweep_unreachable<S: Reclaim + ?Sized>(
+    store: &S,
+    live: &[PageSet],
+) -> StoreResult<(u64, u64)> {
     let union = PageSet::union_of(live);
     store.sweep(&union)
 }
@@ -32,7 +40,7 @@ pub fn sweep_unreachable(store: &MemStore, live: &[PageSet]) -> (u64, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::NodeStore;
+    use crate::{FileStore, MemStore, NodeStore};
     use bytes::Bytes;
 
     #[test]
@@ -50,7 +58,7 @@ mod tests {
         live_b.insert(b, 14);
         live_b.insert(shared, 11);
 
-        let (pages, _) = sweep_unreachable(&store, &[live_a, live_b]);
+        let (pages, _) = sweep_unreachable(&store, &[live_a, live_b]).unwrap();
         assert_eq!(pages, 1);
         assert!(store.contains(&a) && store.contains(&b) && store.contains(&shared));
         assert!(!store.contains(&dead));
@@ -61,8 +69,26 @@ mod tests {
         let store = MemStore::new();
         store.put(Bytes::from_static(b"x"));
         store.put(Bytes::from_static(b"y"));
-        let (pages, _) = sweep_unreachable(&store, &[]);
+        let (pages, _) = sweep_unreachable(&store, &[]).unwrap();
         assert_eq!(pages, 2);
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn same_sweep_runs_on_the_durable_backend() {
+        let dir = std::env::temp_dir()
+            .join("siri-filestore-tests")
+            .join(format!("gc-generic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.parent().unwrap()).unwrap();
+        let (store, _) = FileStore::open(&dir).unwrap();
+        let keep = store.put(Bytes::from_static(b"live page"));
+        store.put(Bytes::from_static(b"dead page"));
+        let mut live = PageSet::new();
+        live.insert(keep, 9);
+        let (pages, bytes) = sweep_unreachable(&store, &[live]).unwrap();
+        assert_eq!((pages, bytes), (1, 9));
+        assert!(store.contains(&keep));
+        assert_eq!(store.len(), 1);
     }
 }

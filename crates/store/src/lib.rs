@@ -23,6 +23,7 @@
 
 mod cache;
 mod caching;
+mod error;
 mod file;
 pub mod gc;
 mod mem;
@@ -35,33 +36,79 @@ use siri_crypto::Hash;
 
 pub use cache::{CacheStats, NodeCache, ShardedLru, DEFAULT_NODE_CACHE_CAPACITY};
 pub use caching::{CachingStore, DEFAULT_CLIENT_CACHE_PAGES};
-pub use file::FileStore;
+pub use error::{StoreError, StoreResult};
+pub use file::{CrashPoint, FileStore, FileStoreOptions, FsyncPolicy, DEFAULT_SEGMENT_BYTES};
 pub use mem::MemStore;
 pub use pageset::PageSet;
 pub use stats::{AtomicStoreStats, StoreStats};
 
 /// Storage for immutable, content-addressed pages.
 ///
-/// `put` hashes the page and stores it under that hash; identical pages are
-/// stored once (structural sharing). Pages are immutable: there is no
+/// `try_put` hashes the page and stores it under that hash; identical pages
+/// are stored once (structural sharing). Pages are immutable: there is no
 /// delete or overwrite in the core trait — removal of unreachable pages is
-/// an offline concern handled by [`MemStore::sweep`].
+/// an offline concern behind [`Reclaim`].
+///
+/// The fallible `try_*` methods are the primary interface: durable backends
+/// ([`FileStore`]) surface I/O faults through them instead of panicking,
+/// and keep their internal index/stats consistent when an operation fails.
+/// `put`/`get` are infallible sugar for in-memory stores and quick scripts;
+/// they panic on a store fault (never on a mere miss).
 pub trait NodeStore: Send + Sync {
-    /// Store a page, returning its content address. Idempotent.
-    fn put(&self, page: Bytes) -> Hash;
+    /// Store a page, returning its content address. Idempotent. A returned
+    /// error means the page is *not* stored (the store state is as if the
+    /// call never happened).
+    fn try_put(&self, page: Bytes) -> StoreResult<Hash>;
 
-    /// Fetch a page by content address.
-    fn get(&self, hash: &Hash) -> Option<Bytes>;
+    /// Fetch a page by content address. `Ok(None)` is a definitive miss;
+    /// `Err` means the lookup could not be completed (the page may exist).
+    fn try_get(&self, hash: &Hash) -> StoreResult<Option<Bytes>>;
 
     /// Whether the page exists without fetching it.
     fn contains(&self, hash: &Hash) -> bool;
 
     /// Storage counters (see [`StoreStats`] for the semantics).
     fn stats(&self) -> StoreStats;
+
+    /// Infallible sugar over [`NodeStore::try_put`]; panics on a store
+    /// fault.
+    fn put(&self, page: Bytes) -> Hash {
+        self.try_put(page).expect("store write failed")
+    }
+
+    /// Infallible sugar over [`NodeStore::try_get`]; panics on a store
+    /// fault (returns `None` only for a definitive miss).
+    fn get(&self, hash: &Hash) -> Option<Bytes> {
+        self.try_get(hash).expect("store read failed")
+    }
+}
+
+/// A store that can reclaim pages outside the live set — the sweep half of
+/// mark-and-sweep GC, generalized over backends: [`MemStore`] drops dead
+/// entries in place, [`FileStore`] compacts by rewriting live pages into a
+/// fresh segment generation and atomically swapping its manifest.
+pub trait Reclaim: NodeStore {
+    /// Reclaim every page not contained in `live`, returning
+    /// `(pages, bytes)` reclaimed. `live` is typically the union of
+    /// [`reachable_pages`] over the roots that must survive.
+    ///
+    /// The sweep drops *everything* outside `live` — including pages a
+    /// concurrent writer put moments earlier (whether the put completed
+    /// before the sweep or deduplicated against a page the sweep is about
+    /// to drop makes no difference). GC is an offline concern: callers
+    /// either quiesce writers or include every in-flight root's page set
+    /// in `live`. Readers need no coordination on any backend.
+    fn sweep(&self, live: &PageSet) -> StoreResult<(u64, u64)>;
 }
 
 /// Blanket impl so `Arc<S>` can be passed where a store is expected.
 impl<S: NodeStore + ?Sized> NodeStore for std::sync::Arc<S> {
+    fn try_put(&self, page: Bytes) -> StoreResult<Hash> {
+        (**self).try_put(page)
+    }
+    fn try_get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
+        (**self).try_get(hash)
+    }
     fn put(&self, page: Bytes) -> Hash {
         (**self).put(page)
     }
@@ -73,6 +120,12 @@ impl<S: NodeStore + ?Sized> NodeStore for std::sync::Arc<S> {
     }
     fn stats(&self) -> StoreStats {
         (**self).stats()
+    }
+}
+
+impl<S: Reclaim + ?Sized> Reclaim for std::sync::Arc<S> {
+    fn sweep(&self, live: &PageSet) -> StoreResult<(u64, u64)> {
+        (**self).sweep(live)
     }
 }
 

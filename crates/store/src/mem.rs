@@ -5,7 +5,7 @@ use parking_lot::RwLock;
 use siri_crypto::{sha256, FxHashMap, FxHashSet, Hash};
 
 use crate::stats::AtomicStoreStats;
-use crate::{NodeStore, PageSet, StoreStats};
+use crate::{NodeStore, PageSet, Reclaim, StoreResult, StoreStats};
 
 /// Shard count for the page map. Content addresses are uniform, so a small
 /// power of two spreads both reader and writer traffic; 16 shards already
@@ -62,30 +62,6 @@ impl MemStore {
         self.len() == 0
     }
 
-    /// Drop every page not contained in `live`, returning (pages, bytes)
-    /// reclaimed. `live` is typically the union of [`crate::reachable_pages`]
-    /// over the roots that must survive — a mark-and-sweep GC where callers
-    /// provide the mark phase.
-    pub fn sweep(&self, live: &PageSet) -> (u64, u64) {
-        let mut dropped_pages = 0u64;
-        let mut dropped_bytes = 0u64;
-        for shard in self.shards.iter() {
-            let mut pages = shard.write();
-            pages.retain(|h, page| {
-                if live.contains(h) {
-                    true
-                } else {
-                    dropped_pages += 1;
-                    dropped_bytes += page.len() as u64;
-                    false
-                }
-            });
-        }
-        AtomicStoreStats::sub(&self.stats.unique_pages, dropped_pages);
-        AtomicStoreStats::sub(&self.stats.unique_bytes, dropped_bytes);
-        (dropped_pages, dropped_bytes)
-    }
-
     /// Set of all page hashes currently stored (diagnostics/tests).
     pub fn page_hashes(&self) -> FxHashSet<Hash> {
         self.shards.iter().flat_map(|s| s.read().keys().copied().collect::<Vec<_>>()).collect()
@@ -116,6 +92,16 @@ impl MemStore {
 }
 
 impl NodeStore for MemStore {
+    fn try_put(&self, page: Bytes) -> StoreResult<Hash> {
+        Ok(self.put(page))
+    }
+
+    fn try_get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
+        Ok(self.get(hash))
+    }
+
+    // Memory cannot fault: the infallible methods are the real
+    // implementation and `try_*` wrap them, the reverse of `FileStore`.
     fn put(&self, page: Bytes) -> Hash {
         let hash = sha256(&page);
         AtomicStoreStats::add(&self.stats.puts, 1);
@@ -144,6 +130,31 @@ impl NodeStore for MemStore {
 
     fn stats(&self) -> StoreStats {
         self.stats.snapshot()
+    }
+}
+
+impl Reclaim for MemStore {
+    /// Drop every page not contained in `live` — a mark-and-sweep GC where
+    /// callers provide the mark phase. Infallible in memory; the `Ok` is
+    /// the [`Reclaim`] contract shared with the durable backend.
+    fn sweep(&self, live: &PageSet) -> StoreResult<(u64, u64)> {
+        let mut dropped_pages = 0u64;
+        let mut dropped_bytes = 0u64;
+        for shard in self.shards.iter() {
+            let mut pages = shard.write();
+            pages.retain(|h, page| {
+                if live.contains(h) {
+                    true
+                } else {
+                    dropped_pages += 1;
+                    dropped_bytes += page.len() as u64;
+                    false
+                }
+            });
+        }
+        AtomicStoreStats::sub(&self.stats.unique_pages, dropped_pages);
+        AtomicStoreStats::sub(&self.stats.unique_bytes, dropped_bytes);
+        Ok((dropped_pages, dropped_bytes))
     }
 }
 
@@ -189,7 +200,7 @@ mod tests {
         let _drop = store.put(Bytes::from_static(b"drop me"));
         let mut live = PageSet::new();
         live.insert(keep, 7);
-        let (pages, bytes) = store.sweep(&live);
+        let (pages, bytes) = store.sweep(&live).unwrap();
         assert_eq!((pages, bytes), (1, 7));
         assert!(store.contains(&keep));
         assert_eq!(store.len(), 1);

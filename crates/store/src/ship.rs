@@ -10,7 +10,7 @@
 
 use siri_crypto::Hash;
 
-use crate::NodeStore;
+use crate::{NodeStore, StoreResult};
 
 /// Statistics from one [`ship_version`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,22 +27,24 @@ pub struct ShipReport {
 /// any subtree whose root page `to` already holds. `children` is the
 /// index's page decoder (e.g. `Node::children_of_page`).
 ///
-/// Errors are impossible by construction: missing pages in `from` are a
-/// dangling-reference bug surfaced as a panic in debug builds and skipped
-/// in release (the receiving side will detect the hole through digest
-/// verification, not silent corruption).
+/// Dangling pages in `from` are a structural bug surfaced as a panic in
+/// debug builds and skipped in release (the receiving side will detect the
+/// hole through digest verification, not silent corruption). I/O faults on
+/// either side — a durable receiver's disk filling mid-transfer — propagate
+/// as `Err`; the receiver is left with a harmless partial page set that a
+/// retried ship completes incrementally.
 pub fn ship_version<F>(
     from: &dyn NodeStore,
     to: &dyn NodeStore,
     root: Hash,
     children: F,
-) -> ShipReport
+) -> StoreResult<ShipReport>
 where
     F: Fn(&[u8]) -> Vec<Hash>,
 {
     let mut report = ShipReport::default();
     if root.is_zero() {
-        return report;
+        return Ok(report);
     }
     let mut stack = vec![root];
     let mut visited = siri_crypto::FxHashSet::default();
@@ -56,16 +58,16 @@ where
             report.subtrees_skipped += 1;
             continue;
         }
-        let Some(page) = from.get(&h) else {
+        let Some(page) = from.try_get(&h)? else {
             debug_assert!(false, "dangling page {h:?} while shipping");
             continue;
         };
         stack.extend(children(&page));
         report.pages_sent += 1;
         report.bytes_sent += page.len() as u64;
-        to.put(page);
+        to.try_put(page)?;
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -93,7 +95,7 @@ mod tests {
         let src = MemStore::new();
         let dst = MemStore::new();
         let root = build(&src, b"leaf one", b"leaf two");
-        let report = ship_version(&src, &dst, root, children);
+        let report = ship_version(&src, &dst, root, children).unwrap();
         assert_eq!(report.pages_sent, 3);
         assert_eq!(report.subtrees_skipped, 0);
         assert!(dst.contains(&root));
@@ -104,11 +106,11 @@ mod tests {
         let src = MemStore::new();
         let dst = MemStore::new();
         let v1 = build(&src, b"shared leaf", b"old leaf");
-        ship_version(&src, &dst, v1, children);
+        ship_version(&src, &dst, v1, children).unwrap();
 
         // New version shares one leaf with v1.
         let v2 = build(&src, b"shared leaf", b"new leaf");
-        let report = ship_version(&src, &dst, v2, children);
+        let report = ship_version(&src, &dst, v2, children).unwrap();
         assert_eq!(report.pages_sent, 2, "new root + new leaf only");
         assert_eq!(report.subtrees_skipped, 1, "shared leaf pruned");
         assert!(dst.contains(&v2));
@@ -119,8 +121,8 @@ mod tests {
         let src = MemStore::new();
         let dst = MemStore::new();
         let root = build(&src, b"a", b"b");
-        ship_version(&src, &dst, root, children);
-        let report = ship_version(&src, &dst, root, children);
+        ship_version(&src, &dst, root, children).unwrap();
+        let report = ship_version(&src, &dst, root, children).unwrap();
         assert_eq!(report.pages_sent, 0);
         assert_eq!(report.bytes_sent, 0);
         assert_eq!(report.subtrees_skipped, 1, "pruned at the root");
@@ -130,7 +132,7 @@ mod tests {
     fn empty_root_is_a_noop() {
         let src = MemStore::new();
         let dst = MemStore::new();
-        let report = ship_version(&src, &dst, Hash::ZERO, children);
+        let report = ship_version(&src, &dst, Hash::ZERO, children).unwrap();
         assert_eq!(report, ShipReport::default());
     }
 }

@@ -1,6 +1,6 @@
 //! `siri` — a small CLI over a persistent POS-Tree store.
 //!
-//! A versioned, tamper-evident key-value database in one file:
+//! A versioned, tamper-evident key-value database in one directory:
 //!
 //! ```text
 //! siri --db ./data.siri put <key> <value>     # new version per write
@@ -9,21 +9,24 @@
 //! siri --db ./data.siri log                   # version history (digests)
 //! siri --db ./data.siri prove <key>           # emit a proof (hex pages)
 //! siri --db ./data.siri diff <rootA> <rootB>
+//! siri --db ./data.siri gc [--keep N]         # retire old versions, compact disk
+//! siri --db ./data.siri compact               # drop orphan pages, keep all versions
 //! siri --db ./data.siri stats
 //! ```
 //!
 //! The head pointer and history live in a sidecar file `<db>.head` (the
-//! page log itself is append-only and content-addressed, so the sidecar is
-//! the only mutable state).
+//! segmented page store is content-addressed and append-only, so the
+//! sidecar is the only mutable state). Mutating commands fsync before they
+//! acknowledge — `--fsync never|commit|every=N` tunes that.
 
 use std::sync::Arc;
 
-use siri::{Hash, NodeStore, PosParams, PosTree, SharedStore, SiriIndex};
-use siri_store::FileStore;
+use siri::{gc, Hash, NodeStore, PageSet, PosParams, PosTree, SharedStore, SiriIndex};
+use siri_store::{FileStore, FileStoreOptions, FsyncPolicy};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: siri --db <path> <command>\n\
+        "usage: siri --db <path> [--fsync never|commit|every=N] <command>\n\
          commands:\n\
          \x20 put <key> <value>      write one record (creates a version)\n\
          \x20 del <key>              delete one record (creates a version)\n\
@@ -33,9 +36,17 @@ fn usage() -> ! {
          \x20 prove <key>            print a Merkle proof for the key\n\
          \x20 verify <key> <root> <proof-hex...>  check a proof offline\n\
          \x20 diff <rootA> <rootB>   compare two versions\n\
+         \x20 gc [--keep N]          retire all but the last N versions (default 1)\n\
+         \x20                        and compact the store on disk\n\
+         \x20 compact                rewrite segments keeping every version's pages\n\
          \x20 stats                  storage statistics"
     );
     std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("siri: {msg}");
+    std::process::exit(1);
 }
 
 fn load_history(path: &str) -> Vec<Hash> {
@@ -44,21 +55,49 @@ fn load_history(path: &str) -> Vec<Hash> {
 
 fn append_history(path: &str, root: Hash) {
     use std::io::Write;
-    let mut f = std::fs::OpenOptions::new().append(true).create(true).open(path).unwrap();
-    writeln!(f, "{root}").unwrap();
+    let mut f = match std::fs::OpenOptions::new().append(true).create(true).open(path) {
+        Ok(f) => f,
+        Err(e) => fail(format_args!("cannot open history file {path}: {e}")),
+    };
+    // The head pointer is part of the acknowledged state: fsync it like
+    // the pages it points at, or a version could vanish on power loss.
+    if let Err(e) = writeln!(f, "{root}").and_then(|()| f.sync_data()) {
+        fail(format_args!("cannot record version in {path}: {e}"));
+    }
+}
+
+fn write_history(path: &str, roots: &[Hash]) {
+    use std::io::Write;
+    let text: String = roots.iter().map(|h| format!("{h}\n")).collect();
+    let write = std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(text.as_bytes()).and_then(|()| f.sync_data()));
+    if let Err(e) = write {
+        fail(format_args!("cannot rewrite history file {path}: {e}"));
+    }
+}
+
+/// Union of the page sets reachable from `roots` (the GC mark phase).
+fn mark_live(store: &SharedStore, params: PosParams, roots: &[Hash]) -> Vec<PageSet> {
+    roots.iter().map(|&r| PosTree::open(store.clone(), params, r).page_set()).collect()
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut db = String::from("./siri.db");
+    let mut fsync = FsyncPolicy::OnCommit;
     let mut rest: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--db" {
-            i += 1;
-            db = args.get(i).cloned().unwrap_or_else(|| usage());
-        } else {
-            rest.push(args[i].clone());
+        match args[i].as_str() {
+            "--db" => {
+                i += 1;
+                db = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--fsync" => {
+                i += 1;
+                fsync = args.get(i).and_then(|s| FsyncPolicy::parse(s)).unwrap_or_else(|| usage());
+            }
+            _ => rest.push(args[i].clone()),
         }
         i += 1;
     }
@@ -67,8 +106,12 @@ fn main() {
     }
 
     let head_file = format!("{db}.head");
-    let (fs, _) = FileStore::open(&db).expect("cannot open database file");
-    let store: SharedStore = Arc::new(fs);
+    let opts = FileStoreOptions { fsync, ..FileStoreOptions::default() };
+    let fs = match FileStore::open_with(&db, opts) {
+        Ok((fs, _)) => Arc::new(fs),
+        Err(e) => fail(format_args!("cannot open database at {db}: {e}")),
+    };
+    let store: SharedStore = fs.clone();
     let history = load_history(&head_file);
     let head_root = history.last().copied().unwrap_or(Hash::ZERO);
     let params = PosParams::default();
@@ -81,14 +124,26 @@ fn main() {
                 _ => usage(),
             };
             let mut next = head.clone();
-            next.insert(key.as_bytes(), bytes::Bytes::from(value.into_bytes())).unwrap();
+            if let Err(e) = next.insert(key.as_bytes(), bytes::Bytes::from(value.into_bytes())) {
+                fail(format_args!("write failed: {e}"));
+            }
+            // Durability before acknowledgement: the page log is flushed
+            // per the fsync policy, *then* the head pointer moves.
+            if let Err(e) = fs.note_commit() {
+                fail(format_args!("fsync failed, version not recorded: {e}"));
+            }
             append_history(&head_file, next.root());
             println!("{}", next.root());
         }
         "del" => {
             let key = rest.get(1).unwrap_or_else(|| usage());
             let mut next = head.clone();
-            next.delete(key.as_bytes()).unwrap();
+            if let Err(e) = next.delete(key.as_bytes()) {
+                fail(format_args!("delete failed: {e}"));
+            }
+            if let Err(e) = fs.note_commit() {
+                fail(format_args!("fsync failed, version not recorded: {e}"));
+            }
             append_history(&head_file, next.root());
             println!("{}", next.root());
         }
@@ -102,12 +157,13 @@ fn main() {
                 }
                 None => head,
             };
-            match view.get(key.as_bytes()).unwrap() {
-                Some(v) => println!("{}", String::from_utf8_lossy(&v)),
-                None => {
+            match view.get(key.as_bytes()) {
+                Ok(Some(v)) => println!("{}", String::from_utf8_lossy(&v)),
+                Ok(None) => {
                     eprintln!("(not found)");
                     std::process::exit(1);
                 }
+                Err(e) => fail(format_args!("read failed: {e}")),
             }
         }
         "scan" => {
@@ -118,7 +174,7 @@ fn main() {
                 None => head.range(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded),
             };
             for e in cursor {
-                let e = e.unwrap();
+                let e = e.unwrap_or_else(|e| fail(format_args!("scan failed: {e}")));
                 println!(
                     "{}\t{}",
                     String::from_utf8_lossy(&e.key),
@@ -133,7 +189,9 @@ fn main() {
         }
         "prove" => {
             let key = rest.get(1).unwrap_or_else(|| usage());
-            let proof = head.prove(key.as_bytes()).unwrap();
+            let proof = head
+                .prove(key.as_bytes())
+                .unwrap_or_else(|e| fail(format_args!("prove failed: {e}")));
             println!("root\t{}", head.root());
             for page in proof.pages() {
                 println!("{}", siri::crypto::hex::encode(page));
@@ -144,7 +202,12 @@ fn main() {
             let root = rest.get(2).and_then(|s| Hash::from_hex(s)).unwrap_or_else(|| usage());
             let pages: Vec<bytes::Bytes> = rest[3..]
                 .iter()
-                .map(|h| bytes::Bytes::from(siri::crypto::hex::decode(h).expect("bad hex page")))
+                .map(|h| {
+                    bytes::Bytes::from(
+                        siri::crypto::hex::decode(h)
+                            .unwrap_or_else(|| fail("bad hex page in proof")),
+                    )
+                })
                 .collect();
             let proof = siri::Proof::new(pages);
             match PosTree::verify_proof(root, key.as_bytes(), &proof) {
@@ -163,13 +226,66 @@ fn main() {
             let b = rest.get(2).and_then(|s| Hash::from_hex(s)).unwrap_or_else(|| usage());
             let va = PosTree::open(store.clone(), params, a);
             let vb = PosTree::open(store.clone(), params, b);
-            for d in va.diff(&vb).unwrap() {
+            let diff = va.diff(&vb).unwrap_or_else(|e| fail(format_args!("diff failed: {e}")));
+            for d in diff {
                 let tag = match d.side() {
                     siri::DiffSide::LeftOnly => "-",
                     siri::DiffSide::RightOnly => "+",
                     siri::DiffSide::Changed => "~",
                 };
                 println!("{tag} {}", String::from_utf8_lossy(&d.key));
+            }
+        }
+        "gc" => {
+            // Retire all versions but the newest `--keep N`: mark their
+            // reachable pages, compact everything else away, and truncate
+            // the history sidecar to match.
+            let keep = match rest.iter().position(|a| a == "--keep") {
+                Some(p) => rest
+                    .get(p + 1)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage()),
+                None => 1,
+            };
+            if history.is_empty() {
+                println!("nothing to collect (no versions)");
+                return;
+            }
+            let kept: Vec<Hash> = history[history.len().saturating_sub(keep)..].to_vec();
+            let live = mark_live(&store, params, &kept);
+            let disk_before = fs.disk_bytes();
+            // Truncate the sidecar *before* sweeping: a crash in between
+            // leaves harmless orphan pages (a later gc/compact reclaims
+            // them), while the reverse order would leave history naming
+            // versions whose pages are gone.
+            write_history(&head_file, &kept);
+            match gc::sweep_unreachable(fs.as_ref(), &live) {
+                Ok((pages, bytes)) => {
+                    println!(
+                        "retired {} version(s); reclaimed {pages} page(s), {bytes} B \
+                         (disk {disk_before} B -> {} B)",
+                        history.len() - kept.len(),
+                        fs.disk_bytes()
+                    );
+                }
+                Err(e) => fail(format_args!("gc failed (store unchanged): {e}")),
+            }
+        }
+        "compact" => {
+            // Keep every version reachable; drop only orphan pages (e.g.
+            // from commits whose version was never recorded) and rewrite
+            // the segments contiguously.
+            let live = mark_live(&store, params, &history);
+            let disk_before = fs.disk_bytes();
+            match gc::sweep_unreachable(fs.as_ref(), &live) {
+                Ok((pages, bytes)) => println!(
+                    "compacted: reclaimed {pages} orphan page(s), {bytes} B \
+                     (disk {disk_before} B -> {} B, {} segment(s))",
+                    fs.disk_bytes(),
+                    fs.segment_count()
+                ),
+                Err(e) => fail(format_args!("compaction failed (store unchanged): {e}")),
             }
         }
         "stats" => {
@@ -179,9 +295,14 @@ fn main() {
             println!("unique bytes   {}", s.unique_bytes);
             println!("logical bytes  {}", s.logical_bytes);
             println!("dedup savings  {:.1}%", s.dedup_savings() * 100.0);
+            println!("disk bytes     {}", fs.disk_bytes());
+            println!("segments       {}", fs.segment_count());
             if !head_root.is_zero() {
                 let reopened = PosTree::open(store, params, head_root);
-                println!("records        {}", reopened.len().unwrap());
+                match reopened.len() {
+                    Ok(n) => println!("records        {n}"),
+                    Err(e) => fail(format_args!("cannot read head version: {e}")),
+                }
             }
         }
         _ => usage(),

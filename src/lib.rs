@@ -49,8 +49,8 @@ pub use siri_core::{
     apply_ops, cost_model, diff_by_scan, diff_sorted_entries, entry_codec, merge, merge_with_base,
     metrics, prefix_successor, siri_properties, BatchOp, Bytes, DiffEntry, DiffSide, Entry,
     EntryCursor, Hash, IndexError, LookupTrace, MemStore, MergeOutcome, MergeStrategy, NodeStore,
-    Op, PageSet, Proof, ProofVerdict, Result, SharedStore, SiriIndex, StoreStats, VersionStore,
-    VersionTag, WriteBatch,
+    Op, PageSet, Proof, ProofVerdict, Reclaim, Result, SharedStore, SiriIndex, StoreError,
+    StoreResult, StoreStats, VersionStore, VersionTag, WriteBatch,
 };
 
 pub use siri_crypto as crypto;
@@ -63,5 +63,34 @@ pub use siri_mbt::{MerkleBucketTree, DEFAULT_BUCKETS, DEFAULT_FANOUT};
 pub use siri_mpt::MerklePatriciaTrie;
 pub use siri_mvmb::{MvmbParams, MvmbTree};
 pub use siri_pos_tree::{self as pos_tree, InternalChunking, PosParams, PosTree, SplitPolicy};
-pub use siri_store::{gc, ship, CachingStore, FileStore};
+pub use siri_store::{
+    gc, ship, CachingStore, FileStore, FileStoreOptions, FsyncPolicy, DEFAULT_SEGMENT_BYTES,
+};
 pub use siri_workloads as workloads;
+
+/// The store the `SIRI_STORE` environment variable selects: `"file"` opens
+/// a fresh [`FileStore`] under the system temp directory (fsync disabled —
+/// these are tests, not databases), anything else is a [`MemStore`].
+///
+/// This is how CI runs the integration suite against the durable backend
+/// without forking the tests: suites whose store choice is incidental call
+/// this instead of [`MemStore::new_shared`].
+pub fn env_store() -> SharedStore {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    match std::env::var("SIRI_STORE").as_deref() {
+        Ok("file") => {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir()
+                .join("siri-env-stores")
+                .join(format!("{}-{n}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let opts =
+                FileStoreOptions { fsync: FsyncPolicy::Never, ..FileStoreOptions::default() };
+            let (fs, _) = FileStore::open_with(&dir, opts)
+                .expect("SIRI_STORE=file: cannot create temp store");
+            std::sync::Arc::new(fs)
+        }
+        _ => MemStore::new_shared(),
+    }
+}

@@ -10,8 +10,8 @@ use std::thread;
 use proptest::prelude::*;
 use siri::workloads::YcsbConfig;
 use siri::{
-    Entry, IndexFactory, MbtFactory, MemStore, MerklePatriciaTrie, MptFactory, MvmbFactory,
-    MvmbParams, PosFactory, PosParams, PosTree, SiriIndex,
+    Entry, IndexFactory, MbtFactory, MerklePatriciaTrie, MptFactory, MvmbFactory, MvmbParams,
+    PosFactory, PosParams, PosTree, SiriIndex,
 };
 
 const N: usize = 5_000;
@@ -64,7 +64,7 @@ fn stress<I: SiriIndex + 'static>(index: I, label: &str) {
 #[test]
 fn concurrent_reads_pos_tree() {
     let ycsb = YcsbConfig::default();
-    let mut t = PosTree::new(MemStore::new_shared(), PosParams::default());
+    let mut t = PosTree::new(siri::env_store(), PosParams::default());
     t.batch_insert(ycsb.dataset(N)).unwrap();
     let before = t.node_cache_stats();
     stress(t.clone(), "pos-tree");
@@ -78,7 +78,7 @@ fn concurrent_reads_pos_tree() {
 #[test]
 fn concurrent_reads_mpt() {
     let ycsb = YcsbConfig::default();
-    let mut t = MerklePatriciaTrie::new(MemStore::new_shared());
+    let mut t = MerklePatriciaTrie::new(siri::env_store());
     t.batch_insert(ycsb.dataset(N)).unwrap();
     stress(t.clone(), "mpt");
     let cache = t.node_cache_stats();
@@ -92,7 +92,7 @@ fn concurrent_readers_with_concurrent_version_writer() {
     // writer producing new versions into the same store + cache: the
     // snapshot's answers never change.
     let ycsb = YcsbConfig::default();
-    let mut base = PosTree::new(MemStore::new_shared(), PosParams::default());
+    let mut base = PosTree::new(siri::env_store(), PosParams::default());
     base.batch_insert(ycsb.dataset(N)).unwrap();
     let snapshot = base.clone();
 
@@ -154,7 +154,7 @@ proptest! {
 
         macro_rules! check {
             ($factory:expr, $disable:expr) => {{
-                let store = MemStore::new_shared();
+                let store = siri::env_store();
                 let mut cached = $factory.empty(store);
                 cached.batch_insert(entries.clone()).unwrap();
                 let uncached = $disable(cached.clone());

@@ -4,8 +4,8 @@
 
 use siri::workloads::YcsbConfig;
 use siri::{
-    siri_properties, Entry, IndexFactory, MbtFactory, MemStore, MptFactory, MvmbFactory,
-    MvmbParams, PosFactory, PosParams, SiriIndex,
+    siri_properties, Entry, IndexFactory, MbtFactory, MptFactory, MvmbFactory, MvmbParams,
+    PosFactory, PosParams, SiriIndex,
 };
 
 fn dataset(n: usize) -> Vec<Entry> {
@@ -13,7 +13,7 @@ fn dataset(n: usize) -> Vec<Entry> {
 }
 
 fn build<F: IndexFactory>(factory: &F, entries: &[Entry]) -> F::Index {
-    let mut idx = factory.empty(MemStore::new_shared());
+    let mut idx = factory.empty(siri::env_store());
     idx.batch_insert(entries.to_vec()).unwrap();
     idx
 }
@@ -71,7 +71,7 @@ fn all_indexes_agree_on_diffs() {
 fn siri_structures_are_structurally_invariant_baseline_is_not() {
     let entries = dataset(400);
 
-    let store = MemStore::new_shared();
+    let store = siri::env_store();
     assert!(siri_properties::check_structurally_invariant(
         || PosFactory(PosParams::default()).empty(store.clone()),
         &entries,
@@ -79,7 +79,7 @@ fn siri_structures_are_structurally_invariant_baseline_is_not() {
     )
     .unwrap());
 
-    let store = MemStore::new_shared();
+    let store = siri::env_store();
     assert!(siri_properties::check_structurally_invariant(
         || MptFactory.empty(store.clone()),
         &entries,
@@ -87,7 +87,7 @@ fn siri_structures_are_structurally_invariant_baseline_is_not() {
     )
     .unwrap());
 
-    let store = MemStore::new_shared();
+    let store = siri::env_store();
     assert!(siri_properties::check_structurally_invariant(
         || MbtFactory { buckets: 64, fanout: 4 }.empty(store.clone()),
         &entries,
@@ -96,7 +96,7 @@ fn siri_structures_are_structurally_invariant_baseline_is_not() {
     .unwrap());
 
     // The baseline is *expected* to fail: order-dependent splits.
-    let store = MemStore::new_shared();
+    let store = siri::env_store();
     assert!(!siri_properties::check_structurally_invariant(
         || MvmbFactory(MvmbParams::default()).empty(store.clone()),
         &entries,
@@ -110,7 +110,7 @@ fn recursively_identical_scores_high_for_all_tree_indexes() {
     let entries = dataset(300);
     macro_rules! score {
         ($factory:expr) => {{
-            let store = MemStore::new_shared();
+            let store = siri::env_store();
             let f = $factory;
             siri_properties::recursively_identical_score(|| f.empty(store.clone()), &entries)
                 .unwrap()
@@ -151,7 +151,7 @@ fn copy_on_write_preserves_arbitrary_version_history() {
     macro_rules! check {
         ($factory:expr) => {{
             let factory = $factory;
-            let mut idx = factory.empty(MemStore::new_shared());
+            let mut idx = factory.empty(siri::env_store());
             let mut snapshots = Vec::new();
             for v in 0..10u32 {
                 let batch: Vec<Entry> = (0..200u64).map(|i| ycsb.entry(i, v)).collect();

@@ -3,8 +3,8 @@
 
 use siri::workloads::YcsbConfig;
 use siri::{
-    cost_model, metrics, Entry, IndexFactory, MbtFactory, MemStore, MptFactory, MvmbFactory,
-    MvmbParams, PageSet, PosFactory, PosParams, SiriIndex, VersionStore,
+    cost_model, metrics, Entry, IndexFactory, MbtFactory, MptFactory, MvmbFactory, MvmbParams,
+    PageSet, PosFactory, PosParams, SiriIndex, VersionStore,
 };
 
 /// Build two sequential versions differing in an α fraction of records
@@ -14,7 +14,7 @@ fn two_versions<F: IndexFactory>(factory: &F, n: usize, alpha: f64) -> (PageSet,
     let ycsb = YcsbConfig::default();
     let mut data = ycsb.dataset(n);
     data.sort();
-    let mut idx = factory.empty(MemStore::new_shared());
+    let mut idx = factory.empty(siri::env_store());
     idx.batch_insert(data.clone()).unwrap();
     let v1 = idx.page_set();
     let count = ((n as f64 * alpha) as usize).max(1);
@@ -63,7 +63,7 @@ fn high_overlap_collaboration_ranks_structures_like_the_paper() {
 
     macro_rules! dedup_of {
         ($factory:expr) => {{
-            let store = MemStore::new_shared();
+            let store = siri::env_store();
             let factory = $factory;
             let mut sets = Vec::new();
             for load in &loads {
@@ -141,7 +141,7 @@ trait FromFactory {
 }
 impl FromFactory for siri::PosTree {
     fn from_factory() -> siri::PosTree {
-        siri::PosTree::new(MemStore::new_shared(), PosParams::default())
+        siri::PosTree::new(siri::env_store(), PosParams::default())
     }
 }
 use siri::PosTree;

@@ -20,7 +20,7 @@ fn ship_pos_tree_version_and_delta() {
 
     // Cold replication: everything crosses the wire.
     let children = siri::pos_tree::Node::children_of_page;
-    let first = ship::ship_version(site_a.as_ref(), site_b.as_ref(), v1, children);
+    let first = ship::ship_version(site_a.as_ref(), site_b.as_ref(), v1, children).unwrap();
     assert_eq!(first.pages_sent as usize, index.page_set().len());
 
     // The replica is fully usable at site B.
@@ -33,7 +33,7 @@ fn ship_pos_tree_version_and_delta() {
     let updates: Vec<Entry> = (0..50u64).map(|i| ycsb.entry(i * 31 % 3_000, 1)).collect();
     index.batch_insert(updates).unwrap();
     let v2 = index.root();
-    let delta = ship::ship_version(site_a.as_ref(), site_b.as_ref(), v2, children);
+    let delta = ship::ship_version(site_a.as_ref(), site_b.as_ref(), v2, children).unwrap();
 
     assert!(
         delta.pages_sent < first.pages_sent / 3,
@@ -49,7 +49,7 @@ fn ship_pos_tree_version_and_delta() {
     assert_eq!(replica.get(&ycsb.key(31)).unwrap().unwrap(), ycsb.value(31, 0));
 
     // Re-shipping v2 is free.
-    let again = ship::ship_version(site_a.as_ref(), site_b.as_ref(), v2, children);
+    let again = ship::ship_version(site_a.as_ref(), site_b.as_ref(), v2, children).unwrap();
     assert_eq!(again.pages_sent, 0);
 }
 
@@ -66,7 +66,8 @@ fn shipped_proofs_verify_at_the_receiver() {
         site_b.as_ref(),
         root,
         siri::pos_tree::Node::children_of_page,
-    );
+    )
+    .unwrap();
     let replica = PosTree::open(site_b.clone() as SharedStore, PosParams::default(), root);
     let proof = replica.prove(&ycsb.key(123)).unwrap();
     assert!(PosTree::verify_proof(root, &ycsb.key(123), &proof).is_valid());
