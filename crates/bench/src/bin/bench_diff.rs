@@ -1,0 +1,182 @@
+//! `bench-diff` — the perf-regression gate over BENCH artifacts.
+//!
+//! Compares a new set of `BENCH_*.json` reports against a baseline set
+//! (two files, or two directories matched by file name) and exits
+//! non-zero when throughput regressed or space inflated past the
+//! thresholds. CI runs this against the committed `bench/baselines/`
+//! snapshot after every `repro --smoke`; see DESIGN.md §6 for the
+//! baseline-update procedure.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use siri_bench::report::config_mismatch;
+use siri_bench::{diff_reports, DiffThresholds, Report};
+
+const HELP: &str = "\
+bench-diff — compare BENCH report artifacts and gate on regressions
+
+USAGE:
+    bench-diff <BASE> <NEW> [FLAGS]
+
+    BASE and NEW are either two BENCH_*.json files or two directories;
+    directories are matched by file name (every baseline artifact must
+    exist on the NEW side).
+
+FLAGS:
+    --max-regress P   max tolerated throughput drop before failing;
+                      accepts `20%`, `20` or `0.2` — all twenty percent
+                      (values >= 1 are percentages; default 20%)
+    --max-space P     max tolerated growth of deterministic space
+                      metrics: unique bytes, write amplification
+                      (default 10%)
+    -h, --help        this text
+
+EXIT STATUS:
+    0  within thresholds        1  regression detected        2  usage/IO
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut thresholds = DiffThresholds::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regress" => {
+                i += 1;
+                thresholds.max_regress = match args.get(i).map(|a| parse_pct(a)) {
+                    Some(Some(v)) => v,
+                    _ => return usage("--max-regress takes a percentage"),
+                };
+            }
+            "--max-space" => {
+                i += 1;
+                thresholds.max_space = match args.get(i).map(|a| parse_pct(a)) {
+                    Some(Some(v)) => v,
+                    _ => return usage("--max-space takes a percentage"),
+                };
+            }
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                return usage(&format!("unknown flag {flag}"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    let [base, new] = paths.as_slice() else {
+        return usage("expected exactly two paths: <BASE> <NEW>");
+    };
+
+    let pairs = match collect_pairs(base, new) {
+        Ok(pairs) => pairs,
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if pairs.is_empty() {
+        eprintln!("bench-diff: no BENCH_*.json artifacts under {}", base.display());
+        return ExitCode::from(2);
+    }
+
+    let mut violations = Vec::new();
+    for (name, base_path, new_path) in &pairs {
+        let (base_report, new_report) = match (load(base_path), load(new_path)) {
+            (Ok(b), Ok(n)) => (b, n),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench-diff: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Some(mismatch) = config_mismatch(&base_report, &new_report) {
+            eprintln!(
+                "bench-diff: {name}: {mismatch} — the artifacts measure different \
+                 configurations; regenerate the baseline (DESIGN.md §6)"
+            );
+            return ExitCode::from(2);
+        }
+        let (table, mut found) = diff_reports(&base_report, &new_report, thresholds);
+        table.print();
+        violations.append(&mut found);
+    }
+
+    println!(
+        "\nbench-diff: {} experiment(s), thresholds: throughput -{:.0}%, space +{:.0}%",
+        pairs.len(),
+        thresholds.max_regress * 100.0,
+        thresholds.max_space * 100.0
+    );
+    if violations.is_empty() {
+        println!("bench-diff: OK — no regressions");
+        ExitCode::SUCCESS
+    } else {
+        println!("bench-diff: FAIL — {} regression(s):", violations.len());
+        for v in &violations {
+            println!("  {v}");
+        }
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bench-diff: {msg}\n\n{HELP}");
+    ExitCode::from(2)
+}
+
+/// `20%`, `20` and `0.2` all mean twenty percent: values ≥ 1 (or with an
+/// explicit `%`) are percentages, values below 1 are fractions — so a
+/// bare `1` is a tight 1% threshold, never a gate-disabling 100%.
+fn parse_pct(text: &str) -> Option<f64> {
+    let raw = text.strip_suffix('%').unwrap_or(text);
+    let v: f64 = raw.parse().ok()?;
+    if !(0.0..=1000.0).contains(&v) {
+        return None;
+    }
+    Some(if text.ends_with('%') || v >= 1.0 { v / 100.0 } else { v })
+}
+
+fn load(path: &Path) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Report::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Resolve the two arguments into (name, base, new) artifact pairs.
+/// File vs file is one pair; dir vs dir matches by `BENCH_*.json` name and
+/// requires every baseline artifact to exist on the new side.
+fn collect_pairs(base: &Path, new: &Path) -> Result<Vec<(String, PathBuf, PathBuf)>, String> {
+    match (base.is_dir(), new.is_dir()) {
+        (false, false) => {
+            let name = base.file_name().unwrap_or_default().to_string_lossy().into_owned();
+            Ok(vec![(name, base.to_path_buf(), new.to_path_buf())])
+        }
+        (true, true) => {
+            let mut names: Vec<String> = std::fs::read_dir(base)
+                .map_err(|e| format!("cannot read {}: {e}", base.display()))?
+                .filter_map(|entry| entry.ok())
+                .filter_map(|entry| entry.file_name().into_string().ok())
+                .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .collect();
+            names.sort();
+            names
+                .into_iter()
+                .map(|name| {
+                    let new_path = new.join(&name);
+                    if !new_path.is_file() {
+                        return Err(format!(
+                            "baseline {name} has no counterpart under {}",
+                            new.display()
+                        ));
+                    }
+                    Ok((name.clone(), base.join(&name), new_path))
+                })
+                .collect()
+        }
+        _ => Err("BASE and NEW must both be files or both be directories".into()),
+    }
+}

@@ -1,12 +1,21 @@
-//! `repro` — regenerates every table and figure of the paper's §5.
+//! `repro` — regenerates the paper's §5 tables/figures and runs the
+//! Table 2 experiment grid with machine-readable BENCH output.
 //!
 //! Usage:
 //! ```text
 //! repro <experiment> [--scale F] [--ops N] [--csv]
+//! repro grid [--backend mem|file|both] [--out DIR]
+//! repro --smoke [--out DIR]
 //! repro all
 //! ```
 //! Experiments: fig1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//! fig15 fig16 fig17 fig18 tab3 fig19 fig20 fig21 fig22 bounds.
+//! fig15 fig16 fig17 fig18 tab3 fig19 fig20 fig21 fig22 bounds grid.
+//!
+//! `grid` runs {YCSB, wiki, eth} × {MPT, MBT, POS-Tree, MVMB+} on the
+//! selected backends and writes one versioned `BENCH_<workload>_<backend>
+//! .json` artifact per cell (see `siri_bench::report` for the schema) next
+//! to the usual text tables. `--smoke` is the CI entry point: the same
+//! grid at a fixed tiny scale on both backends.
 //!
 //! `--scale` multiplies the paper's dataset sizes (default 0.05: laptop
 //! scale, a couple of minutes for `all`; 1.0 = full paper sizes). Shapes —
@@ -25,12 +34,43 @@ use siri::{
 };
 use siri_bench::harness::*;
 use siri_bench::table::{kops, mib, micros, ratio, Table};
-use siri_bench::{for_each_index, RunConfig};
+use siri_bench::{for_each_index, grid, Backend, RunConfig};
+
+const HELP: &str = "\
+repro — regenerate the paper's §5 experiments
+
+USAGE:
+    repro [EXPERIMENT] [FLAGS]
+
+EXPERIMENTS:
+    all            every figure/table experiment (default)
+    fig1..fig22, tab3, bounds
+                   one §5 figure or table
+    grid           the Table 2 grid: {ycsb, wiki, eth} x all four indexes
+                   on the selected backends; emits one
+                   BENCH_<workload>_<backend>.json artifact per cell
+
+FLAGS:
+    --smoke        CI smoke entry point: `grid` on both backends at a
+                   fixed tiny scale (scale 0.01, 600 ops, best of 5
+                   repetitions)
+    --scale F      multiply the paper's dataset sizes (default 0.05)
+    --ops N        operations per measured workload (default 5000)
+    --reps N       timed repetitions per grid measurement; the best
+                   sample is reported (default 1)
+    --backend B    grid backends: mem | file | both (default both)
+    --out DIR      directory for BENCH_*.json artifacts (default .)
+    --csv          print tables as CSV instead of aligned text
+    -h, --help     this text
+";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = RunConfig::default();
     let mut csv = false;
+    let mut smoke = false;
+    let mut out_dir = std::path::PathBuf::from(".");
+    let mut backends = Backend::BOTH.to_vec();
     let mut experiment = String::from("all");
     let mut i = 0;
     while i < args.len() {
@@ -43,14 +83,50 @@ fn main() {
                 i += 1;
                 cfg.ops = args[i].parse().expect("--ops takes an integer");
             }
+            "--reps" => {
+                i += 1;
+                cfg.reps = args[i].parse().expect("--reps takes an integer");
+            }
+            "--backend" => {
+                i += 1;
+                backends = Backend::parse(&args[i]).unwrap_or_else(|| {
+                    eprintln!("--backend takes mem, file or both");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                i += 1;
+                out_dir = std::path::PathBuf::from(&args[i]);
+            }
+            "--smoke" => smoke = true,
             "--csv" => csv = true,
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return;
+            }
             name if !name.starts_with("--") => experiment = name.to_string(),
             other => {
-                eprintln!("unknown flag {other}");
+                eprintln!("unknown flag {other} (try --help)");
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+
+    if smoke {
+        // The fixed CI configuration: tiny but deterministic, both
+        // backends, every workload — enough to exercise every code path
+        // and produce comparable BENCH artifacts in seconds.
+        experiment = "grid".into();
+        cfg.scale = 0.01;
+        cfg.ops = 600;
+        cfg.reps = 5;
+        backends = Backend::BOTH.to_vec();
+    }
+
+    if experiment == "grid" {
+        run_grid(cfg, &backends, &out_dir, csv);
+        return;
     }
 
     let all = [
@@ -62,7 +138,7 @@ fn main() {
     } else if all.contains(&experiment.as_str()) {
         vec![all[all.iter().position(|e| *e == experiment).unwrap()]]
     } else {
-        eprintln!("unknown experiment '{experiment}'; choose one of {all:?} or 'all'");
+        eprintln!("unknown experiment '{experiment}'; choose one of {all:?}, 'grid' or 'all'");
         std::process::exit(2);
     };
 
@@ -103,6 +179,38 @@ fn main() {
             }
         }
         eprintln!("[{exp}] done in {:.1}s", started.elapsed().as_secs_f64());
+    }
+}
+
+/// The Table 2 grid: every workload on every selected backend, one BENCH
+/// JSON artifact per cell plus the usual table rendering.
+fn run_grid(cfg: RunConfig, backends: &[Backend], out_dir: &std::path::Path, csv: bool) {
+    println!(
+        "# repro grid: scale={} ops={} backends={:?} -> {}",
+        cfg.scale,
+        cfg.ops,
+        backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
+        out_dir.display()
+    );
+    for workload in grid::GRID_WORKLOADS {
+        for &backend in backends {
+            let started = Instant::now();
+            let report = grid::run_cell(workload, backend, cfg);
+            for t in report.to_tables() {
+                if csv {
+                    print!("{}", t.render_csv());
+                } else {
+                    t.print();
+                }
+            }
+            let path = report.write_to(out_dir).expect("cannot write BENCH artifact");
+            eprintln!(
+                "[grid {workload}/{}] wrote {} in {:.1}s",
+                backend.name(),
+                path.display(),
+                started.elapsed().as_secs_f64()
+            );
+        }
     }
 }
 
@@ -373,7 +481,7 @@ fn latency_table<F: IndexFactory>(
     let _ = factory;
     let stats = run_ops(idx, ops);
     for (writes, class) in [(false, "read"), (true, "write")] {
-        if stats.latencies.iter().any(|(w, _)| *w == writes) {
+        if stats.latencies.iter().any(|(v, _)| v.is_write() == writes) {
             rows.push(vec![
                 label.to_string(),
                 class.to_string(),

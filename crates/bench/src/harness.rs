@@ -86,7 +86,17 @@ pub fn load_batched<F: IndexFactory>(
     entries: &[Entry],
     batch: usize,
 ) -> (F::Index, Vec<Hash>) {
-    let store = MemStore::new_shared();
+    load_batched_on(factory, MemStore::new_shared(), entries, batch)
+}
+
+/// [`load_batched`] over a caller-supplied store — the grid runner passes
+/// a durable backend here; everything else defaults to memory.
+pub fn load_batched_on<F: IndexFactory>(
+    factory: &F,
+    store: siri::SharedStore,
+    entries: &[Entry],
+    batch: usize,
+) -> (F::Index, Vec<Hash>) {
     let mut index = factory.empty(store);
     let mut roots = Vec::new();
     for chunk in entries.chunks(batch.max(1)) {
@@ -94,6 +104,34 @@ pub fn load_batched<F: IndexFactory>(
         roots.push(index.root());
     }
     (index, roots)
+}
+
+/// The operation class a latency sample belongs to — the per-verb axis of
+/// the BENCH latency schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpVerb {
+    Read,
+    Write,
+    Delete,
+    Scan,
+}
+
+impl OpVerb {
+    pub const ALL: [OpVerb; 4] = [OpVerb::Read, OpVerb::Write, OpVerb::Delete, OpVerb::Scan];
+
+    /// Whether the verb mutates the tree (deletes rewrite paths too).
+    pub fn is_write(self) -> bool {
+        matches!(self, OpVerb::Write | OpVerb::Delete)
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            OpVerb::Read => "read",
+            OpVerb::Write => "write",
+            OpVerb::Delete => "delete",
+            OpVerb::Scan => "scan",
+        }
+    }
 }
 
 /// Outcome of replaying an operation stream.
@@ -109,8 +147,9 @@ pub struct WorkloadStats {
     pub scan_entries: usize,
     pub read_nanos: u64,
     pub write_nanos: u64,
-    /// (is_write, latency ns) per op, for the distribution figures.
-    pub latencies: Vec<(bool, u64)>,
+    /// (verb, latency ns) per op, for the distribution figures and the
+    /// per-verb percentiles of the BENCH reports.
+    pub latencies: Vec<(OpVerb, u64)>,
 }
 
 impl WorkloadStats {
@@ -122,10 +161,27 @@ impl WorkloadStats {
         self.reads + self.writes
     }
 
-    /// Latency percentile over the selected op class (µs).
+    /// Latency percentile over the read class (`writes == false`: reads +
+    /// scans) or the write class (writes + deletes), in µs.
     pub fn percentile_micros(&self, writes: bool, p: f64) -> f64 {
-        let mut lats: Vec<u64> =
-            self.latencies.iter().filter(|(w, _)| *w == writes).map(|(_, n)| *n).collect();
+        Self::percentile(
+            self.latencies.iter().filter(|(v, _)| v.is_write() == writes).map(|(_, n)| *n),
+            p,
+        )
+    }
+
+    /// Latency percentile of one verb (µs); 0.0 when the verb never ran.
+    pub fn percentile_micros_verb(&self, verb: OpVerb, p: f64) -> f64 {
+        Self::percentile(self.latencies.iter().filter(|(v, _)| *v == verb).map(|(_, n)| *n), p)
+    }
+
+    /// Number of ops of one verb in the replayed stream.
+    pub fn verb_count(&self, verb: OpVerb) -> usize {
+        self.latencies.iter().filter(|(v, _)| *v == verb).count()
+    }
+
+    fn percentile(samples: impl Iterator<Item = u64>, p: f64) -> f64 {
+        let mut lats: Vec<u64> = samples.collect();
         if lats.is_empty() {
             return 0.0;
         }
@@ -151,7 +207,7 @@ pub fn run_ops<I: SiriIndex>(index: &mut I, ops: &[Op]) -> WorkloadStats {
                 let n = t.elapsed().as_nanos() as u64;
                 stats.reads += 1;
                 stats.read_nanos += n;
-                stats.latencies.push((false, n));
+                stats.latencies.push((OpVerb::Read, n));
             }
             Op::Write(entry) => {
                 let t = Instant::now();
@@ -159,7 +215,7 @@ pub fn run_ops<I: SiriIndex>(index: &mut I, ops: &[Op]) -> WorkloadStats {
                 let n = t.elapsed().as_nanos() as u64;
                 stats.writes += 1;
                 stats.write_nanos += n;
-                stats.latencies.push((true, n));
+                stats.latencies.push((OpVerb::Write, n));
             }
             Op::Delete(key) => {
                 let t = Instant::now();
@@ -168,7 +224,7 @@ pub fn run_ops<I: SiriIndex>(index: &mut I, ops: &[Op]) -> WorkloadStats {
                 stats.writes += 1;
                 stats.deletes += 1;
                 stats.write_nanos += n;
-                stats.latencies.push((true, n));
+                stats.latencies.push((OpVerb::Delete, n));
             }
             Op::Scan { start, limit } => {
                 let t = Instant::now();
@@ -182,7 +238,7 @@ pub fn run_ops<I: SiriIndex>(index: &mut I, ops: &[Op]) -> WorkloadStats {
                 stats.scans += 1;
                 stats.scan_entries += streamed;
                 stats.read_nanos += n;
-                stats.latencies.push((false, n));
+                stats.latencies.push((OpVerb::Scan, n));
             }
         }
     }
@@ -266,8 +322,8 @@ pub fn latency_histogram(
     buckets: usize,
 ) -> Vec<usize> {
     let mut hist = vec![0usize; buckets];
-    for (w, nanos) in &stats.latencies {
-        if *w == writes {
+    for (v, nanos) in &stats.latencies {
+        if v.is_write() == writes {
             let us = *nanos as f64 / 1e3;
             let b = ((us / bucket_micros) as usize).min(buckets - 1);
             hist[b] += 1;
@@ -362,10 +418,33 @@ mod tests {
         let stats = WorkloadStats {
             reads: 2,
             read_nanos: 3_000,
-            latencies: vec![(false, 1_000), (false, 2_000), (true, 9_000)],
+            latencies: vec![(OpVerb::Read, 1_000), (OpVerb::Scan, 2_000), (OpVerb::Write, 9_000)],
             ..Default::default()
         };
         let h = latency_histogram(&stats, false, 1.0, 4);
         assert_eq!(h, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn per_verb_percentiles_split_the_classes() {
+        let stats = WorkloadStats {
+            latencies: vec![
+                (OpVerb::Read, 1_000),
+                (OpVerb::Scan, 5_000),
+                (OpVerb::Write, 2_000),
+                (OpVerb::Delete, 8_000),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(stats.percentile_micros_verb(OpVerb::Read, 0.5), 1.0);
+        assert_eq!(stats.percentile_micros_verb(OpVerb::Scan, 0.5), 5.0);
+        assert_eq!(stats.percentile_micros_verb(OpVerb::Delete, 0.99), 8.0);
+        assert_eq!(stats.verb_count(OpVerb::Write), 1);
+        // Class-level percentiles pool {read,scan} and {write,delete}.
+        assert_eq!(stats.percentile_micros(false, 1.0), 5.0);
+        assert_eq!(stats.percentile_micros(true, 1.0), 8.0);
+        // A verb that never ran reports 0, not a panic.
+        let empty = WorkloadStats::default();
+        assert_eq!(empty.percentile_micros_verb(OpVerb::Scan, 0.5), 0.0);
     }
 }

@@ -1,0 +1,802 @@
+//! The BENCH report model — machine-readable experiment results.
+//!
+//! A [`Report`] is one experiment cell (workload × backend) measured over
+//! all four index structures. It renders two ways: the aligned text tables
+//! humans read, and a versioned JSON artifact (`BENCH_<experiment>.json`)
+//! that `bench-diff` and CI consume. The schema is append-only: bump
+//! [`BENCH_SCHEMA_VERSION`] when a field changes meaning, never silently.
+//!
+//! Schema (v1), all fields required:
+//!
+//! ```text
+//! { schema_version, experiment, workload, backend, scale, records, ops,
+//!   seed, node_bytes, calibration_hash_mbps,
+//!   indexes: [ { index,
+//!     load:      { entries, commits, entries_per_sec, payload_bytes,
+//!                  bytes_written, write_amplification,
+//!                  bytes_written_per_commit },
+//!     run:       { ops, ops_per_sec,
+//!                  latency_us: [ {verb, count, p50, p95, p99} ... ] },
+//!     structure: { nodes, height, entries, leaf_occupancy,
+//!                  avg_node_bytes },
+//!     storage:   { logical_bytes, unique_bytes, unique_pages,
+//!                  share_ratio, dedup_savings, bytes_written },
+//!     caches:    { node_cache_hit_rate, store_hit_rate,
+//!                  page_cache_hit_rate } } ... ] }
+//! ```
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::table::{mib, ratio, Json, Table};
+
+/// Version stamp of the BENCH artifact schema.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Latency percentiles of one op verb (µs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerbLatency {
+    pub verb: String,
+    pub count: u64,
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
+}
+
+/// Everything measured for one index structure in one experiment cell.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IndexReport {
+    pub index: String,
+    // Load phase (batched bulk build).
+    pub load_entries: u64,
+    pub load_commits: u64,
+    pub load_entries_per_sec: f64,
+    /// Key+value bytes the caller asked to store — the write-amplification
+    /// denominator.
+    pub payload_bytes: u64,
+    /// Physical store bytes written during the load (the numerator).
+    pub load_bytes_written: u64,
+    pub write_amplification: f64,
+    pub bytes_written_per_commit: f64,
+    // Run phase (mixed op stream, per-op versions).
+    pub run_ops: u64,
+    pub ops_per_sec: f64,
+    pub latencies: Vec<VerbLatency>,
+    // Structure shape after the run.
+    pub nodes: u64,
+    pub height: u32,
+    pub entries: u64,
+    pub leaf_occupancy: f64,
+    pub avg_node_bytes: f64,
+    // Storage accounting over the whole cell.
+    pub logical_bytes: u64,
+    pub unique_bytes: u64,
+    pub unique_pages: u64,
+    pub share_ratio: f64,
+    pub dedup_savings: f64,
+    pub bytes_written: u64,
+    // Cache effectiveness.
+    pub node_cache_hit_rate: f64,
+    pub store_hit_rate: f64,
+    pub page_cache_hit_rate: f64,
+}
+
+/// One experiment cell: a workload on a backend, across all structures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    pub schema_version: u64,
+    /// Stable artifact key, e.g. `"ycsb_mem"`; the file name is
+    /// `BENCH_<experiment>.json`.
+    pub experiment: String,
+    pub workload: String,
+    pub backend: String,
+    pub scale: f64,
+    pub records: u64,
+    pub ops: u64,
+    pub seed: u64,
+    pub node_bytes: u64,
+    /// SHA-256 hashing throughput (MB/s) of the machine that produced this
+    /// report, measured alongside the experiments. `bench-diff` divides
+    /// throughput by the calibration ratio of the two artifacts, so a
+    /// baseline committed from a fast laptop still gates meaningfully on a
+    /// slower CI runner (and vice versa).
+    pub calibration_hash_mbps: f64,
+    pub indexes: Vec<IndexReport>,
+}
+
+impl Report {
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.experiment)
+    }
+
+    /// Write the JSON artifact into `dir`, returning its path.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json().render() + "\n")?;
+        Ok(path)
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::u64(self.schema_version)),
+            ("experiment".into(), Json::str(&self.experiment)),
+            ("workload".into(), Json::str(&self.workload)),
+            ("backend".into(), Json::str(&self.backend)),
+            ("scale".into(), Json::num(self.scale)),
+            ("records".into(), Json::u64(self.records)),
+            ("ops".into(), Json::u64(self.ops)),
+            ("seed".into(), Json::u64(self.seed)),
+            ("node_bytes".into(), Json::u64(self.node_bytes)),
+            ("calibration_hash_mbps".into(), Json::num(self.calibration_hash_mbps)),
+            ("indexes".into(), Json::Arr(self.indexes.iter().map(IndexReport::to_json).collect())),
+        ])
+    }
+
+    /// Parse and validate a BENCH artifact. Strict: a missing required
+    /// field is an error, so schema drift is caught at the first parse,
+    /// not deep inside a CI comparison.
+    pub fn parse(text: &str) -> Result<Report, String> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    pub fn from_json(doc: &Json) -> Result<Report, String> {
+        let schema_version = req_u64(doc, "schema_version")?;
+        if schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (this build reads \
+                 {BENCH_SCHEMA_VERSION})"
+            ));
+        }
+        let indexes = doc
+            .get("indexes")
+            .and_then(Json::as_arr)
+            .ok_or("missing field `indexes`")?
+            .iter()
+            .map(IndexReport::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if indexes.is_empty() {
+            return Err("`indexes` must not be empty".into());
+        }
+        Ok(Report {
+            schema_version,
+            experiment: req_str(doc, "experiment")?,
+            workload: req_str(doc, "workload")?,
+            backend: req_str(doc, "backend")?,
+            scale: req_f64(doc, "scale")?,
+            records: req_u64(doc, "records")?,
+            ops: req_u64(doc, "ops")?,
+            seed: req_u64(doc, "seed")?,
+            node_bytes: req_u64(doc, "node_bytes")?,
+            calibration_hash_mbps: req_f64(doc, "calibration_hash_mbps")?,
+            indexes,
+        })
+    }
+
+    /// The human rendering: a summary table plus a per-verb latency table.
+    pub fn to_tables(&self) -> Vec<Table> {
+        let mut summary = Table::new(
+            format!(
+                "BENCH {} — {} on {} ({} records, {} ops)",
+                self.experiment, self.workload, self.backend, self.records, self.ops
+            ),
+            &[
+                "index",
+                "load_kops",
+                "run_kops",
+                "write_amp",
+                "nodes",
+                "height",
+                "occupancy",
+                "raw_mib",
+                "dedup_mib",
+                "share",
+                "node_cache",
+            ],
+        );
+        let mut latency = Table::new(
+            format!("BENCH {} — latency percentiles (µs)", self.experiment),
+            &["index", "verb", "count", "p50", "p95", "p99"],
+        );
+        for ix in &self.indexes {
+            summary.row(vec![
+                ix.index.clone(),
+                format!("{:.1}", ix.load_entries_per_sec / 1e3),
+                format!("{:.1}", ix.ops_per_sec / 1e3),
+                format!("{:.2}", ix.write_amplification),
+                ix.nodes.to_string(),
+                ix.height.to_string(),
+                format!("{:.1}", ix.leaf_occupancy),
+                mib(ix.logical_bytes),
+                mib(ix.unique_bytes),
+                ratio(ix.share_ratio),
+                ratio(ix.node_cache_hit_rate),
+            ]);
+            for lat in &ix.latencies {
+                latency.row(vec![
+                    ix.index.clone(),
+                    lat.verb.clone(),
+                    lat.count.to_string(),
+                    format!("{:.1}", lat.p50_us),
+                    format!("{:.1}", lat.p95_us),
+                    format!("{:.1}", lat.p99_us),
+                ]);
+            }
+        }
+        vec![summary, latency]
+    }
+}
+
+impl IndexReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("index".into(), Json::str(&self.index)),
+            (
+                "load".into(),
+                Json::Obj(vec![
+                    ("entries".into(), Json::u64(self.load_entries)),
+                    ("commits".into(), Json::u64(self.load_commits)),
+                    ("entries_per_sec".into(), Json::num(self.load_entries_per_sec)),
+                    ("payload_bytes".into(), Json::u64(self.payload_bytes)),
+                    ("bytes_written".into(), Json::u64(self.load_bytes_written)),
+                    ("write_amplification".into(), Json::num(self.write_amplification)),
+                    ("bytes_written_per_commit".into(), Json::num(self.bytes_written_per_commit)),
+                ]),
+            ),
+            (
+                "run".into(),
+                Json::Obj(vec![
+                    ("ops".into(), Json::u64(self.run_ops)),
+                    ("ops_per_sec".into(), Json::num(self.ops_per_sec)),
+                    (
+                        "latency_us".into(),
+                        Json::Arr(
+                            self.latencies
+                                .iter()
+                                .map(|l| {
+                                    Json::Obj(vec![
+                                        ("verb".into(), Json::str(&l.verb)),
+                                        ("count".into(), Json::u64(l.count)),
+                                        ("p50".into(), Json::num(l.p50_us)),
+                                        ("p95".into(), Json::num(l.p95_us)),
+                                        ("p99".into(), Json::num(l.p99_us)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "structure".into(),
+                Json::Obj(vec![
+                    ("nodes".into(), Json::u64(self.nodes)),
+                    ("height".into(), Json::u64(self.height as u64)),
+                    ("entries".into(), Json::u64(self.entries)),
+                    ("leaf_occupancy".into(), Json::num(self.leaf_occupancy)),
+                    ("avg_node_bytes".into(), Json::num(self.avg_node_bytes)),
+                ]),
+            ),
+            (
+                "storage".into(),
+                Json::Obj(vec![
+                    ("logical_bytes".into(), Json::u64(self.logical_bytes)),
+                    ("unique_bytes".into(), Json::u64(self.unique_bytes)),
+                    ("unique_pages".into(), Json::u64(self.unique_pages)),
+                    ("share_ratio".into(), Json::num(self.share_ratio)),
+                    ("dedup_savings".into(), Json::num(self.dedup_savings)),
+                    ("bytes_written".into(), Json::u64(self.bytes_written)),
+                ]),
+            ),
+            (
+                "caches".into(),
+                Json::Obj(vec![
+                    ("node_cache_hit_rate".into(), Json::num(self.node_cache_hit_rate)),
+                    ("store_hit_rate".into(), Json::num(self.store_hit_rate)),
+                    ("page_cache_hit_rate".into(), Json::num(self.page_cache_hit_rate)),
+                ]),
+            ),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<IndexReport, String> {
+        let section = |name: &str| -> Result<&Json, String> {
+            doc.get(name).ok_or(format!("missing section `{name}`"))
+        };
+        let (load, run, structure, storage, caches) = (
+            section("load")?,
+            section("run")?,
+            section("structure")?,
+            section("storage")?,
+            section("caches")?,
+        );
+        let latencies = run
+            .get("latency_us")
+            .and_then(Json::as_arr)
+            .ok_or("missing field `run.latency_us`")?
+            .iter()
+            .map(|l| {
+                Ok(VerbLatency {
+                    verb: req_str(l, "verb")?,
+                    count: req_u64(l, "count")?,
+                    p50_us: req_f64(l, "p50")?,
+                    p95_us: req_f64(l, "p95")?,
+                    p99_us: req_f64(l, "p99")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(IndexReport {
+            index: req_str(doc, "index")?,
+            load_entries: req_u64(load, "entries")?,
+            load_commits: req_u64(load, "commits")?,
+            load_entries_per_sec: req_f64(load, "entries_per_sec")?,
+            payload_bytes: req_u64(load, "payload_bytes")?,
+            load_bytes_written: req_u64(load, "bytes_written")?,
+            write_amplification: req_f64(load, "write_amplification")?,
+            bytes_written_per_commit: req_f64(load, "bytes_written_per_commit")?,
+            run_ops: req_u64(run, "ops")?,
+            ops_per_sec: req_f64(run, "ops_per_sec")?,
+            latencies,
+            nodes: req_u64(structure, "nodes")?,
+            height: req_u64(structure, "height")? as u32,
+            entries: req_u64(structure, "entries")?,
+            leaf_occupancy: req_f64(structure, "leaf_occupancy")?,
+            avg_node_bytes: req_f64(structure, "avg_node_bytes")?,
+            logical_bytes: req_u64(storage, "logical_bytes")?,
+            unique_bytes: req_u64(storage, "unique_bytes")?,
+            unique_pages: req_u64(storage, "unique_pages")?,
+            share_ratio: req_f64(storage, "share_ratio")?,
+            dedup_savings: req_f64(storage, "dedup_savings")?,
+            bytes_written: req_u64(storage, "bytes_written")?,
+            node_cache_hit_rate: req_f64(caches, "node_cache_hit_rate")?,
+            store_hit_rate: req_f64(caches, "store_hit_rate")?,
+            page_cache_hit_rate: req_f64(caches, "page_cache_hit_rate")?,
+        })
+    }
+}
+
+fn req_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key).and_then(Json::as_f64).ok_or(format!("missing numeric field `{key}`"))
+}
+
+fn req_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key).and_then(Json::as_u64).ok_or(format!("missing integer field `{key}`"))
+}
+
+fn req_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(String::from)
+        .ok_or(format!("missing string field `{key}`"))
+}
+
+// ---------------------------------------------------------------------------
+// Comparison — the bench-diff perf gate
+// ---------------------------------------------------------------------------
+
+/// Thresholds of the regression gate, as fractions (0.2 = 20%).
+#[derive(Debug, Clone, Copy)]
+pub struct DiffThresholds {
+    /// Max tolerated throughput drop before the gate fails.
+    pub max_regress: f64,
+    /// Max tolerated growth of space/write-amplification metrics.
+    pub max_space: f64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds { max_regress: 0.20, max_space: 0.10 }
+    }
+}
+
+/// One gate violation: `metric` moved from `base` to `new` past the
+/// threshold, in experiment `experiment` on structure `index`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    pub experiment: String,
+    pub index: String,
+    pub metric: &'static str,
+    pub base: f64,
+    pub new: f64,
+    pub delta_pct: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} {:+.1}% ({:.1} -> {:.1})",
+            self.experiment, self.index, self.metric, self.delta_pct, self.base, self.new
+        )
+    }
+}
+
+/// The two artifacts describe the same measurement *configuration* —
+/// comparing throughput or space across different datasets is
+/// meaningless. Returns a description of the first mismatch, if any;
+/// `bench-diff` refuses such pairs (the fix is regenerating the
+/// baseline, not reading bogus deltas).
+pub fn config_mismatch(base: &Report, new: &Report) -> Option<String> {
+    let fields: [(&str, String, String); 7] = [
+        ("experiment", base.experiment.clone(), new.experiment.clone()),
+        ("workload", base.workload.clone(), new.workload.clone()),
+        ("backend", base.backend.clone(), new.backend.clone()),
+        ("scale", base.scale.to_string(), new.scale.to_string()),
+        ("records", base.records.to_string(), new.records.to_string()),
+        ("ops", base.ops.to_string(), new.ops.to_string()),
+        ("seed", base.seed.to_string(), new.seed.to_string()),
+    ];
+    fields
+        .iter()
+        .find(|(_, b, n)| b != n)
+        .map(|(name, b, n)| format!("config mismatch on `{name}`: baseline {b}, new {n}"))
+}
+
+/// Compare one experiment's new report against its baseline. Returns the
+/// per-metric delta table and every threshold violation.
+///
+/// Gated metrics: `ops_per_sec` and `load.entries_per_sec` may not *drop*
+/// by more than `max_regress`; `storage.unique_bytes` and
+/// `load.write_amplification` may not *grow* by more than `max_space`
+/// (the space metrics are deterministic for a fixed seed and scale, so
+/// they gate tightly even on noisy CI runners). An index present in the
+/// baseline but missing from the new report is a violation by itself.
+///
+/// Throughput is compared after normalizing by the two artifacts'
+/// `calibration_hash_mbps`, so "regression" means *slower relative to the
+/// producing machine's speed*, not "this runner is a slower machine than
+/// the one that committed the baseline".
+pub fn diff_reports(
+    base: &Report,
+    new: &Report,
+    thresholds: DiffThresholds,
+) -> (Table, Vec<Regression>) {
+    // Scale the new side's throughput into the baseline machine's units.
+    // The factor is clamped: hashing speed is a first-order CPU proxy, not
+    // a law — a machine with SHA hardware acceleration can hash 4× faster
+    // without running index ops 4× faster, and an unbounded factor would
+    // turn that divergence into fake regressions (or fake passes). Past
+    // the clamp, refresh the baseline from the same environment instead
+    // (DESIGN.md §6).
+    let calibration = if base.calibration_hash_mbps > 0.0 && new.calibration_hash_mbps > 0.0 {
+        (base.calibration_hash_mbps / new.calibration_hash_mbps).clamp(0.25, 4.0)
+    } else {
+        1.0
+    };
+    let mut table = Table::new(
+        format!(
+            "bench-diff {} (base -> new, %, throughput normalized x{calibration:.2})",
+            base.experiment
+        ),
+        &["index", "run_kops", "load_kops", "dedup_mib", "write_amp"],
+    );
+    let mut violations = Vec::new();
+    for b in &base.indexes {
+        let Some(n) = new.indexes.iter().find(|n| n.index == b.index) else {
+            violations.push(Regression {
+                experiment: base.experiment.clone(),
+                index: b.index.clone(),
+                metric: "missing-index",
+                base: 1.0,
+                new: 0.0,
+                delta_pct: -100.0,
+            });
+            continue;
+        };
+        let pct = |base: f64, new: f64| {
+            if base == 0.0 {
+                0.0
+            } else {
+                (new - base) / base * 100.0
+            }
+        };
+        table.row(vec![
+            b.index.clone(),
+            format!("{:+.1}", pct(b.ops_per_sec, n.ops_per_sec * calibration)),
+            format!("{:+.1}", pct(b.load_entries_per_sec, n.load_entries_per_sec * calibration)),
+            format!("{:+.1}", pct(b.unique_bytes as f64, n.unique_bytes as f64)),
+            format!("{:+.1}", pct(b.write_amplification, n.write_amplification)),
+        ]);
+        let mut gate = |metric: &'static str, base_v: f64, new_v: f64, bad_drop: bool, max: f64| {
+            if base_v <= 0.0 {
+                return; // nothing to compare against
+            }
+            let delta = (new_v - base_v) / base_v;
+            let violated = if bad_drop { delta < -max } else { delta > max };
+            if violated {
+                violations.push(Regression {
+                    experiment: base.experiment.clone(),
+                    index: b.index.clone(),
+                    metric,
+                    base: base_v,
+                    new: new_v,
+                    delta_pct: delta * 100.0,
+                });
+            }
+        };
+        gate(
+            "ops_per_sec",
+            b.ops_per_sec,
+            n.ops_per_sec * calibration,
+            true,
+            thresholds.max_regress,
+        );
+        gate(
+            "load.entries_per_sec",
+            b.load_entries_per_sec,
+            n.load_entries_per_sec * calibration,
+            true,
+            thresholds.max_regress,
+        );
+        gate(
+            "storage.unique_bytes",
+            b.unique_bytes as f64,
+            n.unique_bytes as f64,
+            false,
+            thresholds.max_space,
+        );
+        gate(
+            "load.write_amplification",
+            b.write_amplification,
+            n.write_amplification,
+            false,
+            thresholds.max_space,
+        );
+    }
+    (table, violations)
+}
+
+/// Build an [`IndexReport`] from the raw measurements of one grid cell.
+/// Pure arithmetic, kept here so the derivation is unit-testable.
+#[allow(clippy::too_many_arguments)]
+pub fn index_report(
+    index: String,
+    load: LoadMeasurement,
+    run_ops: u64,
+    run_nanos: u64,
+    latencies: Vec<VerbLatency>,
+    structure: siri::StructureReport,
+    store: siri::StoreStats,
+    node_cache: siri::CacheStats,
+) -> IndexReport {
+    let per_sec = |count: u64, nanos: u64| {
+        if nanos == 0 {
+            0.0
+        } else {
+            count as f64 / (nanos as f64 / 1e9)
+        }
+    };
+    IndexReport {
+        index,
+        load_entries: load.entries,
+        load_commits: load.commits,
+        load_entries_per_sec: per_sec(load.entries, load.nanos),
+        payload_bytes: load.payload_bytes,
+        load_bytes_written: load.bytes_written,
+        write_amplification: if load.payload_bytes == 0 {
+            0.0
+        } else {
+            load.bytes_written as f64 / load.payload_bytes as f64
+        },
+        bytes_written_per_commit: if load.commits == 0 {
+            0.0
+        } else {
+            load.bytes_written as f64 / load.commits as f64
+        },
+        run_ops,
+        ops_per_sec: per_sec(run_ops, run_nanos),
+        latencies,
+        nodes: structure.nodes,
+        height: structure.height,
+        entries: structure.entries,
+        leaf_occupancy: structure.leaf_occupancy,
+        avg_node_bytes: structure.avg_node_bytes(),
+        logical_bytes: store.logical_bytes,
+        unique_bytes: store.unique_bytes,
+        unique_pages: store.unique_pages,
+        share_ratio: store.share_ratio(),
+        dedup_savings: store.dedup_savings(),
+        bytes_written: store.bytes_written,
+        node_cache_hit_rate: node_cache.hit_ratio(),
+        store_hit_rate: store.hit_rate(),
+        page_cache_hit_rate: store.cache_hit_rate(),
+    }
+}
+
+/// Raw load-phase measurements of one grid cell.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadMeasurement {
+    pub entries: u64,
+    pub commits: u64,
+    pub nanos: u64,
+    pub payload_bytes: u64,
+    pub bytes_written: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index(name: &str, ops_per_sec: f64, unique_bytes: u64) -> IndexReport {
+        IndexReport {
+            index: name.into(),
+            load_entries: 1_000,
+            load_commits: 4,
+            load_entries_per_sec: 50_000.0,
+            payload_bytes: 256_000,
+            load_bytes_written: 512_000,
+            write_amplification: 2.0,
+            bytes_written_per_commit: 128_000.0,
+            run_ops: 500,
+            ops_per_sec,
+            latencies: vec![VerbLatency {
+                verb: "read".into(),
+                count: 500,
+                p50_us: 1.5,
+                p95_us: 4.0,
+                p99_us: 9.0,
+            }],
+            nodes: 100,
+            height: 3,
+            entries: 1_000,
+            leaf_occupancy: 10.0,
+            avg_node_bytes: 1024.0,
+            logical_bytes: 1_000_000,
+            unique_bytes,
+            unique_pages: 100,
+            share_ratio: 0.5,
+            dedup_savings: 0.5,
+            bytes_written: 512_000,
+            node_cache_hit_rate: 0.9,
+            store_hit_rate: 1.0,
+            page_cache_hit_rate: 1.0,
+        }
+    }
+
+    fn sample_report(ops_per_sec: f64, unique_bytes: u64) -> Report {
+        Report {
+            schema_version: BENCH_SCHEMA_VERSION,
+            experiment: "ycsb_mem".into(),
+            workload: "ycsb".into(),
+            backend: "mem".into(),
+            scale: 0.01,
+            records: 1_000,
+            ops: 500,
+            seed: 42,
+            node_bytes: 1024,
+            calibration_hash_mbps: 800.0,
+            indexes: vec![
+                sample_index("pos-tree", ops_per_sec, unique_bytes),
+                sample_index("mpt", ops_per_sec * 2.0, unique_bytes),
+            ],
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips_exactly() {
+        let report = sample_report(80_000.0, 400_000);
+        let back = Report::parse(&report.to_json().render()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn parse_rejects_missing_required_fields() {
+        let report = sample_report(80_000.0, 400_000);
+        let mut doc = report.to_json();
+        // Drop `run.ops_per_sec` of the first index — the parser must
+        // refuse rather than default, or the artifact format can drift.
+        if let Json::Obj(fields) = &mut doc {
+            let indexes = fields.iter_mut().find(|(k, _)| k == "indexes").unwrap();
+            if let Json::Arr(items) = &mut indexes.1 {
+                if let Json::Obj(ix) = &mut items[0] {
+                    let run = ix.iter_mut().find(|(k, _)| k == "run").unwrap();
+                    if let Json::Obj(run_fields) = &mut run.1 {
+                        run_fields.retain(|(k, _)| k != "ops_per_sec");
+                    }
+                }
+            }
+        }
+        let err = Report::from_json(&doc).unwrap_err();
+        assert!(err.contains("ops_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_foreign_schema_version() {
+        let mut report = sample_report(80_000.0, 400_000);
+        report.schema_version = BENCH_SCHEMA_VERSION + 1;
+        let err = Report::parse(&report.to_json().render()).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let base = sample_report(80_000.0, 400_000);
+        let (_, violations) = diff_reports(&base, &base.clone(), DiffThresholds::default());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn fifty_percent_throughput_drop_fails_the_gate() {
+        let base = sample_report(80_000.0, 400_000);
+        let new = sample_report(40_000.0, 400_000);
+        let (_, violations) =
+            diff_reports(&base, &new, DiffThresholds { max_regress: 0.20, max_space: 0.10 });
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().all(|v| v.metric == "ops_per_sec"));
+        assert!((violations[0].delta_pct - -50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_within_threshold_passes() {
+        let base = sample_report(80_000.0, 400_000);
+        let new = sample_report(80_000.0 * 0.85, 400_000);
+        let (_, violations) =
+            diff_reports(&base, &new, DiffThresholds { max_regress: 0.20, max_space: 0.10 });
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn throughput_gains_never_fail() {
+        let base = sample_report(80_000.0, 400_000);
+        let new = sample_report(400_000.0, 400_000);
+        let (_, violations) = diff_reports(&base, &new, DiffThresholds::default());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn space_inflation_fails_the_gate() {
+        let base = sample_report(80_000.0, 400_000);
+        let new = sample_report(80_000.0, 480_000); // +20% unique bytes
+        let (_, violations) =
+            diff_reports(&base, &new, DiffThresholds { max_regress: 0.20, max_space: 0.10 });
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().all(|v| v.metric == "storage.unique_bytes"));
+    }
+
+    #[test]
+    fn calibration_normalizes_machine_speed() {
+        // The new artifact came from a machine half as fast (calibration
+        // 400 vs 800) and measured half the throughput — after
+        // normalization that is *no* regression.
+        let base = sample_report(80_000.0, 400_000);
+        let mut new = sample_report(40_000.0, 400_000);
+        new.calibration_hash_mbps = 400.0;
+        let (_, violations) = diff_reports(&base, &new, DiffThresholds::default());
+        assert!(violations.is_empty(), "{violations:?}");
+
+        // Same slow machine, but throughput *also* halved relative to it:
+        // a genuine regression survives the normalization.
+        let mut regressed = sample_report(20_000.0, 400_000);
+        regressed.calibration_hash_mbps = 400.0;
+        let (_, violations) = diff_reports(&base, &regressed, DiffThresholds::default());
+        assert!(violations.iter().any(|v| v.metric == "ops_per_sec"), "{violations:?}");
+    }
+
+    #[test]
+    fn config_mismatch_is_detected() {
+        let base = sample_report(80_000.0, 400_000);
+        assert_eq!(config_mismatch(&base, &base.clone()), None);
+        let mut other_scale = base.clone();
+        other_scale.scale = 0.02;
+        let msg = config_mismatch(&base, &other_scale).unwrap();
+        assert!(msg.contains("scale"), "{msg}");
+        let mut other_records = base.clone();
+        other_records.records += 1;
+        assert!(config_mismatch(&base, &other_records).unwrap().contains("records"));
+        // Calibration is machine identity, not configuration.
+        let mut other_machine = base.clone();
+        other_machine.calibration_hash_mbps = 99.0;
+        assert_eq!(config_mismatch(&base, &other_machine), None);
+    }
+
+    #[test]
+    fn missing_index_is_a_violation() {
+        let base = sample_report(80_000.0, 400_000);
+        let mut new = sample_report(80_000.0, 400_000);
+        new.indexes.retain(|ix| ix.index != "mpt");
+        let (_, violations) = diff_reports(&base, &new, DiffThresholds::default());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "missing-index");
+        assert_eq!(violations[0].index, "mpt");
+    }
+}

@@ -1,0 +1,128 @@
+//! Schema check for the BENCH artifacts: emit a real report per grid
+//! workload, round-trip it through the JSON file on disk, and assert the
+//! required fields — so the artifact format cannot silently drift out
+//! from under `bench-diff` and the CI gate.
+
+use siri_bench::table::Json;
+use siri_bench::{grid, Backend, Report, RunConfig, BENCH_SCHEMA_VERSION};
+
+fn tiny() -> RunConfig {
+    RunConfig { scale: 0.001, ops: 100, ..Default::default() }
+}
+
+/// Every field the v1 schema requires per index entry, by section.
+const REQUIRED_LOAD: &[&str] = &[
+    "entries",
+    "commits",
+    "entries_per_sec",
+    "payload_bytes",
+    "bytes_written",
+    "write_amplification",
+    "bytes_written_per_commit",
+];
+const REQUIRED_RUN: &[&str] = &["ops", "ops_per_sec", "latency_us"];
+const REQUIRED_STRUCTURE: &[&str] =
+    &["nodes", "height", "entries", "leaf_occupancy", "avg_node_bytes"];
+const REQUIRED_STORAGE: &[&str] = &[
+    "logical_bytes",
+    "unique_bytes",
+    "unique_pages",
+    "share_ratio",
+    "dedup_savings",
+    "bytes_written",
+];
+const REQUIRED_CACHES: &[&str] = &["node_cache_hit_rate", "store_hit_rate", "page_cache_hit_rate"];
+
+fn assert_schema(doc: &Json, experiment: &str) {
+    for field in [
+        "schema_version",
+        "experiment",
+        "workload",
+        "backend",
+        "scale",
+        "records",
+        "ops",
+        "seed",
+        "node_bytes",
+        "calibration_hash_mbps",
+        "indexes",
+    ] {
+        assert!(doc.get(field).is_some(), "{experiment}: missing top-level `{field}`");
+    }
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_u64),
+        Some(BENCH_SCHEMA_VERSION),
+        "{experiment}"
+    );
+    let indexes = doc.get("indexes").and_then(Json::as_arr).expect("indexes array");
+    assert_eq!(indexes.len(), 4, "{experiment}: all four structures must report");
+    for ix in indexes {
+        let name = ix.get("index").and_then(Json::as_str).expect("index name");
+        for (section, fields) in [
+            ("load", REQUIRED_LOAD),
+            ("run", REQUIRED_RUN),
+            ("structure", REQUIRED_STRUCTURE),
+            ("storage", REQUIRED_STORAGE),
+            ("caches", REQUIRED_CACHES),
+        ] {
+            let obj = ix
+                .get(section)
+                .unwrap_or_else(|| panic!("{experiment}/{name}: missing section `{section}`"));
+            for field in fields {
+                assert!(
+                    obj.get(field).is_some(),
+                    "{experiment}/{name}: missing `{section}.{field}`"
+                );
+            }
+        }
+        // Latencies carry the per-verb percentiles.
+        for lat in ix.get("run").unwrap().get("latency_us").and_then(Json::as_arr).unwrap() {
+            for field in ["verb", "count", "p50", "p95", "p99"] {
+                assert!(lat.get(field).is_some(), "{experiment}/{name}: latency `{field}`");
+            }
+        }
+    }
+}
+
+#[test]
+fn emitted_bench_json_round_trips_and_has_required_fields() {
+    let dir = std::env::temp_dir().join(format!("siri-bench-schema-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for workload in grid::GRID_WORKLOADS {
+        let report = grid::run_cell(workload, Backend::Mem, tiny());
+        let path = report.write_to(&dir).expect("write artifact");
+        assert_eq!(
+            path.file_name().unwrap().to_string_lossy(),
+            format!("BENCH_{workload}_mem.json")
+        );
+
+        // Round trip through the actual bytes on disk.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = Json::parse(&text).expect("artifact must be valid JSON");
+        assert_schema(&doc, &report.experiment);
+        let back = Report::parse(&text).expect("artifact must satisfy the Report schema");
+        assert_eq!(back, report, "{workload}: disk round trip must be lossless");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn file_backend_artifact_passes_the_same_schema() {
+    let report = grid::run_cell("ycsb", Backend::File, tiny());
+    let doc = Json::parse(&report.to_json().render()).unwrap();
+    assert_schema(&doc, &report.experiment);
+    assert_eq!(doc.get("backend").and_then(Json::as_str), Some("file"));
+}
+
+#[test]
+fn tampered_artifact_is_rejected() {
+    let report = grid::run_cell("ycsb", Backend::Mem, tiny());
+    let text = report.to_json().render();
+    // Renaming a required field (as an accidental schema change would)
+    // must fail the strict parse.
+    let drifted = text.replace("\"write_amplification\"", "\"write_amp\"");
+    assert!(drifted != text, "fixture must actually change");
+    let err = Report::parse(&drifted).unwrap_err();
+    assert!(err.contains("write_amplification"), "{err}");
+}

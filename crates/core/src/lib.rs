@@ -25,6 +25,7 @@ mod entry;
 mod error;
 mod index;
 mod proof;
+mod structure;
 mod version;
 
 pub mod cost_model;
@@ -44,6 +45,7 @@ pub use entry::Entry;
 pub use error::{IndexError, Result};
 pub use index::{LookupTrace, SiriIndex};
 pub use proof::{Proof, ProofVerdict};
+pub use structure::{StructureReport, StructureStats};
 pub use version::{VersionStore, VersionTag};
 
 // Re-exports so downstream crates (and examples) need only `siri_core`.

@@ -1,7 +1,7 @@
 //! Factories that build/open each index structure over a store — the
 //! engine's (and the benchmark harness's) point of index-agnosticism.
 
-use siri_core::SiriIndex;
+use siri_core::{SiriIndex, StructureStats};
 use siri_crypto::Hash;
 use siri_mbt::MerkleBucketTree;
 use siri_mpt::MerklePatriciaTrie;
@@ -10,8 +10,12 @@ use siri_pos_tree::{PosParams, PosTree};
 use siri_store::SharedStore;
 
 /// Construct or re-open a concrete index over a page store.
+///
+/// `Index` must also report its shape ([`StructureStats`]) so factory-
+/// generic harness code can fill the BENCH report schema without knowing
+/// which structure it drives.
 pub trait IndexFactory: Clone + Send + Sync {
-    type Index: SiriIndex;
+    type Index: SiriIndex + StructureStats;
 
     /// A human-readable structure name for reports.
     fn name(&self) -> &'static str;

@@ -31,7 +31,8 @@ use std::time::Instant;
 use bytes::Bytes;
 use siri_core::{
     apply_ops, diff_sorted_entries, entry_codec, own_bound, BatchOp, DiffEntry, Entry, EntryCursor,
-    IndexError, LookupTrace, Proof, ProofVerdict, Result, SiriIndex, WriteBatch,
+    IndexError, LookupTrace, Proof, ProofVerdict, Result, SiriIndex, StructureReport,
+    StructureStats, WriteBatch,
 };
 use siri_crypto::{FxHashMap, Hash};
 use siri_store::{
@@ -448,6 +449,27 @@ impl SiriIndex for MerkleBucketTree {
 
     fn verify_proof(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
         proof::verify(root, key, proof)
+    }
+}
+
+impl StructureStats for MerkleBucketTree {
+    fn structure_stats(&self) -> Result<StructureReport> {
+        let pages = self.page_set();
+        let (_, _, mean_fill) = self.bucket_fill_stats()?;
+        let entries = self.len()? as u64;
+        Ok(StructureReport {
+            nodes: pages.len() as u64,
+            bytes: pages.byte_size(),
+            // The skeleton has a fixed logical height regardless of how
+            // many of its pages deduplicate into one stored copy.
+            height: self.topo.height() as u32,
+            entries,
+            leaf_occupancy: mean_fill,
+        })
+    }
+
+    fn node_cache_stats(&self) -> CacheStats {
+        MerkleBucketTree::node_cache_stats(self)
     }
 }
 

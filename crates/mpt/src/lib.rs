@@ -33,7 +33,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use siri_core::{
     own_bound, DiffEntry, EntryCursor, IndexError, LookupTrace, Proof, ProofVerdict, Result,
-    SiriIndex, WriteBatch,
+    SiriIndex, StructureReport, StructureStats, WriteBatch,
 };
 use siri_crypto::Hash;
 use siri_encoding::Nibbles;
@@ -259,6 +259,28 @@ impl SiriIndex for MerklePatriciaTrie {
 
     fn verify_proof(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
         proof::verify(root, key, proof)
+    }
+}
+
+impl StructureStats for MerklePatriciaTrie {
+    fn structure_stats(&self) -> Result<StructureReport> {
+        let pages = self.page_set();
+        let (_, height) = self.depth_stats()?;
+        let entries = self.len()? as u64;
+        let nodes = pages.len() as u64;
+        Ok(StructureReport {
+            nodes,
+            bytes: pages.byte_size(),
+            height,
+            entries,
+            // MPT leaves hold one key suffix each; entries-per-node is the
+            // meaningful density (path compaction pushes it toward 1).
+            leaf_occupancy: if nodes == 0 { 0.0 } else { entries as f64 / nodes as f64 },
+        })
+    }
+
+    fn node_cache_stats(&self) -> CacheStats {
+        MerklePatriciaTrie::node_cache_stats(self)
     }
 }
 

@@ -28,9 +28,9 @@ use std::time::Instant;
 use bytes::Bytes;
 use siri_core::{
     apply_ops, own_bound, BatchOp, DiffEntry, Entry, EntryCursor, IndexError, LookupTrace, Proof,
-    ProofVerdict, Result, SiriIndex, WriteBatch,
+    ProofVerdict, Result, SiriIndex, StructureReport, StructureStats, WriteBatch,
 };
-use siri_crypto::Hash;
+use siri_crypto::{FxHashSet, Hash};
 use siri_store::{
     reachable_pages, CacheStats, NodeCache, PageSet, SharedStore, DEFAULT_NODE_CACHE_CAPACITY,
 };
@@ -384,6 +384,41 @@ impl SiriIndex for MvmbTree {
 
     fn verify_proof(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
         proof::verify(root, key, proof)
+    }
+}
+
+impl StructureStats for MvmbTree {
+    fn structure_stats(&self) -> Result<StructureReport> {
+        let pages = self.page_set();
+        // Count distinct leaf pages (order-dependent splits can still
+        // deduplicate identical leaves within one version).
+        let mut leaves = 0u64;
+        let mut entries = 0u64;
+        let mut seen = FxHashSet::default();
+        let mut stack = if self.root.is_zero() { Vec::new() } else { vec![self.root] };
+        while let Some(h) = stack.pop() {
+            if !seen.insert(h) {
+                continue;
+            }
+            match &*self.fetch(&h)? {
+                Node::Leaf(items) => {
+                    leaves += 1;
+                    entries += items.len() as u64;
+                }
+                Node::Internal(children) => stack.extend(children.iter().map(|c| c.child)),
+            }
+        }
+        Ok(StructureReport {
+            nodes: pages.len() as u64,
+            bytes: pages.byte_size(),
+            height: self.height()? as u32,
+            entries,
+            leaf_occupancy: if leaves == 0 { 0.0 } else { entries as f64 / leaves as f64 },
+        })
+    }
+
+    fn node_cache_stats(&self) -> CacheStats {
+        MvmbTree::node_cache_stats(self)
     }
 }
 

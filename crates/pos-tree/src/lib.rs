@@ -42,7 +42,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use siri_core::{
     apply_ops, own_bound, DiffEntry, EntryCursor, IndexError, LookupTrace, Proof, ProofVerdict,
-    Result, SiriIndex, WriteBatch,
+    Result, SiriIndex, StructureReport, StructureStats, WriteBatch,
 };
 use siri_crypto::Hash;
 use siri_store::{
@@ -372,6 +372,27 @@ impl SiriIndex for PosTree {
 
     fn verify_proof(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
         proof::verify(root, key, proof)
+    }
+}
+
+impl StructureStats for PosTree {
+    fn structure_stats(&self) -> Result<StructureReport> {
+        let levels = self.level_stats()?;
+        let nodes: u64 = levels.iter().map(|(n, _)| *n as u64).sum();
+        let bytes: u64 = levels.iter().map(|(_, b)| *b).sum();
+        let leaves = levels.first().map(|(n, _)| *n as u64).unwrap_or(0);
+        let entries = self.len()? as u64;
+        Ok(StructureReport {
+            nodes,
+            bytes,
+            height: self.height()?,
+            entries,
+            leaf_occupancy: if leaves == 0 { 0.0 } else { entries as f64 / leaves as f64 },
+        })
+    }
+
+    fn node_cache_stats(&self) -> CacheStats {
+        PosTree::node_cache_stats(self)
     }
 }
 

@@ -574,6 +574,7 @@ impl FileStore {
             frame.extend_from_slice(digest.as_bytes());
             frame.extend_from_slice(&payload);
             cur.write_all(&frame).map_err(|e| ioerr("compact: append", e))?;
+            AtomicStoreStats::add(&self.stats.bytes_written, frame.len() as u64);
             new_index.insert(
                 *digest,
                 PageLoc {
@@ -632,8 +633,14 @@ impl NodeStore for FileStore {
             AtomicStoreStats::add(&stats.puts, 1);
             AtomicStoreStats::add(&stats.logical_bytes, page.len() as u64);
         };
+        // A dedup hit is a *shared* put: the page bytes never reach disk.
+        let count_shared = |stats: &AtomicStoreStats| {
+            AtomicStoreStats::add(&stats.shared_puts, 1);
+            AtomicStoreStats::add(&stats.shared_bytes, page.len() as u64);
+        };
         if self.index.read().contains_key(&digest) {
             count_put(&self.stats);
+            count_shared(&self.stats);
             return Ok(digest);
         }
         let mut ap = self.appender.lock();
@@ -641,6 +648,7 @@ impl NodeStore for FileStore {
         // the page between the optimistic check and here.
         if self.index.read().contains_key(&digest) {
             count_put(&self.stats);
+            count_shared(&self.stats);
             return Ok(digest);
         }
         if ap.end >= self.opts.max_segment_bytes && ap.end > 0 {
@@ -665,6 +673,8 @@ impl NodeStore for FileStore {
         count_put(&self.stats);
         AtomicStoreStats::add(&self.stats.unique_pages, 1);
         AtomicStoreStats::add(&self.stats.unique_bytes, page.len() as u64);
+        // Frame header included: this is the disk traffic the write cost.
+        AtomicStoreStats::add(&self.stats.bytes_written, frame.len() as u64);
         Ok(digest)
     }
 

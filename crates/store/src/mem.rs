@@ -107,10 +107,17 @@ impl NodeStore for MemStore {
         AtomicStoreStats::add(&self.stats.puts, 1);
         AtomicStoreStats::add(&self.stats.logical_bytes, page.len() as u64);
         let mut pages = self.shard(&hash).write();
-        if let std::collections::hash_map::Entry::Vacant(slot) = pages.entry(hash) {
-            AtomicStoreStats::add(&self.stats.unique_pages, 1);
-            AtomicStoreStats::add(&self.stats.unique_bytes, page.len() as u64);
-            slot.insert(page);
+        match pages.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                AtomicStoreStats::add(&self.stats.unique_pages, 1);
+                AtomicStoreStats::add(&self.stats.unique_bytes, page.len() as u64);
+                AtomicStoreStats::add(&self.stats.bytes_written, page.len() as u64);
+                slot.insert(page);
+            }
+            std::collections::hash_map::Entry::Occupied(_) => {
+                AtomicStoreStats::add(&self.stats.shared_puts, 1);
+                AtomicStoreStats::add(&self.stats.shared_bytes, page.len() as u64);
+            }
         }
         hash
     }

@@ -18,6 +18,16 @@ pub struct StoreStats {
     pub puts: u64,
     /// Sum of page sizes over all `put` calls (raw / no-dedup bytes).
     pub logical_bytes: u64,
+    /// `put` calls that deduplicated against an already-stored page — the
+    /// paper's page-sharing events (Universally Reusable in action).
+    pub shared_puts: u64,
+    /// Page bytes those shared puts did *not* have to store again.
+    pub shared_bytes: u64,
+    /// Bytes physically written to the backend this session. For
+    /// [`crate::MemStore`] this equals the bytes of newly-inserted pages;
+    /// for [`crate::FileStore`] it includes frame headers, so it tracks
+    /// real disk traffic (the write-amplification numerator).
+    pub bytes_written: u64,
     /// Number of distinct pages held.
     pub unique_pages: u64,
     /// Sum of page sizes over distinct pages (deduplicated bytes).
@@ -42,6 +52,17 @@ impl StoreStats {
             0.0
         } else {
             1.0 - self.unique_bytes as f64 / self.logical_bytes as f64
+        }
+    }
+
+    /// Fraction of `put` calls absorbed by an already-stored identical
+    /// page — the paper's share ratio over the write stream; 0.0 when
+    /// nothing was written.
+    pub fn share_ratio(&self) -> f64 {
+        if self.puts == 0 {
+            0.0
+        } else {
+            self.shared_puts as f64 / self.puts as f64
         }
     }
 
@@ -79,6 +100,9 @@ impl StoreStats {
 pub struct AtomicStoreStats {
     pub puts: AtomicU64,
     pub logical_bytes: AtomicU64,
+    pub shared_puts: AtomicU64,
+    pub shared_bytes: AtomicU64,
+    pub bytes_written: AtomicU64,
     pub unique_pages: AtomicU64,
     pub unique_bytes: AtomicU64,
     pub gets: AtomicU64,
@@ -100,6 +124,9 @@ impl AtomicStoreStats {
         StoreStats {
             puts: self.puts.load(Ordering::Relaxed),
             logical_bytes: self.logical_bytes.load(Ordering::Relaxed),
+            shared_puts: self.shared_puts.load(Ordering::Relaxed),
+            shared_bytes: self.shared_bytes.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
             unique_pages: self.unique_pages.load(Ordering::Relaxed),
             unique_bytes: self.unique_bytes.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
@@ -123,6 +150,9 @@ mod tests {
         let s = StoreStats {
             puts: 4,
             logical_bytes: 400,
+            shared_puts: 3,
+            shared_bytes: 300,
+            bytes_written: 100,
             unique_pages: 1,
             unique_bytes: 100,
             gets: 10,
@@ -134,6 +164,8 @@ mod tests {
         assert!((s.dedup_savings() - 0.75).abs() < 1e-12);
         assert!((s.hit_rate() - 0.9).abs() < 1e-12);
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.share_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(StoreStats::default().share_ratio(), 0.0);
     }
 
     #[test]

@@ -91,11 +91,12 @@ impl WikiConfig {
     /// (31–298 bytes, mean ≈50).
     pub fn url(&self, i: u64) -> Bytes {
         let mut rng = StdRng::seed_from_u64(self.seed ^ i.wrapping_mul(0xA076_1D64_78BD_642F));
-        // Mean title ≈20 bytes ⇒ mean URL ≈50; occasionally very long.
+        // Mean title+suffix ≈20 bytes ⇒ mean URL ≈50; occasionally very
+        // long.
         let words = if rng.gen_range(0..100) < 3 {
             rng.gen_range(8..30) // rare long titles (up to ~298 B URLs)
         } else {
-            rng.gen_range(1..5)
+            rng.gen_range(1..3)
         };
         let mut title = String::new();
         for w in 0..words {
@@ -118,8 +119,8 @@ impl WikiConfig {
         let mut rng = StdRng::seed_from_u64(
             self.seed ^ i.rotate_left(23) ^ (version as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
         );
-        // Mean ≈16 words × ~6 bytes ≈ 96; geometric-ish tail to 1036.
-        let mut words = rng.gen_range(1..=24);
+        // Mean ≈12.5 words × ~7.7 bytes ≈ 96; geometric-ish tail to 1036.
+        let mut words = rng.gen_range(1..=21);
         while rng.gen_range(0..100) < 12 && words < 160 {
             words += rng.gen_range(4..24);
         }

@@ -47,10 +47,11 @@
 
 pub use siri_core::{
     apply_ops, cost_model, diff_by_scan, diff_sorted_entries, entry_codec, merge, merge_with_base,
-    metrics, prefix_successor, siri_properties, BatchOp, Bytes, DiffEntry, DiffSide, Entry,
-    EntryCursor, Hash, IndexError, LookupTrace, MemStore, MergeOutcome, MergeStrategy, NodeStore,
-    Op, PageSet, Proof, ProofVerdict, Reclaim, Result, SharedStore, SiriIndex, StoreError,
-    StoreResult, StoreStats, VersionStore, VersionTag, WriteBatch,
+    metrics, prefix_successor, siri_properties, BatchOp, Bytes, CacheStats, DiffEntry, DiffSide,
+    Entry, EntryCursor, Hash, IndexError, LookupTrace, MemStore, MergeOutcome, MergeStrategy,
+    NodeStore, Op, PageSet, Proof, ProofVerdict, Reclaim, Result, SharedStore, SiriIndex,
+    StoreError, StoreResult, StoreStats, StructureReport, StructureStats, VersionStore, VersionTag,
+    WriteBatch,
 };
 
 pub use siri_crypto as crypto;
