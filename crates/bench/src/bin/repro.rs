@@ -9,7 +9,8 @@
 //! repro all
 //! ```
 //! Experiments: fig1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//! fig15 fig16 fig17 fig18 tab3 fig19 fig20 fig21 fig22 bounds grid.
+//! fig15 fig16 fig17 fig18 tab3 fig19 fig20 fig21 fig22 bounds
+//! concurrency grid.
 //!
 //! `grid` runs {YCSB, wiki, eth} × {MPT, MBT, POS-Tree, MVMB+} on the
 //! selected backends and writes one versioned `BENCH_<workload>_<backend>
@@ -29,8 +30,8 @@ use siri::workloads::params;
 use siri::workloads::wiki::WikiConfig;
 use siri::workloads::ycsb::YcsbConfig;
 use siri::{
-    cost_model, metrics, Entry, Forkbase, IndexFactory, MemStore, NomsEngine, PosFactory,
-    PosParams, PosTree, SiriIndex,
+    cost_model, metrics, Entry, FileStoreOptions, Forkbase, FsyncPolicy, IndexFactory, MemStore,
+    NomsEngine, PosFactory, PosParams, PosTree, SiriIndex, WriteBatch,
 };
 use siri_bench::harness::*;
 use siri_bench::table::{kops, mib, micros, ratio, Table};
@@ -46,6 +47,9 @@ EXPERIMENTS:
     all            every figure/table experiment (default)
     fig1..fig22, tab3, bounds
                    one §5 figure or table
+    concurrency    multi-writer Forkbase cells: disjoint-branch commit
+                   scaling, same-branch CAS contention (retry counter +
+                   model agreement), and group-commit fsync sharing
     grid           the Table 2 grid: {ycsb, wiki, eth} x all four indexes
                    on the selected backends; emits one
                    BENCH_<workload>_<backend>.json artifact per cell
@@ -59,6 +63,8 @@ FLAGS:
     --reps N       timed repetitions per grid measurement; the best
                    sample is reported (default 1)
     --backend B    grid backends: mem | file | both (default both)
+    --threads N    writer-thread ceiling for the concurrency cells
+                   (default 4; swept in powers of two)
     --out DIR      directory for BENCH_*.json artifacts (default .)
     --csv          print tables as CSV instead of aligned text
     -h, --help     this text
@@ -86,6 +92,11 @@ fn main() {
             "--reps" => {
                 i += 1;
                 cfg.reps = args[i].parse().expect("--reps takes an integer");
+            }
+            "--threads" => {
+                i += 1;
+                cfg.threads = args[i].parse().expect("--threads takes an integer");
+                assert!(cfg.threads > 0, "--threads must be positive");
             }
             "--backend" => {
                 i += 1;
@@ -130,8 +141,27 @@ fn main() {
     }
 
     let all = [
-        "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-        "fig15", "fig16", "fig17", "fig18", "tab3", "fig19", "fig20", "fig21", "fig22", "bounds",
+        "fig1",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "tab3",
+        "fig19",
+        "fig20",
+        "fig21",
+        "fig22",
+        "bounds",
+        "concurrency",
     ];
     let todo: Vec<&str> = if experiment == "all" {
         all.to_vec()
@@ -169,6 +199,7 @@ fn main() {
             "fig21" => fig21(cfg),
             "fig22" => fig22(cfg),
             "bounds" => bounds(cfg),
+            "concurrency" => concurrency(cfg),
             _ => unreachable!(),
         };
         for t in tables {
@@ -992,7 +1023,7 @@ fn fig21(cfg: RunConfig) -> Vec<Table> {
         let mut r_cells = vec![n.to_string()];
         let mut w_cells = vec![n.to_string()];
         for_each_index!(icfg, |_name, factory| {
-            let mut fb = Forkbase::new(factory, siri::DEFAULT_FETCH_COST_NANOS);
+            let fb = Forkbase::new(factory, siri::DEFAULT_FETCH_COST_NANOS);
             for chunk in data.chunks(8_000) {
                 fb.put("master", chunk.to_vec()).unwrap();
             }
@@ -1037,7 +1068,7 @@ fn fig22(cfg: RunConfig) -> Vec<Table> {
         let writes = cfg.ops.min(500);
 
         // Forkbase: POS-Tree with Noms' 4 KB node size, batched writes.
-        let mut fb = Forkbase::new(
+        let fb = Forkbase::new(
             PosFactory(PosParams::default().with_node_bytes(4096)),
             siri::DEFAULT_FETCH_COST_NANOS,
         );
@@ -1056,7 +1087,7 @@ fn fig22(cfg: RunConfig) -> Vec<Table> {
 
         // Noms: Prolly chunking (sliding-window internal hashing), per-op
         // writes.
-        let mut noms = NomsEngine::new(PosFactory::noms(), siri::DEFAULT_FETCH_COST_NANOS);
+        let noms = NomsEngine::new(PosFactory::noms(), siri::DEFAULT_FETCH_COST_NANOS);
         for chunk in data.chunks(8_000) {
             // Initial load may batch — the measured difference is the
             // update path, as in the paper's experiment.
@@ -1081,6 +1112,138 @@ fn fig22(cfg: RunConfig) -> Vec<Table> {
         ]);
     }
     vec![t]
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency — multi-writer Forkbase (CAS branch heads + group commit)
+// ---------------------------------------------------------------------------
+fn concurrency(cfg: RunConfig) -> Vec<Table> {
+    use std::sync::Arc;
+    let ycsb = YcsbConfig::default();
+    let batch = 50usize;
+    let commits_per_writer = (cfg.ops / batch).clamp(10, 200);
+    let ycsb_batch = |t: usize, c: usize, version: u32| {
+        WriteBatch::from_entries(
+            (0..batch)
+                .map(|i| ycsb.entry((t * 1_000_003 + c * batch + i) as u64, version))
+                .collect(),
+        )
+    };
+
+    // (a) Commits to disjoint branches: per-branch head slots mean zero
+    // contention, so throughput should scale with writers until the
+    // hardware (or the store's append path) saturates. The core count is
+    // stamped into the title — on a 1-core box the correct shape is
+    // *flat*, i.e. no slowdown from adding writers.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut scaling = Table::new(
+        format!(
+            "Concurrency (a) — disjoint-branch commit throughput \
+             (POS-Tree, MemStore, {cores} core(s))"
+        ),
+        &["writers", "kops/s", "conflicts"],
+    );
+    let mut writers = 1usize;
+    while writers <= cfg.threads.max(1) {
+        let fb = Arc::new(Forkbase::new(PosFactory(PosParams::default()), 0));
+        for t in 0..writers {
+            fb.fork("master", &format!("w{t}")).unwrap();
+        }
+        let dt = run_concurrent_writers(
+            &fb,
+            writers,
+            commits_per_writer,
+            |t| format!("w{t}"),
+            |t, c| ycsb_batch(t, c, 1),
+        );
+        let ops = writers * commits_per_writer * batch;
+        scaling.row(vec![
+            writers.to_string(),
+            kops(ops, dt.as_nanos() as u64),
+            fb.engine_stats().conflicts.to_string(),
+        ]);
+        writers *= 2;
+    }
+
+    // (b) Contended commits to ONE branch: optimistic CAS with re-apply.
+    // Disjoint keys per writer make the expected final state
+    // order-independent, so model agreement is exact: every batch applied
+    // exactly once ⇔ the final record count matches.
+    let mut contended = Table::new(
+        "Concurrency (b) — same-branch CAS commits (POS-Tree, MemStore)",
+        &["writers", "commits", "conflicts", "kops/s", "model_agrees"],
+    );
+    let mut writers = 2usize;
+    while writers <= cfg.threads.max(2) {
+        let fb = Arc::new(Forkbase::new(PosFactory(PosParams::default()), 0));
+        let dt = run_concurrent_writers(
+            &fb,
+            writers,
+            commits_per_writer,
+            |_| "master".into(),
+            |t, c| {
+                let mut b = WriteBatch::new();
+                for i in 0..batch {
+                    b.put(format!("w{t:02}-c{c:04}-{i:03}").into_bytes(), vec![t as u8; 16]);
+                }
+                b
+            },
+        );
+        let stats = fb.engine_stats();
+        let expected = writers * commits_per_writer * batch;
+        let agrees = fb.head("master").unwrap().len().unwrap() == expected;
+        contended.row(vec![
+            writers.to_string(),
+            stats.commits.to_string(),
+            stats.conflicts.to_string(),
+            kops(expected, dt.as_nanos() as u64),
+            agrees.to_string(),
+        ]);
+        writers *= 2;
+    }
+
+    // (c) Group commit on the durable store: one shared fsync per flush
+    // tick instead of one per commit.
+    let mut group = Table::new(
+        "Concurrency (c) — durable commit fsync sharing (POS-Tree, FileStore)",
+        &["policy", "writers", "commits", "fsyncs", "kops/s"],
+    );
+    let writers = cfg.threads.max(2);
+    for (label, policy) in [
+        ("commit", FsyncPolicy::OnCommit),
+        ("group=2ms", FsyncPolicy::Group(std::time::Duration::from_millis(2))),
+    ] {
+        let dir = std::env::temp_dir()
+            .join("siri-repro-concurrency")
+            .join(format!("{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = FileStoreOptions { fsync: policy, ..FileStoreOptions::default() };
+        let fb = Arc::new(
+            Forkbase::new_durable(PosFactory(PosParams::default()), &dir, opts, 0).unwrap(),
+        );
+        for t in 0..writers {
+            fb.fork("master", &format!("w{t}")).unwrap();
+        }
+        let durable_commits = commits_per_writer.min(25);
+        let dt = run_concurrent_writers(
+            &fb,
+            writers,
+            durable_commits,
+            |t| format!("w{t}"),
+            |t, c| ycsb_batch(t, c, 2),
+        );
+        let stats = fb.server_stats();
+        group.row(vec![
+            label.to_string(),
+            writers.to_string(),
+            stats.commits.to_string(),
+            stats.fsyncs.to_string(),
+            kops(writers * durable_commits * batch, dt.as_nanos() as u64),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    vec![scaling, contended, group]
 }
 
 // ---------------------------------------------------------------------------

@@ -1,12 +1,12 @@
 //! Index-agnostic experiment drivers.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use siri::workloads::ycsb::Op;
 use siri::{
-    Bytes, CachingStore, Entry, Hash, IndexFactory, MbtFactory, MemStore, MptFactory, MvmbFactory,
-    MvmbParams, PageSet, PosFactory, PosParams, SharedStore, SiriIndex,
+    Bytes, CachingStore, Entry, Forkbase, Hash, IndexFactory, MbtFactory, MemStore, MptFactory,
+    MvmbFactory, MvmbParams, PageSet, PosFactory, PosParams, SharedStore, SiriIndex, WriteBatch,
 };
 
 /// Per-workload structure tuning, following §5's "node size ≈ 1 KB" rule.
@@ -33,6 +33,36 @@ impl IndexCfg {
     pub fn eth(node_bytes: usize) -> Self {
         IndexCfg { node_bytes, avg_entry: 600, avg_key: 64, mbt_buckets: 256, mbt_fanout: 32 }
     }
+}
+
+/// Drive `writers` threads through one shared engine — the multi-writer
+/// cell used by both the `repro concurrency` experiment and the
+/// `multi_writer` bench. Writer `t` commits `commits` batches (built by
+/// `make_batch(t, k)`) to the branch `branch_of(t)` names: the same
+/// string for every writer exercises the contended CAS path, distinct
+/// strings the parallel per-slot path. Returns the wall time of the whole
+/// burst; every commit is unwrapped, so an engine error fails the run.
+pub fn run_concurrent_writers<F: IndexFactory>(
+    fb: &Arc<Forkbase<F>>,
+    writers: usize,
+    commits: usize,
+    branch_of: impl Fn(usize) -> String,
+    make_batch: impl Fn(usize, usize) -> WriteBatch + Sync,
+) -> Duration {
+    let make_batch = &make_batch;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..writers {
+            let fb = Arc::clone(fb);
+            let branch = branch_of(t);
+            s.spawn(move || {
+                for k in 0..commits {
+                    fb.commit(&branch, make_batch(t, k)).unwrap();
+                }
+            });
+        }
+    });
+    t0.elapsed()
 }
 
 pub fn pos_factory(cfg: IndexCfg) -> PosFactory {

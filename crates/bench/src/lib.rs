@@ -29,11 +29,14 @@ pub struct RunConfig {
     /// sample is reported. 1 everywhere except the short CI smoke runs,
     /// where scheduler noise would otherwise dominate millisecond phases.
     pub reps: usize,
+    /// Writer-thread ceiling for the multi-writer concurrency cells
+    /// (`repro concurrency` sweeps 1..=threads in powers of two).
+    pub threads: usize,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { scale: 0.05, ops: 5_000, node_bytes: 1024, seed: 42, reps: 1 }
+        RunConfig { scale: 0.05, ops: 5_000, node_bytes: 1024, seed: 42, reps: 1, threads: 4 }
     }
 }
 

@@ -8,6 +8,7 @@
 //! structures stay canonical (Structurally Invariant).
 
 use bytes::Bytes;
+use siri_crypto::Hash;
 
 use crate::Entry;
 
@@ -137,6 +138,26 @@ impl BatchOp {
     pub fn into_entry(self) -> Option<Entry> {
         self.value.map(|value| Entry { key: self.key, value })
     }
+}
+
+/// The receipt of one optimistic (compare-and-swap) branch commit.
+///
+/// Engines that publish batches against a shared branch head return one of
+/// these per acknowledged commit: the head the winning version was built
+/// on (`parent`), the head it produced (`root`), and how many races it
+/// lost on the way (`retries` — each one a full rebuild of the batch
+/// against a fresher head). The `parent → root` edges of a branch's
+/// commits form a chain, which is what makes concurrent commit histories
+/// auditable: replaying the batches in chain order on a sequential model
+/// must reproduce every `root` digest exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// The branch head this commit's version was built against.
+    pub parent: Hash,
+    /// The new branch head this commit published.
+    pub root: Hash,
+    /// Head races lost before publication (0 = won on the first try).
+    pub retries: u32,
 }
 
 /// Apply sorted key-unique `ops` to a sorted key-unique entry run by

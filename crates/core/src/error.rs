@@ -23,6 +23,12 @@ pub enum IndexError {
     TamperDetected { expected: Hash },
     /// Merge found keys with conflicting values under [`crate::MergeStrategy::Strict`].
     MergeConflict { conflicts: Vec<crate::DiffEntry> },
+    /// An optimistic (compare-and-swap) branch commit kept losing the head
+    /// race and gave up after `attempts` rebuilds. Every lost race means
+    /// *another* writer committed — the system made progress — so hitting
+    /// this bound signals pathological contention on one branch, not a
+    /// deadlock. The batch was **not** applied; retrying is safe.
+    CommitContention { attempts: u32 },
     /// Structural invariant violated (internal bug guard, e.g. unsorted
     /// leaf discovered during a scan).
     CorruptStructure(&'static str),
@@ -41,6 +47,9 @@ impl fmt::Display for IndexError {
             }
             IndexError::MergeConflict { conflicts } => {
                 write!(f, "merge conflict on {} key(s)", conflicts.len())
+            }
+            IndexError::CommitContention { attempts } => {
+                write!(f, "commit lost the branch-head race {attempts} times (batch not applied)")
             }
             IndexError::CorruptStructure(what) => write!(f, "corrupt structure: {what}"),
             IndexError::Unsupported(what) => write!(f, "unsupported operation: {what}"),

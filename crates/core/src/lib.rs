@@ -33,7 +33,7 @@ pub mod entry_codec;
 pub mod metrics;
 pub mod siri_properties;
 
-pub use batch::{apply_ops, BatchOp, Op, WriteBatch};
+pub use batch::{apply_ops, BatchOp, CommitInfo, Op, WriteBatch};
 pub use cursor::{
     before_start, own_bound, past_end, prefix_successor, start_seek_key, EntryCursor,
 };

@@ -1,6 +1,7 @@
 //! A Forkbase-style storage engine over any SIRI index (§5.6).
 //!
-//! Architecture (matching the paper's single-servlet/single-client setup):
+//! Architecture (matching the paper's single-servlet setup, grown to many
+//! concurrent clients):
 //!
 //! * **writes** execute entirely server-side against the shared page store
 //!   ("the write operations will be performed on the server side
@@ -12,6 +13,32 @@
 //! * **branches** are named heads over immutable roots, so forking is
 //!   O(1) and history is always intact.
 //!
+//! ## Concurrency model
+//!
+//! Every operation takes `&self`: the engine is shared across threads by
+//! reference (or `Arc`), not serialized behind one lock. The paper's
+//! structures make this nearly free — all data is immutable and
+//! content-addressed, so the only mutable state is a *tiny head pointer
+//! per branch*:
+//!
+//! * the branch table is an `RwLock<HashMap<_, Arc<BranchSlot>>>` — taken
+//!   briefly to resolve a name to its slot; commits and reads on
+//!   *different* branches then proceed on disjoint per-slot locks;
+//! * same-branch commits are **optimistic**: build the new version against
+//!   the observed head, then compare-and-swap the head under the slot's
+//!   write lock (held only for the pointer swap, never during tree
+//!   building or I/O). Losing the race re-applies the [`WriteBatch`] on
+//!   the fresh head and retries; every lost race means another writer
+//!   committed, so the engine is livelock-free by construction. Lost races
+//!   surface in [`EngineStats::conflicts`];
+//! * client-side views (the decoded-node caches) live one per slot behind
+//!   a per-branch mutex, so concurrent readers of different branches never
+//!   share a lock either.
+//!
+//! On a durable server store, commits fsync (per the store's
+//! [`siri_store::FsyncPolicy`] — including group commit) *before*
+//! publishing the new head: an observable head is always a durable head.
+//!
 //! [`IndexFactory`] abstracts over which of the four structures backs the
 //! store; [`NomsEngine`] wraps the same machinery with Noms' behaviour —
 //! Prolly-tree chunking and unbatched, per-record writes — for the
@@ -21,12 +48,14 @@ mod factory;
 
 use std::collections::HashMap;
 use std::ops::Bound;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
 use siri_core::{
-    merge, merge_with_base, Entry, EntryCursor, IndexError, MergeOutcome, MergeStrategy, Result,
-    SiriIndex, WriteBatch,
+    merge, merge_with_base, CommitInfo, Entry, EntryCursor, IndexError, MergeOutcome,
+    MergeStrategy, Result, SiriIndex, WriteBatch,
 };
 use siri_crypto::Hash;
 use siri_store::{
@@ -42,6 +71,52 @@ pub use factory::{IndexFactory, MbtFactory, MptFactory, MvmbFactory, PosFactory}
 /// hit ratios.
 pub const DEFAULT_FETCH_COST_NANOS: u64 = 20_000;
 
+/// Upper bound on optimistic-commit attempts before a commit gives up with
+/// [`IndexError::CommitContention`]. Each lost race implies another
+/// writer's commit was published, so reaching this bound means the branch
+/// absorbed at least this many competing commits while one batch was
+/// being rebuilt — pathological contention, not deadlock.
+pub const MAX_COMMIT_ATTEMPTS: u32 = 1_000;
+
+/// Engine-level commit counters (monotone, relaxed atomics underneath).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Head publications: successful commits and merges across all
+    /// branches.
+    pub commits: u64,
+    /// Optimistic-commit head races lost (each one triggered a rebuild of
+    /// the batch against the fresher head). `conflicts / commits` is the
+    /// branch-contention ratio; it stays 0 while writers touch disjoint
+    /// branches.
+    pub conflicts: u64,
+}
+
+/// The per-branch mutable state: a head pointer and a client-side view.
+///
+/// This is the whole trick from the paper's immutability argument: all
+/// versions are immutable and shared, so concurrency control reduces to
+/// these two tiny pointers, each behind its own branch-local lock. Slots
+/// are handed out as `Arc`s — a commit holds the slot, not the branch
+/// table, so renames/deletes/creates of *other* branches never block it.
+struct BranchSlot<I> {
+    /// The authoritative server-side head. The write lock is held only to
+    /// compare-and-swap the pointer — never while building a version or
+    /// doing I/O — so readers sampling the head are never blocked behind a
+    /// tree rebuild.
+    head: RwLock<I>,
+    /// The persistent client-side view (decoded-node cache above the page
+    /// cache), created lazily on first read and re-rooted in place when
+    /// the head moves. Per-branch on purpose: readers of different
+    /// branches must not serialize on a shared map lock.
+    view: Mutex<Option<I>>,
+}
+
+impl<I: SiriIndex> BranchSlot<I> {
+    fn new(head: I) -> Self {
+        BranchSlot { head: RwLock::new(head), view: Mutex::new(None) }
+    }
+}
+
 /// A Forkbase-style versioned KV engine backed by index `F::Index`.
 ///
 /// The server-side page store is pluggable: the default is an in-memory
@@ -49,6 +124,9 @@ pub const DEFAULT_FETCH_COST_NANOS: u64 = 20_000;
 /// [`Forkbase::new_durable`] runs the same engine over a [`FileStore`],
 /// fsyncing acknowledged commits per that store's
 /// [`siri_store::FsyncPolicy`].
+///
+/// All operations take `&self`; share the engine across writer and reader
+/// threads freely (see the module docs for the locking discipline).
 pub struct Forkbase<F: IndexFactory> {
     factory: F,
     server: SharedStore,
@@ -56,18 +134,26 @@ pub struct Forkbase<F: IndexFactory> {
     /// drives durability (fsync-per-commit policy) through.
     durable: Option<Arc<FileStore>>,
     client_store: Arc<CachingStore>,
-    branches: HashMap<String, F::Index>,
-    /// Per-branch client-side handles, kept across reads so the decoded-
-    /// node cache inside each handle survives and actually earns hits.
-    /// Re-rooted (`SiriIndex::at_root`, cache preserved) when the branch
-    /// head moves.
-    client_views: Mutex<HashMap<String, F::Index>>,
+    /// Branch name → slot. The map lock is only for name resolution and
+    /// branch creation/deletion; all per-branch state hides behind the
+    /// slot's own locks.
+    branches: RwLock<HashMap<String, Arc<BranchSlot<F::Index>>>>,
+    commits: AtomicU64,
+    conflicts: AtomicU64,
 }
 
 impl<F: IndexFactory> Forkbase<F> {
     /// Create an engine with one empty branch `"master"`.
     pub fn new(factory: F, fetch_cost_nanos: u64) -> Self {
         Self::with_server(factory, Arc::new(MemStore::new()), None, fetch_cost_nanos)
+    }
+
+    /// An engine over a caller-supplied server store (e.g. the store
+    /// `siri::env_store()` selected), with one empty branch `"master"`.
+    /// No durability handle is attached — if the store is file-backed the
+    /// caller owns the fsync cadence.
+    pub fn with_store(factory: F, server: SharedStore, fetch_cost_nanos: u64) -> Self {
+        Self::with_server(factory, server, None, fetch_cost_nanos)
     }
 
     /// An engine whose server store persists to `path` (a [`FileStore`]
@@ -95,55 +181,118 @@ impl<F: IndexFactory> Forkbase<F> {
         let server: SharedStore = server;
         let client_store = Arc::new(CachingStore::new(server.clone(), fetch_cost_nanos));
         let mut branches = HashMap::new();
-        branches.insert("master".to_string(), factory.empty(server.clone()));
+        branches
+            .insert("master".to_string(), Arc::new(BranchSlot::new(factory.empty(server.clone()))));
         Forkbase {
             factory,
             server,
             durable,
             client_store,
-            branches,
-            client_views: Mutex::new(HashMap::new()),
+            branches: RwLock::new(branches),
+            commits: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
         }
+    }
+
+    /// Resolve a branch name to its slot. Holding the returned `Arc` keeps
+    /// the slot alive even across a concurrent `delete_branch`.
+    fn slot(&self, branch: &str) -> Result<Arc<BranchSlot<F::Index>>> {
+        self.branches.read().get(branch).cloned().ok_or(IndexError::Unsupported("unknown branch"))
     }
 
     /// Attach a branch head at an existing root (e.g. one recovered from a
     /// durable store's sidecar after a restart). Replaces the branch if it
     /// exists.
-    pub fn open_branch(&mut self, branch: &str, root: Hash) {
+    pub fn open_branch(&self, branch: &str, root: Hash) {
         let index = self.factory.open(self.server.clone(), root);
-        self.branches.insert(branch.to_string(), index);
-        self.client_views.lock().unwrap_or_else(|e| e.into_inner()).remove(branch);
+        self.branches.write().insert(branch.to_string(), Arc::new(BranchSlot::new(index)));
+    }
+
+    /// Flush the durable store per its fsync policy; pages written by an
+    /// un-flushed version are orphans for the next sweep.
+    fn flush_durable(&self) -> Result<()> {
+        if let Some(fs) = &self.durable {
+            fs.note_commit().map_err(|e| IndexError::Store(StoreError::io("fsync", e)))?;
+        }
+        Ok(())
+    }
+
+    /// The one optimistic publish-retry loop behind commits *and* merges:
+    /// `build` the next version against the observed head, flush
+    /// durability, then compare-and-swap the head under the slot's write
+    /// lock (held only for the pointer swap). A lost race re-`build`s
+    /// against the fresher head, bounded by [`MAX_COMMIT_ATTEMPTS`].
+    ///
+    /// Two details worth their lines: the head is cheaply re-checked
+    /// *before* the flush, so an attempt that already lost its race skips
+    /// a doomed fsync (under contention that halves the flush traffic);
+    /// and the fsync strictly precedes publication, so any head a reader
+    /// can observe — and anything this method returns — is durable. A
+    /// failed flush aborts with the head untouched.
+    ///
+    /// Returns `build`'s payload plus the number of races lost.
+    fn publish<T>(
+        &self,
+        slot: &BranchSlot<F::Index>,
+        mut build: impl FnMut(&F::Index) -> Result<(F::Index, T)>,
+    ) -> Result<(T, u32)> {
+        let mut attempts = 0u32;
+        loop {
+            let base = slot.head.read().clone();
+            let parent = base.root();
+            let (next, payload) = build(&base)?;
+            if slot.head.read().root() == parent {
+                self.flush_durable()?;
+                let mut head = slot.head.write();
+                if head.root() == parent {
+                    *head = next;
+                    self.commits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((payload, attempts));
+                }
+            }
+            // Lost the race: someone else's publication moved the head
+            // while we were building. Rebuild on top of theirs; the losing
+            // attempt's pages are unreferenced orphans for the next sweep.
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
+            attempts += 1;
+            if attempts >= MAX_COMMIT_ATTEMPTS {
+                return Err(IndexError::CommitContention { attempts });
+            }
+        }
     }
 
     /// Server-side atomic write batch (puts *and* deletes) to a branch;
     /// returns the new root digest. The primary write path — `put` and
-    /// `delete` are sugar over it.
-    pub fn commit(&mut self, branch: &str, batch: WriteBatch) -> Result<Hash> {
-        let index =
-            self.branches.get_mut(branch).ok_or(IndexError::Unsupported("unknown branch"))?;
-        let old_root = index.root();
-        let root = index.commit(batch)?;
-        // Acknowledge only once the fsync policy is satisfied: a durable
-        // engine's returned root is a *durable* root. On fsync failure the
-        // branch head rolls back — a failed commit must not be readable —
-        // and the already-written pages are orphans for the next sweep.
-        if let Some(fs) = &self.durable {
-            if let Err(e) = fs.note_commit() {
-                *index = index.at_root(old_root);
-                return Err(IndexError::Store(StoreError::io("fsync", e)));
-            }
-        }
-        Ok(root)
+    /// `delete` are sugar over it; [`Forkbase::commit_with_info`] exposes
+    /// the full commit receipt.
+    pub fn commit(&self, branch: &str, batch: WriteBatch) -> Result<Hash> {
+        self.commit_with_info(branch, batch).map(|info| info.root)
+    }
+
+    /// [`Forkbase::commit`], returning the full [`CommitInfo`] receipt —
+    /// the observed parent head, the published root, and how many head
+    /// races were lost on the way. The optimistic-concurrency mechanics
+    /// (build → flush → CAS, with bounded re-apply on lost races) live in
+    /// the shared publish loop; see its docs for the ordering guarantees.
+    pub fn commit_with_info(&self, branch: &str, batch: WriteBatch) -> Result<CommitInfo> {
+        let slot = self.slot(branch)?;
+        let ((parent, root), retries) = self.publish(&slot, |base| {
+            let parent = base.root();
+            let mut work = base.clone();
+            let root = work.commit(batch.clone())?;
+            Ok((work, (parent, root)))
+        })?;
+        Ok(CommitInfo { parent, root, retries })
     }
 
     /// Server-side batched insert to a branch; returns the new root digest.
-    pub fn put(&mut self, branch: &str, entries: Vec<Entry>) -> Result<Hash> {
+    pub fn put(&self, branch: &str, entries: Vec<Entry>) -> Result<Hash> {
         self.commit(branch, WriteBatch::from_entries(entries))
     }
 
     /// Delete keys from a branch; returns the new root digest.
     pub fn delete(
-        &mut self,
+        &self,
         branch: &str,
         keys: impl IntoIterator<Item = impl Into<Bytes>>,
     ) -> Result<Hash> {
@@ -157,26 +306,26 @@ impl<F: IndexFactory> Forkbase<F> {
     /// The persistent client-side view of a branch, read through the page
     /// cache *and* the view's decoded-node cache. When the branch head has
     /// moved the view is re-rooted in place, keeping both caches warm
-    /// (adjacent versions share most pages).
+    /// (adjacent versions share most pages). The view lock is per-branch
+    /// and held only to clone the handle out — never during traversal —
+    /// so concurrent readers neither serialize across branches nor block
+    /// each other for long within one.
     fn client_view(&self, branch: &str) -> Result<F::Index> {
-        let head = self.branches.get(branch).ok_or(IndexError::Unsupported("unknown branch"))?;
-        let root = head.root();
-        // Clone the handle out and drop the lock before traversing: handles
-        // are cheap (store + root + Arc'd cache) and concurrent readers
-        // must not serialize on the view map.
-        let mut views = self.client_views.lock().unwrap_or_else(|e| e.into_inner());
-        Ok(match views.get_mut(branch) {
-            Some(view) => {
-                if view.root() != root {
-                    *view = view.at_root(root);
+        let slot = self.slot(branch)?;
+        let root = slot.head.read().root();
+        let mut view = slot.view.lock();
+        Ok(match view.as_mut() {
+            Some(v) => {
+                if v.root() != root {
+                    *v = v.at_root(root);
                 }
-                view.clone()
+                v.clone()
             }
             None => {
                 let client_store: SharedStore = self.client_store.clone();
-                let view = self.factory.open(client_store, root);
-                views.insert(branch.to_string(), view.clone());
-                view
+                let v = self.factory.open(client_store, root);
+                *view = Some(v.clone());
+                v
             }
         })
     }
@@ -207,46 +356,55 @@ impl<F: IndexFactory> Forkbase<F> {
 
     /// Read bypassing the cache (server-side read, for comparisons).
     pub fn get_uncached(&self, branch: &str, key: &[u8]) -> Result<Option<Bytes>> {
-        let index = self.branches.get(branch).ok_or(IndexError::Unsupported("unknown branch"))?;
-        index.get(key)
+        self.slot(branch)?.head.read().get(key)
     }
 
     /// Fork `from` into a new branch `to` — O(1), pages fully shared.
-    pub fn fork(&mut self, from: &str, to: &str) -> Result<()> {
-        let index =
-            self.branches.get(from).ok_or(IndexError::Unsupported("unknown branch"))?.clone();
-        self.branches.insert(to.to_string(), index);
+    /// Replaces `to` if it exists.
+    pub fn fork(&self, from: &str, to: &str) -> Result<()> {
+        let head = self.slot(from)?.head.read().clone();
+        self.branches.write().insert(to.to_string(), Arc::new(BranchSlot::new(head)));
         Ok(())
     }
 
     /// Drop a branch head (and its client view). Pages stay in the store —
     /// they are content-addressed and may be shared with other branches;
     /// reclaiming unreachable ones is the offline GC's job. Other branches'
-    /// page sets are untouched by construction.
-    pub fn delete_branch(&mut self, branch: &str) -> Result<()> {
-        self.branches.remove(branch).ok_or(IndexError::Unsupported("unknown branch"))?;
-        self.client_views.lock().unwrap_or_else(|e| e.into_inner()).remove(branch);
-        Ok(())
+    /// page sets are untouched by construction. A commit racing the
+    /// deletion may still publish into the orphaned slot; its version
+    /// simply becomes unreachable with the branch, like a write to a file
+    /// unlinked underneath it.
+    pub fn delete_branch(&self, branch: &str) -> Result<()> {
+        self.branches
+            .write()
+            .remove(branch)
+            .map(drop)
+            .ok_or(IndexError::Unsupported("unknown branch"))
     }
 
     /// All branch names, sorted.
     pub fn branches(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.branches.keys().cloned().collect();
+        let mut names: Vec<String> = self.branches.read().keys().cloned().collect();
         names.sort_unstable();
         names
     }
 
-    /// Merge branch `other` into `into` (paper §4.1.4 semantics).
+    /// Merge branch `other` into `into` (paper §4.1.4 semantics). The
+    /// merge is computed against a snapshot of both heads and published
+    /// with the same compare-and-swap as commits: a concurrent commit to
+    /// `into` forces a re-merge rather than being silently overwritten.
     pub fn merge_branches(
-        &mut self,
+        &self,
         into: &str,
         other: &str,
         strategy: MergeStrategy,
     ) -> Result<MergeOutcome<F::Index>> {
-        let left = self.branches.get(into).ok_or(IndexError::Unsupported("unknown branch"))?;
-        let right = self.branches.get(other).ok_or(IndexError::Unsupported("unknown branch"))?;
-        let outcome = merge(left, right, strategy)?;
-        self.branches.insert(into.to_string(), outcome.merged.clone());
+        let into_slot = self.slot(into)?;
+        let right = self.slot(other)?.head.read().clone();
+        let (outcome, _) = self.publish(&into_slot, |left| {
+            let outcome = merge(left, &right, strategy)?;
+            Ok((outcome.merged.clone(), outcome))
+        })?;
         Ok(outcome)
     }
 
@@ -256,25 +414,29 @@ impl<F: IndexFactory> Forkbase<F> {
     /// the base and propagates them (edit-vs-delete conflicts resolve per
     /// `strategy`).
     pub fn merge_branches_with_base(
-        &mut self,
+        &self,
         into: &str,
         other: &str,
         base_root: Hash,
         strategy: MergeStrategy,
     ) -> Result<MergeOutcome<F::Index>> {
-        let left = self.branches.get(into).ok_or(IndexError::Unsupported("unknown branch"))?;
-        let right = self.branches.get(other).ok_or(IndexError::Unsupported("unknown branch"))?;
-        // The base is just another version in the shared store; re-rooting
-        // the left handle reads it through the same caches.
-        let base = left.at_root(base_root);
-        let outcome = merge_with_base(&base, left, right, strategy)?;
-        self.branches.insert(into.to_string(), outcome.merged.clone());
+        let into_slot = self.slot(into)?;
+        let right = self.slot(other)?.head.read().clone();
+        let (outcome, _) = self.publish(&into_slot, |left| {
+            // The base is just another version in the shared store;
+            // re-rooting the left handle reads it through the same caches.
+            let base = left.at_root(base_root);
+            let outcome = merge_with_base(&base, left, &right, strategy)?;
+            Ok((outcome.merged.clone(), outcome))
+        })?;
         Ok(outcome)
     }
 
-    /// The branch's current index handle (server-side view).
-    pub fn head(&self, branch: &str) -> Option<&F::Index> {
-        self.branches.get(branch)
+    /// The branch's current head handle (server-side view) — an owned
+    /// snapshot: immutable versions make a clone of the handle a
+    /// point-in-time view of the branch.
+    pub fn head(&self, branch: &str) -> Option<F::Index> {
+        Some(self.branches.read().get(branch)?.head.read().clone())
     }
 
     /// Client cache statistics: (hits, remote fetches, synthetic
@@ -291,11 +453,22 @@ impl<F: IndexFactory> Forkbase<F> {
         self.client_store.hit_ratio()
     }
 
+    /// Engine-level commit/conflict counters (the optimistic-concurrency
+    /// scoreboard).
+    pub fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+        }
+    }
+
     /// Reset the client cache (a "fresh client"): drops the cached pages
     /// *and* the per-branch client views with their decoded-node caches.
     pub fn reset_client(&self) {
         self.client_store.clear();
-        self.client_views.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        for slot in self.branches.read().values() {
+            *slot.view.lock() = None;
+        }
     }
 
     /// Server storage counters.
@@ -318,7 +491,7 @@ impl<F: IndexFactory> NomsEngine<F> {
     }
 
     /// Unbatched write path: one tree rebuild per record.
-    pub fn put(&mut self, branch: &str, entries: Vec<Entry>) -> Result<Hash> {
+    pub fn put(&self, branch: &str, entries: Vec<Entry>) -> Result<Hash> {
         let mut root = Hash::ZERO;
         for e in entries {
             root = self.inner.put(branch, vec![e])?;
@@ -348,7 +521,7 @@ mod tests {
 
     #[test]
     fn put_get_round_trip() {
-        let mut fb = Forkbase::new(PosFactory(PosParams::default()), 1_000);
+        let fb = Forkbase::new(PosFactory(PosParams::default()), 1_000);
         fb.put("master", entries(0..500)).unwrap();
         assert_eq!(fb.get("master", b"key00123").unwrap().unwrap().len(), 64);
         assert_eq!(fb.get("master", b"missing").unwrap(), None);
@@ -356,7 +529,7 @@ mod tests {
 
     #[test]
     fn client_cache_warms_up() {
-        let mut fb = Forkbase::new(PosFactory(PosParams::default()), 1_000);
+        let fb = Forkbase::new(PosFactory(PosParams::default()), 1_000);
         fb.put("master", entries(0..2000)).unwrap();
         fb.get("master", b"key00100").unwrap();
         let (_, misses_cold, nanos_cold) = fb.client_stats();
@@ -378,7 +551,7 @@ mod tests {
 
     #[test]
     fn client_view_persists_across_reads() {
-        let mut fb = Forkbase::new(PosFactory(PosParams::default()), 1_000);
+        let fb = Forkbase::new(PosFactory(PosParams::default()), 1_000);
         fb.put("master", entries(0..2000)).unwrap();
         fb.get("master", b"key00100").unwrap();
         let (hits_1, misses_1, _) = fb.client_stats();
@@ -403,7 +576,7 @@ mod tests {
 
     #[test]
     fn forks_share_pages_and_diverge() {
-        let mut fb = Forkbase::new(PosFactory(PosParams::default()), 0);
+        let fb = Forkbase::new(PosFactory(PosParams::default()), 0);
         fb.put("master", entries(0..300)).unwrap();
         fb.fork("master", "feature").unwrap();
         fb.put("feature", entries(300..350)).unwrap();
@@ -417,7 +590,7 @@ mod tests {
 
     #[test]
     fn merge_branches_combines_and_detects_conflicts() {
-        let mut fb = Forkbase::new(PosFactory(PosParams::default()), 0);
+        let fb = Forkbase::new(PosFactory(PosParams::default()), 0);
         fb.put("master", entries(0..100)).unwrap();
         fb.fork("master", "other").unwrap();
         fb.put("other", entries(100..120)).unwrap();
@@ -438,7 +611,7 @@ mod tests {
 
     #[test]
     fn unknown_branch_is_an_error() {
-        let mut fb = Forkbase::new(PosFactory(PosParams::default()), 0);
+        let fb = Forkbase::new(PosFactory(PosParams::default()), 0);
         assert!(fb.put("ghost", entries(0..1)).is_err());
         assert!(fb.get("ghost", b"k").is_err());
         assert!(fb.delete_branch("ghost").is_err());
@@ -447,7 +620,7 @@ mod tests {
 
     #[test]
     fn branch_deletes_flow_through_write_batches() {
-        let mut fb = Forkbase::new(PosFactory(PosParams::default()), 0);
+        let fb = Forkbase::new(PosFactory(PosParams::default()), 0);
         fb.put("master", entries(0..100)).unwrap();
         let before = fb.head("master").unwrap().root();
         fb.delete("master", [&b"key00042"[..]]).unwrap();
@@ -472,7 +645,7 @@ mod tests {
 
     #[test]
     fn three_way_merge_propagates_branch_deletions() {
-        let mut fb = Forkbase::new(PosFactory(PosParams::default()), 0);
+        let fb = Forkbase::new(PosFactory(PosParams::default()), 0);
         fb.put("master", entries(0..100)).unwrap();
         let base_root = fb.head("master").unwrap().root();
         fb.fork("master", "cleaning").unwrap();
@@ -518,7 +691,7 @@ mod tests {
 
     #[test]
     fn delete_branch_leaves_other_branches_pages_intact() {
-        let mut fb = Forkbase::new(PosFactory(PosParams::default()), 0);
+        let fb = Forkbase::new(PosFactory(PosParams::default()), 0);
         fb.put("master", entries(0..300)).unwrap();
         fb.fork("master", "doomed").unwrap();
         fb.put("doomed", entries(300..400)).unwrap();
@@ -537,7 +710,7 @@ mod tests {
 
     #[test]
     fn client_range_cursor_streams_in_key_order() {
-        let mut fb = Forkbase::new(PosFactory(PosParams::default()), 1_000);
+        let fb = Forkbase::new(PosFactory(PosParams::default()), 1_000);
         fb.put("master", entries(0..2000)).unwrap();
         use std::ops::Bound;
         let window: Vec<Entry> = fb
@@ -577,13 +750,12 @@ mod tests {
         let opts = FileStoreOptions { fsync: FsyncPolicy::OnCommit, ..FileStoreOptions::default() };
 
         let root = {
-            let mut fb =
+            let fb =
                 Forkbase::new_durable(PosFactory(PosParams::default()), &dir, opts, 0).unwrap();
             fb.put("master", entries(0..300)).unwrap()
         }; // "process exits" — the commit was fsynced before put returned
 
-        let mut fb =
-            Forkbase::new_durable(PosFactory(PosParams::default()), &dir, opts, 0).unwrap();
+        let fb = Forkbase::new_durable(PosFactory(PosParams::default()), &dir, opts, 0).unwrap();
         fb.open_branch("master", root);
         assert_eq!(fb.head("master").unwrap().len().unwrap(), 300);
         assert_eq!(fb.get("master", b"key00123").unwrap().unwrap().len(), 64);
@@ -593,9 +765,72 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_commits_to_disjoint_branches_never_conflict() {
+        let fb = Arc::new(Forkbase::new(PosFactory(PosParams::default()), 0));
+        for t in 0..4 {
+            fb.fork("master", &format!("b{t}")).unwrap();
+        }
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let fb = Arc::clone(&fb);
+                s.spawn(move || {
+                    let branch = format!("b{t}");
+                    for k in 0..10usize {
+                        let e = Entry::new(
+                            format!("t{t}-k{k:03}").into_bytes(),
+                            format!("v{t}-{k}").into_bytes(),
+                        );
+                        fb.put(&branch, vec![e]).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = fb.engine_stats();
+        assert_eq!(stats.commits, 40);
+        assert_eq!(stats.conflicts, 0, "disjoint branches must not contend");
+        for t in 0..4 {
+            assert_eq!(fb.head(&format!("b{t}")).unwrap().len().unwrap(), 10);
+        }
+    }
+
+    #[test]
+    fn contended_commits_all_land_exactly_once() {
+        let fb = Arc::new(Forkbase::new(PosFactory(PosParams::default()), 0));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let fb = Arc::clone(&fb);
+                s.spawn(move || {
+                    for k in 0..15usize {
+                        let e = Entry::new(
+                            format!("t{t}-k{k:03}").into_bytes(),
+                            format!("v{t}-{k}").into_bytes(),
+                        );
+                        let info = fb.commit_with_info("master", WriteBatch::from_entries(vec![e]));
+                        let info = info.unwrap();
+                        assert_ne!(info.parent, info.root, "a put must move the head");
+                    }
+                });
+            }
+        });
+        let stats = fb.engine_stats();
+        assert_eq!(stats.commits, 60);
+        let head = fb.head("master").unwrap();
+        assert_eq!(head.len().unwrap(), 60, "every batch applied exactly once");
+        for t in 0..4 {
+            for k in 0..15 {
+                let key = format!("t{t}-k{k:03}");
+                assert_eq!(
+                    fb.get_uncached("master", key.as_bytes()).unwrap().as_deref(),
+                    Some(format!("v{t}-{k}").as_bytes()),
+                );
+            }
+        }
+    }
+
+    #[test]
     fn noms_engine_writes_one_by_one_same_content() {
-        let mut noms = NomsEngine::new(PosFactory(PosParams::noms()), 0);
-        let mut fb = Forkbase::new(PosFactory(PosParams::noms()), 0);
+        let noms = NomsEngine::new(PosFactory(PosParams::noms()), 0);
+        let fb = Forkbase::new(PosFactory(PosParams::noms()), 0);
         let data = entries(0..200);
         noms.put("master", data.clone()).unwrap();
         fb.put("master", data).unwrap();

@@ -42,6 +42,18 @@ pub struct StoreStats {
     pub cache_misses: u64,
     /// Page-cache evictions (caching stores only).
     pub cache_evictions: u64,
+    /// Logical commits acknowledged at the *store* level (`note_commit`
+    /// calls that returned success on a durable store). Zero for
+    /// in-memory stores. An engine doing optimistic commits flushes
+    /// before its head CAS, so an attempt that acks here and then loses
+    /// the head race still counts — under contention this can exceed the
+    /// engine's published-commit count (`EngineStats::commits` is the
+    /// publication truth; the gap is flush traffic spent on lost races).
+    pub commits: u64,
+    /// Durability flushes of the active segment (fsyncs issued by the
+    /// fsync policy or an explicit `sync`). Under group commit this stays
+    /// below `commits`: concurrent committers share one flush.
+    pub fsyncs: u64,
 }
 
 impl StoreStats {
@@ -107,6 +119,8 @@ pub struct AtomicStoreStats {
     pub unique_bytes: AtomicU64,
     pub gets: AtomicU64,
     pub hits: AtomicU64,
+    pub commits: AtomicU64,
+    pub fsyncs: AtomicU64,
 }
 
 impl AtomicStoreStats {
@@ -131,6 +145,8 @@ impl AtomicStoreStats {
             unique_bytes: self.unique_bytes.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
             ..StoreStats::default()
         }
     }
@@ -160,6 +176,8 @@ mod tests {
             cache_hits: 3,
             cache_misses: 1,
             cache_evictions: 0,
+            commits: 5,
+            fsyncs: 2,
         };
         assert!((s.dedup_savings() - 0.75).abs() < 1e-12);
         assert!((s.hit_rate() - 0.9).abs() < 1e-12);

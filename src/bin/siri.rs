@@ -17,7 +17,8 @@
 //! The head pointer and history live in a sidecar file `<db>.head` (the
 //! segmented page store is content-addressed and append-only, so the
 //! sidecar is the only mutable state). Mutating commands fsync before they
-//! acknowledge — `--fsync never|commit|every=N` tunes that.
+//! acknowledge — `--fsync never|commit|every=N|group=MS` tunes that
+//! (`group` batches concurrent committers into one fsync per MS-long tick).
 
 use std::sync::Arc;
 
@@ -26,7 +27,7 @@ use siri_store::{FileStore, FileStoreOptions, FsyncPolicy};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: siri --db <path> [--fsync never|commit|every=N] <command>\n\
+        "usage: siri --db <path> [--fsync never|commit|every=N|group=MS] <command>\n\
          commands:\n\
          \x20 put <key> <value>      write one record (creates a version)\n\
          \x20 del <key>              delete one record (creates a version)\n\
@@ -297,6 +298,8 @@ fn main() {
             println!("dedup savings  {:.1}%", s.dedup_savings() * 100.0);
             println!("disk bytes     {}", fs.disk_bytes());
             println!("segments       {}", fs.segment_count());
+            println!("commits        {}", s.commits);
+            println!("fsyncs         {}", s.fsyncs);
             if !head_root.is_zero() {
                 let reopened = PosTree::open(store, params, head_root);
                 match reopened.len() {

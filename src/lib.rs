@@ -47,18 +47,18 @@
 
 pub use siri_core::{
     apply_ops, cost_model, diff_by_scan, diff_sorted_entries, entry_codec, merge, merge_with_base,
-    metrics, prefix_successor, siri_properties, BatchOp, Bytes, CacheStats, DiffEntry, DiffSide,
-    Entry, EntryCursor, Hash, IndexError, LookupTrace, MemStore, MergeOutcome, MergeStrategy,
-    NodeStore, Op, PageSet, Proof, ProofVerdict, Reclaim, Result, SharedStore, SiriIndex,
-    StoreError, StoreResult, StoreStats, StructureReport, StructureStats, VersionStore, VersionTag,
-    WriteBatch,
+    metrics, prefix_successor, siri_properties, BatchOp, Bytes, CacheStats, CommitInfo, DiffEntry,
+    DiffSide, Entry, EntryCursor, Hash, IndexError, LookupTrace, MemStore, MergeOutcome,
+    MergeStrategy, NodeStore, Op, PageSet, Proof, ProofVerdict, Reclaim, Result, SharedStore,
+    SiriIndex, StoreError, StoreResult, StoreStats, StructureReport, StructureStats, VersionStore,
+    VersionTag, WriteBatch,
 };
 
 pub use siri_crypto as crypto;
 pub use siri_encoding as encoding;
 pub use siri_forkbase::{
-    Forkbase, IndexFactory, MbtFactory, MptFactory, MvmbFactory, NomsEngine, PosFactory,
-    DEFAULT_FETCH_COST_NANOS,
+    EngineStats, Forkbase, IndexFactory, MbtFactory, MptFactory, MvmbFactory, NomsEngine,
+    PosFactory, DEFAULT_FETCH_COST_NANOS, MAX_COMMIT_ATTEMPTS,
 };
 pub use siri_mbt::{MerkleBucketTree, DEFAULT_BUCKETS, DEFAULT_FANOUT};
 pub use siri_mpt::MerklePatriciaTrie;
