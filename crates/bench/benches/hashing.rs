@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the SHA-256 backends — the content-
+//! addressing primitive underneath every page write. Measures one-shot
+//! digest throughput and the multi-lane [`hash_many`] batch path, on the
+//! scalar backend and (when the CPU has crypto extensions) the accelerated
+//! one, at the page sizes the index structures actually emit (~1 KB nodes,
+//! §5's tuning) plus a large-buffer ceiling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use siri::crypto::{available_backends, digest_with, hash_many_with};
+
+fn bench_hashing(c: &mut Criterion) {
+    // HASHING_SMOKE=1 (CI) trims samples and the large-buffer size: the
+    // point there is that the kernels run and report, not tight numbers.
+    let smoke = std::env::var_os("HASHING_SMOKE").is_some();
+    let samples = if smoke { 10 } else { 20 };
+    let oneshot_sizes: &[usize] = if smoke { &[1 << 10] } else { &[1 << 10, 64 << 10] };
+
+    // One-shot digest throughput per backend and input size.
+    for &size in oneshot_sizes {
+        let buf: Vec<u8> = (0..size).map(|i| (i * 31 % 251) as u8).collect();
+        let mut group = c.benchmark_group(format!("sha256_oneshot_{}b", size));
+        group.sample_size(samples);
+        group.throughput(Throughput::Bytes(size as u64));
+        for backend in available_backends() {
+            group.bench_function(BenchmarkId::from_parameter(backend.name()), |b| {
+                b.iter(|| std::hint::black_box(digest_with(backend, &buf)))
+            });
+        }
+        group.finish();
+    }
+
+    // Sibling-batch hashing: 32 pages of ~1 KB, the shape an index commit
+    // hands to the store. Compares the multi-lane path against a
+    // sequential per-page loop on every backend.
+    let pages: Vec<Vec<u8>> =
+        (0..32usize).map(|p| (0..1024).map(|i| ((i * 31 + p * 7) % 251) as u8).collect()).collect();
+    let views: Vec<&[u8]> = pages.iter().map(|p| p.as_slice()).collect();
+    let total: u64 = pages.iter().map(|p| p.len() as u64).sum();
+    let mut group = c.benchmark_group("sha256_batch_32x1k");
+    group.sample_size(samples);
+    group.throughput(Throughput::Bytes(total));
+    for backend in available_backends() {
+        group.bench_function(BenchmarkId::new("multi_lane", backend.name()), |b| {
+            b.iter(|| std::hint::black_box(hash_many_with(backend, &views)))
+        });
+        group.bench_function(BenchmarkId::new("sequential", backend.name()), |b| {
+            b.iter(|| {
+                let out: Vec<_> = views.iter().map(|v| digest_with(backend, v)).collect();
+                std::hint::black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

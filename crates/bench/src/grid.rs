@@ -220,6 +220,8 @@ pub fn run_cell(workload: &str, backend: Backend, cfg: RunConfig) -> Report {
         seed: cfg.seed,
         node_bytes: cfg.node_bytes as u64,
         calibration_hash_mbps: calibrate_hash_mbps(),
+        sha256_backend: siri::crypto::active_backend().name().to_string(),
+        chunker: crate::harness::chunker_kind().name().to_string(),
         indexes,
     }
 }

@@ -6,11 +6,11 @@
 //! that `bench-diff` and CI consume. The schema is append-only: bump
 //! [`BENCH_SCHEMA_VERSION`] when a field changes meaning, never silently.
 //!
-//! Schema (v1), all fields required:
+//! Schema (v2), all fields required:
 //!
 //! ```text
 //! { schema_version, experiment, workload, backend, scale, records, ops,
-//!   seed, node_bytes, calibration_hash_mbps,
+//!   seed, node_bytes, calibration_hash_mbps, sha256_backend, chunker,
 //!   indexes: [ { index,
 //!     load:      { entries, commits, entries_per_sec, payload_bytes,
 //!                  bytes_written, write_amplification,
@@ -31,7 +31,12 @@ use std::path::{Path, PathBuf};
 use crate::table::{mib, ratio, Json, Table};
 
 /// Version stamp of the BENCH artifact schema.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added `sha256_backend` (scalar / sha-ni / neon) and `chunker`
+/// (buzhash / gear): throughput depends heavily on whether hashing ran
+/// hardware-accelerated, so comparing a scalar baseline against a sha-ni
+/// run (or vice versa) is a configuration mismatch, not a perf delta.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Latency percentiles of one op verb (µs).
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +106,13 @@ pub struct Report {
     /// baseline committed from a fast laptop still gates meaningfully on a
     /// slower CI runner (and vice versa).
     pub calibration_hash_mbps: f64,
+    /// Active SHA-256 implementation (`scalar`, `sha-ni`, `neon`) — part of
+    /// the measurement configuration: accelerated and scalar runs are not
+    /// comparable.
+    pub sha256_backend: String,
+    /// POS-Tree sliding-window chunker (`buzhash`, `gear`). Different
+    /// chunkers place different boundaries and produce different trees.
+    pub chunker: String,
     pub indexes: Vec<IndexReport>,
 }
 
@@ -129,6 +141,8 @@ impl Report {
             ("seed".into(), Json::u64(self.seed)),
             ("node_bytes".into(), Json::u64(self.node_bytes)),
             ("calibration_hash_mbps".into(), Json::num(self.calibration_hash_mbps)),
+            ("sha256_backend".into(), Json::str(&self.sha256_backend)),
+            ("chunker".into(), Json::str(&self.chunker)),
             ("indexes".into(), Json::Arr(self.indexes.iter().map(IndexReport::to_json).collect())),
         ])
     }
@@ -169,6 +183,8 @@ impl Report {
             seed: req_u64(doc, "seed")?,
             node_bytes: req_u64(doc, "node_bytes")?,
             calibration_hash_mbps: req_f64(doc, "calibration_hash_mbps")?,
+            sha256_backend: req_str(doc, "sha256_backend")?,
+            chunker: req_str(doc, "chunker")?,
             indexes,
         })
     }
@@ -417,7 +433,7 @@ impl std::fmt::Display for Regression {
 /// `bench-diff` refuses such pairs (the fix is regenerating the
 /// baseline, not reading bogus deltas).
 pub fn config_mismatch(base: &Report, new: &Report) -> Option<String> {
-    let fields: [(&str, String, String); 7] = [
+    let fields: [(&str, String, String); 9] = [
         ("experiment", base.experiment.clone(), new.experiment.clone()),
         ("workload", base.workload.clone(), new.workload.clone()),
         ("backend", base.backend.clone(), new.backend.clone()),
@@ -425,6 +441,11 @@ pub fn config_mismatch(base: &Report, new: &Report) -> Option<String> {
         ("records", base.records.to_string(), new.records.to_string()),
         ("ops", base.ops.to_string(), new.ops.to_string()),
         ("seed", base.seed.to_string(), new.seed.to_string()),
+        // A scalar-hashing run against a sha-ni baseline (or a gear tree
+        // against a buzhash one) measures a different system; the
+        // calibration clamp cannot absorb that, so refuse outright.
+        ("sha256_backend", base.sha256_backend.clone(), new.sha256_backend.clone()),
+        ("chunker", base.chunker.clone(), new.chunker.clone()),
     ];
     fields
         .iter()
@@ -665,6 +686,8 @@ mod tests {
             seed: 42,
             node_bytes: 1024,
             calibration_hash_mbps: 800.0,
+            sha256_backend: "scalar".into(),
+            chunker: "buzhash".into(),
             indexes: vec![
                 sample_index("pos-tree", ops_per_sec, unique_bytes),
                 sample_index("mpt", ops_per_sec * 2.0, unique_bytes),
@@ -787,6 +810,18 @@ mod tests {
         let mut other_machine = base.clone();
         other_machine.calibration_hash_mbps = 99.0;
         assert_eq!(config_mismatch(&base, &other_machine), None);
+    }
+
+    #[test]
+    fn hash_backend_and_chunker_mismatches_refuse_comparison() {
+        let base = sample_report(80_000.0, 400_000);
+        let mut accel = base.clone();
+        accel.sha256_backend = "sha-ni".into();
+        let msg = config_mismatch(&base, &accel).unwrap();
+        assert!(msg.contains("sha256_backend"), "{msg}");
+        let mut gear = base.clone();
+        gear.chunker = "gear".into();
+        assert!(config_mismatch(&base, &gear).unwrap().contains("chunker"));
     }
 
     #[test]

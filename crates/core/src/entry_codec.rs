@@ -34,14 +34,27 @@ pub fn entry_encoded_len(entry: &Entry) -> usize {
         + entry.value.len()
 }
 
-/// Serialize a run of entries (count-prefixed).
-pub fn encode_entries(entries: &[Entry]) -> Vec<u8> {
-    let payload: usize = entries.iter().map(entry_encoded_len).sum();
-    let mut w = ByteWriter::with_capacity(payload + 5);
+/// Exact encoded size of [`encode_entries`]' output — used to pre-size
+/// node buffers to their final length in one allocation.
+pub fn entries_encoded_len(entries: &[Entry]) -> usize {
+    siri_encoding::varint::len(entries.len() as u64)
+        + entries.iter().map(entry_encoded_len).sum::<usize>()
+}
+
+/// Serialize a run of entries (count-prefixed) into an existing writer —
+/// the allocation-free path node codecs use: the run lands directly in the
+/// node's page buffer instead of transiting a temporary `Vec`.
+pub fn encode_entries_into(w: &mut ByteWriter, entries: &[Entry]) {
     w.put_varint(entries.len() as u64);
     for e in entries {
-        write_entry(&mut w, e);
+        write_entry(w, e);
     }
+}
+
+/// Serialize a run of entries (count-prefixed).
+pub fn encode_entries(entries: &[Entry]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(entries_encoded_len(entries));
+    encode_entries_into(&mut w, entries);
     w.into_vec()
 }
 
@@ -114,6 +127,13 @@ mod tests {
         let mut w = ByteWriter::new();
         write_entry(&mut w, &entry);
         assert_eq!(w.len(), entry_encoded_len(&entry));
+    }
+
+    #[test]
+    fn entries_encoded_len_is_exact() {
+        for run in [vec![], vec![e(b"k", b"v")], vec![e(b"alpha", &[1u8; 300]), e(b"", b"")]] {
+            assert_eq!(encode_entries(&run).len(), entries_encoded_len(&run));
+        }
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! Everything in this crate is implemented from scratch so the repository has
 //! no external cryptography dependencies:
 //!
-//! * [`sha256()`] — FIPS 180-4 SHA-256, the content address of every index page.
+//! * [`sha256()`] — FIPS 180-4 SHA-256, the content address of every index
+//!   page, with runtime-dispatched hardware backends (SHA-NI / NEON) and a
+//!   multi-lane [`hash_many`] for batches of sibling pages.
 //! * [`struct@Hash`] — a 32-byte digest with hex formatting and ordering.
 //! * [`rolling`] — a Rabin-style rolling fingerprint over a sliding window,
 //!   the boundary detector used by POS-Tree leaf chunking (§3.4.3 of the
@@ -22,5 +24,8 @@ mod digest;
 
 pub use digest::Hash;
 pub use fasthash::{fx_hash_bytes, FxHashMap, FxHashSet, FxHasher};
-pub use rolling::{RollingHash, DEFAULT_WINDOW};
-pub use sha256::{sha256, Sha256};
+pub use rolling::{GearHash, RollingHash, DEFAULT_WINDOW, GEAR_WINDOW};
+pub use sha256::{
+    active_backend, available_backends, digest_with, hash_many, hash_many_with, sha256, Sha256,
+    Sha256Backend,
+};

@@ -119,13 +119,107 @@ impl RollingHash {
         self.filled >= self.window
     }
 
-    /// Reset to the empty state, keeping the window size.
+    /// Reset to the empty state, keeping the window size *and the ring
+    /// allocation*. O(1): stale ring contents need no clearing because
+    /// `push` only reads an expelled byte once `filled == window`, by which
+    /// point every slot has been freshly written. Chunkers reset at every
+    /// node boundary, so this runs once per chunk on the build hot path.
     pub fn reset(&mut self) {
-        self.ring.iter_mut().for_each(|b| *b = 0);
         self.head = 0;
         self.filled = 0;
         self.value = 0;
     }
+}
+
+/// Gear rolling hash — the fast content-defined-chunking fingerprint
+/// (Xia et al., FastCDC): one table lookup, one shift, one add per byte,
+/// and no ring buffer at all. The window is implicit: after `k` pushes,
+/// bit `b` of the value depends only on the last `b + 1` bytes, so the
+/// *high* bits carry a ~64-byte effective window while the low bits
+/// remember almost nothing. Boundary tests against a gear fingerprint must
+/// therefore mask the **top** bits ([`GearHash::mask_high`]), unlike the
+/// buzhash whose cyclic rotation keeps all 64 bits uniform.
+///
+/// Chunk boundaries produced by gear differ from buzhash boundaries, so
+/// the POS-Tree exposes the chunker choice as an explicit parameter
+/// (`ChunkerKind`): existing trees keep buzhash and their digests; gear is
+/// opt-in for new trees.
+#[derive(Clone, Default)]
+pub struct GearHash {
+    value: u64,
+    /// Bytes pushed since the last reset, saturating at the warm-up point.
+    fed: u32,
+}
+
+/// Effective window of the gear fingerprint's top bit, and hence the
+/// warm-up length before boundary tests are meaningful. Public so chunkers
+/// can compute skip-ahead distances (bytes further than this before the
+/// first tested position cannot influence any tested fingerprint).
+pub const GEAR_WINDOW: u32 = 64;
+
+impl GearHash {
+    pub fn new() -> Self {
+        GearHash { value: 0, fed: 0 }
+    }
+
+    /// Mask selecting the top `bits` bits — the boundary test for an
+    /// expected chunk size of 2^bits bytes is
+    /// `fingerprint & mask == mask`.
+    pub fn mask_high(bits: u32) -> u64 {
+        debug_assert!(bits > 0 && bits < 64);
+        ((1u64 << bits) - 1) << (64 - bits)
+    }
+
+    /// Slide forward by one byte.
+    #[inline]
+    pub fn push(&mut self, byte: u8) {
+        self.value = (self.value << 1).wrapping_add(gear_table()[byte as usize]);
+        self.fed = (self.fed + 1).min(GEAR_WINDOW);
+    }
+
+    #[inline]
+    pub fn push_slice(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.push(b);
+        }
+    }
+
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.value
+    }
+
+    /// Whether enough bytes have been pushed for the high bits to carry a
+    /// full window of history.
+    #[inline]
+    pub fn is_warm(&self) -> bool {
+        self.fed >= GEAR_WINDOW
+    }
+
+    pub fn reset(&mut self) {
+        self.value = 0;
+        self.fed = 0;
+    }
+}
+
+/// Gear byte table: independent of the buzhash table (different SplitMix64
+/// seed) so the two chunkers cannot accidentally correlate. Fixed seed ⇒
+/// boundaries stable across runs and platforms.
+fn gear_table() -> &'static [u64; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut state: u64 = 0xD1B5_4A32_D192_ED03;
+        let mut table = [0u64; 256];
+        for slot in table.iter_mut() {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        table
+    })
 }
 
 /// Convenience: fingerprint of the last `window` bytes of `data` (or of all
@@ -193,6 +287,66 @@ mod tests {
         }
         let rate = hits as f64 / N as f64;
         assert!((rate - 1.0 / 64.0).abs() < 0.006, "boundary rate {rate} too far from 1/64");
+    }
+
+    #[test]
+    fn gear_high_bits_are_roughly_uniform() {
+        // The gear boundary test uses the top bits; their hit rate over a
+        // pseudo-random stream must sit near the design probability.
+        let mut g = GearHash::new();
+        let mask = GearHash::mask_high(6);
+        let mut hits = 0u32;
+        let mut x: u64 = 42;
+        const N: u32 = 200_000;
+        for _ in 0..N {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            g.push((x >> 33) as u8);
+            if g.is_warm() && g.fingerprint() & mask == mask {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / N as f64;
+        assert!((rate - 1.0 / 64.0).abs() < 0.006, "gear boundary rate {rate} too far from 1/64");
+    }
+
+    #[test]
+    fn gear_depends_only_on_recent_bytes() {
+        // Two streams sharing their last 64 bytes must agree on the
+        // fingerprint's top bits (the only bits boundary tests consult).
+        let tail: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37)).collect();
+        let mut a = GearHash::new();
+        a.push_slice(b"a completely different long prefix stream 123456");
+        a.push_slice(&tail);
+        let mut b = GearHash::new();
+        b.push_slice(&tail);
+        let mask = GearHash::mask_high(12);
+        assert_eq!(a.fingerprint() & mask, b.fingerprint() & mask);
+    }
+
+    #[test]
+    fn gear_reset_restores_initial_state() {
+        let mut g = GearHash::new();
+        g.push_slice(b"warm me up with plenty of bytes to cross the window mark....1234");
+        assert!(g.is_warm());
+        g.reset();
+        assert_eq!(g.fingerprint(), 0);
+        assert!(!g.is_warm());
+    }
+
+    #[test]
+    fn buzhash_reset_is_equivalent_to_fresh_state() {
+        // reset() no longer zeroes the ring; the stale contents must be
+        // invisible: a reset roller must produce identical fingerprints to
+        // a brand-new one on every prefix.
+        let mut used = RollingHash::new(16);
+        used.push_slice(&(0..200u8).collect::<Vec<_>>());
+        used.reset();
+        let mut fresh = RollingHash::new(16);
+        for b in 0..100u8 {
+            used.push(b);
+            fresh.push(b);
+            assert_eq!(used.fingerprint(), fresh.fingerprint(), "after byte {b}");
+        }
     }
 
     #[test]

@@ -16,4 +16,4 @@ pub mod varint;
 
 pub use nibble::Nibbles;
 pub use rlp::{RlpError, RlpItem};
-pub use rw::{ByteReader, ByteWriter, CodecError};
+pub use rw::{ByteReader, ByteWriter, CodecError, Scratch};

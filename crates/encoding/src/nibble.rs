@@ -104,6 +104,19 @@ impl Nibbles {
     /// Even paths get a zero pad nibble after the flag so the result is
     /// whole bytes.
     pub fn hex_prefix_encode(&self, is_leaf: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.hex_prefix_encoded_len());
+        self.hex_prefix_encode_into(is_leaf, &mut out);
+        out
+    }
+
+    /// Exact byte length of [`Nibbles::hex_prefix_encode`]'s output.
+    pub fn hex_prefix_encoded_len(&self) -> usize {
+        self.0.len() / 2 + 1
+    }
+
+    /// Stream the hex-prefix encoding into `out` — no temporary nibble
+    /// buffer, used by allocation-free node codecs.
+    pub fn hex_prefix_encode_into(&self, is_leaf: bool, out: &mut Vec<u8>) {
         let odd = self.0.len() % 2 == 1;
         let flag: u8 = match (is_leaf, odd) {
             (false, false) => 0x0,
@@ -111,13 +124,16 @@ impl Nibbles {
             (true, false) => 0x2,
             (true, true) => 0x3,
         };
-        let mut nibs = Vec::with_capacity(self.0.len() + 2);
-        nibs.push(flag);
-        if !odd {
-            nibs.push(0);
+        let mut rest: &[u8] = &self.0;
+        if odd {
+            out.push(flag << 4 | rest[0]);
+            rest = &rest[1..];
+        } else {
+            out.push(flag << 4);
         }
-        nibs.extend_from_slice(&self.0);
-        nibs.chunks_exact(2).map(|p| p[0] << 4 | p[1]).collect()
+        for pair in rest.chunks_exact(2) {
+            out.push(pair[0] << 4 | pair[1]);
+        }
     }
 
     /// Decode a hex-prefix encoding; returns the path and the leaf flag.
@@ -202,6 +218,7 @@ mod tests {
             for leaf in [false, true] {
                 let p = Nibbles::from_raw((0..len).map(|i| (i % 16) as u8).collect());
                 let enc = p.hex_prefix_encode(leaf);
+                assert_eq!(enc.len(), p.hex_prefix_encoded_len());
                 let (dec, dec_leaf) = Nibbles::hex_prefix_decode(&enc).unwrap();
                 assert_eq!(dec, p, "len {len} leaf {leaf}");
                 assert_eq!(dec_leaf, leaf);

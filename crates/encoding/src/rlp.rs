@@ -177,6 +177,54 @@ fn prefix_len(payload: usize) -> usize {
     }
 }
 
+/// Exact encoded length of `payload` as an RLP string, including the
+/// single-byte literal form.
+pub fn str_encoded_len(payload: &[u8]) -> usize {
+    if payload.len() == 1 && payload[0] < 0x80 {
+        1
+    } else {
+        prefix_len(payload.len()) + payload.len()
+    }
+}
+
+/// Stream one RLP string into `out` — the allocation-free counterpart of
+/// `RlpItem::bytes(..).encode_into(..)` for codecs that already hold the
+/// payload as a slice.
+pub fn write_str(out: &mut Vec<u8>, payload: &[u8]) {
+    if payload.len() == 1 && payload[0] < 0x80 {
+        out.push(payload[0]);
+    } else {
+        write_prefix(out, 0x80, payload.len());
+        out.extend_from_slice(payload);
+    }
+}
+
+/// Length of a string header for a `payload_len`-byte payload. Only valid
+/// when the string does *not* take the single-byte literal form (i.e.
+/// `payload_len != 1` or the byte is ≥ 0x80); [`write_str_header`] has the
+/// same precondition.
+pub fn str_header_len(payload_len: usize) -> usize {
+    prefix_len(payload_len)
+}
+
+/// Write a string header so the caller can assemble the payload in place
+/// (e.g. a marker byte followed by a borrowed value, with no intermediate
+/// buffer). See [`str_header_len`] for the single-byte-form precondition.
+pub fn write_str_header(out: &mut Vec<u8>, payload_len: usize) {
+    write_prefix(out, 0x80, payload_len);
+}
+
+/// Length of a list header for a `payload_len`-byte payload.
+pub fn list_header_len(payload_len: usize) -> usize {
+    prefix_len(payload_len)
+}
+
+/// Write a list header; the caller then streams the `payload_len` bytes of
+/// already-encoded items.
+pub fn write_list_header(out: &mut Vec<u8>, payload_len: usize) {
+    write_prefix(out, 0xc0, payload_len);
+}
+
 fn be_len(v: usize) -> usize {
     (usize::BITS as usize / 8) - v.leading_zeros() as usize / 8
 }
@@ -487,6 +535,38 @@ mod tests {
         // Ranges agree with decode_partial on every canonical node-like list.
         let probe = RlpItem::list(vec![RlpItem::bytes(vec![7u8; 56]); 2]).encode();
         assert_eq!(flat_list_ranges(&probe).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn streaming_writers_match_item_encoder() {
+        for payload in
+            [vec![], vec![0x05], vec![0x80], b"short".to_vec(), vec![7u8; 55], vec![7u8; 300]]
+        {
+            let via_item = RlpItem::bytes(payload.clone()).encode();
+            let mut streamed = Vec::new();
+            write_str(&mut streamed, &payload);
+            assert_eq!(streamed, via_item);
+            assert_eq!(str_encoded_len(&payload), via_item.len());
+            // Split header/payload form agrees whenever it is legal.
+            if payload.len() != 1 || payload[0] >= 0x80 {
+                let mut split = Vec::new();
+                write_str_header(&mut split, payload.len());
+                assert_eq!(split.len(), str_header_len(payload.len()));
+                split.extend_from_slice(&payload);
+                assert_eq!(split, via_item);
+            }
+        }
+        // List headers agree with the item encoder on both header forms.
+        for n in [0usize, 3, 55, 56, 300] {
+            let items = vec![RlpItem::bytes(vec![0x05u8]); n];
+            let via_item = RlpItem::list(items).encode();
+            let payload = n; // each 0x05 is a single-byte literal
+            let mut streamed = Vec::new();
+            write_list_header(&mut streamed, payload);
+            assert_eq!(streamed.len(), list_header_len(payload));
+            streamed.extend(std::iter::repeat_n(0x05u8, n));
+            assert_eq!(streamed, via_item);
+        }
     }
 
     #[test]

@@ -88,6 +88,78 @@ impl ByteWriter {
     pub fn into_vec(self) -> Vec<u8> {
         self.buf
     }
+
+    /// The bytes written so far, without consuming the writer — the read
+    /// side of buffer reuse: encode, hand the slice to the store, clear,
+    /// encode the next node into the same allocation.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Forget the contents, keep the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Grow the backing buffer to at least `cap` total capacity.
+    pub fn reserve_total(&mut self, cap: usize) {
+        if self.buf.capacity() < cap {
+            self.buf.reserve(cap - self.buf.len());
+        }
+    }
+
+    /// Mutable access to the backing buffer, for codecs that stream into a
+    /// plain `Vec<u8>` (the RLP writers) while still reusing this writer's
+    /// allocation across nodes.
+    pub fn buf_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+/// A reusable encode buffer threaded through an index commit.
+///
+/// Commit paths serialize one node after another; without reuse every node
+/// costs a fresh `Vec` that lives only long enough to be hashed (the page
+/// itself is only copied into the store when it is *new* — deduplicated
+/// pages never need an owned copy at all). A `Scratch` owns one buffer for
+/// the whole commit:
+///
+/// ```
+/// # use siri_encoding::Scratch;
+/// let mut scratch = Scratch::new();
+/// let w = scratch.start();       // cleared writer, capacity retained
+/// w.put_bytes(b"node body");
+/// let page: &[u8] = scratch.bytes(); // borrow ends before the next start()
+/// # assert_eq!(page.len(), 10);
+/// ```
+///
+/// Ownership rule: the scratch belongs to exactly one commit call chain —
+/// it is created per commit (or owned by a single-threaded builder) and
+/// never shared across threads or stored in nodes. Callers must copy out
+/// of [`Scratch::bytes`] anything that outlives the next [`Scratch::start`].
+#[derive(Default)]
+pub struct Scratch {
+    w: ByteWriter,
+}
+
+impl Scratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin encoding a node: returns the writer, cleared but with its
+    /// allocation intact.
+    pub fn start(&mut self) -> &mut ByteWriter {
+        self.w.clear();
+        &mut self.w
+    }
+
+    /// The encoded bytes of the node most recently built via [`start`].
+    ///
+    /// [`start`]: Scratch::start
+    pub fn bytes(&self) -> &[u8] {
+        self.w.as_slice()
+    }
 }
 
 /// Cursor-style reader; every accessor is checked.

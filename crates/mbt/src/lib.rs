@@ -80,24 +80,25 @@ impl MerkleBucketTree {
         let mut level: Vec<Hash> = vec![bucket_hash; buckets];
 
         while level.len() > 1 {
-            // All-equal children mean at most two distinct parent pages per
-            // level (full nodes and one ragged tail) — memoize the puts.
-            let mut memo: FxHashMap<usize, Hash> = FxHashMap::default();
-            let mut next = Vec::with_capacity(level.len().div_ceil(fanout));
+            // Lower levels repeat a handful of distinct child runs (full
+            // nodes plus ragged tails), so memoize pages by their *content*
+            // and persist the distinct ones as a single multi-lane batch.
+            // (An earlier revision keyed the memo by chunk length, which
+            // conflates e.g. [full, full] with [full, tail] on ragged
+            // shapes like 9 buckets × fanout 2.)
+            let mut memo: FxHashMap<&[Hash], usize> = FxHashMap::default();
+            let mut pages: Vec<Bytes> = Vec::new();
+            let mut slots = Vec::with_capacity(level.len().div_ceil(fanout));
             for chunk in level.chunks(fanout) {
-                let h = match memo.get(&chunk.len()) {
-                    Some(h) => *h,
-                    None => {
-                        let node =
-                            Node::Internal { buckets: b, fanout: m, children: chunk.to_vec() };
-                        let h = store.try_put(node.encode())?;
-                        memo.insert(chunk.len(), h);
-                        h
-                    }
-                };
-                next.push(h);
+                let slot = *memo.entry(chunk).or_insert_with(|| {
+                    let node = Node::Internal { buckets: b, fanout: m, children: chunk.to_vec() };
+                    pages.push(node.encode());
+                    pages.len() - 1
+                });
+                slots.push(slot);
             }
-            level = next;
+            let hashes = store.try_put_many(&pages)?;
+            level = slots.into_iter().map(|s| hashes[s]).collect();
         }
         let root = level[0];
         Ok(MerkleBucketTree {
@@ -335,12 +336,19 @@ impl SiriIndex for MerkleBucketTree {
         // for life), so content addressing collapses it back onto the page
         // every empty bucket shares — delete-then-reinsert restores the
         // identical root.
+        // All rewritten buckets are persisted as one sibling batch: the
+        // store digests the batch with the multi-lane hasher before taking
+        // any shard lock.
         let mut changed: FxHashMap<topology::NodeId, Hash> = FxHashMap::default();
+        let mut bucket_pages = Vec::with_capacity(per_bucket.len());
         for (bucket, bucket_ops) in &per_bucket {
             let old = self.bucket_entries(*bucket)?;
             let merged = apply_ops(&old, bucket_ops);
-            let page = Node::Bucket { buckets: b, fanout: m, entries: merged }.encode();
-            changed.insert((0, *bucket), self.store.try_put(page)?);
+            bucket_pages.push(Node::Bucket { buckets: b, fanout: m, entries: merged }.encode());
+        }
+        let hashes = self.store.try_put_many(&bucket_pages)?;
+        for (bucket, h) in per_bucket.keys().zip(hashes) {
+            changed.insert((0, *bucket), h);
         }
 
         // Propagate new hashes level by level ("the hashes of the bucket
@@ -351,6 +359,10 @@ impl SiriIndex for MerkleBucketTree {
                 .filter(|(l, _)| *l == level - 1)
                 .map(|(_, idx)| idx / self.topo.fanout())
                 .collect();
+            // Parents on one level are siblings of each other: encode them
+            // all, then put them as one batch.
+            let mut parent_ids = Vec::with_capacity(parents.len());
+            let mut parent_pages = Vec::with_capacity(parents.len());
             for parent in parents {
                 let id = (level, parent);
                 // Load the old parent via the path of its leftmost bucket.
@@ -370,8 +382,12 @@ impl SiriIndex for MerkleBucketTree {
                         *child = *h;
                     }
                 }
-                let page = Node::Internal { buckets: b, fanout: m, children }.encode();
-                changed.insert(id, self.store.try_put(page)?);
+                parent_pages.push(Node::Internal { buckets: b, fanout: m, children }.encode());
+                parent_ids.push(id);
+            }
+            let hashes = self.store.try_put_many(&parent_pages)?;
+            for (id, h) in parent_ids.into_iter().zip(hashes) {
+                changed.insert(id, h);
             }
         }
 
@@ -638,6 +654,30 @@ mod tests {
         let root = t.root();
         t.delete(b"ghost").unwrap();
         assert_eq!(t.root(), root);
+    }
+
+    #[test]
+    fn ragged_skeleton_shapes_are_well_formed() {
+        // 9 buckets × fanout 2 gives a level shaped [F, F, F, F, T]: two
+        // same-length parent chunks with *different* contents ([F,F] vs
+        // [F,T]). A content-keyed skeleton memo must keep them distinct —
+        // an earlier revision keyed by chunk length and conflated them.
+        for (buckets, fanout) in [(9usize, 2usize), (10, 4), (23, 3), (5, 2)] {
+            let mut t = make(buckets, fanout);
+            let entries: Vec<Entry> =
+                (0..200).map(|i| e(&format!("key{i:03}"), &format!("v{i}"))).collect();
+            t.batch_insert(entries.clone()).unwrap();
+            for en in &entries {
+                assert_eq!(
+                    t.get(&en.key).unwrap().as_deref(),
+                    Some(en.value.as_ref()),
+                    "({buckets},{fanout}) key {:?}",
+                    en.key
+                );
+            }
+            assert_eq!(t.len().unwrap(), 200);
+            assert_eq!(t.scan().unwrap(), entries);
+        }
     }
 
     #[test]

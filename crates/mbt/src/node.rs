@@ -35,7 +35,34 @@ impl Node {
     }
 
     pub fn encode(&self) -> Bytes {
-        let mut w = ByteWriter::with_capacity(64);
+        let mut w = ByteWriter::with_capacity(self.encoded_len());
+        self.encode_into(&mut w);
+        debug_assert_eq!(w.len(), self.encoded_len());
+        Bytes::from(w.into_vec())
+    }
+
+    /// Exact byte length of [`Node::encode`]'s output — pages are sized to
+    /// their final length in one allocation.
+    pub fn encoded_len(&self) -> usize {
+        use siri_encoding::varint;
+        match self {
+            Node::Internal { buckets, fanout, children } => {
+                1 + varint::len(*buckets)
+                    + varint::len(*fanout)
+                    + varint::len(children.len() as u64)
+                    + children.len() * Hash::LEN
+            }
+            Node::Bucket { buckets, fanout, entries } => {
+                1 + varint::len(*buckets)
+                    + varint::len(*fanout)
+                    + entry_codec::entries_encoded_len(entries)
+            }
+        }
+    }
+
+    /// Serialize into an existing writer — entries stream straight into the
+    /// page buffer instead of transiting a temporary `Vec`.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
         match self {
             Node::Internal { buckets, fanout, children } => {
                 w.put_u8(TAG_INTERNAL);
@@ -50,10 +77,9 @@ impl Node {
                 w.put_u8(TAG_BUCKET);
                 w.put_varint(*buckets);
                 w.put_varint(*fanout);
-                w.put_raw(&entry_codec::encode_entries(entries));
+                entry_codec::encode_entries_into(w, entries);
             }
         }
-        Bytes::from(w.into_vec())
     }
 
     /// Copying decode (tests, diagnostics, store walks).

@@ -235,7 +235,11 @@ impl SiriIndex for MerklePatriciaTrie {
             };
         }
         self.root = match overlay {
-            Some(overlay) => overlay.commit(&self.store)?,
+            Some(overlay) => {
+                // One scratch buffer serves every node this commit encodes.
+                let mut scratch = siri_encoding::Scratch::new();
+                overlay.commit(&self.store, &mut scratch)?
+            }
             None => Hash::ZERO, // every record deleted
         };
         Ok(self.root)

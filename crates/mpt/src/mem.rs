@@ -15,8 +15,8 @@
 use bytes::Bytes;
 use siri_core::Result;
 use siri_crypto::Hash;
-use siri_encoding::Nibbles;
-use siri_store::SharedStore;
+use siri_encoding::{Nibbles, Scratch};
+use siri_store::{NodeStore, SharedStore};
 
 use crate::node::Node;
 use crate::MerklePatriciaTrie;
@@ -193,23 +193,61 @@ impl MemNode {
     /// `Stored` stubs cost nothing. A store fault propagates without
     /// touching the handle's root — the half-written subtree is garbage a
     /// future sweep reclaims, never a visible version.
-    pub(crate) fn commit(self, store: &SharedStore) -> Result<Hash> {
+    ///
+    /// Dirty branch children are persisted as one sibling batch through
+    /// [`siri_store::NodeStore::try_put_many`], so the store digests them
+    /// with the multi-lane hasher; the node itself is encoded into the
+    /// commit's reusable `scratch` and put as a borrowed slice (a
+    /// deduplicated page then allocates nothing).
+    pub(crate) fn commit(self, store: &SharedStore, scratch: &mut Scratch) -> Result<Hash> {
+        match self {
+            MemNode::Stored(h) => Ok(h),
+            dirty => {
+                let node = dirty.into_committed_node(store, scratch)?;
+                let w = scratch.start();
+                w.reserve_total(node.encoded_len());
+                node.encode_into(w.buf_mut());
+                Ok(store.try_put_raw(scratch.bytes())?)
+            }
+        }
+    }
+
+    /// Commit every descendant, turning this materialized overlay node into
+    /// a codec [`Node`] whose child references are digests. Branch children
+    /// that are dirty encode into owned pages and land in the store as one
+    /// `try_put_many` batch; an extension's lone child commits on its own.
+    fn into_committed_node(self, store: &SharedStore, scratch: &mut Scratch) -> Result<Node> {
         Ok(match self {
-            MemNode::Stored(h) => h,
-            MemNode::Leaf { path, value } => store.try_put(Node::Leaf { path, value }.encode())?,
+            MemNode::Stored(_) => unreachable!("commit resolves stored stubs"),
+            MemNode::Leaf { path, value } => Node::Leaf { path, value },
             MemNode::Extension { path, child } => {
-                let child = child.commit(store)?;
-                store.try_put(Node::Extension { path, child }.encode())?
+                let child = child.commit(store, scratch)?;
+                Node::Extension { path, child }
             }
             MemNode::Branch { children, value } => {
                 let mut slots: [Option<Hash>; 16] = Default::default();
+                let mut batch: Vec<Bytes> = Vec::new();
+                let mut batch_slots: Vec<usize> = Vec::new();
                 for (i, c) in children.into_iter().enumerate() {
-                    slots[i] = match c {
-                        Some(n) => Some(n.commit(store)?),
-                        None => None,
-                    };
+                    match c {
+                        None => {}
+                        Some(MemNode::Stored(h)) => slots[i] = Some(h),
+                        Some(dirty) => {
+                            // Batch members must coexist, so each gets an
+                            // owned page (exact-sized, single allocation).
+                            let node = dirty.into_committed_node(store, scratch)?;
+                            batch.push(node.encode());
+                            batch_slots.push(i);
+                        }
+                    }
                 }
-                store.try_put(Node::Branch { children: slots, value }.encode())?
+                if !batch.is_empty() {
+                    let hashes = store.try_put_many(&batch)?;
+                    for (slot, h) in batch_slots.into_iter().zip(hashes) {
+                        slots[slot] = Some(h);
+                    }
+                }
+                Node::Branch { children: slots, value }
             }
         })
     }

@@ -38,16 +38,48 @@ pub enum Node {
 
 /// Branch value slots need "absent" ≠ "empty value": absent encodes as the
 /// empty string, present values carry a 0x01 marker byte.
-fn encode_value_slot(value: &Option<Bytes>) -> RlpItem {
+fn value_slot_len(value: &Option<Bytes>) -> usize {
     match value {
-        None => RlpItem::bytes(Vec::new()),
+        None => 1,                    // empty string: 0x80
+        Some(v) if v.is_empty() => 1, // lone marker byte: single-byte literal
+        Some(v) => rlp::str_header_len(v.len() + 1) + v.len() + 1,
+    }
+}
+
+/// Stream the value slot: the marker byte and the borrowed value land in
+/// `out` directly — no `0x01 ++ value` temporary.
+fn write_value_slot(out: &mut Vec<u8>, value: &Option<Bytes>) {
+    match value {
+        None => rlp::write_str(out, &[]),
+        Some(v) if v.is_empty() => out.push(0x01),
         Some(v) => {
-            let mut out = Vec::with_capacity(v.len() + 1);
+            rlp::write_str_header(out, v.len() + 1);
             out.push(0x01);
             out.extend_from_slice(v);
-            RlpItem::bytes(out)
         }
     }
+}
+
+/// Encoded length of a hex-prefix path as an RLP string. A one-byte
+/// encoding starts with the flag nibble (≤ 0x3f), so it always takes the
+/// single-byte literal form.
+fn hp_str_len(path: &Nibbles) -> usize {
+    let hp = path.hex_prefix_encoded_len();
+    if hp == 1 {
+        1
+    } else {
+        rlp::str_header_len(hp) + hp
+    }
+}
+
+/// Stream a hex-prefix path as an RLP string, headerless when it is the
+/// single-byte literal form.
+fn write_hp_str(out: &mut Vec<u8>, path: &Nibbles, is_leaf: bool) {
+    let hp = path.hex_prefix_encoded_len();
+    if hp > 1 {
+        rlp::write_str_header(out, hp);
+    }
+    path.hex_prefix_encode_into(is_leaf, out);
 }
 
 fn decode_value_slot(raw: &[u8]) -> Result<Option<Bytes>> {
@@ -60,28 +92,58 @@ fn decode_value_slot(raw: &[u8]) -> Result<Option<Bytes>> {
 
 impl Node {
     pub fn encode(&self) -> Bytes {
-        let item = match self {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        debug_assert_eq!(out.len(), self.encoded_len());
+        Bytes::from(out)
+    }
+
+    /// RLP payload length (list items only, excluding the list header).
+    fn payload_len(&self) -> usize {
+        match self {
             Node::Branch { children, value } => {
-                let mut items = Vec::with_capacity(17);
-                for child in children {
-                    items.push(match child {
-                        Some(h) => RlpItem::bytes(h.as_bytes().to_vec()),
-                        None => RlpItem::bytes(Vec::new()),
-                    });
-                }
-                items.push(encode_value_slot(value));
-                RlpItem::list(items)
+                // Occupied child: 0xa0 header + 32-byte digest. Empty: 0x80.
+                let kids: usize = children.iter().map(|c| if c.is_some() { 33 } else { 1 }).sum();
+                kids + value_slot_len(value)
             }
-            Node::Extension { path, child } => RlpItem::list(vec![
-                RlpItem::bytes(path.hex_prefix_encode(false)),
-                RlpItem::bytes(child.as_bytes().to_vec()),
-            ]),
-            Node::Leaf { path, value } => RlpItem::list(vec![
-                RlpItem::bytes(path.hex_prefix_encode(true)),
-                RlpItem::bytes(value.to_vec()),
-            ]),
-        };
-        Bytes::from(item.encode())
+            Node::Extension { path, .. } => hp_str_len(path) + 33,
+            Node::Leaf { path, value } => hp_str_len(path) + rlp::str_encoded_len(value),
+        }
+    }
+
+    /// Exact byte length of [`Node::encode`]'s output, computed without
+    /// serializing — commit paths pre-size page buffers to it.
+    pub fn encoded_len(&self) -> usize {
+        let payload = self.payload_len();
+        rlp::list_header_len(payload) + payload
+    }
+
+    /// Stream the canonical encoding into `out` — byte-identical to
+    /// [`Node::encode`] but with zero intermediate allocations, so a commit
+    /// can serialize every node into one reusable scratch buffer. (The old
+    /// encoder built an [`RlpItem`] tree: ~18 short-lived `Vec`s per
+    /// branch page.)
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        rlp::write_list_header(out, self.payload_len());
+        match self {
+            Node::Branch { children, value } => {
+                for child in children {
+                    match child {
+                        Some(h) => rlp::write_str(out, h.as_bytes()),
+                        None => rlp::write_str(out, &[]),
+                    }
+                }
+                write_value_slot(out, value);
+            }
+            Node::Extension { path, child } => {
+                write_hp_str(out, path, false);
+                rlp::write_str(out, child.as_bytes());
+            }
+            Node::Leaf { path, value } => {
+                write_hp_str(out, path, true);
+                rlp::write_str(out, value);
+            }
+        }
     }
 
     /// Zero-copy decode: branch/leaf values are refcounted slices of the
@@ -218,6 +280,66 @@ mod tests {
         for value in [None, Some(Bytes::from_static(b"v")), Some(Bytes::new())] {
             let node = Node::Branch { children, value: value.clone() };
             assert_eq!(Node::decode(&node.encode()).unwrap(), node, "value {value:?}");
+        }
+    }
+
+    /// The streamed encoder must be byte-identical to a reference encoding
+    /// built through the generic [`RlpItem`] tree — this is the
+    /// digest-stability contract: a codec change that alters one byte
+    /// changes every page address above it.
+    #[test]
+    fn streamed_encode_matches_rlp_item_reference() {
+        fn reference(node: &Node) -> Vec<u8> {
+            let item = match node {
+                Node::Branch { children, value } => {
+                    let mut items: Vec<RlpItem> = children
+                        .iter()
+                        .map(|c| match c {
+                            Some(h) => RlpItem::bytes(h.as_bytes().to_vec()),
+                            None => RlpItem::bytes(Vec::new()),
+                        })
+                        .collect();
+                    items.push(match value {
+                        None => RlpItem::bytes(Vec::new()),
+                        Some(v) => {
+                            let mut out = vec![0x01];
+                            out.extend_from_slice(v);
+                            RlpItem::bytes(out)
+                        }
+                    });
+                    RlpItem::list(items)
+                }
+                Node::Extension { path, child } => RlpItem::list(vec![
+                    RlpItem::bytes(path.hex_prefix_encode(false)),
+                    RlpItem::bytes(child.as_bytes().to_vec()),
+                ]),
+                Node::Leaf { path, value } => RlpItem::list(vec![
+                    RlpItem::bytes(path.hex_prefix_encode(true)),
+                    RlpItem::bytes(value.to_vec()),
+                ]),
+            };
+            item.encode()
+        }
+        let mut children: [Option<Hash>; 16] = Default::default();
+        children[0] = Some(sha256(b"a"));
+        children[7] = Some(sha256(b"b"));
+        let full: [Option<Hash>; 16] = std::array::from_fn(|i| Some(sha256(&[i as u8])));
+        let nodes = vec![
+            Node::Leaf { path: Nibbles::empty(), value: Bytes::new() },
+            Node::Leaf { path: nib(&[5]), value: Bytes::from_static(b"v") }, // 1-byte hex-prefix
+            Node::Leaf { path: nib(&[1, 2]), value: Bytes::from(vec![0x7fu8]) }, // 1-byte literal value
+            Node::Leaf { path: nib(&[1, 2, 3]), value: Bytes::from(vec![9u8; 300]) }, // long string
+            Node::Extension { path: nib(&[0xf]), child: sha256(b"c") },
+            Node::Extension { path: nib(&[1, 2, 3, 4]), child: sha256(b"c") },
+            Node::Branch { children, value: None },
+            Node::Branch { children, value: Some(Bytes::new()) },
+            Node::Branch { children, value: Some(Bytes::from_static(b"value")) },
+            Node::Branch { children: full, value: Some(Bytes::from(vec![3u8; 100])) },
+        ];
+        for node in nodes {
+            let streamed = node.encode();
+            assert_eq!(streamed.as_ref(), reference(&node).as_slice(), "{node:?}");
+            assert_eq!(streamed.len(), node.encoded_len());
         }
     }
 

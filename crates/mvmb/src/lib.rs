@@ -128,13 +128,10 @@ impl MvmbTree {
         })
     }
 
-    fn put_node(&self, node: &Node) -> Result<Piece> {
-        let max_key = node.max_key().expect("never store empty nodes");
-        Ok((max_key, self.store.try_put(node.encode())?))
-    }
-
     /// Split `items` into balanced chunks of at most `max` and emit one
-    /// node per chunk via `build`.
+    /// node per chunk via `build`. The chunk nodes are siblings, so they
+    /// are persisted as one [`siri_store::NodeStore::try_put_many`] batch:
+    /// the store digests them with the multi-lane hasher.
     fn emit_chunks<T: Clone>(
         &self,
         items: Vec<T>,
@@ -146,7 +143,15 @@ impl MvmbTree {
         }
         let parts = items.len().div_ceil(max);
         let per = items.len().div_ceil(parts);
-        items.chunks(per).map(|c| self.put_node(&build(c.to_vec()))).collect()
+        let mut max_keys = Vec::with_capacity(parts);
+        let mut pages = Vec::with_capacity(parts);
+        for chunk in items.chunks(per) {
+            let node = build(chunk.to_vec());
+            max_keys.push(node.max_key().expect("never store empty nodes"));
+            pages.push(node.encode());
+        }
+        let hashes = self.store.try_put_many(&pages)?;
+        Ok(max_keys.into_iter().zip(hashes).collect())
     }
 
     /// Recursive copy-on-write batch application. `ops` is normalized

@@ -49,10 +49,10 @@ use siri_store::{
     reachable_pages, CacheStats, NodeCache, PageSet, SharedStore, DEFAULT_NODE_CACHE_CAPACITY,
 };
 
-pub use builder::{Builders, Item, LevelBuilder};
+pub use builder::{Builders, DeferredSeal, Item, LevelBuilder};
 pub use cursor::Cursor;
 pub use node::{route, Node, Piece};
-pub use params::{InternalChunking, PosParams, SplitPolicy};
+pub use params::{ChunkerKind, InternalChunking, PosParams, SplitPolicy};
 
 /// Handle to one POS-Tree version. Clones (= version snapshots) share the
 /// decoded-node cache: content addressing keeps it coherent across

@@ -36,12 +36,40 @@ pub enum Node {
 
 impl Node {
     pub fn encode(&self) -> Bytes {
-        let mut w = ByteWriter::with_capacity(256);
+        let mut w = ByteWriter::with_capacity(self.encoded_len());
+        self.encode_into(&mut w);
+        debug_assert_eq!(w.len(), self.encoded_len());
+        Bytes::from(w.into_vec())
+    }
+
+    /// Exact byte length of [`Node::encode`]'s output — pages are sized to
+    /// their final length in one allocation.
+    pub fn encoded_len(&self) -> usize {
+        use siri_encoding::varint;
+        match self {
+            Node::Leaf { salt, entries } => {
+                1 + varint::len(*salt) + entry_codec::entries_encoded_len(entries)
+            }
+            Node::Internal { salt, level, children } => {
+                1 + varint::len(*salt)
+                    + varint::len(*level as u64)
+                    + varint::len(children.len() as u64)
+                    + children
+                        .iter()
+                        .map(|c| varint::len(c.max_key.len() as u64) + c.max_key.len() + Hash::LEN)
+                        .sum::<usize>()
+            }
+        }
+    }
+
+    /// Serialize into an existing writer — entries stream straight into the
+    /// page buffer instead of transiting a temporary `Vec`.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
         match self {
             Node::Leaf { salt, entries } => {
                 w.put_u8(TAG_LEAF);
                 w.put_varint(*salt);
-                w.put_raw(&entry_codec::encode_entries(entries));
+                entry_codec::encode_entries_into(w, entries);
             }
             Node::Internal { salt, level, children } => {
                 w.put_u8(TAG_INTERNAL);
@@ -54,7 +82,6 @@ impl Node {
                 }
             }
         }
-        Bytes::from(w.into_vec())
     }
 
     /// Copying decode (tests, diagnostics, store walks).

@@ -116,7 +116,7 @@ fn process(
 
                 let child_rightmost = rightmost && last;
                 let child_level = level - 1;
-                if mine.is_empty() && !child_rightmost && builders.clean_below(child_level) {
+                if mine.is_empty() && !child_rightmost && builders.clean_below(child_level)? {
                     // Untouched, pattern-closed, and the pipeline is on a
                     // boundary: reuse the node wholesale.
                     builders.pass_through(child_level, piece.clone())?;
@@ -356,6 +356,55 @@ mod tests {
         // Deleting everything collapses to the empty tree.
         let all_deleted = streaming_update(&store, &params, 0, root.hash, &dels(0..3000)).unwrap();
         assert!(all_deleted.is_none());
+    }
+
+    #[test]
+    fn gear_chunker_is_structurally_invariant_and_distinct() {
+        use crate::params::ChunkerKind;
+        let store = MemStore::new_shared();
+        let gear = PosParams::default().with_chunker(ChunkerKind::Gear);
+        let base = entries(0..3000);
+
+        // Gear trees must be SI exactly like buzhash trees: streaming
+        // updates land on the fresh-build digest.
+        let root = build_from_entries(&store, &gear, 0, &base).unwrap().unwrap();
+        for edit_range in [100..101, 1500..1540, 3000..3100] {
+            let delta = puts(&edits(edit_range.clone()));
+            let updated = streaming_update(&store, &gear, 0, root.hash, &delta).unwrap().unwrap();
+            let merged = apply_ops(&base, &delta);
+            let fresh = build_from_entries(&store, &gear, 0, &merged).unwrap().unwrap();
+            assert_eq!(updated.hash, fresh.hash, "gear SI broken for edits {edit_range:?}");
+        }
+
+        // Different chunker ⇒ different boundaries ⇒ different digests —
+        // which is why gear is opt-in, not a drop-in swap.
+        let buz = build_from_entries(&store, &PosParams::default(), 0, &base).unwrap().unwrap();
+        assert_ne!(root.hash, buz.hash, "gear and buzhash trees must not collide");
+
+        // And gear builds are deterministic across stores.
+        let other = MemStore::new_shared();
+        let again = build_from_entries(&other, &gear, 0, &base).unwrap().unwrap();
+        assert_eq!(root.hash, again.hash);
+    }
+
+    #[test]
+    fn gear_delete_re_chunks_to_the_fresh_build() {
+        use crate::params::ChunkerKind;
+        let store = MemStore::new_shared();
+        let gear = PosParams::default().with_chunker(ChunkerKind::Gear);
+        let base = entries(0..2000);
+        let root = build_from_entries(&store, &gear, 0, &base).unwrap().unwrap();
+        for del_range in [50..51, 900..960, 1900..2000] {
+            let delta = dels(del_range.clone());
+            let updated = streaming_update(&store, &gear, 0, root.hash, &delta).unwrap();
+            let remaining = apply_ops(&base, &delta);
+            let fresh = build_from_entries(&store, &gear, 0, &remaining).unwrap();
+            assert_eq!(
+                updated.map(|p| p.hash),
+                fresh.map(|p| p.hash),
+                "gear delete re-chunking broken for {del_range:?}"
+            );
+        }
     }
 
     #[test]

@@ -117,6 +117,14 @@ impl NodeStore for CachingStore {
         self.server.try_put(page)
     }
 
+    fn try_put_raw(&self, page: &[u8]) -> StoreResult<Hash> {
+        self.server.try_put_raw(page)
+    }
+
+    fn try_put_many(&self, pages: &[Bytes]) -> StoreResult<Vec<Hash>> {
+        self.server.try_put_many(pages)
+    }
+
     fn try_get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
         if let Some(page) = self.cache.get(hash) {
             return Ok(Some(page));

@@ -176,6 +176,10 @@ struct Appender {
     active: File,
     /// Clean end of the active segment (next append offset).
     end: u64,
+    /// Reusable frame-assembly buffer: appends are serialized by this
+    /// mutex anyway, so one allocation serves every put for the store's
+    /// lifetime.
+    frame_buf: Vec<u8>,
 }
 
 /// Group-commit bookkeeping: arrival tickets vs flush coverage.
@@ -454,7 +458,13 @@ impl FileStore {
                 dir,
                 index: RwLock::new(index),
                 readers: RwLock::new(FxHashMap::default()),
-                appender: Mutex::new(Appender { segments, active_id, active, end: active_end }),
+                appender: Mutex::new(Appender {
+                    segments,
+                    active_id,
+                    active,
+                    end: active_end,
+                    frame_buf: Vec::new(),
+                }),
                 stats,
                 opts,
                 cadence: AtomicU64::new(0),
@@ -741,9 +751,12 @@ impl FileStore {
     }
 }
 
-impl NodeStore for FileStore {
-    fn try_put(&self, page: Bytes) -> StoreResult<Hash> {
-        let digest = sha256(&page);
+impl FileStore {
+    /// Append `page` under its (already computed) content address. The
+    /// slice-based core of every put flavor: the page bytes are only ever
+    /// copied into the appender's reusable frame buffer, and a dedup hit
+    /// touches neither the disk nor any allocation.
+    fn put_hashed(&self, digest: Hash, page: &[u8]) -> StoreResult<Hash> {
         // Counters move only on success: `puts`/`logical_bytes` tally
         // *accepted* writes (including dedup hits), never failed attempts.
         let count_put = |stats: &AtomicStoreStats| {
@@ -771,12 +784,17 @@ impl NodeStore for FileStore {
         if ap.end >= self.opts.max_segment_bytes && ap.end > 0 {
             self.rotate(&mut ap).map_err(|e| StoreError::io("rotate", e))?;
         }
-        let mut frame = Vec::with_capacity(FRAME_HEADER as usize + page.len());
+        let mut frame = std::mem::take(&mut ap.frame_buf);
+        frame.clear();
+        frame.reserve(FRAME_HEADER as usize + page.len());
         frame.push(FRAME_MAGIC);
         frame.extend_from_slice(&(page.len() as u32).to_le_bytes());
         frame.extend_from_slice(digest.as_bytes());
-        frame.extend_from_slice(&page);
-        if let Err(e) = ap.active.write_all(&frame) {
+        frame.extend_from_slice(page);
+        let write_result = ap.active.write_all(&frame);
+        let frame_len = frame.len();
+        ap.frame_buf = frame;
+        if let Err(e) = write_result {
             // A short write may have left a torn frame: rewind to the last
             // clean boundary so neither the file nor the index/counters
             // reflect the failed append.
@@ -784,15 +802,36 @@ impl NodeStore for FileStore {
             return Err(StoreError::io("append", e));
         }
         let loc = PageLoc { seg: ap.active_id, off: ap.end + FRAME_HEADER, len: page.len() as u32 };
-        ap.end += frame.len() as u64;
+        ap.end += frame_len as u64;
         self.index.write().insert(digest, loc);
         drop(ap);
         count_put(&self.stats);
         AtomicStoreStats::add(&self.stats.unique_pages, 1);
         AtomicStoreStats::add(&self.stats.unique_bytes, page.len() as u64);
         // Frame header included: this is the disk traffic the write cost.
-        AtomicStoreStats::add(&self.stats.bytes_written, frame.len() as u64);
+        AtomicStoreStats::add(&self.stats.bytes_written, frame_len as u64);
         Ok(digest)
+    }
+}
+
+impl NodeStore for FileStore {
+    fn try_put(&self, page: Bytes) -> StoreResult<Hash> {
+        self.put_hashed(sha256(&page), &page)
+    }
+
+    fn try_put_raw(&self, page: &[u8]) -> StoreResult<Hash> {
+        self.put_hashed(sha256(page), page)
+    }
+
+    /// Batch put: one multi-lane digest pass over the whole sibling batch,
+    /// then sequential appends (the log is inherently serial).
+    fn try_put_many(&self, pages: &[Bytes]) -> StoreResult<Vec<Hash>> {
+        let views: Vec<&[u8]> = pages.iter().map(|p| p.as_ref()).collect();
+        let hashes = siri_crypto::hash_many(&views);
+        for (digest, page) in hashes.iter().zip(pages) {
+            self.put_hashed(*digest, page)?;
+        }
+        Ok(hashes)
     }
 
     fn try_get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {

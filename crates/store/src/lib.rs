@@ -64,6 +64,22 @@ pub trait NodeStore: Send + Sync {
     /// `Err` means the lookup could not be completed (the page may exist).
     fn try_get(&self, hash: &Hash) -> StoreResult<Option<Bytes>>;
 
+    /// Store a page given as a borrowed slice — e.g. a commit's reusable
+    /// scratch buffer. Semantically identical to [`NodeStore::try_put`];
+    /// backends override it to copy the page only when it is actually new
+    /// (a deduplicated put then allocates nothing at all).
+    fn try_put_raw(&self, page: &[u8]) -> StoreResult<Hash> {
+        self.try_put(Bytes::copy_from_slice(page))
+    }
+
+    /// Store a batch of sibling pages, returning one content address per
+    /// page in order. Semantically a loop of [`NodeStore::try_put`];
+    /// backends override it to digest the whole batch with the multi-lane
+    /// [`siri_crypto::hash_many`] before inserting.
+    fn try_put_many(&self, pages: &[Bytes]) -> StoreResult<Vec<Hash>> {
+        pages.iter().map(|p| self.try_put(p.clone())).collect()
+    }
+
     /// Whether the page exists without fetching it.
     fn contains(&self, hash: &Hash) -> bool;
 
@@ -108,6 +124,12 @@ impl<S: NodeStore + ?Sized> NodeStore for std::sync::Arc<S> {
     }
     fn try_get(&self, hash: &Hash) -> StoreResult<Option<Bytes>> {
         (**self).try_get(hash)
+    }
+    fn try_put_raw(&self, page: &[u8]) -> StoreResult<Hash> {
+        (**self).try_put_raw(page)
+    }
+    fn try_put_many(&self, pages: &[Bytes]) -> StoreResult<Vec<Hash>> {
+        (**self).try_put_many(pages)
     }
     fn put(&self, page: Bytes) -> Hash {
         (**self).put(page)

@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 use parking_lot::RwLock;
-use siri_crypto::{sha256, FxHashMap, FxHashSet, Hash};
+use siri_crypto::{hash_many, sha256, FxHashMap, FxHashSet, Hash};
 
 use crate::stats::AtomicStoreStats;
 use crate::{NodeStore, PageSet, Reclaim, StoreResult, StoreStats};
@@ -91,6 +91,32 @@ impl MemStore {
     }
 }
 
+impl MemStore {
+    /// Insert a page whose content address is already known, copying (or
+    /// cloning the refcounted handle) only when the page is new. The one
+    /// place the put accounting lives.
+    fn insert_hashed(&self, hash: Hash, page: &[u8], owned: Option<&Bytes>) {
+        AtomicStoreStats::add(&self.stats.puts, 1);
+        AtomicStoreStats::add(&self.stats.logical_bytes, page.len() as u64);
+        let mut pages = self.shard(&hash).write();
+        match pages.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                AtomicStoreStats::add(&self.stats.unique_pages, 1);
+                AtomicStoreStats::add(&self.stats.unique_bytes, page.len() as u64);
+                AtomicStoreStats::add(&self.stats.bytes_written, page.len() as u64);
+                slot.insert(match owned {
+                    Some(bytes) => bytes.clone(),
+                    None => Bytes::copy_from_slice(page),
+                });
+            }
+            std::collections::hash_map::Entry::Occupied(_) => {
+                AtomicStoreStats::add(&self.stats.shared_puts, 1);
+                AtomicStoreStats::add(&self.stats.shared_bytes, page.len() as u64);
+            }
+        }
+    }
+}
+
 impl NodeStore for MemStore {
     fn try_put(&self, page: Bytes) -> StoreResult<Hash> {
         Ok(self.put(page))
@@ -100,25 +126,29 @@ impl NodeStore for MemStore {
         Ok(self.get(hash))
     }
 
+    /// Slice-based put: a deduplicated page is hashed but never copied.
+    fn try_put_raw(&self, page: &[u8]) -> StoreResult<Hash> {
+        let hash = sha256(page);
+        self.insert_hashed(hash, page, None);
+        Ok(hash)
+    }
+
+    /// Batch put: the whole sibling batch is digested with the multi-lane
+    /// hasher before any shard lock is taken.
+    fn try_put_many(&self, pages: &[Bytes]) -> StoreResult<Vec<Hash>> {
+        let views: Vec<&[u8]> = pages.iter().map(|p| p.as_ref()).collect();
+        let hashes = hash_many(&views);
+        for (hash, page) in hashes.iter().zip(pages) {
+            self.insert_hashed(*hash, page, Some(page));
+        }
+        Ok(hashes)
+    }
+
     // Memory cannot fault: the infallible methods are the real
     // implementation and `try_*` wrap them, the reverse of `FileStore`.
     fn put(&self, page: Bytes) -> Hash {
         let hash = sha256(&page);
-        AtomicStoreStats::add(&self.stats.puts, 1);
-        AtomicStoreStats::add(&self.stats.logical_bytes, page.len() as u64);
-        let mut pages = self.shard(&hash).write();
-        match pages.entry(hash) {
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                AtomicStoreStats::add(&self.stats.unique_pages, 1);
-                AtomicStoreStats::add(&self.stats.unique_bytes, page.len() as u64);
-                AtomicStoreStats::add(&self.stats.bytes_written, page.len() as u64);
-                slot.insert(page);
-            }
-            std::collections::hash_map::Entry::Occupied(_) => {
-                AtomicStoreStats::add(&self.stats.shared_puts, 1);
-                AtomicStoreStats::add(&self.stats.shared_bytes, page.len() as u64);
-            }
-        }
+        self.insert_hashed(hash, &page, Some(&page));
         hash
     }
 

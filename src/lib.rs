@@ -63,7 +63,9 @@ pub use siri_forkbase::{
 pub use siri_mbt::{MerkleBucketTree, DEFAULT_BUCKETS, DEFAULT_FANOUT};
 pub use siri_mpt::MerklePatriciaTrie;
 pub use siri_mvmb::{MvmbParams, MvmbTree};
-pub use siri_pos_tree::{self as pos_tree, InternalChunking, PosParams, PosTree, SplitPolicy};
+pub use siri_pos_tree::{
+    self as pos_tree, ChunkerKind, InternalChunking, PosParams, PosTree, SplitPolicy,
+};
 pub use siri_store::{
     gc, ship, CachingStore, FileStore, FileStoreOptions, FsyncPolicy, DEFAULT_SEGMENT_BYTES,
 };
