@@ -53,7 +53,8 @@ impl Hash {
     /// test the boundary pattern directly on child hashes (§3.4.3).
     #[inline]
     pub fn low64(&self) -> u64 {
-        u64::from_le_bytes(self.0[24..32].try_into().unwrap())
+        let [.., b0, b1, b2, b3, b4, b5, b6, b7] = self.0;
+        u64::from_le_bytes([b0, b1, b2, b3, b4, b5, b6, b7])
     }
 }
 

@@ -131,11 +131,19 @@ fn compress_blocks(backend: Sha256Backend, state: &mut [u32; 8], data: &[u8]) {
             }
         }
         #[cfg(target_arch = "x86_64")]
-        // Safety: `ShaNi` is only ever produced by `detect_backend` after
-        // runtime feature detection succeeded.
+        // SAFETY: the `ShaNi` variant is only ever produced by
+        // `detect_backend` after `is_x86_feature_detected!` confirmed the
+        // `sha`, `ssse3` and `sse4.1` features on this CPU, which is
+        // exactly the kernel's `#[target_feature]` precondition. `state`
+        // is a valid `&mut [u32; 8]` and `data.len() % 64 == 0` (asserted
+        // above), so every 16-byte intrinsic load stays in bounds.
         Sha256Backend::ShaNi => unsafe { sha_ni::compress(state, data) },
         #[cfg(target_arch = "aarch64")]
-        // Safety: `Neon` is only produced after runtime detection.
+        // SAFETY: the `Neon` variant is only produced by `detect_backend`
+        // after runtime detection confirmed the `sha2` crypto extension,
+        // matching the kernel's `#[target_feature]` precondition. `state`
+        // is a valid `&mut [u32; 8]` and `data.len() % 64 == 0` (asserted
+        // above), so every 16-byte vector load stays in bounds.
         Sha256Backend::Neon => unsafe { neon::compress(state, data) },
         #[allow(unreachable_patterns)]
         _ => unreachable!("backend unavailable on this architecture"),
@@ -256,7 +264,17 @@ mod sha_ni {
     use core::arch::x86_64::*;
 
     /// # Safety
-    /// Caller must have verified `sha`, `ssse3` and `sse4.1` at runtime.
+    ///
+    /// * The caller must have verified the `sha`, `ssse3` and `sse4.1`
+    ///   CPU features at runtime (`is_x86_feature_detected!`); calling
+    ///   this on a CPU without them is immediate undefined behavior.
+    /// * `data.len()` must be a multiple of 64: the block loop issues
+    ///   four unchecked 16-byte `_mm_loadu_si128` loads per block, so a
+    ///   ragged tail would read out of bounds.
+    /// * `state` is a plain `&mut` reference — validity and aliasing are
+    ///   guaranteed by the borrow checker; both 16-byte halves are read
+    ///   and written through unaligned intrinsics, so no alignment
+    ///   precondition beyond the reference itself.
     #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
     pub unsafe fn compress(state: &mut [u32; 8], data: &[u8]) {
         debug_assert_eq!(data.len() % 64, 0);
@@ -328,7 +346,16 @@ mod neon {
     use core::arch::aarch64::*;
 
     /// # Safety
-    /// Caller must have verified the `sha2` feature at runtime.
+    ///
+    /// * The caller must have verified the `sha2` crypto extension at
+    ///   runtime (`std::arch::is_aarch64_feature_detected!`); executing
+    ///   the SHA instructions without it is undefined behavior.
+    /// * `data.len()` must be a multiple of 64: each block iteration
+    ///   issues four unchecked 16-byte `vld1q_u8` loads, so a ragged
+    ///   tail would read out of bounds.
+    /// * `state` is a plain `&mut` reference — validity and aliasing are
+    ///   guaranteed by the borrow checker; `vld1q_u32`/`vst1q_u32` have
+    ///   no alignment requirement beyond the element type.
     #[target_feature(enable = "sha2")]
     pub unsafe fn compress(state: &mut [u32; 8], data: &[u8]) {
         debug_assert_eq!(data.len() % 64, 0);

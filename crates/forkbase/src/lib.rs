@@ -52,7 +52,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{LockClass, Mutex, RwLock};
 use siri_core::{
     merge, merge_with_base, CommitInfo, Entry, EntryCursor, IndexError, MergeOutcome,
     MergeStrategy, Result, SiriIndex, WriteBatch,
@@ -77,6 +77,31 @@ pub const DEFAULT_FETCH_COST_NANOS: u64 = 20_000;
 /// absorbed at least this many competing commits while one batch was
 /// being rebuilt — pathological contention, not deadlock.
 pub const MAX_COMMIT_ATTEMPTS: u32 = 1_000;
+
+/// The effective commit-attempt bound: [`MAX_COMMIT_ATTEMPTS`] unless the
+/// `SIRI_MAX_COMMIT_ATTEMPTS` env var overrides it (read once). The
+/// override exists for tests that need to force
+/// [`IndexError::CommitContention`] deterministically (e.g. with a bound
+/// of 1) instead of spinning through a thousand raced rebuilds; values of
+/// 0 or garbage fall back to the default.
+pub fn max_commit_attempts() -> u32 {
+    static BOUND: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *BOUND.get_or_init(|| {
+        std::env::var("SIRI_MAX_COMMIT_ATTEMPTS")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(MAX_COMMIT_ATTEMPTS)
+    })
+}
+
+/// Lock classes for the runtime lock-order tracker (DESIGN.md §9): the
+/// engine's documented acquisition order is branch map → slot head →
+/// client view → store internals. Debug builds with `SIRI_LOCK_ORDER=1`
+/// panic on any out-of-order acquisition.
+static BRANCH_MAP_CLASS: LockClass = LockClass::new(10, "forkbase.branch-map");
+static SLOT_HEAD_CLASS: LockClass = LockClass::new(20, "forkbase.slot-head");
+static CLIENT_VIEW_CLASS: LockClass = LockClass::new(30, "forkbase.client-view");
 
 /// Engine-level commit counters (monotone, relaxed atomics underneath).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -113,7 +138,10 @@ struct BranchSlot<I> {
 
 impl<I: SiriIndex> BranchSlot<I> {
     fn new(head: I) -> Self {
-        BranchSlot { head: RwLock::new(head), view: Mutex::new(None) }
+        BranchSlot {
+            head: RwLock::with_class(head, &SLOT_HEAD_CLASS),
+            view: Mutex::with_class(None, &CLIENT_VIEW_CLASS),
+        }
     }
 }
 
@@ -188,7 +216,7 @@ impl<F: IndexFactory> Forkbase<F> {
             server,
             durable,
             client_store,
-            branches: RwLock::new(branches),
+            branches: RwLock::with_class(branches, &BRANCH_MAP_CLASS),
             commits: AtomicU64::new(0),
             conflicts: AtomicU64::new(0),
         }
@@ -255,7 +283,7 @@ impl<F: IndexFactory> Forkbase<F> {
             // attempt's pages are unreferenced orphans for the next sweep.
             self.conflicts.fetch_add(1, Ordering::Relaxed);
             attempts += 1;
-            if attempts >= MAX_COMMIT_ATTEMPTS {
+            if attempts >= max_commit_attempts() {
                 return Err(IndexError::CommitContention { attempts });
             }
         }

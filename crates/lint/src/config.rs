@@ -1,0 +1,238 @@
+//! `lint.toml` allowlist: a minimal, dependency-free TOML-subset parser.
+//!
+//! The config is a sequence of `[[allow]]` tables with string values:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "no-panic"                 # required: rule id, or "*"
+//! path = "crates/store/src/lib.rs"  # required: workspace-relative path
+//!                                   # (suffix match), or a directory prefix
+//! contains = "expect(\"store"      # optional: the flagged line must
+//!                                   # contain this substring
+//! reason = "documented sugar"       # required: why this is allowed
+//! ```
+//!
+//! Only the shapes above are understood — `key = "string"` pairs inside
+//! `[[allow]]` tables, comments, and blank lines. Anything else is a config
+//! error; failing loudly beats silently ignoring an allowlist entry.
+
+use std::path::Path;
+
+#[derive(Debug, Clone, Default)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub contains: Option<String>,
+    pub reason: String,
+    /// Line in lint.toml where this entry starts (for unused-entry reports).
+    pub line: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct Config {
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Parse `lint.toml` text. Returns an error message with a line number
+    /// on any construct outside the supported subset.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut current: Option<AllowEntry> = None;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(entry) = current.take() {
+                    cfg.push_validated(entry)?;
+                }
+                current = Some(AllowEntry { line: lineno, ..AllowEntry::default() });
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "lint.toml:{lineno}: unsupported table `{line}` (only [[allow]] is understood)"
+                ));
+            }
+            let Some((key, value)) = parse_kv(line) else {
+                return Err(format!(
+                    "lint.toml:{lineno}: expected `key = \"value\"`, got `{line}`"
+                ));
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(format!("lint.toml:{lineno}: `{key}` outside an [[allow]] table"));
+            };
+            match key {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "contains" => entry.contains = Some(value),
+                "reason" => entry.reason = value,
+                other => {
+                    return Err(format!("lint.toml:{lineno}: unknown key `{other}`"));
+                }
+            }
+        }
+        if let Some(entry) = current.take() {
+            cfg.push_validated(entry)?;
+        }
+        Ok(cfg)
+    }
+
+    fn push_validated(&mut self, entry: AllowEntry) -> Result<(), String> {
+        let at = entry.line;
+        if entry.rule.is_empty() {
+            return Err(format!("lint.toml:{at}: [[allow]] entry is missing `rule`"));
+        }
+        if entry.path.is_empty() {
+            return Err(format!("lint.toml:{at}: [[allow]] entry is missing `path`"));
+        }
+        if entry.reason.is_empty() {
+            return Err(format!(
+                "lint.toml:{at}: [[allow]] entry is missing `reason` — every suppression \
+                 must say why"
+            ));
+        }
+        self.allows.push(entry);
+        Ok(())
+    }
+
+    /// Does some entry suppress a finding of `rule` at `path` whose source
+    /// line text is `line_text`? Returns the matching entry's index.
+    pub fn allows_match(&self, rule: &str, path: &Path, line_text: &str) -> Option<usize> {
+        let path_str = path.to_string_lossy().replace('\\', "/");
+        self.allows.iter().position(|a| {
+            (a.rule == "*" || a.rule == rule)
+                && path_matches(&a.path, &path_str)
+                && a.contains.as_ref().is_none_or(|c| line_text.contains(c))
+        })
+    }
+}
+
+/// An allow `path` matches if it equals the reported path, is a suffix of it
+/// (so entries work regardless of whether the walk was rooted at the repo or
+/// a subdirectory), or is a directory prefix of it.
+fn path_matches(pattern: &str, path: &str) -> bool {
+    if path == pattern || path.ends_with(&format!("/{pattern}")) {
+        return true;
+    }
+    let dir = format!("{}/", pattern.trim_end_matches('/'));
+    path.starts_with(&dir) || path.contains(&format!("/{dir}"))
+}
+
+/// Strip a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Parse `key = "value"` (value must be a double-quoted string with `\"`
+/// and `\\` escapes).
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    let rest = rest.trim();
+    if !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') || key.is_empty() {
+        return None;
+    }
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    let mut value = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => value.push('"'),
+                '\\' => value.push('\\'),
+                'n' => value.push('\n'),
+                't' => value.push('\t'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            // An unescaped interior quote means `rest` wasn't one string.
+            return None;
+        } else {
+            value.push(c);
+        }
+    }
+    Some((key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn parses_entries_and_matches() {
+        let cfg = Config::parse(
+            r#"
+            # store sugar is documented
+            [[allow]]
+            rule = "no-panic"
+            path = "crates/store/src/lib.rs"
+            contains = "expect(\"store"
+            reason = "documented panicking sugar"
+
+            [[allow]]
+            rule = "*"
+            path = "crates/crypto/src/sha256.rs"
+            reason = "env-validation panic at startup"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.allows.len(), 2);
+        assert!(cfg
+            .allows_match(
+                "no-panic",
+                Path::new("crates/store/src/lib.rs"),
+                r#"res.expect("store write failed")"#,
+            )
+            .is_some());
+        // Wrong line text → no match.
+        assert!(cfg
+            .allows_match("no-panic", Path::new("crates/store/src/lib.rs"), "x.unwrap()")
+            .is_none());
+        // Wildcard rule matches any rule for that file.
+        assert!(cfg
+            .allows_match("determinism", Path::new("crates/crypto/src/sha256.rs"), "anything")
+            .is_some());
+    }
+
+    #[test]
+    fn suffix_and_prefix_paths() {
+        let cfg =
+            Config::parse("[[allow]]\nrule = \"x\"\npath = \"crates/store\"\nreason = \"r\"\n")
+                .unwrap();
+        assert!(cfg.allows_match("x", Path::new("crates/store/src/gc.rs"), "").is_some());
+        assert!(cfg.allows_match("x", Path::new("crates/forkbase/src/lib.rs"), "").is_none());
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let err = Config::parse("[[allow]]\nrule = \"x\"\npath = \"p\"\n").unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err =
+            Config::parse("[[allow]]\nrule = \"x\"\npath = \"p\"\nreson = \"typo\"\n").unwrap_err();
+        assert!(err.contains("reson"), "{err}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Diagnostic type and rendering.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One finding: a rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Path as reported (workspace-relative when walking the workspace).
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Stable rule id, e.g. `no-panic`.
+    pub rule: &'static str,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (a `--fix`-style suggestion; always cheap advice,
+    /// never an automated rewrite).
+    pub help: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.col,
+            self.rule,
+            self.message
+        )?;
+        write!(f, "    help: {}", self.help)
+    }
+}

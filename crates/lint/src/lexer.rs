@@ -1,0 +1,562 @@
+//! A lightweight Rust lexer — just enough token structure for the rule
+//! engine, none of the grammar.
+//!
+//! The rules need four things a plain regex cannot give them reliably:
+//!
+//! 1. code vs. **string/char literals** (an `unwrap()` inside a string is
+//!    not a call);
+//! 2. code vs. **comments** (including nested block comments), with doc
+//!    comments distinguished so the SAFETY rule can accept `/// # Safety`
+//!    sections;
+//! 3. **identifier boundaries** (`unwrap_or_else` must not match `unwrap`);
+//! 4. **line numbers** for every token, so diagnostics point at real
+//!    locations.
+//!
+//! Raw strings (`r#"…"#`), byte strings, raw identifiers (`r#type`) and the
+//! lifetime-vs-char-literal ambiguity (`'a` vs `'a'`) are handled; full
+//! expression grammar is deliberately not — the rules are token-pattern
+//! matchers over this stream.
+
+/// One code token. Comments are collected separately in [`Lexed::comments`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Token text. For literals this is the raw source slice (possibly
+    /// multi-line); rules only ever inspect identifier text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// One punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// String/char/byte/numeric literal.
+    Lit,
+    /// A lifetime such as `'a` (kept so char-literal handling stays exact).
+    Lifetime,
+}
+
+/// One comment, with its line span and whether it is a doc comment
+/// (`///`, `//!`, `/** … */`, `/*! … */`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    pub end_line: u32,
+    pub doc: bool,
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    pub fn ident_at(&self, i: usize) -> Option<&str> {
+        match self.tokens.get(i) {
+            Some(t) if t.kind == TokKind::Ident => Some(&t.text),
+            _ => None,
+        }
+    }
+
+    pub fn punct_at(&self, i: usize) -> Option<char> {
+        match self.tokens.get(i) {
+            Some(Token { kind: TokKind::Punct(c), .. }) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.bytes.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `source` into tokens and comments. The lexer never fails: malformed
+/// input (e.g. an unterminated string) is consumed to end of file, which is
+/// the right degradation for a linter.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor { bytes: source.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let text = source[start..cur.pos].to_string();
+                let doc = text.starts_with("///") || text.starts_with("//!");
+                out.comments.push(Comment { line, end_line: line, doc, text });
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let text = source[start..cur.pos].to_string();
+                let doc = text.starts_with("/**") || text.starts_with("/*!");
+                out.comments.push(Comment { line, end_line: cur.line, doc, text });
+            }
+            b'"' => {
+                let start = cur.pos;
+                lex_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Lit,
+                    text: source[start..cur.pos].to_string(),
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'\…'` and `'x'` are chars;
+                // `'ident` (no closing quote right after) is a lifetime.
+                let start = cur.pos;
+                let next = cur.peek(1);
+                let is_char = match next {
+                    Some(b'\\') => true,
+                    Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                        // 'a' is a char, 'a is a lifetime, 'ab' is invalid
+                        // (lexed as lifetime + stray quote; harmless here).
+                        cur.peek(2) == Some(b'\'')
+                    }
+                    Some(_) => true, // '(' etc. — a char literal like '('
+                    None => false,
+                };
+                if is_char {
+                    cur.bump(); // opening quote
+                    if cur.peek(0) == Some(b'\\') {
+                        cur.bump();
+                        cur.bump(); // escaped char (enough for \', \\, \n, \x..)
+                        while cur.peek(0).is_some_and(|c| c != b'\'') {
+                            cur.bump();
+                        }
+                    } else {
+                        cur.bump();
+                    }
+                    cur.bump(); // closing quote
+                    out.tokens.push(Token {
+                        kind: TokKind::Lit,
+                        text: source[start..cur.pos].to_string(),
+                        line,
+                        col,
+                    });
+                } else {
+                    cur.bump();
+                    while cur.peek(0).is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: source[start..cur.pos].to_string(),
+                        line,
+                        col,
+                    });
+                }
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&cur) => {
+                let start = cur.pos;
+                // Skip the prefix letters (r, b, br).
+                while cur.peek(0).is_some_and(|c| c == b'r' || c == b'b') {
+                    cur.bump();
+                }
+                let mut hashes = 0usize;
+                while cur.peek(0) == Some(b'#') {
+                    hashes += 1;
+                    cur.bump();
+                }
+                if cur.peek(0) == Some(b'"') {
+                    cur.bump();
+                    // Raw string: ends at `"` followed by `hashes` hashes.
+                    'outer: while let Some(c) = cur.bump() {
+                        if c == b'"' {
+                            for k in 0..hashes {
+                                if cur.peek(k) != Some(b'#') {
+                                    continue 'outer;
+                                }
+                            }
+                            for _ in 0..hashes {
+                                cur.bump();
+                            }
+                            break;
+                        }
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lit,
+                        text: source[start..cur.pos].to_string(),
+                        line,
+                        col,
+                    });
+                } else {
+                    // `r#ident` raw identifier (hashes == 1) or a plain
+                    // ident starting with r/b that we mis-sniffed; consume
+                    // as identifier either way.
+                    while cur.peek(0).is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Ident,
+                        text: source[start..cur.pos].trim_start_matches("r#").to_string(),
+                        line,
+                        col,
+                    });
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = cur.pos;
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: source[start..cur.pos].to_string(),
+                    line,
+                    col,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = cur.pos;
+                // Numbers (including 0x…, 1_000u64, 1.5e3). A trailing
+                // ident-ish suffix is folded into the literal.
+                while let Some(c) = cur.peek(0) {
+                    let take = c.is_ascii_alphanumeric()
+                        || c == b'_'
+                        // A dot continues the number only before a digit, so
+                        // `1..n` ranges and `1.method()` calls stay intact.
+                        || (c == b'.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()));
+                    if !take {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lit,
+                    text: source[start..cur.pos].to_string(),
+                    line,
+                    col,
+                });
+            }
+            c => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokKind::Punct(c as char),
+                    text: (c as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Is the `r`/`b` at the cursor the start of a raw/byte string (or raw
+/// identifier) rather than a plain identifier like `result`?
+fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
+    let b0 = cur.peek(0);
+    let b1 = cur.peek(1);
+    let b2 = cur.peek(2);
+    match (b0, b1) {
+        (Some(b'r'), Some(b'"')) | (Some(b'b'), Some(b'"')) => true,
+        (Some(b'r'), Some(b'#')) => true, // raw string r#"…" or raw ident r#type
+        (Some(b'b'), Some(b'r')) if b2 == Some(b'"') || b2 == Some(b'#') => true,
+        // Byte chars b'x' fall through: `b` lexes as an identifier and the
+        // quote as a char literal, which is fine for rule matching.
+        _ => false,
+    }
+}
+
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Mark every token that lives inside test-only code: a `#[cfg(test)]`
+/// (or `#[cfg(any(test, …))]`) module, or a `#[test]` / `#[cfg(test)]`
+/// function. Returns one flag per token.
+pub fn test_regions(lexed: &Lexed) -> Vec<bool> {
+    let toks = &lexed.tokens;
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if lexed.punct_at(i) == Some('#') && lexed.punct_at(i + 1) == Some('[') {
+            // Collect the attribute token range.
+            let attr_start = i + 2;
+            let mut depth = 1usize;
+            let mut j = attr_start;
+            while j < toks.len() && depth > 0 {
+                match lexed.punct_at(j) {
+                    Some('[') => depth += 1,
+                    Some(']') => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let attr_end = j; // one past the closing ']'
+            let mut has_cfg = false;
+            let mut has_test = false;
+            let mut bare_test = false;
+            let attr_len = attr_end.saturating_sub(1).saturating_sub(attr_start);
+            for k in attr_start..attr_end {
+                match lexed.ident_at(k) {
+                    Some("cfg") => has_cfg = true,
+                    Some("test") => {
+                        has_test = true;
+                        if attr_len == 1 {
+                            bare_test = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if (has_cfg && has_test) || bare_test {
+                // Skip any further attributes / doc comments to the item.
+                let mut k = attr_end;
+                while lexed.punct_at(k) == Some('#') && lexed.punct_at(k + 1) == Some('[') {
+                    let mut d = 1usize;
+                    let mut m = k + 2;
+                    while m < toks.len() && d > 0 {
+                        match lexed.punct_at(m) {
+                            Some('[') => d += 1,
+                            Some(']') => d -= 1,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    k = m;
+                }
+                // Find the item's body braces (skip `pub`, `mod name`,
+                // `fn name<…>(…) -> …`).
+                if let Some(body_start) = find_body_open(lexed, k) {
+                    let body_end = match_brace(lexed, body_start);
+                    for flag in in_test.iter_mut().take(body_end + 1).skip(i) {
+                        *flag = true;
+                    }
+                    i = body_end + 1;
+                    continue;
+                }
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// From item start `k`, find the index of the `{` opening its body —
+/// skipping parameter lists, generics and return types. Returns `None` for
+/// braceless items (`mod foo;`).
+pub(crate) fn find_body_open(lexed: &Lexed, k: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut j = k;
+    while j < lexed.tokens.len() {
+        match lexed.punct_at(j) {
+            Some('(') => paren += 1,
+            Some(')') => paren -= 1,
+            Some('[') => bracket += 1,
+            Some(']') => bracket -= 1,
+            Some('{') if paren == 0 && bracket == 0 => return Some(j),
+            Some(';') if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+pub(crate) fn match_brace(lexed: &Lexed, open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < lexed.tokens.len() {
+        match lexed.punct_at(j) {
+            Some('{') => depth += 1,
+            Some('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    lexed.tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r##"
+            // unwrap() in a comment
+            /* panic! in /* a nested */ block */
+            let s = "unwrap() in a string";
+            let r = r#"panic! in a raw "string""#;
+            s.len();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap" || i == "panic"));
+        assert!(ids.iter().any(|i| i == "len"));
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x.trim() }";
+        let ids = idents(src);
+        assert!(ids.iter().any(|i| i == "trim"));
+        let lx = lex(src);
+        assert!(lx.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+    }
+
+    #[test]
+    fn char_literals_with_quotes() {
+        let src = "let a = '\\''; let b = 'x'; b.is_alphabetic();";
+        let ids = idents(src);
+        assert!(ids.iter().any(|i| i == "is_alphabetic"));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let src = "a\nb\n  c";
+        let lx = lex(src);
+        assert_eq!(lx.tokens[0].line, 1);
+        assert_eq!(lx.tokens[1].line, 2);
+        assert_eq!(lx.tokens[2].line, 3);
+        assert_eq!(lx.tokens[2].col, 3);
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = r#"
+            fn lib_code() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { y.unwrap(); }
+            }
+        "#;
+        let lx = lex(src);
+        let flags = test_regions(&lx);
+        let unwraps: Vec<bool> = lx
+            .tokens
+            .iter()
+            .zip(&flags)
+            .filter(|(t, _)| t.text == "unwrap")
+            .map(|(_, f)| *f)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+
+    #[test]
+    fn test_fn_attribute_is_marked() {
+        let src = r#"
+            #[test]
+            fn check() { z.unwrap(); }
+            fn real() { w.unwrap(); }
+        "#;
+        let lx = lex(src);
+        let flags = test_regions(&lx);
+        let unwraps: Vec<bool> = lx
+            .tokens
+            .iter()
+            .zip(&flags)
+            .filter(|(t, _)| t.text == "unwrap")
+            .map(|(_, f)| *f)
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn cfg_any_test_is_marked() {
+        let src = "#[cfg(any(test, feature = \"x\"))] mod m { fn f() { a.unwrap(); } }";
+        let lx = lex(src);
+        let flags = test_regions(&lx);
+        let idx = lx.tokens.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(flags[idx]);
+    }
+}

@@ -1,0 +1,105 @@
+//! `siri-lint` CLI.
+//!
+//! ```text
+//! siri-lint --workspace            lint the whole workspace against lint.toml
+//! siri-lint FILE...                lint named files, strict profile, no allowlist
+//! siri-lint --list-rules           print the rule catalog
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/config/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use siri_lint::{lint_files_strict, lint_workspace, load_config, workspace, RULES};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(findings) => {
+            if findings == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("siri-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<usize, String> {
+    let mut args = std::env::args().skip(1);
+    let mut mode_workspace = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => mode_workspace = true,
+            "--list-rules" => list_rules = true,
+            "--root" => {
+                let v = args.next().ok_or("--root needs a path")?;
+                root = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                print!(
+                    "siri-lint: workspace invariant linter\n\n\
+                     usage:\n  siri-lint --workspace [--root DIR]\n  siri-lint FILE...\n  \
+                     siri-lint --list-rules\n\n\
+                     exit codes: 0 clean, 1 findings, 2 error\n"
+                );
+                return Ok(0);
+            }
+            f if !f.starts_with('-') => files.push(PathBuf::from(f)),
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+
+    if list_rules {
+        for (id, summary) in RULES {
+            println!("{id:16} {summary}");
+        }
+        return Ok(0);
+    }
+
+    if mode_workspace {
+        let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+        let root = match root {
+            Some(r) => r,
+            None => workspace::find_workspace_root(&cwd)
+                .ok_or("could not find the workspace root (Cargo.toml + crates/)")?,
+        };
+        let config = load_config(&root)?;
+        let report = lint_workspace(&root, &config)?;
+        for d in &report.diags {
+            println!("{d}");
+        }
+        for a in &report.unused_allows {
+            eprintln!(
+                "siri-lint: warning: lint.toml:{} allow entry (rule `{}`, path `{}`) \
+                 matched nothing — stale?",
+                a.line, a.rule, a.path
+            );
+        }
+        println!(
+            "siri-lint: {} file(s), {} finding(s), {} suppressed by lint.toml",
+            report.files,
+            report.diags.len(),
+            report.suppressed
+        );
+        return Ok(report.diags.len());
+    }
+
+    if files.is_empty() {
+        return Err("nothing to do: pass --workspace or file paths (try --help)".into());
+    }
+    let diags = lint_files_strict(&files)?;
+    for d in &diags {
+        println!("{d}");
+    }
+    println!("siri-lint: {} file(s), {} finding(s) [strict profile]", files.len(), diags.len());
+    Ok(diags.len())
+}

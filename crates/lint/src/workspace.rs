@@ -1,0 +1,178 @@
+//! Workspace walking and file classification.
+//!
+//! Rules apply per *kind* of file: library crates carry the panic and
+//! fallible-store discipline; benches, tests, the CLI and vendored shims do
+//! not. Classification is by path, mirroring the workspace layout in
+//! `Cargo.toml` — a new crate lands in [`classify`] when it is added there.
+
+use std::path::{Path, PathBuf};
+
+/// What kind of source file is this, for rule applicability?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileKind {
+    /// A library crate under `crates/` (carries all disciplines). The name
+    /// is the crate directory, e.g. `store`, `forkbase`.
+    Library(String),
+    /// Integration tests, fixtures under `tests/`.
+    TestCode,
+    /// The `siri-bench` crate: measurement code, panicking is fine.
+    Bench,
+    /// The root binary / CLI (`src/`): top-level error reporting may panic.
+    Cli,
+    /// Vendored shims under `vendor/`: exempt from project rules (but not
+    /// from the SAFETY rule — `unsafe` always needs a comment).
+    Vendor,
+    /// The linter itself.
+    Tool,
+}
+
+impl FileKind {
+    /// Rule 1 (`no-panic`) applies to library crates only.
+    pub fn panic_disciplined(&self) -> bool {
+        matches!(self, FileKind::Library(_))
+    }
+
+    /// Rule 2 (`fallible-store`) applies to index/engine crates — the ones
+    /// that sit *above* the store API and must propagate store faults.
+    pub fn store_disciplined(&self) -> bool {
+        matches!(
+            self,
+            FileKind::Library(name)
+                if matches!(
+                    name.as_str(),
+                    "core" | "store" | "forkbase" | "mbt" | "mpt" | "mvmb" | "pos-tree"
+                )
+        )
+    }
+
+    /// Rule 4 (`determinism`) applies to digest/encode/chunking crates.
+    pub fn determinism_disciplined(&self, path: &Path) -> bool {
+        match self {
+            FileKind::Library(name) if matches!(name.as_str(), "crypto" | "encoding") => true,
+            FileKind::Library(_) => {
+                // Chunking/encoding-path modules inside index crates.
+                let file = path.file_name().and_then(|f| f.to_str()).unwrap_or("");
+                matches!(
+                    file,
+                    "node.rs"
+                        | "builder.rs"
+                        | "params.rs"
+                        | "update.rs"
+                        | "topology.rs"
+                        | "entry_codec.rs"
+                        | "rolling.rs"
+                        | "fasthash.rs"
+                )
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(rel: &Path) -> FileKind {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    if s.starts_with("vendor/") {
+        return FileKind::Vendor;
+    }
+    if s.starts_with("crates/lint/") {
+        return FileKind::Tool;
+    }
+    if s.starts_with("crates/bench/") {
+        return FileKind::Bench;
+    }
+    if let Some(rest) = s.strip_prefix("crates/") {
+        if let Some((name, tail)) = rest.split_once('/') {
+            // A crate's own tests/ and benches/ directories are test code.
+            if tail.starts_with("tests/") || tail.starts_with("benches/") {
+                return FileKind::TestCode;
+            }
+            return FileKind::Library(name.to_string());
+        }
+    }
+    if s.starts_with("tests/") {
+        return FileKind::TestCode;
+    }
+    // Root src/: the `siri` CLI + integration glue.
+    FileKind::Cli
+}
+
+/// Recursively collect `.rs` files under `root`, returning workspace-relative
+/// paths. Skips VCS/build directories and the linter's own bad-on-purpose
+/// fixtures (they are linted explicitly by the fixture tests, never by the
+/// workspace walk).
+pub fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let ty = entry.file_type().map_err(|e| format!("{}: {e}", path.display()))?;
+            if ty.is_dir() {
+                if matches!(name.as_ref(), ".git" | "target" | "node_modules")
+                    || name == "lint_fixtures"
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if ty.is_file() && name.ends_with(".rs") {
+                let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Locate the workspace root: walk up from `start` until a directory holding
+/// both `Cargo.toml` and `crates/` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(
+            classify(Path::new("crates/store/src/lib.rs")),
+            FileKind::Library("store".into())
+        );
+        assert_eq!(classify(Path::new("crates/store/tests/t.rs")), FileKind::TestCode);
+        assert_eq!(classify(Path::new("crates/bench/src/lib.rs")), FileKind::Bench);
+        assert_eq!(classify(Path::new("crates/lint/src/rules.rs")), FileKind::Tool);
+        assert_eq!(classify(Path::new("vendor/parking_lot/src/lib.rs")), FileKind::Vendor);
+        assert_eq!(classify(Path::new("tests/engine.rs")), FileKind::TestCode);
+        assert_eq!(classify(Path::new("src/main.rs")), FileKind::Cli);
+    }
+
+    #[test]
+    fn disciplines() {
+        let store = classify(Path::new("crates/store/src/lib.rs"));
+        assert!(store.panic_disciplined());
+        assert!(store.store_disciplined());
+        let crypto = classify(Path::new("crates/crypto/src/sha256.rs"));
+        assert!(crypto.panic_disciplined());
+        assert!(!crypto.store_disciplined());
+        assert!(crypto.determinism_disciplined(Path::new("crates/crypto/src/sha256.rs")));
+        let mbt_node = classify(Path::new("crates/mbt/src/node.rs"));
+        assert!(mbt_node.determinism_disciplined(Path::new("crates/mbt/src/node.rs")));
+        let mbt_proof = classify(Path::new("crates/mbt/src/proof.rs"));
+        assert!(!mbt_proof.determinism_disciplined(Path::new("crates/mbt/src/proof.rs")));
+    }
+}

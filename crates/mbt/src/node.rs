@@ -102,7 +102,9 @@ impl Node {
                 let mut children = Vec::with_capacity(count as usize);
                 for _ in 0..count {
                     let raw = r.get_raw(Hash::LEN)?;
-                    children.push(Hash::from_slice(raw).expect("32 bytes"));
+                    let child = Hash::from_slice(raw)
+                        .ok_or(IndexError::CorruptStructure("bad child digest length"))?;
+                    children.push(child);
                 }
                 r.finish()?;
                 Ok(Node::Internal { buckets, fanout, children })

@@ -26,9 +26,10 @@ impl Topology {
         assert!(buckets >= 1, "MBT needs at least one bucket");
         assert!(fanout >= 2, "MBT fanout must be at least 2");
         let mut levels = vec![buckets];
-        while *levels.last().unwrap() > 1 {
-            let next = levels.last().unwrap().div_ceil(fanout);
-            levels.push(next);
+        let mut width = buckets;
+        while width > 1 {
+            width = width.div_ceil(fanout);
+            levels.push(width);
         }
         Topology { buckets, fanout, levels }
     }

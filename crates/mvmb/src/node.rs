@@ -93,7 +93,8 @@ impl Node {
                     let koff = r.offset();
                     r.get_raw(klen)?;
                     let max_key = page.slice(koff..koff + klen);
-                    let child = Hash::from_slice(r.get_raw(Hash::LEN)?).expect("32 bytes");
+                    let child = Hash::from_slice(r.get_raw(Hash::LEN)?)
+                        .ok_or(IndexError::CorruptStructure("bad child digest length"))?;
                     children.push(ChildRef { max_key, child });
                 }
                 r.finish()?;

@@ -115,7 +115,8 @@ impl Node {
                     let koff = r.offset();
                     r.get_raw(klen)?;
                     let max_key = page.slice(koff..koff + klen);
-                    let hash = Hash::from_slice(r.get_raw(Hash::LEN)?).expect("32 bytes");
+                    let hash = Hash::from_slice(r.get_raw(Hash::LEN)?)
+                        .ok_or(IndexError::CorruptStructure("bad child digest length"))?;
                     children.push(Piece { max_key, hash });
                 }
                 r.finish()?;

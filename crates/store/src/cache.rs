@@ -21,7 +21,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{LockClass, Mutex};
+
+/// Lock class for the runtime lock-order tracker (DESIGN.md §9): cache
+/// shards sit between the engine locks and the backing store's internals.
+static CACHE_SHARD_CLASS: LockClass = LockClass::new(40, "store.cache-shard");
 use siri_crypto::{FxHashMap, Hash};
 
 /// Counter snapshot for a cache (also folded into
@@ -195,7 +199,7 @@ impl<V: Clone> ShardedLru<V> {
     pub fn new(capacity: usize) -> Self {
         let shards = (0..SHARDS)
             .map(|i| Shard {
-                lru: Mutex::new(LruShard::new()),
+                lru: Mutex::with_class(LruShard::new(), &CACHE_SHARD_CLASS),
                 capacity: capacity / SHARDS + usize::from(i < capacity % SHARDS),
             })
             .collect::<Vec<_>>();

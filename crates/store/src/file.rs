@@ -64,7 +64,14 @@ use std::sync::{Arc, Condvar, PoisonError};
 use std::time::Duration;
 
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{LockClass, Mutex, RwLock};
+
+/// Lock classes for the runtime lock-order tracker (DESIGN.md §9). The
+/// durable store's internal order: appender → index → readers, all after
+/// any engine-level lock.
+static FILE_APPENDER_CLASS: LockClass = LockClass::new(50, "store.file-appender");
+static FILE_INDEX_CLASS: LockClass = LockClass::new(60, "store.file-index");
+static FILE_READERS_CLASS: LockClass = LockClass::new(65, "store.file-readers");
 use siri_crypto::{sha256, FxHashMap, Hash};
 
 use crate::stats::AtomicStoreStats;
@@ -456,15 +463,18 @@ impl FileStore {
         Ok((
             FileStore {
                 dir,
-                index: RwLock::new(index),
-                readers: RwLock::new(FxHashMap::default()),
-                appender: Mutex::new(Appender {
-                    segments,
-                    active_id,
-                    active,
-                    end: active_end,
-                    frame_buf: Vec::new(),
-                }),
+                index: RwLock::with_class(index, &FILE_INDEX_CLASS),
+                readers: RwLock::with_class(FxHashMap::default(), &FILE_READERS_CLASS),
+                appender: Mutex::with_class(
+                    Appender {
+                        segments,
+                        active_id,
+                        active,
+                        end: active_end,
+                        frame_buf: Vec::new(),
+                    },
+                    &FILE_APPENDER_CLASS,
+                ),
                 stats,
                 opts,
                 cadence: AtomicU64::new(0),

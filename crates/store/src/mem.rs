@@ -1,7 +1,11 @@
 //! In-memory content-addressed store.
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{LockClass, RwLock};
+
+/// Lock class for the runtime lock-order tracker (DESIGN.md §9): memory
+/// shards are leaf locks, below every engine and cache lock.
+static MEM_SHARD_CLASS: LockClass = LockClass::new(55, "store.mem-shard");
 use siri_crypto::{hash_many, sha256, FxHashMap, FxHashSet, Hash};
 
 use crate::stats::AtomicStoreStats;
@@ -39,7 +43,9 @@ impl Default for MemStore {
 
 impl MemStore {
     pub fn new() -> Self {
-        let shards = (0..SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect::<Vec<_>>();
+        let shards = (0..SHARDS)
+            .map(|_| RwLock::with_class(FxHashMap::default(), &MEM_SHARD_CLASS))
+            .collect::<Vec<_>>();
         MemStore { shards: shards.into_boxed_slice(), stats: AtomicStoreStats::default() }
     }
 

@@ -57,8 +57,8 @@ pub use siri_core::{
 pub use siri_crypto as crypto;
 pub use siri_encoding as encoding;
 pub use siri_forkbase::{
-    EngineStats, Forkbase, IndexFactory, MbtFactory, MptFactory, MvmbFactory, NomsEngine,
-    PosFactory, DEFAULT_FETCH_COST_NANOS, MAX_COMMIT_ATTEMPTS,
+    max_commit_attempts, EngineStats, Forkbase, IndexFactory, MbtFactory, MptFactory, MvmbFactory,
+    NomsEngine, PosFactory, DEFAULT_FETCH_COST_NANOS, MAX_COMMIT_ATTEMPTS,
 };
 pub use siri_mbt::{MerkleBucketTree, DEFAULT_BUCKETS, DEFAULT_FANOUT};
 pub use siri_mpt::MerklePatriciaTrie;

@@ -1,0 +1,91 @@
+//! Fixture battery for `siri-lint` (ISSUE 7, satellite c).
+//!
+//! Three layers of evidence that the linter means what it says:
+//!
+//! * every known-bad fixture under `tests/lint_fixtures/` produces the
+//!   expected findings under the strict profile (each rule has one);
+//! * the known-good fixture — which exercises each rule's happy path,
+//!   including test-code exemptions — produces none;
+//! * the linter run over this very workspace, with the checked-in
+//!   `lint.toml`, reports zero findings and zero stale allowlist entries.
+//!
+//! The fixture directory is skipped by the workspace walker (and is not a
+//! cargo target), so the deliberately bad snippets never pollute the real
+//! lint run or the build.
+
+use std::path::{Path, PathBuf};
+
+use siri_lint::{lint_files_strict, lint_workspace, load_config, Diagnostic};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_fixtures").join(name)
+}
+
+fn strict(name: &str) -> Vec<Diagnostic> {
+    lint_files_strict(&[fixture(name)]).expect("fixture must lex and lint")
+}
+
+fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn bad_panic_fixture_flags_all_three_sites() {
+    let d = strict("bad_panic.rs");
+    assert_eq!(rules(&d), ["no-panic", "no-panic", "no-panic"], "{d:?}");
+    let lines: Vec<u32> = d.iter().map(|d| d.line).collect();
+    assert_eq!(lines, [5, 9, 13], "one finding per body, in line order");
+}
+
+#[test]
+fn bad_store_sugar_fixture_flags_both_receiver_spellings() {
+    let d = strict("bad_store_sugar.rs");
+    assert_eq!(rules(&d), ["fallible-store", "fallible-store"], "{d:?}");
+    assert!(d[0].message.contains("put") && d[1].message.contains("get"), "{d:?}");
+}
+
+#[test]
+fn bad_unsafe_fixture_flags_missing_safety_comment() {
+    let d = strict("bad_unsafe.rs");
+    assert_eq!(rules(&d), ["safety-comment"], "{d:?}");
+}
+
+#[test]
+fn bad_nondeterminism_fixture_flags_clock_and_rng() {
+    let d = strict("bad_nondeterminism.rs");
+    assert_eq!(rules(&d), ["determinism", "determinism", "determinism"], "{d:?}");
+}
+
+#[test]
+fn bad_lock_order_fixture_flags_inverted_acquisition() {
+    let d = strict("bad_lock_order.rs");
+    assert_eq!(rules(&d), ["lock-order"], "{d:?}");
+    assert!(d[0].message.contains("branch"), "{d:?}");
+}
+
+#[test]
+fn good_fixture_is_clean_under_every_strict_rule() {
+    let d = strict("good_clean.rs");
+    assert!(d.is_empty(), "known-good fixture must pass: {d:?}");
+}
+
+/// The acceptance gate, as a test: the workspace itself lints clean with
+/// the checked-in allowlist, and the allowlist carries no dead weight.
+#[test]
+fn workspace_lints_clean_with_checked_in_allowlist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let config = load_config(root).expect("lint.toml must parse");
+    let report = lint_workspace(root, &config).expect("workspace walk must succeed");
+    assert!(
+        report.diags.is_empty(),
+        "workspace must lint clean; fix or allowlist (with a reason):\n{}",
+        report.diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale lint.toml entries (suppressed nothing): {:?}",
+        report.unused_allows.iter().map(|a| (&a.rule, &a.path)).collect::<Vec<_>>()
+    );
+    assert!(report.files > 100, "walker should see the whole workspace, saw {}", report.files);
+    assert!(report.suppressed > 0, "the documented sugar suppressions should be exercised");
+}

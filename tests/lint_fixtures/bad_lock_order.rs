@@ -1,0 +1,11 @@
+//! Known-bad fixture: `lock-order` violation — the branch map is acquired
+//! while a client-view guard is still live, the inversion that can deadlock
+//! against `reset_client` (which takes branch map, then view).
+
+impl Engine {
+    pub fn wrong(&self) {
+        let view = self.view.lock();
+        let map = self.branches.read();
+        let _ = (view, map);
+    }
+}

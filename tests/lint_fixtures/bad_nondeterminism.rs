@@ -1,0 +1,12 @@
+//! Known-bad fixture: `determinism` violations — wall clock and OS
+//! randomness in what the strict profile treats as a digest/encode path.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn entropy() -> u64 {
+    let _ = std::time::SystemTime::now();
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

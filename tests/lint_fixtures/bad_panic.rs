@@ -1,0 +1,14 @@
+//! Known-bad fixture: `no-panic` violations in non-test code.
+//! Each of the three bodies below must produce exactly one finding.
+
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn second(r: Result<u32, String>) -> u32 {
+    r.expect("boom")
+}
+
+pub fn third() -> ! {
+    panic!("unreachable by design")
+}

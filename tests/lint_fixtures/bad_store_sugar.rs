@@ -1,0 +1,10 @@
+//! Known-bad fixture: `fallible-store` violations — panicking store sugar
+//! instead of the `try_*` methods. Both receiver spellings must flag.
+
+pub fn write(store: &dyn NodeStore, page: Bytes) -> Hash {
+    store.put(page)
+}
+
+pub fn read(node_store: &MemStore, h: &Hash) -> Option<Bytes> {
+    node_store.get(h)
+}

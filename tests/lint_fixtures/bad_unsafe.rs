@@ -1,0 +1,6 @@
+//! Known-bad fixture: an `unsafe` block with no justifying comment
+//! anywhere near it must flag.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

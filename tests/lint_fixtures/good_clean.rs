@@ -1,0 +1,42 @@
+//! Known-good fixture: exercises the happy path of every strict rule and
+//! must produce zero findings.
+
+pub fn checked(v: Option<u32>) -> Option<u32> {
+    v.map(|x| x + 1)
+}
+
+pub fn store_discipline(store: &dyn NodeStore, page: Bytes) -> StoreResult<Hash> {
+    store.try_put(page)
+}
+
+pub fn documented_unsafe(v: &[u8]) -> u8 {
+    // SAFETY: callers guarantee `v` is non-empty; checked at every call
+    // site before entering this fast path.
+    unsafe { *v.get_unchecked(0) }
+}
+
+impl Engine {
+    /// Ascending acquisition (branch map before slot head) is the contract.
+    pub fn ascending(&self) {
+        let map = self.branches.read();
+        let head = self.head.write();
+        let _ = (map, head);
+    }
+
+    /// Dropping the view guard first makes the branch-map read legal.
+    pub fn resequenced(&self) {
+        let view = self.view.lock();
+        drop(view);
+        let map = self.branches.read();
+        let _ = map;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_test_code() {
+        Some(1).unwrap();
+        assert!(std::panic::catch_unwind(|| panic!("tests may panic")).is_err());
+    }
+}

@@ -4,40 +4,229 @@
 //! (no `.unwrap()` at call sites). Lock poisoning is translated into a
 //! panic-with-inner-data recovery: if a writer panicked, we still hand out
 //! the guard, matching parking_lot semantics where locks are never poisoned.
+//!
+//! On top of the shim sits a **lock-order tracker** (the runtime half of the
+//! `lock-order` lint rule, DESIGN.md §9): locks constructed with
+//! [`Mutex::with_class`] / [`RwLock::with_class`] carry a [`LockClass`] with
+//! a numeric order. When the tracker is active — debug builds with
+//! `SIRI_LOCK_ORDER=1` — every blocking acquisition checks the per-thread
+//! held stack and panics if a class with a *lower* order is acquired while
+//! a higher-order guard is live (the definition of an inversion under the
+//! documented total order). Acquisition edges are also recorded globally so
+//! tests can inspect the observed graph. Unclassed locks and release builds
+//! pay one predictable branch per operation.
 
 use std::sync::{self, PoisonError};
 
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub mod lock_order {
+    //! Lock classes, the per-thread held stack, and the inversion check.
 
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+    use std::cell::RefCell;
+    use std::sync::{Mutex as StdMutex, OnceLock};
+
+    /// A lock's position in the global acquisition order. Locks must be
+    /// acquired in *ascending* `order`; acquiring a lower order while a
+    /// higher one is held panics when the tracker is active. Same-order
+    /// acquisitions are allowed (e.g. two branch slots during a merge) —
+    /// intra-class ordering is the caller's contract.
+    #[derive(Debug)]
+    pub struct LockClass {
+        pub order: u16,
+        pub name: &'static str,
+    }
+
+    impl LockClass {
+        pub const fn new(order: u16, name: &'static str) -> Self {
+            LockClass { order, name }
+        }
+    }
+
+    /// Tracker activation: debug builds only, and only when the
+    /// `SIRI_LOCK_ORDER=1` env var opted in (checked once).
+    pub fn is_active() -> bool {
+        if !cfg!(debug_assertions) {
+            return false;
+        }
+        static ACTIVE: OnceLock<bool> = OnceLock::new();
+        *ACTIVE.get_or_init(|| std::env::var("SIRI_LOCK_ORDER").map(|v| v == "1").unwrap_or(false))
+    }
+
+    thread_local! {
+        /// (order, name, acquisition id) for every live tracked guard on
+        /// this thread. Guards can drop out of acquisition order, so each
+        /// entry is keyed by a unique id rather than stack position.
+        static HELD: RefCell<Vec<(u16, &'static str, u64)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// A directed `(from, to)` acquisition: class `to` was acquired while
+    /// `from` was the most recently taken held lock, as `(order, name)`.
+    pub type Edge = ((u16, &'static str), (u16, &'static str));
+
+    /// Distinct class edges observed across all threads, for test
+    /// assertions and debugging. Ordered by first observation.
+    pub fn edges() -> Vec<Edge> {
+        edge_log().lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    fn edge_log() -> &'static StdMutex<Vec<Edge>> {
+        static EDGES: OnceLock<StdMutex<Vec<Edge>>> = OnceLock::new();
+        EDGES.get_or_init(|| StdMutex::new(Vec::new()))
+    }
+
+    /// RAII token: pops its acquisition from the held stack on drop. The
+    /// inert form (unclassed lock, tracker off) is a no-op.
+    #[derive(Debug)]
+    pub struct Held(Option<u64>);
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            if let Some(id) = self.0 {
+                HELD.with(|h| {
+                    let mut h = h.borrow_mut();
+                    if let Some(pos) = h.iter().rposition(|&(_, _, i)| i == id) {
+                        h.remove(pos);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Record an acquisition of `class`, checking for an inversion first.
+    /// `blocking` distinguishes `lock()`/`read()`/`write()` from
+    /// `try_lock()`: a try-acquisition never blocks, so it cannot complete
+    /// a deadlock cycle — it is recorded (later blocking acquisitions under
+    /// it are still checked) but never panics itself.
+    pub(crate) fn acquire(class: Option<&'static LockClass>, blocking: bool) -> Held {
+        let Some(class) = class else { return Held(None) };
+        if !is_active() {
+            return Held(None);
+        }
+        let id = next_id();
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(&(top_order, top_name, _)) = h.last() {
+                record_edge((top_order, top_name), (class.order, class.name));
+            }
+            if blocking {
+                if let Some(&(o, n, _)) = h.iter().find(|&&(o, _, _)| o > class.order) {
+                    panic!(
+                        "lock-order violation: acquiring `{}` (order {}) while holding \
+                         `{n}` (order {o}); locks must be taken in ascending order \
+                         (DESIGN.md \u{a7}9). held: {:?}",
+                        class.name,
+                        class.order,
+                        h.iter().map(|&(o, n, _)| (o, n)).collect::<Vec<_>>(),
+                    );
+                }
+            }
+            h.push((class.order, class.name, id));
+        });
+        Held(Some(id))
+    }
+
+    fn record_edge(from: (u16, &'static str), to: (u16, &'static str)) {
+        let mut log = edge_log().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !log.contains(&(from, to)) {
+            log.push((from, to));
+        }
+    }
+
+    fn next_id() -> u64 {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+pub use lock_order::LockClass;
+
+pub struct Mutex<T: ?Sized> {
+    class: Option<&'static LockClass>,
+    inner: sync::Mutex<T>,
+}
+
+/// Guard wrappers: deref to the std guards, and pop the lock-order held
+/// stack on drop (field order releases the lock first, then the token).
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+    _held: lock_order::Held,
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    _held: lock_order::Held,
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    _held: lock_order::Held,
+}
+
+macro_rules! impl_guard_deref {
+    ($guard:ident, $($mut_impl:tt)*) => {
+        impl<T: ?Sized> std::ops::Deref for $guard<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+        $($mut_impl)*
+    };
+}
+
+impl_guard_deref!(
+    MutexGuard,
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+);
+impl_guard_deref!(RwLockReadGuard,);
+impl_guard_deref!(
+    RwLockWriteGuard,
+    impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+);
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex { class: None, inner: sync::Mutex::new(value) }
+    }
+
+    /// A mutex participating in lock-order tracking under `class`.
+    pub const fn with_class(value: T, class: &'static LockClass) -> Self {
+        Mutex { class: Some(class), inner: sync::Mutex::new(value) }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        let held = lock_order::acquire(self.class, true);
+        MutexGuard { inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner), _held: held }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        // Tracked after the fact: a try-lock cannot block, so it cannot
+        // close a deadlock cycle — but what it holds must still be visible
+        // to inversion checks on later blocking acquisitions.
+        Some(MutexGuard { inner, _held: lock_order::acquire(self.class, false) })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -47,29 +236,45 @@ impl<T: Default> Default for Mutex<T> {
     }
 }
 
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    class: Option<&'static LockClass>,
+    inner: sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock { class: None, inner: sync::RwLock::new(value) }
+    }
+
+    /// An rwlock participating in lock-order tracking under `class`.
+    pub const fn with_class(value: T, class: &'static LockClass) -> Self {
+        RwLock { class: Some(class), inner: sync::RwLock::new(value) }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        let held = lock_order::acquire(self.class, true);
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            _held: held,
+        }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        let held = lock_order::acquire(self.class, true);
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            _held: held,
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -110,5 +315,21 @@ mod tests {
         // parking_lot semantics: no poisoning, lock still usable.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn classed_locks_work_when_tracker_inactive() {
+        // Without SIRI_LOCK_ORDER=1 the tracker must be fully inert even
+        // for out-of-order acquisition.
+        if lock_order::is_active() {
+            return; // the inverted acquisition below would (rightly) panic
+        }
+        static LOW: LockClass = LockClass::new(1, "test.low");
+        static HIGH: LockClass = LockClass::new(2, "test.high");
+        let a = Mutex::with_class(0u32, &LOW);
+        let b = RwLock::with_class(0u32, &HIGH);
+        let gb = b.read();
+        let ga = a.lock(); // inverted on purpose; inert tracker ignores it
+        assert_eq!(*ga + *gb, 0);
     }
 }
