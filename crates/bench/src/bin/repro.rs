@@ -31,7 +31,7 @@ use siri::workloads::wiki::WikiConfig;
 use siri::workloads::ycsb::YcsbConfig;
 use siri::{
     cost_model, metrics, Entry, FileStoreOptions, Forkbase, FsyncPolicy, IndexFactory, MemStore,
-    NomsEngine, PosFactory, PosParams, PosTree, SiriIndex, WriteBatch,
+    NomsEngine, PosFactory, PosParams, PosTree, ShardingPolicy, SiriIndex, WriteBatch,
 };
 use siri_bench::harness::*;
 use siri_bench::table::{kops, mib, micros, ratio, Table};
@@ -1202,6 +1202,106 @@ fn concurrency(cfg: RunConfig) -> Vec<Table> {
         writers *= 2;
     }
 
+    // (d) Sharded branch head (ISSUE 8): the same contended single-branch
+    // workload as (b), but with writers confined to disjoint key-range
+    // shards of a pinned-N partition. Against the single-slot baseline of
+    // PR 5 the per-shard CAS should show zero conflicts and zero retries
+    // — the speedup column is sharded vs single-slot wall-clock at the
+    // same writer count.
+    let mut sharded = Table::new(
+        "Concurrency (d) — sharded vs single-slot head, one branch, \
+         disjoint key ranges (POS-Tree, MemStore)",
+        &["writers", "single_kops/s", "sharded_kops/s", "speedup", "conflicts", "shard_conflicts"],
+    );
+    let mut writers = 2usize;
+    while writers <= cfg.threads.max(2) {
+        // First key byte pins writer t to shard t of the uniform
+        // `writers`-way partition.
+        let lead = move |t: usize, writers: usize| (t * 256 / writers + 1) as u8;
+        let make = move |t: usize, c: usize, writers: usize| {
+            let mut b = WriteBatch::new();
+            for i in 0..batch {
+                let mut key = vec![lead(t, writers)];
+                key.extend_from_slice(format!("w{t:02}-c{c:04}-{i:03}").as_bytes());
+                b.put(key, vec![t as u8; 16]);
+            }
+            b
+        };
+        // Single-slot baseline.
+        let single = Arc::new(Forkbase::with_sharding(
+            PosFactory(PosParams::default()),
+            MemStore::new_shared(),
+            ShardingPolicy::single(),
+            0,
+        ));
+        let dt_single = run_concurrent_writers(
+            &single,
+            writers,
+            commits_per_writer,
+            |_| "master".into(),
+            move |t, c| make(t, c, writers),
+        );
+        // Pinned N-shard head.
+        let fb = Arc::new(Forkbase::with_sharding(
+            PosFactory(PosParams::default()),
+            MemStore::new_shared(),
+            ShardingPolicy::pinned(writers),
+            0,
+        ));
+        let dt_sharded = run_concurrent_writers(
+            &fb,
+            writers,
+            commits_per_writer,
+            |_| "master".into(),
+            move |t, c| make(t, c, writers),
+        );
+        let expected = writers * commits_per_writer * batch;
+        debug_assert_eq!(fb.head("master").unwrap().len().unwrap(), expected);
+        let shard_conflicts: u64 =
+            fb.shard_stats("master").unwrap().iter().map(|s| s.conflicts).sum();
+        sharded.row(vec![
+            writers.to_string(),
+            kops(expected, dt_single.as_nanos() as u64),
+            kops(expected, dt_sharded.as_nanos() as u64),
+            format!("{:.2}x", dt_single.as_secs_f64() / dt_sharded.as_secs_f64().max(1e-9)),
+            fb.engine_stats().conflicts.to_string(),
+            shard_conflicts.to_string(),
+        ]);
+        writers *= 2;
+    }
+
+    // (e) Parallel bulk load: shard sub-trees built on N threads, one
+    // manifest committed over the finished sub-roots.
+    let mut bulk = Table::new(
+        "Concurrency (e) — parallel bulk load via sharded build (POS-Tree, MemStore)",
+        &["threads", "records", "kops/s", "speedup"],
+    );
+    let load_n = (cfg.ops * 20).clamp(5_000, 200_000);
+    let data: Vec<Entry> = ycsb.dataset(load_n);
+    let mut serial_nanos = 0u64;
+    let mut threads = 1usize;
+    while threads <= cfg.threads.max(1) {
+        let fb = Forkbase::with_sharding(
+            PosFactory(PosParams::default()),
+            MemStore::new_shared(),
+            ShardingPolicy::single(),
+            0,
+        );
+        let t0 = Instant::now();
+        fb.bulk_load("loaded", data.clone(), threads).unwrap();
+        let dt = t0.elapsed().as_nanos() as u64;
+        if threads == 1 {
+            serial_nanos = dt;
+        }
+        bulk.row(vec![
+            threads.to_string(),
+            load_n.to_string(),
+            kops(load_n, dt),
+            format!("{:.2}x", serial_nanos as f64 / dt.max(1) as f64),
+        ]);
+        threads *= 2;
+    }
+
     // (c) Group commit on the durable store: one shared fsync per flush
     // tick instead of one per commit.
     let mut group = Table::new(
@@ -1243,7 +1343,7 @@ fn concurrency(cfg: RunConfig) -> Vec<Table> {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
-    vec![scaling, contended, group]
+    vec![scaling, contended, sharded, bulk, group]
 }
 
 // ---------------------------------------------------------------------------

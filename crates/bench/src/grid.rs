@@ -222,6 +222,8 @@ pub fn run_cell(workload: &str, backend: Backend, cfg: RunConfig) -> Report {
         calibration_hash_mbps: calibrate_hash_mbps(),
         sha256_backend: siri::crypto::active_backend().name().to_string(),
         chunker: crate::harness::chunker_kind().name().to_string(),
+        shards: crate::harness::shard_config().0,
+        adaptive_sharding: crate::harness::shard_config().1,
         indexes,
     }
 }

@@ -80,6 +80,15 @@ pub fn chunker_kind() -> siri::ChunkerKind {
     }
 }
 
+/// Branch-head shard configuration for this run, as stamped into every
+/// BENCH artifact: `(initial shard count, adaptive?)` straight from the
+/// engine's `SIRI_SHARDS` policy, so `bench-diff` refuses cross-partition
+/// comparisons the same way it refuses cross-chunker ones.
+pub fn shard_config() -> (u64, bool) {
+    let policy = siri::ShardingPolicy::from_env();
+    (policy.initial as u64, policy.adaptive)
+}
+
 pub fn mbt_factory(cfg: IndexCfg) -> MbtFactory {
     MbtFactory { buckets: cfg.mbt_buckets, fanout: cfg.mbt_fanout }
 }

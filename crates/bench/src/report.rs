@@ -36,7 +36,13 @@ use crate::table::{mib, ratio, Json, Table};
 /// (buzhash / gear): throughput depends heavily on whether hashing ran
 /// hardware-accelerated, so comparing a scalar baseline against a sha-ni
 /// run (or vice versa) is a configuration mismatch, not a perf delta.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added `shards` and `adaptive_sharding` (the engine's branch-head
+/// partition, `SIRI_SHARDS`): a sharded run commits through per-range CAS
+/// slots and publishes manifest pages, so its throughput and write counts
+/// are not comparable to a single-slot baseline — same rule as the hash
+/// backend, refuse rather than mis-diff.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Latency percentiles of one op verb (µs).
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +119,14 @@ pub struct Report {
     /// POS-Tree sliding-window chunker (`buzhash`, `gear`). Different
     /// chunkers place different boundaries and produce different trees.
     pub chunker: String,
+    /// Branch-head shard count the engine ran with (`SIRI_SHARDS`; 1 =
+    /// the classic single-slot head). Sharded commits publish manifest
+    /// pages and contend differently, so the count is measurement
+    /// configuration.
+    pub shards: u64,
+    /// Whether adaptive re-sharding was enabled (`SIRI_SHARDS=adaptive`);
+    /// `shards` then records the initial count.
+    pub adaptive_sharding: bool,
     pub indexes: Vec<IndexReport>,
 }
 
@@ -143,6 +157,8 @@ impl Report {
             ("calibration_hash_mbps".into(), Json::num(self.calibration_hash_mbps)),
             ("sha256_backend".into(), Json::str(&self.sha256_backend)),
             ("chunker".into(), Json::str(&self.chunker)),
+            ("shards".into(), Json::u64(self.shards)),
+            ("adaptive_sharding".into(), Json::Bool(self.adaptive_sharding)),
             ("indexes".into(), Json::Arr(self.indexes.iter().map(IndexReport::to_json).collect())),
         ])
     }
@@ -185,6 +201,8 @@ impl Report {
             calibration_hash_mbps: req_f64(doc, "calibration_hash_mbps")?,
             sha256_backend: req_str(doc, "sha256_backend")?,
             chunker: req_str(doc, "chunker")?,
+            shards: req_u64(doc, "shards")?,
+            adaptive_sharding: req_bool(doc, "adaptive_sharding")?,
             indexes,
         })
     }
@@ -386,6 +404,10 @@ fn req_str(doc: &Json, key: &str) -> Result<String, String> {
         .ok_or(format!("missing string field `{key}`"))
 }
 
+fn req_bool(doc: &Json, key: &str) -> Result<bool, String> {
+    doc.get(key).and_then(Json::as_bool).ok_or(format!("missing boolean field `{key}`"))
+}
+
 // ---------------------------------------------------------------------------
 // Comparison — the bench-diff perf gate
 // ---------------------------------------------------------------------------
@@ -433,7 +455,7 @@ impl std::fmt::Display for Regression {
 /// `bench-diff` refuses such pairs (the fix is regenerating the
 /// baseline, not reading bogus deltas).
 pub fn config_mismatch(base: &Report, new: &Report) -> Option<String> {
-    let fields: [(&str, String, String); 9] = [
+    let fields: [(&str, String, String); 11] = [
         ("experiment", base.experiment.clone(), new.experiment.clone()),
         ("workload", base.workload.clone(), new.workload.clone()),
         ("backend", base.backend.clone(), new.backend.clone()),
@@ -446,6 +468,15 @@ pub fn config_mismatch(base: &Report, new: &Report) -> Option<String> {
         // calibration clamp cannot absorb that, so refuse outright.
         ("sha256_backend", base.sha256_backend.clone(), new.sha256_backend.clone()),
         ("chunker", base.chunker.clone(), new.chunker.clone()),
+        // Same refusal rule for the branch-head partition: a sharded run
+        // (per-range CAS slots, manifest pages per commit) is a different
+        // system than the single-slot engine.
+        ("shards", base.shards.to_string(), new.shards.to_string()),
+        (
+            "adaptive_sharding",
+            base.adaptive_sharding.to_string(),
+            new.adaptive_sharding.to_string(),
+        ),
     ];
     fields
         .iter()
@@ -688,6 +719,8 @@ mod tests {
             calibration_hash_mbps: 800.0,
             sha256_backend: "scalar".into(),
             chunker: "buzhash".into(),
+            shards: 1,
+            adaptive_sharding: false,
             indexes: vec![
                 sample_index("pos-tree", ops_per_sec, unique_bytes),
                 sample_index("mpt", ops_per_sec * 2.0, unique_bytes),
@@ -822,6 +855,18 @@ mod tests {
         let mut gear = base.clone();
         gear.chunker = "gear".into();
         assert!(config_mismatch(&base, &gear).unwrap().contains("chunker"));
+    }
+
+    #[test]
+    fn shard_config_mismatches_refuse_comparison() {
+        let base = sample_report(80_000.0, 400_000);
+        let mut sharded = base.clone();
+        sharded.shards = 8;
+        let msg = config_mismatch(&base, &sharded).unwrap();
+        assert!(msg.contains("shards"), "{msg}");
+        let mut adaptive = base.clone();
+        adaptive.adaptive_sharding = true;
+        assert!(config_mismatch(&base, &adaptive).unwrap().contains("adaptive_sharding"));
     }
 
     #[test]

@@ -170,6 +170,13 @@ impl Json {
         }
     }
 
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Serialize with two-space indentation (the artifact format: BENCH
     /// files are meant to be read and diffed by humans too).
     pub fn render(&self) -> String {

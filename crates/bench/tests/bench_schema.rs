@@ -10,7 +10,7 @@ fn tiny() -> RunConfig {
     RunConfig { scale: 0.001, ops: 100, ..Default::default() }
 }
 
-/// Every field the v1 schema requires per index entry, by section.
+/// Every field the schema (v3) requires per index entry, by section.
 const REQUIRED_LOAD: &[&str] = &[
     "entries",
     "commits",
@@ -45,6 +45,8 @@ fn assert_schema(doc: &Json, experiment: &str) {
         "seed",
         "node_bytes",
         "calibration_hash_mbps",
+        "shards",
+        "adaptive_sharding",
         "indexes",
     ] {
         assert!(doc.get(field).is_some(), "{experiment}: missing top-level `{field}`");

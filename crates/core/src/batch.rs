@@ -61,6 +61,21 @@ impl WriteBatch {
         WriteBatch { ops: entries.into_iter().map(Op::Put).collect() }
     }
 
+    /// Rebuild a batch from normalized ops — the inverse of
+    /// [`WriteBatch::normalize`], used when a router has already resolved
+    /// and partitioned a batch (normalizing again is a no-op).
+    pub fn from_ops(ops: Vec<BatchOp>) -> Self {
+        WriteBatch {
+            ops: ops
+                .into_iter()
+                .map(|op| match op.value {
+                    Some(value) => Op::Put(Entry { key: op.key, value }),
+                    None => Op::Delete(op.key),
+                })
+                .collect(),
+        }
+    }
+
     /// Queue an insert-or-overwrite.
     pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> &mut Self {
         self.ops.push(Op::Put(Entry { key: key.into(), value: value.into() }));
@@ -146,11 +161,16 @@ impl BatchOp {
 /// these per acknowledged commit: the head the winning version was built
 /// on (`parent`), the head it produced (`root`), and how many races it
 /// lost on the way (`retries` — each one a full rebuild of the batch
-/// against a fresher head). The `parent → root` edges of a branch's
-/// commits form a chain, which is what makes concurrent commit histories
-/// auditable: replaying the batches in chain order on a sequential model
-/// must reproduce every `root` digest exactly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// against a fresher head). On a single-shard branch the `parent → root`
+/// edges of a branch's commits form a chain, which is what makes
+/// concurrent commit histories auditable: replaying the batches in chain
+/// order on a sequential model must reproduce every `root` digest exactly.
+///
+/// On a **sharded** branch (see [`crate::ShardRouter`]) `parent`/`root`
+/// are manifest digests and `shards` carries the per-range sub-root edges
+/// this commit published — the chain property then holds per shard, over
+/// the `shards[i].parent → shards[i].root` edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommitInfo {
     /// The branch head this commit's version was built against.
     pub parent: Hash,
@@ -158,6 +178,10 @@ pub struct CommitInfo {
     pub root: Hash,
     /// Head races lost before publication (0 = won on the first try).
     pub retries: u32,
+    /// Per-shard sub-root edges published by this commit, in shard order.
+    /// A single-shard commit carries exactly one edge equal to
+    /// `parent → root`.
+    pub shards: Vec<crate::ShardCommit>,
 }
 
 /// Apply sorted key-unique `ops` to a sorted key-unique entry run by

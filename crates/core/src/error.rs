@@ -29,6 +29,12 @@ pub enum IndexError {
     /// this bound signals pathological contention on one branch, not a
     /// deadlock. The batch was **not** applied; retrying is safe.
     CommitContention { attempts: u32 },
+    /// The target branch was deleted while the commit was in flight. All
+    /// of the branch's shard head slots are retired atomically by
+    /// `delete_branch`, so a racing sharded commit observes this clean
+    /// error instead of publishing into a half-dismantled head. The batch
+    /// was **not** applied (not even partially).
+    BranchDeleted,
     /// Structural invariant violated (internal bug guard, e.g. unsorted
     /// leaf discovered during a scan).
     CorruptStructure(&'static str),
@@ -50,6 +56,9 @@ impl fmt::Display for IndexError {
             }
             IndexError::CommitContention { attempts } => {
                 write!(f, "commit lost the branch-head race {attempts} times (batch not applied)")
+            }
+            IndexError::BranchDeleted => {
+                write!(f, "branch was deleted during the commit (batch not applied)")
             }
             IndexError::CorruptStructure(what) => write!(f, "corrupt structure: {what}"),
             IndexError::Unsupported(what) => write!(f, "unsupported operation: {what}"),

@@ -25,6 +25,7 @@ mod entry;
 mod error;
 mod index;
 mod proof;
+mod shard;
 mod structure;
 mod version;
 
@@ -45,6 +46,7 @@ pub use entry::Entry;
 pub use error::{IndexError, Result};
 pub use index::{LookupTrace, SiriIndex};
 pub use proof::{Proof, ProofVerdict};
+pub use shard::{chain_cursors, ShardCommit, ShardManifest, ShardRouter, MANIFEST_MAGIC};
 pub use structure::{StructureReport, StructureStats};
 pub use version::{VersionStore, VersionTag};
 

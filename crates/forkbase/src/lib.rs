@@ -18,26 +18,44 @@
 //! Every operation takes `&self`: the engine is shared across threads by
 //! reference (or `Arc`), not serialized behind one lock. The paper's
 //! structures make this nearly free — all data is immutable and
-//! content-addressed, so the only mutable state is a *tiny head pointer
+//! content-addressed, so the only mutable state is a *tiny head table
 //! per branch*:
 //!
 //! * the branch table is an `RwLock<HashMap<_, Arc<BranchSlot>>>` — taken
 //!   briefly to resolve a name to its slot; commits and reads on
 //!   *different* branches then proceed on disjoint per-slot locks;
-//! * same-branch commits are **optimistic**: build the new version against
-//!   the observed head, then compare-and-swap the head under the slot's
-//!   write lock (held only for the pointer swap, never during tree
-//!   building or I/O). Losing the race re-applies the [`WriteBatch`] on
-//!   the fresh head and retries; every lost race means another writer
-//!   committed, so the engine is livelock-free by construction. Lost races
-//!   surface in [`EngineStats::conflicts`];
-//! * client-side views (the decoded-node caches) live one per slot behind
-//!   a per-branch mutex, so concurrent readers of different branches never
-//!   share a lock either.
+//! * a branch head is a **shard table**: `N` per-key-range sub-roots
+//!   behind their own CAS'd slots plus a [`ShardRouter`] describing the
+//!   partition (`N = 1` — the default — is exactly the classic single
+//!   mutable head). A multi-shard head is summarized by a
+//!   content-addressed [`ShardManifest`] page, so the branch digest stays
+//!   a single hash;
+//! * same-branch commits are **optimistic**: the batch is routed by key
+//!   range, each touched shard's next version is built against its
+//!   observed sub-root (unlocked), then all touched sub-roots are
+//!   compare-and-swapped together under the table's write lock — held
+//!   only for the pointer swaps, never during tree building or fsync.
+//!   Writers whose batches touch *disjoint shards* therefore never
+//!   conflict: their parents still match at swap time and neither
+//!   rebuilds. A genuinely lost race (same shard) re-applies only the
+//!   mismatched slices on the fresher sub-roots, bounded by
+//!   [`MAX_COMMIT_ATTEMPTS`]. Lost races surface in
+//!   [`EngineStats::conflicts`] and per-shard in [`ShardStats`];
+//! * with [`ShardingPolicy::adaptive`] the partition itself adapts at
+//!   publish points: a shard absorbing conflicts splits at its median
+//!   key, persistently cold adjacent shards merge back (the
+//!   contention-adapting-tree idea applied to immutable sub-roots);
+//! * client-side views (the decoded-node caches, one per shard) live
+//!   behind a per-branch mutex, so concurrent readers of different
+//!   branches never share a lock either. Cursors chain per-shard range
+//!   scans in partition order, so `range`/`scan_prefix` see one logical
+//!   tree.
 //!
 //! On a durable server store, commits fsync (per the store's
 //! [`siri_store::FsyncPolicy`] — including group commit) *before*
 //! publishing the new head: an observable head is always a durable head.
+//! A multi-shard commit additionally flushes its manifest page before
+//! acknowledging, so a returned digest is always re-openable.
 //!
 //! [`IndexFactory`] abstracts over which of the four structures backs the
 //! store; [`NomsEngine`] wraps the same machinery with Noms' behaviour —
@@ -48,14 +66,15 @@ mod factory;
 
 use std::collections::HashMap;
 use std::ops::Bound;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::{LockClass, Mutex, RwLock};
 use siri_core::{
-    merge, merge_with_base, CommitInfo, Entry, EntryCursor, IndexError, MergeOutcome,
-    MergeStrategy, Result, SiriIndex, WriteBatch,
+    chain_cursors, merge, merge_with_base, prefix_successor, CommitInfo, Entry, EntryCursor,
+    IndexError, MergeOutcome, MergeStrategy, Result, ShardCommit, ShardManifest, ShardRouter,
+    SiriIndex, WriteBatch,
 };
 use siri_crypto::Hash;
 use siri_store::{
@@ -96,11 +115,12 @@ pub fn max_commit_attempts() -> u32 {
 }
 
 /// Lock classes for the runtime lock-order tracker (DESIGN.md §9): the
-/// engine's documented acquisition order is branch map → slot head →
-/// client view → store internals. Debug builds with `SIRI_LOCK_ORDER=1`
-/// panic on any out-of-order acquisition.
+/// engine's documented acquisition order is branch map → slot head (the
+/// shard table) → shard head → client view → store internals. Debug
+/// builds with `SIRI_LOCK_ORDER=1` panic on any out-of-order acquisition.
 static BRANCH_MAP_CLASS: LockClass = LockClass::new(10, "forkbase.branch-map");
 static SLOT_HEAD_CLASS: LockClass = LockClass::new(20, "forkbase.slot-head");
+static SHARD_HEAD_CLASS: LockClass = LockClass::new(25, "forkbase.shard-head");
 static CLIENT_VIEW_CLASS: LockClass = LockClass::new(30, "forkbase.client-view");
 
 /// Engine-level commit counters (monotone, relaxed atomics underneath).
@@ -110,39 +130,222 @@ pub struct EngineStats {
     /// branches.
     pub commits: u64,
     /// Optimistic-commit head races lost (each one triggered a rebuild of
-    /// the batch against the fresher head). `conflicts / commits` is the
-    /// branch-contention ratio; it stays 0 while writers touch disjoint
-    /// branches.
+    /// the mismatched batch slices against fresher sub-roots).
+    /// `conflicts / commits` is the branch-contention ratio; it stays 0
+    /// while writers touch disjoint branches *or disjoint shards*.
+    pub conflicts: u64,
+    /// Adaptive re-sharding: hot shards split at their median key.
+    pub splits: u64,
+    /// Adaptive re-sharding: cold adjacent shards merged back.
+    pub merges: u64,
+}
+
+/// Per-shard commit/conflict counters for one branch, in partition order.
+/// Disjoint writers are expected to drive `conflicts` of *their* shards to
+/// zero; a hot shard's rising count is what trips an adaptive split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Sub-root publications routed into this shard.
+    pub commits: u64,
+    /// Sub-root CAS races lost on this shard.
     pub conflicts: u64,
 }
 
-/// The per-branch mutable state: a head pointer and a client-side view.
+/// How a branch's key space is partitioned into CAS slots, and whether the
+/// partition adapts to observed contention.
+///
+/// The default ([`ShardingPolicy::single`]) is one shard — byte-for-byte
+/// the classic single-head engine. `SIRI_SHARDS=N` pins a static count
+/// (reproducible benchmarks); `SIRI_SHARDS=adaptive` lets conflict
+/// counters drive splits and merges at publish points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardingPolicy {
+    /// Shard count for newly created branches (uniform byte-prefix
+    /// boundaries). Forked branches inherit the source partition instead.
+    pub initial: usize,
+    /// Adapt the partition to contention at publish points.
+    pub adaptive: bool,
+    /// Conflicts observed on one shard (since it was created) before it is
+    /// split at its median key.
+    pub split_threshold: u64,
+    /// A shard with at most this many commits counts as cold when a merge
+    /// of adjacent shards is considered.
+    pub merge_threshold: u64,
+    /// Commits the branch must absorb before cold shards may merge —
+    /// prevents collapsing a partition that simply has not seen traffic
+    /// yet.
+    pub observe_window: u64,
+    /// Hard cap on shards per branch (splits stop here).
+    pub max_shards: usize,
+}
+
+impl ShardingPolicy {
+    /// One shard, no adaptation — the classic single-slot branch head.
+    pub fn single() -> Self {
+        ShardingPolicy {
+            initial: 1,
+            adaptive: false,
+            split_threshold: 16,
+            merge_threshold: 1,
+            observe_window: 64,
+            max_shards: 64,
+        }
+    }
+
+    /// A static `n`-shard partition (uniform byte-prefix boundaries).
+    pub fn pinned(n: usize) -> Self {
+        ShardingPolicy { initial: n.clamp(1, 256), ..Self::single() }
+    }
+
+    /// Start unsharded and let conflict counters drive splits/merges.
+    pub fn adaptive_default() -> Self {
+        ShardingPolicy { adaptive: true, ..Self::single() }
+    }
+
+    /// Policy from the `SIRI_SHARDS` env var: unset → single (the
+    /// default engine), `N` → pinned static count, `adaptive` → adaptive.
+    pub fn from_env() -> Self {
+        match std::env::var("SIRI_SHARDS") {
+            Ok(v) if v.eq_ignore_ascii_case("adaptive") => Self::adaptive_default(),
+            Ok(v) => v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(Self::pinned)
+                .unwrap_or_else(Self::single),
+            Err(_) => Self::single(),
+        }
+    }
+
+    fn initial_router(&self) -> ShardRouter {
+        if self.initial > 1 {
+            ShardRouter::uniform(self.initial)
+        } else {
+            ShardRouter::single()
+        }
+    }
+}
+
+impl Default for ShardingPolicy {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+/// One CAS slot of a sharded branch head: the authoritative sub-root for
+/// a key range, plus its commit/conflict scoreboard. The write lock is
+/// held only to swap the pointer — never while building a version or
+/// doing I/O — so readers sampling the sub-root are never blocked behind
+/// a tree rebuild.
+struct ShardSlot<I> {
+    head: RwLock<I>,
+    commits: AtomicU64,
+    conflicts: AtomicU64,
+}
+
+impl<I: SiriIndex> ShardSlot<I> {
+    fn new(head: I) -> Self {
+        ShardSlot {
+            head: RwLock::with_class(head, &SHARD_HEAD_CLASS),
+            commits: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A branch head: the partition, its per-shard slots, and the current
+/// logical digest. Every *publication* (commit swap, merge, reshard)
+/// happens under the enclosing [`BranchSlot`]'s write lock, so any reader
+/// holding the read lock sees a consistent multi-shard snapshot. `epoch`
+/// bumps whenever the partition shape changes, invalidating routed-but-
+/// unpublished builds and cached client views.
+struct ShardTable<I> {
+    router: ShardRouter,
+    shards: Vec<Arc<ShardSlot<I>>>,
+    epoch: u64,
+    /// The branch's logical head digest: the sole sub-root when `N = 1`,
+    /// the manifest digest otherwise. Updated in the same critical
+    /// section as the sub-root swaps.
+    digest: Hash,
+}
+
+impl<I: SiriIndex> ShardTable<I> {
+    fn single(index: I, epoch: u64) -> Self {
+        let digest = index.root();
+        ShardTable {
+            router: ShardRouter::single(),
+            shards: vec![Arc::new(ShardSlot::new(index))],
+            epoch,
+            digest,
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        self.router.shard_count()
+    }
+
+    /// Current sub-roots in partition order (consistent while the caller
+    /// holds the table lock — publications need the write lock).
+    fn roots(&self) -> Vec<Hash> {
+        self.shards.iter().map(|s| s.head.read().root()).collect()
+    }
+}
+
+/// The client-side face of a branch: one decoded-node-cache view per
+/// shard, re-rooted in place as sub-roots move, rebuilt when the
+/// partition shape changes.
+struct ClientView<I> {
+    epoch: u64,
+    router: ShardRouter,
+    views: Vec<I>,
+}
+
+impl<I: Clone> Clone for ClientView<I> {
+    fn clone(&self) -> Self {
+        ClientView { epoch: self.epoch, router: self.router.clone(), views: self.views.clone() }
+    }
+}
+
+/// The per-branch mutable state: the shard table and a client-side view.
 ///
 /// This is the whole trick from the paper's immutability argument: all
 /// versions are immutable and shared, so concurrency control reduces to
-/// these two tiny pointers, each behind its own branch-local lock. Slots
-/// are handed out as `Arc`s — a commit holds the slot, not the branch
-/// table, so renames/deletes/creates of *other* branches never block it.
+/// a handful of tiny pointers, each behind branch-local locks. Slots are
+/// handed out as `Arc`s — a commit holds the slot, not the branch table,
+/// so renames/deletes/creates of *other* branches never block it.
 struct BranchSlot<I> {
-    /// The authoritative server-side head. The write lock is held only to
-    /// compare-and-swap the pointer — never while building a version or
-    /// doing I/O — so readers sampling the head are never blocked behind a
-    /// tree rebuild.
-    head: RwLock<I>,
-    /// The persistent client-side view (decoded-node cache above the page
-    /// cache), created lazily on first read and re-rooted in place when
-    /// the head moves. Per-branch on purpose: readers of different
-    /// branches must not serialize on a shared map lock.
-    view: Mutex<Option<I>>,
+    /// The authoritative server-side head (partition + sub-root slots).
+    /// Readers take it shared; every publication takes it exclusive for
+    /// the duration of the pointer swaps only.
+    head: RwLock<ShardTable<I>>,
+    /// The persistent client-side views (decoded-node caches above the
+    /// page cache), created lazily on first read. Per-branch on purpose:
+    /// readers of different branches must not serialize on a shared map
+    /// lock.
+    view: Mutex<Option<ClientView<I>>>,
+    /// Set (under the head write lock) by `delete_branch`: all shard
+    /// slots are retired atomically and any in-flight commit fails its
+    /// publication with [`IndexError::BranchDeleted`] instead of
+    /// publishing into a dismantled head.
+    retired: AtomicBool,
 }
 
 impl<I: SiriIndex> BranchSlot<I> {
-    fn new(head: I) -> Self {
+    fn new(table: ShardTable<I>) -> Self {
         BranchSlot {
-            head: RwLock::with_class(head, &SLOT_HEAD_CLASS),
+            head: RwLock::with_class(table, &SLOT_HEAD_CLASS),
             view: Mutex::with_class(None, &CLIENT_VIEW_CLASS),
+            retired: AtomicBool::new(false),
         }
     }
+}
+
+/// One touched shard's unpublished next version during a commit attempt.
+struct ShardBuild<I> {
+    shard: usize,
+    parent: Hash,
+    root: Hash,
+    next: I,
 }
 
 /// A Forkbase-style versioned KV engine backed by index `F::Index`.
@@ -166,14 +369,25 @@ pub struct Forkbase<F: IndexFactory> {
     /// branch creation/deletion; all per-branch state hides behind the
     /// slot's own locks.
     branches: RwLock<HashMap<String, Arc<BranchSlot<F::Index>>>>,
+    policy: ShardingPolicy,
     commits: AtomicU64,
     conflicts: AtomicU64,
+    splits: AtomicU64,
+    merges: AtomicU64,
 }
 
 impl<F: IndexFactory> Forkbase<F> {
-    /// Create an engine with one empty branch `"master"`.
+    /// Create an engine with one empty branch `"master"`. Sharding comes
+    /// from the environment ([`ShardingPolicy::from_env`]): unsharded
+    /// unless `SIRI_SHARDS` says otherwise.
     pub fn new(factory: F, fetch_cost_nanos: u64) -> Self {
-        Self::with_server(factory, Arc::new(MemStore::new()), None, fetch_cost_nanos)
+        Self::with_server(
+            factory,
+            Arc::new(MemStore::new()),
+            None,
+            ShardingPolicy::from_env(),
+            fetch_cost_nanos,
+        )
     }
 
     /// An engine over a caller-supplied server store (e.g. the store
@@ -181,7 +395,19 @@ impl<F: IndexFactory> Forkbase<F> {
     /// No durability handle is attached — if the store is file-backed the
     /// caller owns the fsync cadence.
     pub fn with_store(factory: F, server: SharedStore, fetch_cost_nanos: u64) -> Self {
-        Self::with_server(factory, server, None, fetch_cost_nanos)
+        Self::with_server(factory, server, None, ShardingPolicy::from_env(), fetch_cost_nanos)
+    }
+
+    /// [`Forkbase::with_store`] with an explicit [`ShardingPolicy`]
+    /// (ignoring `SIRI_SHARDS`) — for tests and benchmarks that pin the
+    /// partition regardless of the environment.
+    pub fn with_sharding(
+        factory: F,
+        server: SharedStore,
+        policy: ShardingPolicy,
+        fetch_cost_nanos: u64,
+    ) -> Self {
+        Self::with_server(factory, server, None, policy, fetch_cost_nanos)
     }
 
     /// An engine whose server store persists to `path` (a [`FileStore`]
@@ -195,31 +421,70 @@ impl<F: IndexFactory> Forkbase<F> {
         opts: FileStoreOptions,
         fetch_cost_nanos: u64,
     ) -> std::io::Result<Self> {
+        Self::new_durable_with_sharding(
+            factory,
+            path,
+            opts,
+            ShardingPolicy::from_env(),
+            fetch_cost_nanos,
+        )
+    }
+
+    /// [`Forkbase::new_durable`] with an explicit [`ShardingPolicy`].
+    pub fn new_durable_with_sharding(
+        factory: F,
+        path: impl AsRef<std::path::Path>,
+        opts: FileStoreOptions,
+        policy: ShardingPolicy,
+        fetch_cost_nanos: u64,
+    ) -> std::io::Result<Self> {
         let (fs, _) = FileStore::open_with(path, opts)?;
         let fs = Arc::new(fs);
-        Ok(Self::with_server(factory, fs.clone(), Some(fs), fetch_cost_nanos))
+        Ok(Self::with_server(factory, fs.clone(), Some(fs), policy, fetch_cost_nanos))
     }
 
     fn with_server(
         factory: F,
         server: Arc<dyn NodeStore>,
         durable: Option<Arc<FileStore>>,
+        policy: ShardingPolicy,
         fetch_cost_nanos: u64,
     ) -> Self {
         let server: SharedStore = server;
         let client_store = Arc::new(CachingStore::new(server.clone(), fetch_cost_nanos));
+        let master = Self::fresh_table(&factory, &server, &policy.initial_router());
         let mut branches = HashMap::new();
-        branches
-            .insert("master".to_string(), Arc::new(BranchSlot::new(factory.empty(server.clone()))));
+        branches.insert("master".to_string(), Arc::new(BranchSlot::new(master)));
         Forkbase {
             factory,
             server,
             durable,
             client_store,
             branches: RwLock::with_class(branches, &BRANCH_MAP_CLASS),
+            policy,
             commits: AtomicU64::new(0),
             conflicts: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
         }
+    }
+
+    /// A table of empty sub-roots over `router`'s partition.
+    fn fresh_table(
+        factory: &F,
+        server: &SharedStore,
+        router: &ShardRouter,
+    ) -> ShardTable<F::Index> {
+        let shards: Vec<Arc<ShardSlot<F::Index>>> = (0..router.shard_count())
+            .map(|_| Arc::new(ShardSlot::new(factory.empty(server.clone()))))
+            .collect();
+        let digest = if shards.len() == 1 {
+            shards[0].head.read().root()
+        } else {
+            let roots = shards.iter().map(|s| s.head.read().root()).collect();
+            ShardManifest::new(router.boundaries().to_vec(), roots).digest()
+        };
+        ShardTable { router: router.clone(), shards, epoch: 0, digest }
     }
 
     /// Resolve a branch name to its slot. Holding the returned `Arc` keeps
@@ -229,11 +494,31 @@ impl<F: IndexFactory> Forkbase<F> {
     }
 
     /// Attach a branch head at an existing root (e.g. one recovered from a
-    /// durable store's sidecar after a restart). Replaces the branch if it
-    /// exists.
+    /// durable store's sidecar after a restart). The root may be either a
+    /// plain index root or a [`ShardManifest`] digest — manifests are
+    /// detected in the store and re-open as a sharded head with the
+    /// persisted partition. Replaces the branch if it exists.
     pub fn open_branch(&self, branch: &str, root: Hash) {
-        let index = self.factory.open(self.server.clone(), root);
-        self.branches.write().insert(branch.to_string(), Arc::new(BranchSlot::new(index)));
+        let table = self.table_at(root);
+        self.branches.write().insert(branch.to_string(), Arc::new(BranchSlot::new(table)));
+    }
+
+    fn table_at(&self, root: Hash) -> ShardTable<F::Index> {
+        if let Ok(Some(page)) = self.server.try_get(&root) {
+            if ShardManifest::is_manifest(&page) {
+                if let Ok(m) = ShardManifest::decode(&page) {
+                    let shards = m
+                        .roots
+                        .iter()
+                        .map(|r| {
+                            Arc::new(ShardSlot::new(self.factory.open(self.server.clone(), *r)))
+                        })
+                        .collect();
+                    return ShardTable { router: m.router(), shards, epoch: 0, digest: root };
+                }
+            }
+        }
+        ShardTable::single(self.factory.open(self.server.clone(), root), 0)
     }
 
     /// Flush the durable store per its fsync policy; pages written by an
@@ -245,48 +530,24 @@ impl<F: IndexFactory> Forkbase<F> {
         Ok(())
     }
 
-    /// The one optimistic publish-retry loop behind commits *and* merges:
-    /// `build` the next version against the observed head, flush
-    /// durability, then compare-and-swap the head under the slot's write
-    /// lock (held only for the pointer swap). A lost race re-`build`s
-    /// against the fresher head, bounded by [`MAX_COMMIT_ATTEMPTS`].
-    ///
-    /// Two details worth their lines: the head is cheaply re-checked
-    /// *before* the flush, so an attempt that already lost its race skips
-    /// a doomed fsync (under contention that halves the flush traffic);
-    /// and the fsync strictly precedes publication, so any head a reader
-    /// can observe — and anything this method returns — is durable. A
-    /// failed flush aborts with the head untouched.
-    ///
-    /// Returns `build`'s payload plus the number of races lost.
-    fn publish<T>(
+    /// Persist the post-swap manifest (multi-shard heads only) and return
+    /// the new logical digest. Called under the table write lock *before*
+    /// any sub-root is swapped, so a failed store put aborts the commit
+    /// with every head untouched.
+    fn publish_manifest(
         &self,
-        slot: &BranchSlot<F::Index>,
-        mut build: impl FnMut(&F::Index) -> Result<(F::Index, T)>,
-    ) -> Result<(T, u32)> {
-        let mut attempts = 0u32;
-        loop {
-            let base = slot.head.read().clone();
-            let parent = base.root();
-            let (next, payload) = build(&base)?;
-            if slot.head.read().root() == parent {
-                self.flush_durable()?;
-                let mut head = slot.head.write();
-                if head.root() == parent {
-                    *head = next;
-                    self.commits.fetch_add(1, Ordering::Relaxed);
-                    return Ok((payload, attempts));
-                }
-            }
-            // Lost the race: someone else's publication moved the head
-            // while we were building. Rebuild on top of theirs; the losing
-            // attempt's pages are unreferenced orphans for the next sweep.
-            self.conflicts.fetch_add(1, Ordering::Relaxed);
-            attempts += 1;
-            if attempts >= max_commit_attempts() {
-                return Err(IndexError::CommitContention { attempts });
-            }
+        table: &ShardTable<F::Index>,
+        builds: &[ShardBuild<F::Index>],
+    ) -> Result<Hash> {
+        let mut roots = table.roots();
+        for b in builds {
+            roots[b.shard] = b.root;
         }
+        if roots.len() == 1 {
+            return Ok(roots[0]);
+        }
+        let manifest = ShardManifest::new(table.router.boundaries().to_vec(), roots);
+        Ok(self.server.try_put(Bytes::from(manifest.encode()))?)
     }
 
     /// Server-side atomic write batch (puts *and* deletes) to a branch;
@@ -298,19 +559,202 @@ impl<F: IndexFactory> Forkbase<F> {
     }
 
     /// [`Forkbase::commit`], returning the full [`CommitInfo`] receipt —
-    /// the observed parent head, the published root, and how many head
-    /// races were lost on the way. The optimistic-concurrency mechanics
-    /// (build → flush → CAS, with bounded re-apply on lost races) live in
-    /// the shared publish loop; see its docs for the ordering guarantees.
+    /// the observed parent head, the published root, the per-shard
+    /// sub-root edges, and how many head races were lost on the way.
+    ///
+    /// The sharded optimistic protocol, per attempt:
+    ///
+    /// 1. snapshot the partition (router, shard slots, epoch) under a
+    ///    brief read lock;
+    /// 2. route the normalized batch by key range and build every touched
+    ///    shard's next version against its observed sub-root — fully
+    ///    unlocked;
+    /// 3. cheaply re-check the touched parents (an attempt that already
+    ///    lost skips a doomed fsync), then flush durability;
+    /// 4. take the table write lock: verify the epoch and every touched
+    ///    parent, store the manifest page for the post-state, swap the
+    ///    touched sub-roots, update the branch digest. The lock is held
+    ///    for pointer swaps and one small page put — never tree builds or
+    ///    fsync.
+    ///
+    /// Writers on disjoint shards interleave without ever mismatching, so
+    /// they pay zero rebuilds; a genuine same-shard race re-applies only
+    /// that slice. The fsync strictly precedes publication, so any
+    /// sub-root a reader can observe is durable; the manifest page itself
+    /// is flushed before the commit returns, so a returned digest is
+    /// always re-openable.
     pub fn commit_with_info(&self, branch: &str, batch: WriteBatch) -> Result<CommitInfo> {
         let slot = self.slot(branch)?;
-        let ((parent, root), retries) = self.publish(&slot, |base| {
-            let parent = base.root();
-            let mut work = base.clone();
-            let root = work.commit(batch.clone())?;
-            Ok((work, (parent, root)))
-        })?;
-        Ok(CommitInfo { parent, root, retries })
+        self.commit_on_slot(&slot, batch)
+    }
+
+    fn commit_on_slot(
+        &self,
+        slot: &Arc<BranchSlot<F::Index>>,
+        batch: WriteBatch,
+    ) -> Result<CommitInfo> {
+        let ops = batch.normalize();
+        let mut attempts = 0u32;
+        loop {
+            // 1. Snapshot the partition without blocking other writers.
+            let (router, shards, epoch) = {
+                let t = slot.head.read();
+                (t.router.clone(), t.shards.clone(), t.epoch)
+            };
+            // 2. Build every touched shard's next version, unlocked.
+            let mut builds: Vec<ShardBuild<F::Index>> = Vec::new();
+            for (si, run) in router.route_ops(ops.clone()) {
+                let base = shards[si].head.read().clone();
+                let parent = base.root();
+                let mut work = base;
+                let root = work.commit(WriteBatch::from_ops(run))?;
+                builds.push(ShardBuild { shard: si, parent, root, next: work });
+            }
+            // 3. Cheap re-check before paying the fsync.
+            let clean = {
+                let t = slot.head.read();
+                t.epoch == epoch
+                    && builds.iter().all(|b| t.shards[b.shard].head.read().root() == b.parent)
+            };
+            if clean {
+                self.flush_durable()?;
+                let mut t = slot.head.write();
+                let still = t.epoch == epoch
+                    && builds.iter().all(|b| t.shards[b.shard].head.read().root() == b.parent);
+                if still {
+                    if slot.retired.load(Ordering::Acquire) {
+                        return Err(IndexError::BranchDeleted);
+                    }
+                    // 4. Publish: manifest first (fallible, heads still
+                    // untouched on error), then the infallible swaps.
+                    let parent_digest = t.digest;
+                    let new_digest = self.publish_manifest(&t, &builds)?;
+                    let multi = t.shard_count() > 1;
+                    let shard_infos: Vec<ShardCommit> = builds
+                        .iter()
+                        .map(|b| ShardCommit { shard: b.shard, parent: b.parent, root: b.root })
+                        .collect();
+                    for b in builds {
+                        let shard = &t.shards[b.shard];
+                        *shard.head.write() = b.next;
+                        shard.commits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    t.digest = new_digest;
+                    self.commits.fetch_add(1, Ordering::Relaxed);
+                    drop(t);
+                    if multi {
+                        // The manifest page itself must be durable before
+                        // the digest is acknowledged to the caller.
+                        self.flush_durable()?;
+                    }
+                    if self.policy.adaptive {
+                        self.maybe_reshard(slot);
+                    }
+                    return Ok(CommitInfo {
+                        parent: parent_digest,
+                        root: new_digest,
+                        retries: attempts,
+                        shards: shard_infos,
+                    });
+                }
+            }
+            // Lost the race: someone else's publication moved a touched
+            // sub-root (or resharded the partition) while we were
+            // building. Rebuild on top of theirs; the losing attempt's
+            // pages are unreferenced orphans for the next sweep. Score
+            // the genuinely contended shards first — this is the signal
+            // an adaptive policy splits on. (If the partition itself was
+            // reshaped the old shard indexes are meaningless; skip.)
+            {
+                let t = slot.head.read();
+                if t.epoch == epoch {
+                    for b in &builds {
+                        if t.shards[b.shard].head.read().root() != b.parent {
+                            t.shards[b.shard].conflicts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
+            attempts += 1;
+            if attempts >= max_commit_attempts() {
+                return Err(IndexError::CommitContention { attempts });
+            }
+        }
+    }
+
+    /// The optimistic publish-retry loop for whole-branch operations
+    /// (merges): `build` the next version against the *collapsed* logical
+    /// head, flush durability, then install it as a fresh single-shard
+    /// table if the branch digest is unchanged. Merging a sharded branch
+    /// therefore resets its partition — under an adaptive policy the
+    /// partition re-grows where contention returns.
+    fn publish_whole<T>(
+        &self,
+        slot: &Arc<BranchSlot<F::Index>>,
+        mut build: impl FnMut(&F::Index) -> Result<(F::Index, T)>,
+    ) -> Result<(T, u32)> {
+        let mut attempts = 0u32;
+        loop {
+            let (base, epoch, digest) = self.logical_head(slot)?;
+            let (next, payload) = build(&base)?;
+            let clean = {
+                let t = slot.head.read();
+                t.epoch == epoch && t.digest == digest
+            };
+            if clean {
+                self.flush_durable()?;
+                let mut t = slot.head.write();
+                if t.epoch == epoch && t.digest == digest {
+                    if slot.retired.load(Ordering::Acquire) {
+                        return Err(IndexError::BranchDeleted);
+                    }
+                    let next_epoch = t.epoch + 1;
+                    *t = ShardTable::single(next, next_epoch);
+                    self.commits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((payload, attempts));
+                }
+            }
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
+            attempts += 1;
+            if attempts >= max_commit_attempts() {
+                return Err(IndexError::CommitContention { attempts });
+            }
+        }
+    }
+
+    /// The branch's logical head as one index handle, plus the epoch and
+    /// digest it corresponds to. Single-shard heads clone out for free;
+    /// multi-shard heads collapse (a rebuild over the merged cursor) —
+    /// whole-branch operations are the slow path by design.
+    fn logical_head(&self, slot: &BranchSlot<F::Index>) -> Result<(F::Index, u64, Hash)> {
+        let (heads, epoch, digest) = {
+            let t = slot.head.read();
+            if t.shard_count() == 1 {
+                return Ok((t.shards[0].head.read().clone(), t.epoch, t.digest));
+            }
+            let heads: Vec<F::Index> = t.shards.iter().map(|s| s.head.read().clone()).collect();
+            (heads, t.epoch, t.digest)
+        };
+        Ok((self.collapse(&heads)?, epoch, digest))
+    }
+
+    /// Rebuild the logical contents of per-shard sub-trees into one fresh
+    /// index over the server store. For the structurally invariant
+    /// structures the result's digest equals the unsharded build of the
+    /// same surviving KV set.
+    fn collapse(&self, heads: &[F::Index]) -> Result<F::Index> {
+        let mut entries: Vec<Entry> = Vec::new();
+        for head in heads {
+            for entry in head.range(Bound::Unbounded, Bound::Unbounded) {
+                entries.push(entry?);
+            }
+        }
+        let mut index = self.factory.empty(self.server.clone());
+        if !entries.is_empty() {
+            index.batch_insert(entries)?;
+        }
+        Ok(index)
     }
 
     /// Server-side batched insert to a branch; returns the new root digest.
@@ -331,42 +775,131 @@ impl<F: IndexFactory> Forkbase<F> {
         self.commit(branch, batch)
     }
 
-    /// The persistent client-side view of a branch, read through the page
-    /// cache *and* the view's decoded-node cache. When the branch head has
-    /// moved the view is re-rooted in place, keeping both caches warm
-    /// (adjacent versions share most pages). The view lock is per-branch
-    /// and held only to clone the handle out — never during traversal —
-    /// so concurrent readers neither serialize across branches nor block
-    /// each other for long within one.
-    fn client_view(&self, branch: &str) -> Result<F::Index> {
+    /// Bulk-load `entries` into `branch` (replacing its contents), building
+    /// the per-shard sub-trees on up to `threads` worker threads over an
+    /// equal-count partition of the sorted data. The manifest is committed
+    /// over the finished sub-roots and flushed before the digest is
+    /// returned. Like [`Forkbase::open_branch`], the branch is (re)created
+    /// at the loaded state.
+    pub fn bulk_load(&self, branch: &str, entries: Vec<Entry>, threads: usize) -> Result<Hash> {
+        // Sort + last-write-wins dedup, same as batch normalization.
+        let mut entries = entries;
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut data: Vec<Entry> = Vec::with_capacity(entries.len());
+        for e in entries {
+            match data.last_mut() {
+                Some(last) if last.key == e.key => *last = e,
+                _ => data.push(e),
+            }
+        }
+        let want = threads.clamp(1, self.policy.max_shards.max(1)).min(data.len().max(1));
+        // Equal-count cut points; duplicate cuts collapse.
+        let mut boundaries: Vec<Bytes> = Vec::new();
+        for i in 1..want {
+            let b = data[i * data.len() / want].key.clone();
+            if boundaries.last().is_none_or(|p| *p < b) {
+                boundaries.push(b);
+            }
+        }
+        let router = ShardRouter::new(boundaries);
+        let mut slices: Vec<Vec<Entry>> = (0..router.shard_count()).map(|_| Vec::new()).collect();
+        for e in data {
+            slices[router.shard_of(&e.key)].push(e);
+        }
+        // Parallel sub-tree builds: one worker per shard slice, all over
+        // the shared (thread-safe) server store.
+        let built: Vec<Result<F::Index>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = slices
+                .into_iter()
+                .map(|slice| {
+                    scope.spawn(move || -> Result<F::Index> {
+                        let mut index = self.factory.empty(self.server.clone());
+                        if !slice.is_empty() {
+                            index.batch_insert(slice)?;
+                        }
+                        Ok(index)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(IndexError::CorruptStructure("bulk-load worker panicked"))
+                    })
+                })
+                .collect()
+        });
+        let mut shards: Vec<Arc<ShardSlot<F::Index>>> = Vec::with_capacity(built.len());
+        for b in built {
+            shards.push(Arc::new(ShardSlot::new(b?)));
+        }
+        let digest = if shards.len() == 1 {
+            shards[0].head.read().root()
+        } else {
+            let roots = shards.iter().map(|s| s.head.read().root()).collect();
+            let manifest = ShardManifest::new(router.boundaries().to_vec(), roots);
+            self.server.try_put(Bytes::from(manifest.encode()))?
+        };
+        // Manifest + sub-trees durable before the load is acknowledged.
+        self.flush_durable()?;
+        let table = ShardTable { router, shards, epoch: 0, digest };
+        self.branches.write().insert(branch.to_string(), Arc::new(BranchSlot::new(table)));
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(digest)
+    }
+
+    /// The persistent client-side views of a branch, read through the page
+    /// cache *and* each shard view's decoded-node cache. When sub-roots
+    /// have moved the views are re-rooted in place, keeping both caches
+    /// warm (adjacent versions share most pages); a partition-shape change
+    /// rebuilds them. The view lock is per-branch and held only to clone
+    /// the handles out — never during traversal — so concurrent readers
+    /// neither serialize across branches nor block each other for long
+    /// within one.
+    fn client_views(&self, branch: &str) -> Result<ClientView<F::Index>> {
         let slot = self.slot(branch)?;
-        let root = slot.head.read().root();
+        let (router, epoch, roots) = {
+            let t = slot.head.read();
+            (t.router.clone(), t.epoch, t.roots())
+        };
         let mut view = slot.view.lock();
-        Ok(match view.as_mut() {
-            Some(v) => {
-                if v.root() != root {
-                    *v = v.at_root(root);
+        match view.as_mut() {
+            Some(v) if v.epoch == epoch && v.views.len() == roots.len() => {
+                for (i, root) in roots.iter().enumerate() {
+                    if v.views[i].root() != *root {
+                        v.views[i] = v.views[i].at_root(*root);
+                    }
                 }
-                v.clone()
+                Ok(v.clone())
             }
-            None => {
+            _ => {
                 let client_store: SharedStore = self.client_store.clone();
-                let v = self.factory.open(client_store, root);
-                *view = Some(v.clone());
-                v
+                let fresh = ClientView {
+                    epoch,
+                    router,
+                    views: roots
+                        .iter()
+                        .map(|r| self.factory.open(client_store.clone(), *r))
+                        .collect(),
+                };
+                *view = Some(fresh.clone());
+                Ok(fresh)
             }
-        })
+        }
     }
 
     /// Client-side point read through the persistent branch view's two
-    /// cache layers (decoded nodes above, pages beneath).
+    /// cache layers (decoded nodes above, pages beneath). Routed to the
+    /// one shard owning the key.
     pub fn get(&self, branch: &str, key: &[u8]) -> Result<Option<Bytes>> {
-        self.client_view(branch)?.get(key)
+        let v = self.client_views(branch)?;
+        v.views[v.router.shard_of(key)].get(key)
     }
 
-    /// Client-side streaming range read: a lazy cursor over the branch
-    /// head, walking leaf-by-leaf through the client's caches. The cursor
-    /// snapshots the head root at creation — concurrent writes to the
+    /// Client-side streaming range read: per-shard lazy cursors chained in
+    /// partition order, so the caller sees one logical tree. Each cursor
+    /// snapshots its sub-root at creation — concurrent writes to the
     /// branch do not disturb an open cursor (immutability in action).
     pub fn range(
         &self,
@@ -374,40 +907,72 @@ impl<F: IndexFactory> Forkbase<F> {
         start: Bound<&[u8]>,
         end: Bound<&[u8]>,
     ) -> Result<EntryCursor> {
-        Ok(self.client_view(branch)?.range(start, end))
+        let v = self.client_views(branch)?;
+        let (lo, hi) = v.router.covering(start, end);
+        Ok(chain_cursors((lo..=hi).map(|i| v.views[i].range(start, end)).collect()))
     }
 
-    /// Client-side prefix cursor (sugar over [`Forkbase::range`]).
+    /// Client-side prefix cursor (the prefix window of [`Forkbase::range`],
+    /// restricted to the shards the prefix can touch).
     pub fn scan_prefix(&self, branch: &str, prefix: &[u8]) -> Result<EntryCursor> {
-        Ok(self.client_view(branch)?.scan_prefix(prefix))
+        let v = self.client_views(branch)?;
+        let succ = prefix_successor(prefix);
+        let end = match &succ {
+            Some(s) => Bound::Excluded(s.as_slice()),
+            None => Bound::Unbounded,
+        };
+        let (lo, hi) = v.router.covering(Bound::Included(prefix), end);
+        Ok(chain_cursors((lo..=hi).map(|i| v.views[i].scan_prefix(prefix)).collect()))
     }
 
     /// Read bypassing the cache (server-side read, for comparisons).
     pub fn get_uncached(&self, branch: &str, key: &[u8]) -> Result<Option<Bytes>> {
-        self.slot(branch)?.head.read().get(key)
+        let slot = self.slot(branch)?;
+        let head = {
+            let t = slot.head.read();
+            let snap = t.shards[t.router.shard_of(key)].head.read().clone();
+            snap
+        };
+        head.get(key)
     }
 
-    /// Fork `from` into a new branch `to` — O(1), pages fully shared.
-    /// Replaces `to` if it exists.
+    /// Fork `from` into a new branch `to` — O(#shards), pages fully
+    /// shared. The fork inherits the source partition (with fresh
+    /// per-shard counters). Replaces `to` if it exists.
     pub fn fork(&self, from: &str, to: &str) -> Result<()> {
-        let head = self.slot(from)?.head.read().clone();
-        self.branches.write().insert(to.to_string(), Arc::new(BranchSlot::new(head)));
+        let src = self.slot(from)?;
+        let table = {
+            let t = src.head.read();
+            let shards =
+                t.shards.iter().map(|s| Arc::new(ShardSlot::new(s.head.read().clone()))).collect();
+            ShardTable { router: t.router.clone(), shards, epoch: 0, digest: t.digest }
+        };
+        self.branches.write().insert(to.to_string(), Arc::new(BranchSlot::new(table)));
         Ok(())
     }
 
-    /// Drop a branch head (and its client view). Pages stay in the store —
-    /// they are content-addressed and may be shared with other branches;
-    /// reclaiming unreachable ones is the offline GC's job. Other branches'
-    /// page sets are untouched by construction. A commit racing the
-    /// deletion may still publish into the orphaned slot; its version
-    /// simply becomes unreachable with the branch, like a write to a file
-    /// unlinked underneath it.
+    /// Drop a branch head (and its client views). Pages stay in the
+    /// store — they are content-addressed and may be shared with other
+    /// branches; reclaiming unreachable ones is the offline GC's job.
+    /// Other branches' page sets are untouched by construction.
+    ///
+    /// All of the branch's shard slots are retired **atomically**: the
+    /// retire flag is set under the table's write lock, which excludes any
+    /// in-flight publication. A commit racing the deletion either fully
+    /// published before the retirement or fails cleanly with
+    /// [`IndexError::BranchDeleted`] — never a partial multi-shard
+    /// publish.
     pub fn delete_branch(&self, branch: &str) -> Result<()> {
-        self.branches
+        let slot = self
+            .branches
             .write()
             .remove(branch)
-            .map(drop)
-            .ok_or(IndexError::Unsupported("unknown branch"))
+            .ok_or(IndexError::Unsupported("unknown branch"))?;
+        // The write lock drains any publication in its swap phase; the
+        // flag then turns every later publication attempt away.
+        let _table = slot.head.write();
+        slot.retired.store(true, Ordering::Release);
+        Ok(())
     }
 
     /// All branch names, sorted.
@@ -418,9 +983,11 @@ impl<F: IndexFactory> Forkbase<F> {
     }
 
     /// Merge branch `other` into `into` (paper §4.1.4 semantics). The
-    /// merge is computed against a snapshot of both heads and published
-    /// with the same compare-and-swap as commits: a concurrent commit to
-    /// `into` forces a re-merge rather than being silently overwritten.
+    /// merge is computed against a snapshot of both *logical* heads
+    /// (sharded branches collapse first) and published with the same
+    /// compare-and-swap as commits: a concurrent commit to `into` forces a
+    /// re-merge rather than being silently overwritten. The published
+    /// result is a single-shard head.
     pub fn merge_branches(
         &self,
         into: &str,
@@ -428,8 +995,11 @@ impl<F: IndexFactory> Forkbase<F> {
         strategy: MergeStrategy,
     ) -> Result<MergeOutcome<F::Index>> {
         let into_slot = self.slot(into)?;
-        let right = self.slot(other)?.head.read().clone();
-        let (outcome, _) = self.publish(&into_slot, |left| {
+        let right = {
+            let right_slot = self.slot(other)?;
+            self.logical_head(&right_slot)?.0
+        };
+        let (outcome, _) = self.publish_whole(&into_slot, |left| {
             let outcome = merge(left, &right, strategy)?;
             Ok((outcome.merged.clone(), outcome))
         })?;
@@ -449,8 +1019,11 @@ impl<F: IndexFactory> Forkbase<F> {
         strategy: MergeStrategy,
     ) -> Result<MergeOutcome<F::Index>> {
         let into_slot = self.slot(into)?;
-        let right = self.slot(other)?.head.read().clone();
-        let (outcome, _) = self.publish(&into_slot, |left| {
+        let right = {
+            let right_slot = self.slot(other)?;
+            self.logical_head(&right_slot)?.0
+        };
+        let (outcome, _) = self.publish_whole(&into_slot, |left| {
             // The base is just another version in the shared store;
             // re-rooting the left handle reads it through the same caches.
             let base = left.at_root(base_root);
@@ -462,9 +1035,210 @@ impl<F: IndexFactory> Forkbase<F> {
 
     /// The branch's current head handle (server-side view) — an owned
     /// snapshot: immutable versions make a clone of the handle a
-    /// point-in-time view of the branch.
+    /// point-in-time view of the branch. A multi-shard head collapses into
+    /// one fresh logical index (for the structurally invariant structures
+    /// its digest equals the unsharded build of the same contents).
     pub fn head(&self, branch: &str) -> Option<F::Index> {
-        Some(self.branches.read().get(branch)?.head.read().clone())
+        let slot = self.branches.read().get(branch).cloned()?;
+        let heads = {
+            let t = slot.head.read();
+            if t.shard_count() == 1 {
+                return Some(t.shards[0].head.read().clone());
+            }
+            t.shards.iter().map(|s| s.head.read().clone()).collect::<Vec<F::Index>>()
+        };
+        self.collapse(&heads).ok()
+    }
+
+    /// The branch's published head digest: the sole sub-root when
+    /// unsharded, the [`ShardManifest`] digest otherwise. This is the hash
+    /// [`Forkbase::commit`] returns and [`Forkbase::open_branch`]
+    /// re-attaches from.
+    pub fn branch_digest(&self, branch: &str) -> Result<Hash> {
+        Ok(self.slot(branch)?.head.read().digest)
+    }
+
+    /// The branch's current shard count.
+    pub fn shard_count(&self, branch: &str) -> Result<usize> {
+        Ok(self.slot(branch)?.head.read().shard_count())
+    }
+
+    /// Per-shard commit/conflict counters, in partition order. Counters
+    /// reset when the partition is reshaped (fresh shards, fresh
+    /// scoreboard).
+    pub fn shard_stats(&self, branch: &str) -> Result<Vec<ShardStats>> {
+        let slot = self.slot(branch)?;
+        let t = slot.head.read();
+        Ok(t.shards
+            .iter()
+            .map(|s| ShardStats {
+                commits: s.commits.load(Ordering::Relaxed),
+                conflicts: s.conflicts.load(Ordering::Relaxed),
+            })
+            .collect())
+    }
+
+    /// Adaptive policy hook, run after successful publications: split the
+    /// hottest over-threshold shard, or merge the coldest adjacent pair
+    /// once the branch has seen enough traffic to judge. Best-effort —
+    /// a lost race simply leaves the partition for the next publish.
+    fn maybe_reshard(&self, slot: &Arc<BranchSlot<F::Index>>) {
+        let (split_at, merge_at) = {
+            let t = slot.head.read();
+            let n = t.shard_count();
+            let mut split: Option<(usize, u64)> = None;
+            if n < self.policy.max_shards {
+                for (i, s) in t.shards.iter().enumerate() {
+                    let c = s.conflicts.load(Ordering::Relaxed);
+                    if c >= self.policy.split_threshold && split.is_none_or(|(_, best)| c > best) {
+                        split = Some((i, c));
+                    }
+                }
+            }
+            let mut merge: Option<usize> = None;
+            if split.is_none() && n > 1 {
+                let total: u64 = t.shards.iter().map(|s| s.commits.load(Ordering::Relaxed)).sum();
+                if total >= self.policy.observe_window {
+                    for i in 0..n - 1 {
+                        let cold = |s: &ShardSlot<F::Index>| {
+                            s.commits.load(Ordering::Relaxed) <= self.policy.merge_threshold
+                                && s.conflicts.load(Ordering::Relaxed) == 0
+                        };
+                        if cold(&t.shards[i]) && cold(&t.shards[i + 1]) {
+                            merge = Some(i);
+                            break;
+                        }
+                    }
+                }
+            }
+            (split.map(|(i, _)| i), merge)
+        };
+        if let Some(i) = split_at {
+            let _ = self.split_shard(slot, i);
+        } else if let Some(i) = merge_at {
+            let _ = self.merge_shards(slot, i);
+        }
+    }
+
+    /// Split `branch`'s shard `shard` at its median key (deterministic
+    /// hook for the adaptive policy; also usable directly in tests and
+    /// tools). Returns `Ok(false)` when the split is not applicable (too
+    /// few keys, shard cap, lost race).
+    pub fn split_branch_shard(&self, branch: &str, shard: usize) -> Result<bool> {
+        let slot = self.slot(branch)?;
+        self.split_shard(&slot, shard)
+    }
+
+    /// Merge `branch`'s shards `left` and `left + 1` back into one
+    /// (deterministic hook for the adaptive policy). Returns `Ok(false)`
+    /// when not applicable.
+    pub fn merge_branch_shards(&self, branch: &str, left: usize) -> Result<bool> {
+        let slot = self.slot(branch)?;
+        self.merge_shards(&slot, left)
+    }
+
+    fn split_shard(&self, slot: &Arc<BranchSlot<F::Index>>, shard: usize) -> Result<bool> {
+        let (base, epoch) = {
+            let t = slot.head.read();
+            if shard >= t.shard_count() || t.shard_count() >= self.policy.max_shards {
+                return Ok(false);
+            }
+            let snap = (t.shards[shard].head.read().clone(), t.epoch);
+            snap
+        };
+        let parent = base.root();
+        let mut entries: Vec<Entry> = Vec::new();
+        for entry in base.range(Bound::Unbounded, Bound::Unbounded) {
+            entries.push(entry?);
+        }
+        if entries.len() < 2 {
+            return Ok(false);
+        }
+        let mid = entries.len() / 2;
+        let median = entries[mid].key.clone();
+        // Build both halves outside any lock.
+        let mut left = self.factory.empty(self.server.clone());
+        left.batch_insert(entries[..mid].to_vec())?;
+        let mut right = self.factory.empty(self.server.clone());
+        right.batch_insert(entries[mid..].to_vec())?;
+        self.flush_durable()?;
+        let mut t = slot.head.write();
+        if t.epoch != epoch
+            || t.shards[shard].head.read().root() != parent
+            || slot.retired.load(Ordering::Acquire)
+        {
+            return Ok(false);
+        }
+        let mut boundaries = t.router.boundaries().to_vec();
+        // The median must strictly refine the partition.
+        if shard > 0 && median <= boundaries[shard - 1] {
+            return Ok(false);
+        }
+        if boundaries.get(shard).is_some_and(|b| median >= *b) {
+            return Ok(false);
+        }
+        boundaries.insert(shard, median);
+        let router = ShardRouter::new(boundaries);
+        let mut shards = t.shards.clone();
+        shards[shard] = Arc::new(ShardSlot::new(left));
+        shards.insert(shard + 1, Arc::new(ShardSlot::new(right)));
+        let roots = shards.iter().map(|s| s.head.read().root()).collect();
+        let manifest = ShardManifest::new(router.boundaries().to_vec(), roots);
+        let digest = self.server.try_put(Bytes::from(manifest.encode()))?;
+        let next_epoch = t.epoch + 1;
+        *t = ShardTable { router, shards, epoch: next_epoch, digest };
+        self.splits.fetch_add(1, Ordering::Relaxed);
+        drop(t);
+        self.flush_durable()?;
+        Ok(true)
+    }
+
+    fn merge_shards(&self, slot: &Arc<BranchSlot<F::Index>>, left: usize) -> Result<bool> {
+        let (lhs, rhs, epoch) = {
+            let t = slot.head.read();
+            if left + 1 >= t.shard_count() {
+                return Ok(false);
+            }
+            let snap = (
+                t.shards[left].head.read().clone(),
+                t.shards[left + 1].head.read().clone(),
+                t.epoch,
+            );
+            snap
+        };
+        let (lroot, rroot) = (lhs.root(), rhs.root());
+        let merged = self.collapse(&[lhs, rhs])?;
+        self.flush_durable()?;
+        let mut t = slot.head.write();
+        if t.epoch != epoch
+            || t.shards[left].head.read().root() != lroot
+            || t.shards[left + 1].head.read().root() != rroot
+            || slot.retired.load(Ordering::Acquire)
+        {
+            return Ok(false);
+        }
+        let mut boundaries = t.router.boundaries().to_vec();
+        boundaries.remove(left);
+        let router = ShardRouter::new(boundaries);
+        let mut shards = t.shards.clone();
+        shards[left] = Arc::new(ShardSlot::new(merged));
+        shards.remove(left + 1);
+        let digest = if shards.len() == 1 {
+            shards[0].head.read().root()
+        } else {
+            let roots = shards.iter().map(|s| s.head.read().root()).collect();
+            let manifest = ShardManifest::new(router.boundaries().to_vec(), roots);
+            self.server.try_put(Bytes::from(manifest.encode()))?
+        };
+        let multi = shards.len() > 1;
+        let next_epoch = t.epoch + 1;
+        *t = ShardTable { router, shards, epoch: next_epoch, digest };
+        self.merges.fetch_add(1, Ordering::Relaxed);
+        drop(t);
+        if multi {
+            self.flush_durable()?;
+        }
+        Ok(true)
     }
 
     /// Client cache statistics: (hits, remote fetches, synthetic
@@ -481,13 +1255,20 @@ impl<F: IndexFactory> Forkbase<F> {
         self.client_store.hit_ratio()
     }
 
-    /// Engine-level commit/conflict counters (the optimistic-concurrency
-    /// scoreboard).
+    /// Engine-level commit/conflict/reshard counters (the optimistic-
+    /// concurrency scoreboard).
     pub fn engine_stats(&self) -> EngineStats {
         EngineStats {
             commits: self.commits.load(Ordering::Relaxed),
             conflicts: self.conflicts.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
         }
+    }
+
+    /// The engine's sharding policy.
+    pub fn sharding_policy(&self) -> ShardingPolicy {
+        self.policy
     }
 
     /// Reset the client cache (a "fresh client"): drops the cached pages
@@ -545,6 +1326,27 @@ mod tests {
         range
             .map(|i| Entry::new(format!("key{i:05}").into_bytes(), vec![(i % 251) as u8; 64]))
             .collect()
+    }
+
+    /// Engines under test pin their policy so `SIRI_SHARDS` in the
+    /// environment (e.g. the sharded CI leg) cannot change what a test
+    /// asserts about partition shape.
+    fn single_engine() -> Forkbase<PosFactory> {
+        Forkbase::with_sharding(
+            PosFactory(PosParams::default()),
+            Arc::new(MemStore::new()),
+            ShardingPolicy::single(),
+            0,
+        )
+    }
+
+    fn sharded_engine(n: usize) -> Forkbase<PosFactory> {
+        Forkbase::with_sharding(
+            PosFactory(PosParams::default()),
+            Arc::new(MemStore::new()),
+            ShardingPolicy::pinned(n),
+            0,
+        )
     }
 
     #[test]
@@ -823,7 +1625,7 @@ mod tests {
 
     #[test]
     fn contended_commits_all_land_exactly_once() {
-        let fb = Arc::new(Forkbase::new(PosFactory(PosParams::default()), 0));
+        let fb = Arc::new(single_engine());
         std::thread::scope(|s| {
             for t in 0..4usize {
                 let fb = Arc::clone(&fb);
@@ -836,6 +1638,9 @@ mod tests {
                         let info = fb.commit_with_info("master", WriteBatch::from_entries(vec![e]));
                         let info = info.unwrap();
                         assert_ne!(info.parent, info.root, "a put must move the head");
+                        assert_eq!(info.shards.len(), 1, "single-shard receipt");
+                        assert_eq!(info.shards[0].parent, info.parent);
+                        assert_eq!(info.shards[0].root, info.root);
                     }
                 });
             }
@@ -853,6 +1658,225 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn disjoint_shard_writers_record_zero_conflicts() {
+        // 4 writers on one branch, each confined to its own key-range
+        // shard: per-shard CAS makes the branch behave like 4 disjoint
+        // branches — zero conflicts, zero rebuilds.
+        let fb = Arc::new(sharded_engine(4));
+        assert_eq!(fb.shard_count("master").unwrap(), 4);
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let fb = Arc::clone(&fb);
+                s.spawn(move || {
+                    // First key byte pins the writer to shard t under the
+                    // uniform single-byte partition.
+                    let lead = (t * 64 + 10) as u8;
+                    for k in 0..12usize {
+                        let mut key = vec![lead];
+                        key.extend_from_slice(format!("w{t}-k{k:03}").as_bytes());
+                        let info = fb
+                            .commit_with_info(
+                                "master",
+                                WriteBatch::from_entries(vec![Entry::new(
+                                    key,
+                                    format!("v{t}-{k}").into_bytes(),
+                                )]),
+                            )
+                            .unwrap();
+                        assert_eq!(info.retries, 0, "disjoint shards never race");
+                        assert_eq!(info.shards.len(), 1);
+                        assert_eq!(info.shards[0].shard, t);
+                    }
+                });
+            }
+        });
+        let stats = fb.engine_stats();
+        assert_eq!(stats.commits, 48);
+        assert_eq!(stats.conflicts, 0, "disjoint shards must not contend");
+        for s in fb.shard_stats("master").unwrap() {
+            assert_eq!(s.commits, 12);
+            assert_eq!(s.conflicts, 0);
+        }
+        // The logical tree is complete and ordered across shards.
+        let all: Vec<Entry> = fb
+            .range("master", Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(all.len(), 48);
+        assert!(all.windows(2).all(|w| w[0].key < w[1].key), "chained cursors stay sorted");
+    }
+
+    #[test]
+    fn sharded_head_digest_is_the_manifest_and_reopens() {
+        let fb = sharded_engine(4);
+        fb.put("master", entries(0..200)).unwrap();
+        let digest = fb.branch_digest("master").unwrap();
+        // The digest is a stored manifest page over 4 sub-roots.
+        let page = fb.server_stats();
+        assert!(page.puts > 0);
+        // Reattach over the same store via a second engine.
+        let fb2 = Forkbase::with_sharding(
+            PosFactory(PosParams::default()),
+            fb.server.clone(),
+            ShardingPolicy::single(),
+            0,
+        );
+        fb2.open_branch("restored", digest);
+        assert_eq!(fb2.shard_count("restored").unwrap(), 4, "manifest partition restored");
+        assert_eq!(fb2.branch_digest("restored").unwrap(), digest);
+        assert_eq!(fb2.get("restored", b"key00123").unwrap().unwrap().len(), 64);
+        // Logical contents equal the unsharded build (structural
+        // invariance of the collapsed head).
+        let single = single_engine();
+        single.put("master", entries(0..200)).unwrap();
+        assert_eq!(
+            fb.head("master").unwrap().root(),
+            single.head("master").unwrap().root(),
+            "collapsed sharded head must match the unsharded digest"
+        );
+    }
+
+    #[test]
+    fn batches_spanning_shards_commit_atomically() {
+        let fb = sharded_engine(4);
+        // One batch across all four shards: every slice publishes in one
+        // critical section, and the receipt carries all four edges.
+        let data: Vec<Entry> =
+            (0u16..256).step_by(16).map(|b| Entry::new(vec![b as u8, 1], vec![b as u8])).collect();
+        let info = fb.commit_with_info("master", WriteBatch::from_entries(data.clone())).unwrap();
+        assert_eq!(info.shards.len(), 4, "all four shards touched");
+        assert!(info.shards.windows(2).all(|w| w[0].shard < w[1].shard));
+        let all: Vec<Entry> = fb
+            .range("master", Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(all.len(), data.len());
+        // Deleting across shards works the same way.
+        let mut batch = WriteBatch::new();
+        for e in &data {
+            batch.delete(e.key.clone());
+        }
+        let info = fb.commit_with_info("master", batch).unwrap();
+        assert_eq!(info.shards.len(), 4);
+        assert_eq!(fb.head("master").unwrap().len().unwrap(), 0);
+    }
+
+    #[test]
+    fn racing_commit_into_deleted_branch_fails_cleanly() {
+        let fb = single_engine();
+        fb.fork("master", "doomed").unwrap();
+        fb.put("doomed", entries(0..10)).unwrap();
+        // A commit that resolved its slot before the delete must observe
+        // the atomic retirement, not publish into the dismantled head.
+        let slot = fb.slot("doomed").unwrap();
+        fb.delete_branch("doomed").unwrap();
+        let err = fb.commit_on_slot(&slot, WriteBatch::from_entries(entries(10..11))).unwrap_err();
+        assert!(matches!(err, IndexError::BranchDeleted), "got {err:?}");
+        // Same for the sharded head: every slot retires at once.
+        let fbs = sharded_engine(4);
+        fbs.fork("master", "doomed").unwrap();
+        let slot = fbs.slot("doomed").unwrap();
+        fbs.delete_branch("doomed").unwrap();
+        let err = fbs.commit_on_slot(&slot, WriteBatch::from_entries(entries(0..50))).unwrap_err();
+        assert!(matches!(err, IndexError::BranchDeleted), "got {err:?}");
+    }
+
+    #[test]
+    fn split_and_merge_hooks_preserve_contents() {
+        let fb = single_engine();
+        fb.put("master", entries(0..300)).unwrap();
+        let before = fb.head("master").unwrap().root();
+        assert!(fb.split_branch_shard("master", 0).unwrap());
+        assert_eq!(fb.shard_count("master").unwrap(), 2);
+        assert!(fb.split_branch_shard("master", 1).unwrap());
+        assert_eq!(fb.shard_count("master").unwrap(), 3);
+        assert_eq!(fb.engine_stats().splits, 2);
+        // Contents and collapsed digest survive the reshard.
+        assert_eq!(fb.head("master").unwrap().root(), before);
+        assert_eq!(fb.get("master", b"key00123").unwrap().unwrap().len(), 64);
+        let all: Vec<Entry> = fb
+            .range("master", Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(all.len(), 300);
+        assert!(all.windows(2).all(|w| w[0].key < w[1].key));
+        // Writes keep landing in the new partition.
+        fb.put("master", entries(300..320)).unwrap();
+        assert_eq!(fb.head("master").unwrap().len().unwrap(), 320);
+        // Merge back down to one shard.
+        assert!(fb.merge_branch_shards("master", 1).unwrap());
+        assert!(fb.merge_branch_shards("master", 0).unwrap());
+        assert_eq!(fb.shard_count("master").unwrap(), 1);
+        assert_eq!(fb.engine_stats().merges, 2);
+        assert_eq!(fb.head("master").unwrap().len().unwrap(), 320);
+    }
+
+    #[test]
+    fn adaptive_policy_splits_hot_shard() {
+        // Two writers fighting over one shard long enough trip the
+        // adaptive split; the logical contents are untouched.
+        let policy =
+            ShardingPolicy { adaptive: true, split_threshold: 4, ..ShardingPolicy::single() };
+        let fb = Arc::new(Forkbase::with_sharding(
+            PosFactory(PosParams::default()),
+            Arc::new(MemStore::new()),
+            policy,
+            0,
+        ));
+        fb.put("master", entries(0..200)).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let fb = Arc::clone(&fb);
+                s.spawn(move || {
+                    for k in 0..30usize {
+                        fb.put(
+                            "master",
+                            vec![Entry::new(
+                                format!("key{:05}", 1000 + t * 100 + k).into_bytes(),
+                                vec![7u8; 16],
+                            )],
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let stats = fb.engine_stats();
+        if stats.conflicts >= 4 {
+            assert!(stats.splits > 0, "sustained contention must split the hot shard");
+            assert!(fb.shard_count("master").unwrap() > 1);
+        }
+        assert_eq!(fb.head("master").unwrap().len().unwrap(), 200 + 120);
+    }
+
+    #[test]
+    fn bulk_load_parallel_build_matches_serial_digest() {
+        let data = entries(0..2000);
+        let fb = sharded_engine(1);
+        let digest = fb.bulk_load("loaded", data.clone(), 4).unwrap();
+        assert!(fb.shard_count("loaded").unwrap() > 1, "parallel load shards the branch");
+        assert_eq!(fb.branch_digest("loaded").unwrap(), digest);
+        assert_eq!(fb.get("loaded", b"key01234").unwrap().unwrap().len(), 64);
+        // The collapsed logical tree equals the serial unsharded build
+        // (structural invariance).
+        let single = single_engine();
+        single.put("master", data).unwrap();
+        assert_eq!(fb.head("loaded").unwrap().root(), single.head("master").unwrap().root());
+        // The manifest digest round-trips through open_branch.
+        fb.open_branch("reloaded", digest);
+        assert_eq!(fb.head("reloaded").unwrap().root(), single.head("master").unwrap().root());
+        // Degenerate loads stay sane.
+        let one = fb.bulk_load("tiny", entries(0..1), 8).unwrap();
+        assert_eq!(fb.shard_count("tiny").unwrap(), 1);
+        assert_ne!(one, Hash::ZERO);
+        fb.bulk_load("empty", Vec::new(), 8).unwrap();
+        assert_eq!(fb.head("empty").unwrap().len().unwrap(), 0);
     }
 
     #[test]

@@ -22,17 +22,24 @@
 
 use std::sync::Arc;
 
-use siri::{gc, Hash, NodeStore, PageSet, PosParams, PosTree, SharedStore, SiriIndex};
+use siri::{
+    chain_cursors, gc, Hash, NodeStore, PageSet, PosParams, PosTree, ShardManifest, ShardRouter,
+    SharedStore, SiriIndex,
+};
 use siri_store::{FileStore, FileStoreOptions, FsyncPolicy};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: siri --db <path> [--fsync never|commit|every=N|group=MS] <command>\n\
+        "usage: siri --db <path> [--fsync never|commit|every=N|group=MS] [--shards N] <command>\n\
          commands:\n\
          \x20 put <key> <value>      write one record (creates a version)\n\
          \x20 del <key>              delete one record (creates a version)\n\
          \x20 get <key> [--root H]   read from head or a specific version\n\
          \x20 scan [prefix]          list records (optionally by prefix)\n\
+         \x20 load <file>            bulk-load key<TAB>value lines as one version;\n\
+         \x20                        with --shards N the tree is cut into N key ranges\n\
+         \x20                        built on N threads and the version digest is the\n\
+         \x20                        shard-manifest page (reads stay transparent)\n\
          \x20 log                    list version digests, newest first\n\
          \x20 prove <key>            print a Merkle proof for the key\n\
          \x20 verify <key> <root> <proof-hex...>  check a proof offline\n\
@@ -40,7 +47,11 @@ fn usage() -> ! {
          \x20 gc [--keep N]          retire all but the last N versions (default 1)\n\
          \x20                        and compact the store on disk\n\
          \x20 compact                rewrite segments keeping every version's pages\n\
-         \x20 stats                  storage statistics"
+         \x20 stats                  storage statistics\n\
+         options:\n\
+         \x20 --shards N             shard count for `load` (default 1; max 256).\n\
+         \x20                        Sharded heads answer get/scan/stats/gc like any\n\
+         \x20                        other version; prove/diff need an unsharded root."
     );
     std::process::exit(2);
 }
@@ -77,15 +88,51 @@ fn write_history(path: &str, roots: &[Hash]) {
     }
 }
 
-/// Union of the page sets reachable from `roots` (the GC mark phase).
+/// Open a version digest as its logical tree(s): a shard-manifest digest
+/// (see `siri::ShardManifest`) expands into the per-range sub-trees plus
+/// the router that partitions them; any other digest is a plain tree.
+fn open_heads(store: &SharedStore, params: PosParams, root: Hash) -> (ShardRouter, Vec<PosTree>) {
+    if !root.is_zero() {
+        if let Ok(Some(page)) = store.try_get(&root) {
+            if ShardManifest::is_manifest(&page) {
+                let m = ShardManifest::decode(&page)
+                    .unwrap_or_else(|e| fail(format_args!("corrupt shard manifest {root}: {e}")));
+                let trees =
+                    m.roots.iter().map(|&r| PosTree::open(store.clone(), params, r)).collect();
+                return (m.router(), trees);
+            }
+        }
+    }
+    (ShardRouter::single(), vec![PosTree::open(store.clone(), params, root)])
+}
+
+/// Union of the page sets reachable from `roots` (the GC mark phase). A
+/// sharded version keeps its manifest page live alongside every
+/// sub-tree's pages — retiring it must reclaim all of them together.
 fn mark_live(store: &SharedStore, params: PosParams, roots: &[Hash]) -> Vec<PageSet> {
-    roots.iter().map(|&r| PosTree::open(store.clone(), params, r).page_set()).collect()
+    roots
+        .iter()
+        .map(|&r| {
+            let mut set = PageSet::new();
+            if let Ok(Some(page)) = store.try_get(&r) {
+                if ShardManifest::is_manifest(&page) {
+                    set.insert(r, page.len() as u64);
+                }
+            }
+            let (_, trees) = open_heads(store, params, r);
+            for t in &trees {
+                set.union_with(&t.page_set());
+            }
+            set
+        })
+        .collect()
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut db = String::from("./siri.db");
     let mut fsync = FsyncPolicy::OnCommit;
+    let mut shards: usize = 1;
     let mut rest: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -97,6 +144,14 @@ fn main() {
             "--fsync" => {
                 i += 1;
                 fsync = args.get(i).and_then(|s| FsyncPolicy::parse(s)).unwrap_or_else(|| usage());
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| (1..=256).contains(&n))
+                    .unwrap_or_else(|| usage());
             }
             _ => rest.push(args[i].clone()),
         }
@@ -116,7 +171,25 @@ fn main() {
     let history = load_history(&head_file);
     let head_root = history.last().copied().unwrap_or(Hash::ZERO);
     let params = PosParams::default();
-    let head = PosTree::open(store.clone(), params, head_root);
+    // The head may be a plain tree root or a shard-manifest digest (from
+    // `load --shards N`); every read/write below goes through the routed
+    // view so both look the same to the user.
+    let (router, heads) = open_heads(&store, params, head_root);
+
+    // Re-publish a sharded head after one sub-tree moved: fresh manifest
+    // page first (content-addressed like any node page), digest second.
+    let publish = |heads: &[PosTree], changed: usize, next: &PosTree| -> Hash {
+        if heads.len() == 1 {
+            return next.root();
+        }
+        let mut roots: Vec<Hash> = heads.iter().map(SiriIndex::root).collect();
+        roots[changed] = next.root();
+        let manifest = ShardManifest::new(router.boundaries().to_vec(), roots);
+        match store.try_put(bytes::Bytes::from(manifest.encode())) {
+            Ok(digest) => digest,
+            Err(e) => fail(format_args!("cannot store shard manifest: {e}")),
+        }
+    };
 
     match rest[0].as_str() {
         "put" => {
@@ -124,41 +197,45 @@ fn main() {
                 (Some(k), Some(v)) => (k.clone(), v.clone()),
                 _ => usage(),
             };
-            let mut next = head.clone();
+            let shard = router.shard_of(key.as_bytes());
+            let mut next = heads[shard].clone();
             if let Err(e) = next.insert(key.as_bytes(), bytes::Bytes::from(value.into_bytes())) {
                 fail(format_args!("write failed: {e}"));
             }
+            let digest = publish(&heads, shard, &next);
             // Durability before acknowledgement: the page log is flushed
             // per the fsync policy, *then* the head pointer moves.
             if let Err(e) = fs.note_commit() {
                 fail(format_args!("fsync failed, version not recorded: {e}"));
             }
-            append_history(&head_file, next.root());
-            println!("{}", next.root());
+            append_history(&head_file, digest);
+            println!("{digest}");
         }
         "del" => {
             let key = rest.get(1).unwrap_or_else(|| usage());
-            let mut next = head.clone();
+            let shard = router.shard_of(key.as_bytes());
+            let mut next = heads[shard].clone();
             if let Err(e) = next.delete(key.as_bytes()) {
                 fail(format_args!("delete failed: {e}"));
             }
+            let digest = publish(&heads, shard, &next);
             if let Err(e) = fs.note_commit() {
                 fail(format_args!("fsync failed, version not recorded: {e}"));
             }
-            append_history(&head_file, next.root());
-            println!("{}", next.root());
+            append_history(&head_file, digest);
+            println!("{digest}");
         }
         "get" => {
             let key = rest.get(1).unwrap_or_else(|| usage());
-            let view = match rest.iter().position(|a| a == "--root") {
+            let (router, heads) = match rest.iter().position(|a| a == "--root") {
                 Some(p) => {
                     let h =
                         rest.get(p + 1).and_then(|s| Hash::from_hex(s)).unwrap_or_else(|| usage());
-                    PosTree::open(store.clone(), params, h)
+                    open_heads(&store, params, h)
                 }
-                None => head,
+                None => (router, heads),
             };
-            match view.get(key.as_bytes()) {
+            match heads[router.shard_of(key.as_bytes())].get(key.as_bytes()) {
                 Ok(Some(v)) => println!("{}", String::from_utf8_lossy(&v)),
                 Ok(None) => {
                     eprintln!("(not found)");
@@ -169,11 +246,18 @@ fn main() {
         }
         "scan" => {
             // Stream through the unified cursor — constant memory, even
-            // for a full-database scan.
-            let cursor = match rest.get(1) {
-                Some(prefix) => head.scan_prefix(prefix.as_bytes()),
-                None => head.range(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded),
-            };
+            // for a full-database scan. A sharded head chains the per-range
+            // cursors in partition order (each sub-tree only holds its own
+            // range, so concatenation preserves the global key order).
+            let cursor = chain_cursors(
+                heads
+                    .iter()
+                    .map(|h| match rest.get(1) {
+                        Some(prefix) => h.scan_prefix(prefix.as_bytes()),
+                        None => h.range(std::ops::Bound::Unbounded, std::ops::Bound::Unbounded),
+                    })
+                    .collect(),
+            );
             for e in cursor {
                 let e = e.unwrap_or_else(|e| fail(format_args!("scan failed: {e}")));
                 println!(
@@ -183,6 +267,77 @@ fn main() {
                 );
             }
         }
+        "load" => {
+            let path = rest.get(1).unwrap_or_else(|| usage());
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
+            let mut data: Vec<siri::Entry> = Vec::new();
+            for line in text.lines().filter(|l| !l.is_empty()) {
+                let (k, v) = line.split_once('\t').unwrap_or((line, ""));
+                data.push(siri::Entry::new(k.as_bytes().to_vec(), v.as_bytes().to_vec()));
+            }
+            // Sort + last-write-wins dedup, then cut into `--shards`
+            // equal-count ranges and build each sub-tree on its own thread
+            // (mirrors `Forkbase::bulk_load`).
+            data.sort_by(|a, b| a.key.cmp(&b.key));
+            let mut entries: Vec<siri::Entry> = Vec::with_capacity(data.len());
+            for e in data {
+                match entries.last_mut() {
+                    Some(last) if last.key == e.key => *last = e,
+                    _ => entries.push(e),
+                }
+            }
+            let count = entries.len();
+            let want = shards.min(count.max(1));
+            let mut boundaries: Vec<bytes::Bytes> = Vec::new();
+            for i in 1..want {
+                let b = entries[i * count / want].key.clone();
+                if boundaries.last().is_none_or(|p| *p < b) {
+                    boundaries.push(b);
+                }
+            }
+            let router = ShardRouter::new(boundaries);
+            let mut slices: Vec<Vec<siri::Entry>> =
+                (0..router.shard_count()).map(|_| Vec::new()).collect();
+            for e in entries {
+                slices[router.shard_of(&e.key)].push(e);
+            }
+            let built: Vec<PosTree> = std::thread::scope(|scope| {
+                let handles: Vec<_> = slices
+                    .into_iter()
+                    .map(|slice| {
+                        let store = store.clone();
+                        scope.spawn(move || {
+                            let mut t = PosTree::open(store, params, Hash::ZERO);
+                            t.batch_insert(slice).map(|()| t)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(Ok(t)) => t,
+                        Ok(Err(e)) => fail(format_args!("load failed: {e}")),
+                        Err(_) => fail("load worker panicked"),
+                    })
+                    .collect()
+            });
+            let digest = if built.len() == 1 {
+                built[0].root()
+            } else {
+                let roots = built.iter().map(SiriIndex::root).collect();
+                let manifest = ShardManifest::new(router.boundaries().to_vec(), roots);
+                match store.try_put(bytes::Bytes::from(manifest.encode())) {
+                    Ok(d) => d,
+                    Err(e) => fail(format_args!("cannot store shard manifest: {e}")),
+                }
+            };
+            if let Err(e) = fs.note_commit() {
+                fail(format_args!("fsync failed, version not recorded: {e}"));
+            }
+            append_history(&head_file, digest);
+            println!("loaded {count} record(s) into {} shard(s)\n{digest}", built.len());
+        }
         "log" => {
             for (n, h) in history.iter().enumerate().rev() {
                 println!("v{n}\t{h}");
@@ -190,10 +345,18 @@ fn main() {
         }
         "prove" => {
             let key = rest.get(1).unwrap_or_else(|| usage());
-            let proof = head
+            // On a sharded head the proof anchors at the key's sub-root;
+            // the manifest line ties that sub-root to the version digest
+            // (the manifest page is content-addressed, so a verifier can
+            // fetch it by the printed digest and check the binding).
+            let tree = &heads[router.shard_of(key.as_bytes())];
+            let proof = tree
                 .prove(key.as_bytes())
                 .unwrap_or_else(|e| fail(format_args!("prove failed: {e}")));
-            println!("root\t{}", head.root());
+            if heads.len() > 1 {
+                println!("manifest\t{head_root}");
+            }
+            println!("root\t{}", tree.root());
             for page in proof.pages() {
                 println!("{}", siri::crypto::hex::encode(page));
             }
@@ -225,6 +388,16 @@ fn main() {
         "diff" => {
             let a = rest.get(1).and_then(|s| Hash::from_hex(s)).unwrap_or_else(|| usage());
             let b = rest.get(2).and_then(|s| Hash::from_hex(s)).unwrap_or_else(|| usage());
+            for h in [a, b] {
+                if let Ok(Some(page)) = store.try_get(&h) {
+                    if ShardManifest::is_manifest(&page) {
+                        fail(format_args!(
+                            "{h} is a shard-manifest digest; diff wants plain tree roots \
+                             (use the sub-roots it lists)"
+                        ));
+                    }
+                }
+            }
             let va = PosTree::open(store.clone(), params, a);
             let vb = PosTree::open(store.clone(), params, b);
             let diff = va.diff(&vb).unwrap_or_else(|e| fail(format_args!("diff failed: {e}")));
@@ -301,10 +474,16 @@ fn main() {
             println!("commits        {}", s.commits);
             println!("fsyncs         {}", s.fsyncs);
             if !head_root.is_zero() {
-                let reopened = PosTree::open(store, params, head_root);
-                match reopened.len() {
-                    Ok(n) => println!("records        {n}"),
-                    Err(e) => fail(format_args!("cannot read head version: {e}")),
+                let mut records = 0u64;
+                for t in &heads {
+                    match t.len() {
+                        Ok(n) => records += n as u64,
+                        Err(e) => fail(format_args!("cannot read head version: {e}")),
+                    }
+                }
+                println!("records        {records}");
+                if heads.len() > 1 {
+                    println!("head shards    {}", heads.len());
                 }
             }
         }

@@ -46,19 +46,21 @@
 //! paper-reproduction map.
 
 pub use siri_core::{
-    apply_ops, cost_model, diff_by_scan, diff_sorted_entries, entry_codec, merge, merge_with_base,
-    metrics, prefix_successor, siri_properties, BatchOp, Bytes, CacheStats, CommitInfo, DiffEntry,
-    DiffSide, Entry, EntryCursor, Hash, IndexError, LookupTrace, MemStore, MergeOutcome,
-    MergeStrategy, NodeStore, Op, PageSet, Proof, ProofVerdict, Reclaim, Result, SharedStore,
-    SiriIndex, StoreError, StoreResult, StoreStats, StructureReport, StructureStats, VersionStore,
-    VersionTag, WriteBatch,
+    apply_ops, chain_cursors, cost_model, diff_by_scan, diff_sorted_entries, entry_codec, merge,
+    merge_with_base, metrics, prefix_successor, siri_properties, BatchOp, Bytes, CacheStats,
+    CommitInfo, DiffEntry, DiffSide, Entry, EntryCursor, Hash, IndexError, LookupTrace, MemStore,
+    MergeOutcome, MergeStrategy, NodeStore, Op, PageSet, Proof, ProofVerdict, Reclaim, Result,
+    ShardCommit, ShardManifest, ShardRouter, SharedStore, SiriIndex, StoreError, StoreResult,
+    StoreStats, StructureReport, StructureStats, VersionStore, VersionTag, WriteBatch,
+    MANIFEST_MAGIC,
 };
 
 pub use siri_crypto as crypto;
 pub use siri_encoding as encoding;
 pub use siri_forkbase::{
     max_commit_attempts, EngineStats, Forkbase, IndexFactory, MbtFactory, MptFactory, MvmbFactory,
-    NomsEngine, PosFactory, DEFAULT_FETCH_COST_NANOS, MAX_COMMIT_ATTEMPTS,
+    NomsEngine, PosFactory, ShardStats, ShardingPolicy, DEFAULT_FETCH_COST_NANOS,
+    MAX_COMMIT_ATTEMPTS,
 };
 pub use siri_mbt::{MerkleBucketTree, DEFAULT_BUCKETS, DEFAULT_FANOUT};
 pub use siri_mpt::MerklePatriciaTrie;

@@ -24,8 +24,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use siri::{
-    CommitInfo, Entry, FileStoreOptions, Forkbase, FsyncPolicy, Hash, IndexFactory, MemStore,
-    PosFactory, PosParams, SiriIndex, WriteBatch,
+    CommitInfo, Entry, FileStoreOptions, Forkbase, FsyncPolicy, Hash, IndexError, IndexFactory,
+    MemStore, PosFactory, PosParams, ShardingPolicy, SiriIndex, WriteBatch,
 };
 
 const BATCH: usize = 20;
@@ -40,6 +40,18 @@ fn factory() -> PosFactory {
 
 fn engine() -> Arc<Forkbase<PosFactory>> {
     Arc::new(Forkbase::with_store(factory(), siri::env_store(), 0))
+}
+
+/// An engine pinned to the classic single-slot head, regardless of
+/// `SIRI_SHARDS` in the environment — for the chain-audit test, whose
+/// `parent → root` receipts are compared against plain tree digests.
+fn single_slot_engine() -> Arc<Forkbase<PosFactory>> {
+    Arc::new(Forkbase::with_sharding(factory(), siri::env_store(), ShardingPolicy::single(), 0))
+}
+
+/// An engine pinned to a static `n`-shard partition.
+fn sharded_engine(n: usize) -> Arc<Forkbase<PosFactory>> {
+    Arc::new(Forkbase::with_sharding(factory(), siri::env_store(), ShardingPolicy::pinned(n), 0))
 }
 
 /// The deterministic batch writer `t` commits at step `k`: 20 fresh puts
@@ -110,8 +122,8 @@ fn disjoint_branch_writers_match_single_threaded_replay() {
 /// chain — which would mean two commits published over the same head.
 fn chain_order(start: Hash, infos: &[(usize, usize, CommitInfo)]) -> Vec<(usize, usize)> {
     let mut by_parent: HashMap<Hash, (usize, usize, Hash)> = HashMap::new();
-    for &(t, k, info) in infos {
-        let clash = by_parent.insert(info.parent, (t, k, info.root));
+    for (t, k, info) in infos {
+        let clash = by_parent.insert(info.parent, (*t, *k, info.root));
         assert!(clash.is_none(), "two commits claim the same parent head {:?}", info.parent);
     }
     let mut order = Vec::with_capacity(infos.len());
@@ -137,7 +149,9 @@ fn contended_shared_branch_commits_linearize() {
     let mut total_conflicts = 0u64;
     let mut round = 0;
     while round < 3 || (total_conflicts == 0 && round < 12) {
-        let fb = engine();
+        // Single-slot head on purpose: the chain audit equates receipt
+        // digests with plain tree roots, which only holds unsharded.
+        let fb = single_slot_engine();
         let infos: Vec<(usize, usize, CommitInfo)> = {
             let collected = std::sync::Mutex::new(Vec::new());
             std::thread::scope(|s| {
@@ -168,7 +182,7 @@ fn contended_shared_branch_commits_linearize() {
         // reproduce every intermediate root digest the engine published.
         let model_roots = sequential_replay(&order);
         let mut by_step: HashMap<(usize, usize), Hash> =
-            infos.iter().map(|&(t, k, info)| ((t, k), info.root)).collect();
+            infos.iter().map(|(t, k, info)| ((*t, *k), info.root)).collect();
         for (step, &(t, k)) in order.iter().enumerate() {
             assert_eq!(
                 model_roots[step],
@@ -226,7 +240,12 @@ fn group_commit_engine_acks_survive_reopen_with_fewer_fsyncs() {
             }
         });
         let stats = fb.server_stats();
-        assert_eq!(stats.commits, (WRITERS * commits) as u64);
+        // A multi-shard head (SIRI_SHARDS=N in the env) flushes twice per
+        // commit: once before publication, once after for the manifest
+        // page (DESIGN.md §10) — the fsync-sharing property holds either
+        // way.
+        let flushes_per_commit = if ShardingPolicy::from_env().initial > 1 { 2 } else { 1 };
+        assert_eq!(stats.commits, (WRITERS * commits * flushes_per_commit) as u64);
         assert!(
             stats.fsyncs < stats.commits,
             "group commit must share flushes: {} fsyncs for {} commits",
@@ -284,4 +303,133 @@ fn racing_commit_and_branch_delete_never_corrupts() {
         assert!(!fb.branches().contains(&doomed), "branch must be gone");
         assert_eq!(fb.get("master", b"anchor").unwrap().as_deref(), Some(&b"v"[..]));
     }
+}
+
+/// A batch spanning all of an 8-shard partition (one key per top byte
+/// octant plus a marker), so a racing delete is maximally tempted to
+/// interleave mid-publish.
+fn spanning_batch(round: usize, k: usize) -> WriteBatch {
+    let mut b = WriteBatch::new();
+    for shard in 0..8usize {
+        b.put(vec![(shard * 32) as u8, round as u8, k as u8], format!("r{round}-{k}").into_bytes());
+    }
+    b
+}
+
+#[test]
+fn racing_sharded_commit_and_delete_is_all_or_nothing() {
+    // ISSUE 8 satellite: delete_branch retires every shard slot
+    // atomically, so a commit racing it either fully publishes (its
+    // returned manifest digest re-opens with ALL the batch's keys) or
+    // fails with the clean `BranchDeleted` error — never a partial
+    // multi-shard publish, and never a head that dangles after the
+    // delete.
+    let fb = sharded_engine(8);
+    fb.put("master", vec![Entry::new(b"anchor".to_vec(), b"v".to_vec())]).unwrap();
+    for round in 0..10 * stress_n() {
+        let doomed = format!("doomed{round}");
+        fb.fork("master", &doomed).unwrap();
+        let published = std::thread::scope(|s| {
+            let writer = {
+                let fb = Arc::clone(&fb);
+                let doomed = doomed.clone();
+                s.spawn(move || {
+                    let mut acked = Vec::new();
+                    for k in 0..5usize {
+                        match fb.commit(&doomed, spanning_batch(round, k)) {
+                            Ok(root) => acked.push((k, root)),
+                            // Legal outcomes: the branch vanished before
+                            // the slot resolved, or mid-flight.
+                            Err(IndexError::Unsupported(_)) | Err(IndexError::BranchDeleted) => {
+                                break
+                            }
+                            Err(other) => panic!("unexpected commit error: {other:?}"),
+                        }
+                    }
+                    acked
+                })
+            };
+            let fb2 = Arc::clone(&fb);
+            let doomed2 = doomed.clone();
+            s.spawn(move || {
+                let _ = fb2.delete_branch(&doomed2);
+            });
+            writer.join().unwrap()
+        });
+        assert!(!fb.branches().contains(&doomed), "branch must be gone");
+        // Every acked digest must re-open to a head holding ALL of its
+        // batch's keys — an ack with missing shard writes would be the
+        // partial-publish bug this test exists to catch.
+        for (k, root) in published {
+            let probe = format!("probe{round}-{k}");
+            fb.open_branch(&probe, root);
+            for shard in 0..8usize {
+                let key = vec![(shard * 32) as u8, round as u8, k as u8];
+                assert_eq!(
+                    fb.get_uncached(&probe, &key).unwrap().as_deref(),
+                    Some(format!("r{round}-{k}").as_bytes()),
+                    "round {round} commit {k}: acked root missing shard {shard}'s write"
+                );
+            }
+            fb.delete_branch(&probe).unwrap();
+        }
+        assert_eq!(fb.get("master", b"anchor").unwrap().as_deref(), Some(&b"v"[..]));
+    }
+}
+
+#[test]
+fn disjoint_shard_writers_on_one_branch_never_conflict() {
+    // The tentpole property: 8 writers on ONE branch, each confined to
+    // its own key-range shard, commit concurrently with zero CAS
+    // conflicts and zero retries — the sharded head makes a contended
+    // branch behave like disjoint branches.
+    const WRITERS: usize = 8;
+    let commits = 10 * stress_n();
+    let fb = sharded_engine(WRITERS);
+    std::thread::scope(|s| {
+        for t in 0..WRITERS {
+            let fb = Arc::clone(&fb);
+            s.spawn(move || {
+                let lead = (t * 32 + 1) as u8; // pins the writer to shard t
+                for k in 0..commits {
+                    let mut b = WriteBatch::new();
+                    for i in 0..BATCH {
+                        let mut key = vec![lead];
+                        key.extend_from_slice(format!("t{t:02}-k{:05}", k * BATCH + i).as_bytes());
+                        b.put(key, format!("v{t}-{k}-{i}").into_bytes());
+                    }
+                    let info = fb.commit_with_info("master", b).unwrap();
+                    assert_eq!(info.retries, 0, "writer {t} raced on its private shard");
+                    assert_eq!(info.shards.len(), 1);
+                    assert_eq!(info.shards[0].shard, t);
+                }
+            });
+        }
+    });
+    let stats = fb.engine_stats();
+    assert_eq!(stats.commits, (WRITERS * commits) as u64);
+    assert_eq!(stats.conflicts, 0, "disjoint shards must not contend");
+    for (i, s) in fb.shard_stats("master").unwrap().iter().enumerate() {
+        assert_eq!(s.commits, commits as u64, "shard {i} commit count");
+        assert_eq!(s.conflicts, 0, "shard {i} must be conflict-free");
+    }
+    // The logical tree holds every record, in key order, across shards.
+    let head = fb.head("master").unwrap();
+    assert_eq!(head.len().unwrap(), WRITERS * commits * BATCH);
+    // And it is bit-identical to the unsharded single-slot build of the
+    // same surviving KV set (structural invariance across the partition).
+    let single = single_slot_engine();
+    for t in 0..WRITERS {
+        let lead = (t * 32 + 1) as u8;
+        let mut b = WriteBatch::new();
+        for k in 0..commits {
+            for i in 0..BATCH {
+                let mut key = vec![lead];
+                key.extend_from_slice(format!("t{t:02}-k{:05}", k * BATCH + i).as_bytes());
+                b.put(key, format!("v{t}-{k}-{i}").into_bytes());
+            }
+        }
+        single.commit("master", b).unwrap();
+    }
+    assert_eq!(head.root(), single.head("master").unwrap().root());
 }

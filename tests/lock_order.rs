@@ -24,8 +24,8 @@ use std::sync::{Arc, Mutex as StdMutex, Once, Weak};
 use parking_lot::{lock_order, LockClass, Mutex, RwLock};
 use siri::{
     max_commit_attempts, Bytes, FileStoreOptions, Forkbase, FsyncPolicy, Hash, IndexError,
-    MergeStrategy, NodeStore, PosFactory, PosParams, SharedStore, SiriIndex, StoreResult,
-    StoreStats, WriteBatch,
+    MergeStrategy, NodeStore, PosFactory, PosParams, ShardingPolicy, SharedStore, SiriIndex,
+    StoreResult, StoreStats, WriteBatch,
 };
 
 /// Arm the tracker and pin the commit-attempt bound before any classed lock
@@ -187,15 +187,98 @@ fn engine_commit_merge_fork_delete_interleavings_run_clean() {
         let head = fb.head(&format!("b{t}")).unwrap();
         assert_eq!(head.len().unwrap(), COMMITS * 10);
     }
-    // The last merge round saw some prefix of each writer's commits; master
-    // must at least contain every writer's first-commit records.
+    // The in-flight merge rounds saw arbitrary prefixes of each writer's
+    // commits (on a loaded box possibly none — the merger can drain its
+    // rounds before a writer is scheduled). One final quiescent merge per
+    // branch makes the content check deterministic: master must now hold
+    // every writer's records.
     for t in 0..WRITERS {
+        fb.merge_branches("master", &format!("b{t}"), MergeStrategy::PreferRight).unwrap();
         let probe = format!("w{t}-k0000-0");
         assert!(
             fb.get("master", probe.as_bytes()).unwrap().is_some(),
             "master lost writer {t}'s merged records"
         );
     }
+}
+
+#[test]
+fn sharded_commit_merge_delete_interleavings_run_clean() {
+    // ISSUE 8: the sharded head adds the `forkbase.shard-head` class (25)
+    // between the slot head (20) and the client view (30). This
+    // interleaving drives every acquisition pattern the sharded engine
+    // has — routed commits (20r → 25r builds, then 20w → 25w swaps),
+    // spanning batches, whole-branch merges (collapse reads under 20r),
+    // split/merge resharding, branch deletion's atomic retirement, and
+    // routed client reads (20r → 30) — under the armed tracker and the
+    // pinned 3-attempt bound.
+    init();
+    const SHARDS: usize = 4;
+    let fb = Arc::new(Forkbase::with_sharding(
+        factory(),
+        siri::env_store(),
+        ShardingPolicy::pinned(SHARDS),
+        0,
+    ));
+    // Writers confined to their own shard: the 3-attempt bound can never
+    // trip, because disjoint shards never lose a CAS race.
+    std::thread::scope(|s| {
+        for t in 0..SHARDS {
+            let fb = Arc::clone(&fb);
+            s.spawn(move || {
+                let lead = (t * 64 + 1) as u8;
+                for k in 0..6usize {
+                    let mut b = WriteBatch::new();
+                    for i in 0..10 {
+                        let mut key = vec![lead];
+                        key.extend_from_slice(format!("s{t}-k{k:04}-{i}").as_bytes());
+                        b.put(key, format!("v-{t}-{k}-{i}").into_bytes());
+                    }
+                    fb.commit("master", b).unwrap();
+                }
+            });
+        }
+        // Churner: forks inherit the 4-shard partition; their commits,
+        // reshard hooks and deletions interleave with master's writers.
+        {
+            let fb = Arc::clone(&fb);
+            s.spawn(move || {
+                for i in 0..10usize {
+                    let name = format!("tmp{i}");
+                    fb.fork("master", &name).unwrap();
+                    let mut b = WriteBatch::new();
+                    for shard in 0..SHARDS {
+                        b.put(vec![(shard * 64 + 2) as u8, i as u8], vec![i as u8]);
+                    }
+                    let _ = fb.commit(&name, b); // spans every shard
+                    let _ = fb.merge_branch_shards(&name, 0);
+                    let _ = fb.split_branch_shard(&name, 0);
+                    fb.delete_branch(&name).unwrap();
+                }
+            });
+        }
+        // Readers: routed gets and cross-shard range cursors (20r → 30,
+        // then cursor reads through the caching store).
+        {
+            let fb = Arc::clone(&fb);
+            s.spawn(move || {
+                for i in 0..100usize {
+                    let lead = ((i % SHARDS) * 64 + 1) as u8;
+                    let mut key = vec![lead];
+                    key.extend_from_slice(format!("s{}-k0000-0", i % SHARDS).as_bytes());
+                    let _ = fb.get("master", &key);
+                    if i % 10 == 0 {
+                        let _ = fb
+                            .range("master", std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+                            .and_then(|c| c.collect::<siri::Result<Vec<_>>>());
+                    }
+                }
+            });
+        }
+    });
+    let stats = fb.engine_stats();
+    assert_eq!(stats.conflicts, 0, "disjoint shards and branches must not contend");
+    assert_eq!(fb.head("master").unwrap().len().unwrap(), SHARDS * 6 * 10);
 }
 
 #[test]
