@@ -1,0 +1,377 @@
+//! `siri-client` — a [`Session`] over the SIRI wire protocol.
+//!
+//! [`RemoteSession`] connects to a `siri-server` and implements the same
+//! [`Session`] trait the in-process engine does, so everything written
+//! against `Box<dyn Session>` (the CLI, the behavioral suites) works
+//! unchanged across the network boundary. Three things are worth knowing:
+//!
+//! * **One socket, serialized round trips.** All methods take `&self`; a
+//!   mutex serializes frames on the shared connection (the protocol is
+//!   strictly request/response, so pipelining would buy latency only at
+//!   the cost of a correlation layer). Open more sessions for parallelism
+//!   — connections are cheap on the thread-per-connection server.
+//! * **Paged cursors.** [`Session::range`] returns a lazy [`EntryCursor`]
+//!   that fetches a page of entries per round trip and re-anchors each
+//!   request after the last key received — the server keeps no cursor
+//!   state, so a scan survives the server dropping and re-admitting the
+//!   connection's siblings, and an abandoned cursor costs the server
+//!   nothing.
+//! * **Anti-entropy sync.** [`RemoteSession::sync_branch`] pulls a
+//!   branch's missing pages into a local store via the structural diff
+//!   walk in `siri_store::ship` — only pages absent locally cross the
+//!   wire, and an interrupted sync resumes from what already landed.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::ops::Bound;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::{LockClass, Mutex};
+use siri_core::{
+    CommitInfo, Entry, EntryCursor, IndexError, Proof, Result, Session, ShardManifest, WriteBatch,
+};
+use siri_crypto::Hash;
+use siri_server::proto::{
+    read_frame, write_frame, Request, Response, WireBound, WireServerStats, MAX_FETCH_HASHES,
+    MAX_FRAME_BYTES, WIRE_VERSION,
+};
+use siri_store::{ship, NodeStore, StoreError, StoreResult};
+
+pub use siri_store::ship::{SyncOptions, SyncReport};
+
+/// Lock class for a client connection (order 8: below every engine lock,
+/// so an in-process loopback test holding engine state may still issue
+/// wire calls without inverting the hierarchy).
+static CONN_CLASS: LockClass = LockClass::new(8, "client.conn");
+
+/// Client tuning.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Socket read timeout (an unresponsive server turns into an error,
+    /// not a hang).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout.
+    pub write_timeout: Option<Duration>,
+    /// Entries requested per scan page.
+    pub page_size: u32,
+    /// Frame payload cap (mirror of the server's).
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            page_size: 256,
+            max_frame_bytes: MAX_FRAME_BYTES,
+        }
+    }
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// Set after any transport fault: the request/response rhythm may be
+    /// out of step, so every later call fails fast instead of misparsing.
+    broken: bool,
+    max_frame: usize,
+}
+
+impl Conn {
+    fn round_trip(&mut self, req: &Request) -> Result<Response> {
+        if self.broken {
+            return Err(IndexError::Remote("connection is poisoned by an earlier fault".into()));
+        }
+        let sent = write_frame(&mut self.writer, &req.encode());
+        if let Err(e) = sent {
+            self.broken = true;
+            return Err(IndexError::Store(StoreError::io("wire write", e)));
+        }
+        let payload = match read_frame(&mut self.reader, self.max_frame) {
+            Ok(p) => p,
+            Err(e) => {
+                self.broken = true;
+                return Err(IndexError::Store(StoreError::io("wire read", e)));
+            }
+        };
+        match Response::decode(&payload) {
+            Ok(Response::Err(we)) => Err(we.into_index_error()),
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.broken = true;
+                Err(IndexError::Codec(e))
+            }
+        }
+    }
+}
+
+fn unexpected(what: &'static str) -> IndexError {
+    IndexError::Remote(format!("unexpected response to {what}"))
+}
+
+/// A connection to a `siri-server`, speaking [`Session`].
+pub struct RemoteSession {
+    conn: Arc<Mutex<Conn>>,
+    opts: ClientOptions,
+}
+
+impl RemoteSession {
+    /// Connect and handshake with default options.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<RemoteSession> {
+        Self::connect_with(addr, ClientOptions::default())
+    }
+
+    /// Connect and handshake. Connection and version failures surface as
+    /// `io::Error` — after this returns, the session is usable.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        opts: ClientOptions,
+    ) -> std::io::Result<RemoteSession> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(opts.read_timeout)?;
+        stream.set_write_timeout(opts.write_timeout)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut conn = Conn {
+            reader,
+            writer: BufWriter::new(stream),
+            broken: false,
+            max_frame: opts.max_frame_bytes,
+        };
+        match conn.round_trip(&Request::Hello { version: WIRE_VERSION }) {
+            Ok(Response::Hello { .. }) => {}
+            Ok(_) | Err(_) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "server rejected the protocol handshake",
+                ));
+            }
+        }
+        Ok(RemoteSession { conn: Arc::new(Mutex::with_class(conn, &CONN_CLASS)), opts })
+    }
+
+    fn request(&self, req: &Request) -> Result<Response> {
+        self.conn.lock().round_trip(req)
+    }
+
+    /// Server totals and per-connection counters (the `stats` verb).
+    pub fn server_stats(&self) -> Result<WireServerStats> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            _ => Err(unexpected("Stats")),
+        }
+    }
+
+    /// Ask the server to stop (works only when it was started with remote
+    /// shutdown enabled).
+    pub fn shutdown_server(&self) -> Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            _ => Err(unexpected("Shutdown")),
+        }
+    }
+
+    /// Fetch a batch of pages by hash (the anti-entropy primitive). At
+    /// most [`MAX_FETCH_HASHES`] per call.
+    pub fn fetch_pages(&self, hashes: &[Hash]) -> Result<Vec<Option<Bytes>>> {
+        match self.request(&Request::Fetch { hashes: hashes.to_vec() })? {
+            Response::Pages(pages) => Ok(pages),
+            _ => Err(unexpected("Fetch")),
+        }
+    }
+
+    /// Merkle anti-entropy: make `local` hold every page of `branch`'s
+    /// current version, pulling only the pages it is missing.
+    ///
+    /// `children` decodes one *index* page's child hashes (e.g.
+    /// `Node::children_of_page`); shard-manifest pages are handled here,
+    /// so a sharded branch syncs transparently. Returns the branch digest
+    /// the sync anchored at plus the transfer report. An interrupted sync
+    /// (error, or [`SyncOptions::max_pages`] budget) is resumable: call
+    /// again and only the unfinished tail transfers.
+    pub fn sync_branch<Ch>(
+        &self,
+        branch: &str,
+        local: &dyn NodeStore,
+        children: Ch,
+        opts: &SyncOptions,
+    ) -> Result<(Hash, SyncReport)>
+    where
+        Ch: Fn(&[u8]) -> Vec<Hash>,
+    {
+        let root = Session::branch_digest(self, branch)?;
+        let batched = SyncOptions { batch: opts.batch.clamp(1, MAX_FETCH_HASHES), ..*opts };
+        let mut fetch = |hashes: &[Hash]| -> StoreResult<Vec<Option<Bytes>>> {
+            self.fetch_pages(hashes).map_err(|e| match e {
+                IndexError::Store(se) => se,
+                other => StoreError::Io {
+                    op: "sync fetch",
+                    kind: std::io::ErrorKind::Other,
+                    detail: other.to_string(),
+                },
+            })
+        };
+        let manifest_aware = |page: &[u8]| -> Vec<Hash> {
+            if ShardManifest::is_manifest(page) {
+                match ShardManifest::decode(page) {
+                    Ok(m) => m.roots,
+                    Err(_) => Vec::new(),
+                }
+            } else {
+                children(page)
+            }
+        };
+        let report = ship::sync_pull(&mut fetch, local, root, manifest_aware, &batched)
+            .map_err(IndexError::Store)?;
+        Ok((root, report))
+    }
+}
+
+impl Session for RemoteSession {
+    fn commit(&self, branch: &str, batch: WriteBatch) -> Result<CommitInfo> {
+        let req = Request::Commit { branch: branch.to_string(), ops: batch.normalize() };
+        match self.request(&req)? {
+            Response::Committed(info) => Ok(info),
+            _ => Err(unexpected("Commit")),
+        }
+    }
+
+    fn get(&self, branch: &str, key: &[u8]) -> Result<Option<Bytes>> {
+        let req = Request::Get { branch: branch.to_string(), key: Bytes::copy_from_slice(key) };
+        match self.request(&req)? {
+            Response::Value(v) => Ok(v),
+            _ => Err(unexpected("Get")),
+        }
+    }
+
+    fn range(&self, branch: &str, start: Bound<&[u8]>, end: Bound<&[u8]>) -> Result<EntryCursor> {
+        Ok(EntryCursor::new(RemoteCursor {
+            conn: self.conn.clone(),
+            branch: branch.to_string(),
+            start: WireBound::from_bound(start),
+            end: WireBound::from_bound(end),
+            after: None,
+            page_size: self.opts.page_size.max(1),
+            buf: VecDeque::new(),
+            state: CursorState::Fresh,
+        }))
+    }
+
+    fn fork(&self, from: &str, to: &str) -> Result<()> {
+        let req = Request::Fork { from: from.to_string(), to: to.to_string() };
+        match self.request(&req)? {
+            Response::Ok => Ok(()),
+            _ => Err(unexpected("Fork")),
+        }
+    }
+
+    fn delete_branch(&self, branch: &str) -> Result<()> {
+        match self.request(&Request::DeleteBranch { branch: branch.to_string() })? {
+            Response::Ok => Ok(()),
+            _ => Err(unexpected("DeleteBranch")),
+        }
+    }
+
+    fn branches(&self) -> Result<Vec<String>> {
+        match self.request(&Request::Branches)? {
+            Response::Branches(names) => Ok(names),
+            _ => Err(unexpected("Branches")),
+        }
+    }
+
+    fn branch_digest(&self, branch: &str) -> Result<Hash> {
+        match self.request(&Request::BranchDigest { branch: branch.to_string() })? {
+            Response::Digest(h) => Ok(h),
+            _ => Err(unexpected("BranchDigest")),
+        }
+    }
+
+    fn prove(&self, branch: &str, key: &[u8]) -> Result<(Hash, Proof)> {
+        let req = Request::Prove { branch: branch.to_string(), key: Bytes::copy_from_slice(key) };
+        match self.request(&req)? {
+            Response::Proof { root, pages } => Ok((root, Proof::new(pages))),
+            _ => Err(unexpected("Prove")),
+        }
+    }
+}
+
+enum CursorState {
+    /// No page requested yet.
+    Fresh,
+    /// More pages may remain after `after`.
+    More,
+    /// Server said the range is exhausted (or a fault ended the stream).
+    Done,
+}
+
+/// The lazy paging state machine behind a remote [`EntryCursor`]. Each
+/// refill is one `Range` round trip anchored after the last delivered key;
+/// entries buffer locally so iteration between refills is allocation-only.
+struct RemoteCursor {
+    conn: Arc<Mutex<Conn>>,
+    branch: String,
+    start: WireBound,
+    end: WireBound,
+    after: Option<Bytes>,
+    page_size: u32,
+    buf: VecDeque<Entry>,
+    state: CursorState,
+}
+
+impl RemoteCursor {
+    fn refill(&mut self) -> Result<()> {
+        let req = Request::Range {
+            branch: self.branch.clone(),
+            start: self.start.clone(),
+            end: self.end.clone(),
+            after: self.after.clone(),
+            limit: self.page_size,
+        };
+        match self.conn.lock().round_trip(&req)? {
+            Response::Page { entries, done } => {
+                if done {
+                    self.state = CursorState::Done;
+                } else {
+                    self.state = CursorState::More;
+                }
+                if let Some(last) = entries.last() {
+                    self.after = Some(last.key.clone());
+                }
+                self.buf.extend(entries);
+                Ok(())
+            }
+            _ => Err(unexpected("Range")),
+        }
+    }
+}
+
+impl Iterator for RemoteCursor {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(e) = self.buf.pop_front() {
+                return Some(Ok(e));
+            }
+            match self.state {
+                CursorState::Done => return None,
+                CursorState::Fresh | CursorState::More => {
+                    if let Err(e) = self.refill() {
+                        // Surface the fault once, then end the stream.
+                        self.state = CursorState::Done;
+                        return Some(Err(e));
+                    }
+                    if self.buf.is_empty() {
+                        // An empty `done: false` page would loop forever;
+                        // treat it as exhaustion either way.
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}

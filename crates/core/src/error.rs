@@ -40,6 +40,11 @@ pub enum IndexError {
     CorruptStructure(&'static str),
     /// Operation is not meaningful for this index (e.g. range scan on MBT).
     Unsupported(&'static str),
+    /// A remote peer reported a failure that has no structural equivalent
+    /// on this side (an engine error whose payload cannot round-trip the
+    /// wire, or a server-side fault). The string is the peer's rendering
+    /// of the original error.
+    Remote(String),
 }
 
 impl fmt::Display for IndexError {
@@ -62,6 +67,7 @@ impl fmt::Display for IndexError {
             }
             IndexError::CorruptStructure(what) => write!(f, "corrupt structure: {what}"),
             IndexError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            IndexError::Remote(what) => write!(f, "remote error: {what}"),
         }
     }
 }

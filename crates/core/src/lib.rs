@@ -25,6 +25,7 @@ mod entry;
 mod error;
 mod index;
 mod proof;
+mod session;
 mod shard;
 mod structure;
 mod version;
@@ -46,6 +47,7 @@ pub use entry::Entry;
 pub use error::{IndexError, Result};
 pub use index::{LookupTrace, SiriIndex};
 pub use proof::{Proof, ProofVerdict};
+pub use session::Session;
 pub use shard::{chain_cursors, ShardCommit, ShardManifest, ShardRouter, MANIFEST_MAGIC};
 pub use structure::{StructureReport, StructureStats};
 pub use version::{VersionStore, VersionTag};

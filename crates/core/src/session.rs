@@ -1,0 +1,83 @@
+//! The engine-or-wire session abstraction.
+//!
+//! [`Session`] is the narrow waist between *what a Forkbase client does*
+//! (commit batches, read keys, stream ranges, manage branches, ask for
+//! proofs) and *where the engine runs*. The in-process engine implements
+//! it directly; `siri-client`'s `RemoteSession` implements it over the
+//! length-prefixed wire protocol — so the CLI, the examples and the
+//! behavioral test suites run unchanged against either side of a network
+//! boundary (toggled by `SIRI_REMOTE=1` in the integration suites).
+//!
+//! The trait is deliberately object-safe: callers hold a
+//! `Box<dyn Session>` and never learn which transport answered them. It
+//! also deliberately excludes engine-operator surface (sharding control,
+//! GC, cache statistics) — those stay on the concrete engine type, because
+//! a remote client has no business resizing a server's shards.
+
+use std::ops::Bound;
+
+use siri_crypto::Hash;
+
+use crate::{CommitInfo, EntryCursor, Proof, Result, WriteBatch};
+
+/// One client's view of a versioned, branching key-value engine — local or
+/// remote.
+///
+/// All methods take `&self`: sessions are shared across threads the same
+/// way the engine itself is (the remote implementation serializes wire
+/// round-trips internally).
+///
+/// # Contract
+///
+/// * [`commit`](Session::commit) is atomic per branch and returns a
+///   [`CommitInfo`] receipt naming the parent and new head digests (and
+///   per-shard receipts when the branch is sharded server-side).
+/// * [`range`](Session::range)/[`scan_prefix`](Session::scan_prefix)
+///   cursors are snapshots: entries observed come from one head version
+///   even if the branch advances mid-scan. A remote cursor pages lazily,
+///   but each page re-anchors at the *same* bounds after the last key
+///   delivered, so a concurrent writer can at worst splice newer values
+///   into not-yet-visited keys — never duplicate or reorder them.
+/// * [`prove`](Session::prove) returns the anchor root alongside the
+///   proof so the caller can verify offline with
+///   `SiriIndex::verify_proof(root, key, &proof)` and compare the root
+///   against a digest learned out of band.
+pub trait Session: Send + Sync {
+    /// Apply one atomic batch to `branch`; returns the commit receipt.
+    fn commit(&self, branch: &str, batch: WriteBatch) -> Result<CommitInfo>;
+
+    /// Point lookup on the branch head.
+    fn get(&self, branch: &str, key: &[u8]) -> Result<Option<bytes::Bytes>>;
+
+    /// Streaming ordered range scan over `[start, end]` on the branch head.
+    fn range(&self, branch: &str, start: Bound<&[u8]>, end: Bound<&[u8]>) -> Result<EntryCursor>;
+
+    /// Streaming scan of every key starting with `prefix`.
+    fn scan_prefix(&self, branch: &str, prefix: &[u8]) -> Result<EntryCursor> {
+        let succ = crate::prefix_successor(prefix);
+        let end = match &succ {
+            Some(s) => Bound::Excluded(s.as_slice()),
+            None => Bound::Unbounded,
+        };
+        self.range(branch, Bound::Included(prefix), end)
+    }
+
+    /// Create branch `to` at the current head of `from`.
+    fn fork(&self, from: &str, to: &str) -> Result<()>;
+
+    /// Delete a branch (its versions remain in the store until GC).
+    fn delete_branch(&self, branch: &str) -> Result<()>;
+
+    /// All live branch names, sorted.
+    fn branches(&self) -> Result<Vec<String>>;
+
+    /// The branch's published head digest (shard-manifest digest when the
+    /// server keeps the branch sharded).
+    fn branch_digest(&self, branch: &str) -> Result<Hash>;
+
+    /// A Merkle proof for `key` on the branch head, plus the root it
+    /// verifies against. On a sharded branch the proof anchors at the
+    /// collapsed logical root (structural invariance makes that equal to
+    /// the unsharded build of the same contents).
+    fn prove(&self, branch: &str, key: &[u8]) -> Result<(Hash, Proof)>;
+}

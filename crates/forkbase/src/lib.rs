@@ -73,8 +73,8 @@ use bytes::Bytes;
 use parking_lot::{LockClass, Mutex, RwLock};
 use siri_core::{
     chain_cursors, merge, merge_with_base, prefix_successor, CommitInfo, Entry, EntryCursor,
-    IndexError, MergeOutcome, MergeStrategy, Result, ShardCommit, ShardManifest, ShardRouter,
-    SiriIndex, WriteBatch,
+    IndexError, MergeOutcome, MergeStrategy, Proof, Result, Session, ShardCommit, ShardManifest,
+    ShardRouter, SiriIndex, WriteBatch,
 };
 use siri_crypto::Hash;
 use siri_store::{
@@ -1283,6 +1283,60 @@ impl<F: IndexFactory> Forkbase<F> {
     /// Server storage counters.
     pub fn server_stats(&self) -> StoreStats {
         self.server.stats()
+    }
+
+    /// The shared server store every branch head lives in — the page
+    /// source a network server hands to its sync/fetch handlers, and the
+    /// sink an anti-entropy pull fills on the receiving site.
+    pub fn server_store(&self) -> SharedStore {
+        self.server.clone()
+    }
+}
+
+/// The in-process side of the [`Session`] abstraction: the engine *is* a
+/// session. `siri-client`'s `RemoteSession` implements the same trait over
+/// the wire, so `Box<dyn Session>` callers (the CLI, the behavioral test
+/// suites under `SIRI_REMOTE=1`) cannot tell the two apart.
+impl<F: IndexFactory> Session for Forkbase<F> {
+    fn commit(&self, branch: &str, batch: WriteBatch) -> Result<CommitInfo> {
+        self.commit_with_info(branch, batch)
+    }
+
+    fn get(&self, branch: &str, key: &[u8]) -> Result<Option<Bytes>> {
+        Forkbase::get(self, branch, key)
+    }
+
+    fn range(&self, branch: &str, start: Bound<&[u8]>, end: Bound<&[u8]>) -> Result<EntryCursor> {
+        Forkbase::range(self, branch, start, end)
+    }
+
+    fn scan_prefix(&self, branch: &str, prefix: &[u8]) -> Result<EntryCursor> {
+        Forkbase::scan_prefix(self, branch, prefix)
+    }
+
+    fn fork(&self, from: &str, to: &str) -> Result<()> {
+        Forkbase::fork(self, from, to)
+    }
+
+    fn delete_branch(&self, branch: &str) -> Result<()> {
+        Forkbase::delete_branch(self, branch)
+    }
+
+    fn branches(&self) -> Result<Vec<String>> {
+        Ok(Forkbase::branches(self))
+    }
+
+    fn branch_digest(&self, branch: &str) -> Result<Hash> {
+        Forkbase::branch_digest(self, branch)
+    }
+
+    fn prove(&self, branch: &str, key: &[u8]) -> Result<(Hash, Proof)> {
+        // Prove against the collapsed logical head: on a sharded branch
+        // structural invariance makes its root equal to the unsharded
+        // build, so the proof anchors at a digest any replica can derive.
+        let head = self.head(branch).ok_or(IndexError::Unsupported("unknown branch"))?;
+        let proof = head.prove(key)?;
+        Ok((head.root(), proof))
     }
 }
 

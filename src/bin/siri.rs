@@ -48,6 +48,15 @@ fn usage() -> ! {
          \x20                        and compact the store on disk\n\
          \x20 compact                rewrite segments keeping every version's pages\n\
          \x20 stats                  storage statistics\n\
+         \x20 serve [--listen ADDR]  serve this database over the SIRI wire protocol\n\
+         \x20                        (default 127.0.0.1:4733; commits land in <db>.head;\n\
+         \x20                        --allow-shutdown lets clients stop the server)\n\
+         \x20 connect <ADDR> <cmd>   run a command against a remote server; cmd is one of\n\
+         \x20                        put/del/get/scan/branches/digest/prove/stats/shutdown\n\
+         \x20                        (--branch B targets a branch; default master; stats\n\
+         \x20                        prints server totals and per-connection counters)\n\
+         \x20 sync <ADDR>            anti-entropy pull: fetch the remote head's missing\n\
+         \x20                        pages into this database and record the version\n\
          options:\n\
          \x20 --shards N             shard count for `load` (default 1; max 256).\n\
          \x20                        Sharded heads answer get/scan/stats/gc like any\n\
@@ -159,6 +168,13 @@ fn main() {
     }
     if rest.is_empty() {
         usage();
+    }
+
+    // `connect` talks to a remote server; it neither needs nor creates a
+    // local database, so handle it before the store opens.
+    if rest[0] == "connect" {
+        run_connect(&rest[1..]);
+        return;
     }
 
     let head_file = format!("{db}.head");
@@ -462,6 +478,79 @@ fn main() {
                 Err(e) => fail(format_args!("compaction failed (store unchanged): {e}")),
             }
         }
+        "serve" => {
+            let listen = match rest.iter().position(|a| a == "--listen") {
+                Some(p) => rest.get(p + 1).cloned().unwrap_or_else(|| usage()),
+                None => String::from("127.0.0.1:4733"),
+            };
+            let allow_shutdown = rest.iter().any(|a| a == "--allow-shutdown");
+            // The served engine shares the CLI's store and head sidecar:
+            // fsync per the policy first, then record the head — the same
+            // durability-before-acknowledgement order `put` uses.
+            let engine =
+                Arc::new(siri::Forkbase::with_store(siri::PosFactory(params), store.clone(), 0));
+            engine.open_branch("master", head_root);
+            let hook_fs = fs.clone();
+            let hook_head = head_file.clone();
+            let hook: siri::server::CommitHook = Box::new(move |branch, root| {
+                if branch != "master" {
+                    return;
+                }
+                if let Err(e) = hook_fs.note_commit() {
+                    fail(format_args!("fsync failed, version not recorded: {e}"));
+                }
+                append_history(&hook_head, root);
+            });
+            let opts =
+                siri::ServerOptions { allow_remote_shutdown: allow_shutdown, ..Default::default() };
+            match siri::serve_addr(engine, &listen, opts, Some(hook)) {
+                Ok(handle) => {
+                    println!("listening on {}", handle.addr());
+                    handle.wait();
+                }
+                Err(e) => fail(format_args!("cannot bind {listen}: {e}")),
+            }
+        }
+        "sync" => {
+            let addr = rest.get(1).unwrap_or_else(|| usage());
+            let branch = match rest.iter().position(|a| a == "--branch") {
+                Some(p) => rest.get(p + 1).cloned().unwrap_or_else(|| usage()),
+                None => String::from("master"),
+            };
+            let session = match siri::RemoteSession::connect(addr.as_str()) {
+                Ok(s) => s,
+                Err(e) => fail(format_args!("cannot connect to {addr}: {e}")),
+            };
+            let sync = session.sync_branch(
+                &branch,
+                store.as_ref(),
+                siri::pos_tree::Node::children_of_page,
+                &siri::SyncOptions::default(),
+            );
+            match sync {
+                Ok((digest, report)) => {
+                    if let Err(e) = fs.note_commit() {
+                        fail(format_args!("fsync failed, version not recorded: {e}"));
+                    }
+                    if history.last() != Some(&digest) {
+                        append_history(&head_file, digest);
+                    }
+                    println!(
+                        "synced {branch} to {digest}\n\
+                         fetched {} page(s), {} B in {} round trip(s); \
+                         {} subtree(s) already present",
+                        report.pages_fetched,
+                        report.bytes_fetched,
+                        report.round_trips,
+                        report.subtrees_skipped
+                    );
+                    if report.missing > 0 {
+                        fail(format_args!("{} page(s) missing at the source", report.missing));
+                    }
+                }
+                Err(e) => fail(format_args!("sync failed: {e}")),
+            }
+        }
         "stats" => {
             let s = store.stats();
             println!("versions       {}", history.len());
@@ -487,6 +576,140 @@ fn main() {
                 }
             }
         }
+        _ => usage(),
+    }
+}
+
+/// `siri connect <ADDR> <cmd>` — run one command against a remote server.
+/// Mirrors the local commands where both exist (`put`/`get`/`scan`/...),
+/// plus the server-only verbs (`branches`, `digest`, `stats`, `shutdown`).
+fn run_connect(rest: &[String]) {
+    use siri::Session;
+
+    let mut branch = String::from("master");
+    let mut pos: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i] == "--branch" {
+            i += 1;
+            branch = rest.get(i).cloned().unwrap_or_else(|| usage());
+        } else {
+            pos.push(&rest[i]);
+        }
+        i += 1;
+    }
+    let (addr, cmd) = match (pos.first(), pos.get(1)) {
+        (Some(a), Some(c)) => (a.as_str(), c.as_str()),
+        _ => usage(),
+    };
+    let session = match siri::RemoteSession::connect(addr) {
+        Ok(s) => s,
+        Err(e) => fail(format_args!("cannot connect to {addr}: {e}")),
+    };
+    match cmd {
+        "put" => {
+            let (key, value) = match (pos.get(2), pos.get(3)) {
+                (Some(k), Some(v)) => (k.as_bytes().to_vec(), v.as_bytes().to_vec()),
+                _ => usage(),
+            };
+            let mut batch = siri::WriteBatch::new();
+            batch.put(key, value);
+            match session.commit(&branch, batch) {
+                Ok(info) => println!("{}", info.root),
+                Err(e) => fail(format_args!("write failed: {e}")),
+            }
+        }
+        "del" => {
+            let key = pos.get(2).unwrap_or_else(|| usage());
+            let mut batch = siri::WriteBatch::new();
+            batch.delete(key.as_bytes().to_vec());
+            match session.commit(&branch, batch) {
+                Ok(info) => println!("{}", info.root),
+                Err(e) => fail(format_args!("delete failed: {e}")),
+            }
+        }
+        "get" => {
+            let key = pos.get(2).unwrap_or_else(|| usage());
+            match session.get(&branch, key.as_bytes()) {
+                Ok(Some(v)) => println!("{}", String::from_utf8_lossy(&v)),
+                Ok(None) => {
+                    eprintln!("(not found)");
+                    std::process::exit(1);
+                }
+                Err(e) => fail(format_args!("read failed: {e}")),
+            }
+        }
+        "scan" => {
+            let cursor = match pos.get(2) {
+                Some(prefix) => session.scan_prefix(&branch, prefix.as_bytes()),
+                None => {
+                    session.range(&branch, std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+                }
+            };
+            let cursor = cursor.unwrap_or_else(|e| fail(format_args!("scan failed: {e}")));
+            for e in cursor {
+                let e = e.unwrap_or_else(|e| fail(format_args!("scan failed: {e}")));
+                println!(
+                    "{}\t{}",
+                    String::from_utf8_lossy(&e.key),
+                    String::from_utf8_lossy(&e.value)
+                );
+            }
+        }
+        "branches" => match session.branches() {
+            Ok(names) => {
+                for name in names {
+                    println!("{name}");
+                }
+            }
+            Err(e) => fail(format_args!("cannot list branches: {e}")),
+        },
+        "digest" => match session.branch_digest(&branch) {
+            Ok(h) => println!("{h}"),
+            Err(e) => fail(format_args!("cannot read branch digest: {e}")),
+        },
+        "prove" => {
+            let key = pos.get(2).unwrap_or_else(|| usage());
+            match session.prove(&branch, key.as_bytes()) {
+                Ok((root, proof)) => {
+                    println!("root\t{root}");
+                    for page in proof.pages() {
+                        println!("{}", siri::crypto::hex::encode(page));
+                    }
+                }
+                Err(e) => fail(format_args!("prove failed: {e}")),
+            }
+        }
+        "stats" => match session.server_stats() {
+            Ok(s) => {
+                println!("accepted       {}", s.accepted);
+                println!("active        {}", s.active);
+                println!("rejected      {}", s.rejected);
+                println!("requests      {}", s.total_requests);
+                println!("bytes in      {}", s.total_bytes_in);
+                println!("bytes out     {}", s.total_bytes_out);
+                for c in &s.conns {
+                    println!(
+                        "conn {}\t{}\treq {}\tin {} B\tout {} B\tcommits {}\treads {}\t\
+                         scan-pages {}\tsync-pages {}",
+                        c.id,
+                        c.peer,
+                        c.requests,
+                        c.bytes_in,
+                        c.bytes_out,
+                        c.commits,
+                        c.reads,
+                        c.scan_pages,
+                        c.sync_pages
+                    );
+                }
+            }
+            Err(e) => fail(format_args!("cannot read server stats: {e}")),
+        },
+        "shutdown" => match session.shutdown_server() {
+            Ok(()) => println!("server stopping"),
+            Err(e) => fail(format_args!("shutdown refused: {e}")),
+        },
         _ => usage(),
     }
 }

@@ -50,11 +50,12 @@ pub use siri_core::{
     merge_with_base, metrics, prefix_successor, siri_properties, BatchOp, Bytes, CacheStats,
     CommitInfo, DiffEntry, DiffSide, Entry, EntryCursor, Hash, IndexError, LookupTrace, MemStore,
     MergeOutcome, MergeStrategy, NodeStore, Op, PageSet, Proof, ProofVerdict, Reclaim, Result,
-    ShardCommit, ShardManifest, ShardRouter, SharedStore, SiriIndex, StoreError, StoreResult,
-    StoreStats, StructureReport, StructureStats, VersionStore, VersionTag, WriteBatch,
+    Session, ShardCommit, ShardManifest, ShardRouter, SharedStore, SiriIndex, StoreError,
+    StoreResult, StoreStats, StructureReport, StructureStats, VersionStore, VersionTag, WriteBatch,
     MANIFEST_MAGIC,
 };
 
+pub use siri_client::{ClientOptions, RemoteSession, SyncOptions, SyncReport};
 pub use siri_crypto as crypto;
 pub use siri_encoding as encoding;
 pub use siri_forkbase::{
@@ -68,6 +69,7 @@ pub use siri_mvmb::{MvmbParams, MvmbTree};
 pub use siri_pos_tree::{
     self as pos_tree, ChunkerKind, InternalChunking, PosParams, PosTree, SplitPolicy,
 };
+pub use siri_server::{self as server, proto, serve, serve_addr, ServerHandle, ServerOptions};
 pub use siri_store::{
     gc, ship, CachingStore, FileStore, FileStoreOptions, FsyncPolicy, DEFAULT_SEGMENT_BYTES,
 };
@@ -97,5 +99,84 @@ pub fn env_store() -> SharedStore {
             std::sync::Arc::new(fs)
         }
         _ => MemStore::new_shared(),
+    }
+}
+
+/// A [`Session`] plus whatever infrastructure keeps it alive: nothing for
+/// the in-process engine, a loopback server for the remote case. Deref to
+/// `dyn Session` — callers never learn which they got.
+pub struct SessionHandle {
+    session: Box<dyn Session>,
+    _server: Option<ServerHandle<PosFactory>>,
+}
+
+impl std::ops::Deref for SessionHandle {
+    type Target = dyn Session;
+    fn deref(&self) -> &Self::Target {
+        self.session.as_ref()
+    }
+}
+
+/// The session the `SIRI_REMOTE` environment variable selects: `"1"`
+/// spins up a loopback `siri-server` over [`env_store`] and connects a
+/// [`RemoteSession`] to it, anything else is the in-process engine over
+/// the same store.
+///
+/// This is how CI runs the behavioral suites across the network boundary
+/// without forking the tests: every commit, scan page and proof crosses
+/// the wire, and the assertions stay byte-for-byte the ones the
+/// in-process engine passes.
+pub fn env_session() -> SessionHandle {
+    let engine =
+        std::sync::Arc::new(Forkbase::with_store(PosFactory(PosParams::default()), env_store(), 0));
+    if std::env::var("SIRI_REMOTE").as_deref() == Ok("1") {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0")
+            .expect("SIRI_REMOTE=1: cannot bind a loopback listener");
+        let server = serve(engine, listener, ServerOptions::default(), None)
+            .expect("SIRI_REMOTE=1: cannot start the loopback server");
+        let session = RemoteSession::connect(server.addr())
+            .expect("SIRI_REMOTE=1: cannot connect to the loopback server");
+        SessionHandle { session: Box::new(session), _server: Some(server) }
+    } else {
+        SessionHandle { session: Box::new(ArcSession(engine)), _server: None }
+    }
+}
+
+/// `Arc<Forkbase>` forwarding shim so [`SessionHandle`] can own the engine
+/// it serves.
+struct ArcSession(std::sync::Arc<Forkbase<PosFactory>>);
+
+impl Session for ArcSession {
+    fn commit(&self, branch: &str, batch: WriteBatch) -> Result<CommitInfo> {
+        Session::commit(self.0.as_ref(), branch, batch)
+    }
+    fn get(&self, branch: &str, key: &[u8]) -> Result<Option<Bytes>> {
+        Session::get(self.0.as_ref(), branch, key)
+    }
+    fn range(
+        &self,
+        branch: &str,
+        start: std::ops::Bound<&[u8]>,
+        end: std::ops::Bound<&[u8]>,
+    ) -> Result<EntryCursor> {
+        Session::range(self.0.as_ref(), branch, start, end)
+    }
+    fn scan_prefix(&self, branch: &str, prefix: &[u8]) -> Result<EntryCursor> {
+        Session::scan_prefix(self.0.as_ref(), branch, prefix)
+    }
+    fn fork(&self, from: &str, to: &str) -> Result<()> {
+        Session::fork(self.0.as_ref(), from, to)
+    }
+    fn delete_branch(&self, branch: &str) -> Result<()> {
+        Session::delete_branch(self.0.as_ref(), branch)
+    }
+    fn branches(&self) -> Result<Vec<String>> {
+        Session::branches(self.0.as_ref())
+    }
+    fn branch_digest(&self, branch: &str) -> Result<Hash> {
+        Session::branch_digest(self.0.as_ref(), branch)
+    }
+    fn prove(&self, branch: &str, key: &[u8]) -> Result<(Hash, Proof)> {
+        Session::prove(self.0.as_ref(), branch, key)
     }
 }

@@ -1,0 +1,320 @@
+//! Loopback integration tests for the wire stack: a real `siri-server`
+//! on 127.0.0.1, real `RemoteSession` clients, real TCP in between.
+//!
+//! Covers the PR's acceptance gates: concurrent clients on disjoint
+//! branches replay to the exact digests the in-process engine produces;
+//! paged cursors stream faithfully at tiny page sizes; remote proofs
+//! verify offline; Merkle anti-entropy ships a small delta cheaply and
+//! resumes after a mid-sync disconnect; backpressure and shutdown behave.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+use siri::{
+    serve, ClientOptions, Forkbase, Hash, IndexError, MemStore, NodeStore, PosFactory, PosParams,
+    PosTree, RemoteSession, ServerHandle, ServerOptions, Session, SiriIndex, SyncOptions,
+    WriteBatch,
+};
+
+fn engine() -> Arc<Forkbase<PosFactory>> {
+    Arc::new(Forkbase::with_store(PosFactory(PosParams::default()), MemStore::new_shared(), 0))
+}
+
+fn loopback(opts: ServerOptions) -> (Arc<Forkbase<PosFactory>>, ServerHandle<PosFactory>) {
+    let engine = engine();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = serve(engine.clone(), listener, opts, None).unwrap();
+    (engine, handle)
+}
+
+fn batch_for(worker: usize, round: usize) -> WriteBatch {
+    let mut b = WriteBatch::new();
+    for i in 0..20 {
+        b.put(
+            format!("w{worker}-key{round:02}-{i:03}").into_bytes(),
+            format!("value-{worker}-{round}-{i}").into_bytes(),
+        );
+    }
+    b
+}
+
+#[test]
+fn concurrent_clients_on_disjoint_branches_match_in_process_replay() {
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 4;
+    let (served, handle) = loopback(ServerOptions::default());
+    let addr = handle.addr();
+
+    // Eight clients, each on its own connection and its own branch.
+    std::thread::scope(|scope| {
+        for w in 0..CLIENTS {
+            scope.spawn(move || {
+                let session = RemoteSession::connect(addr).unwrap();
+                let branch = format!("writer-{w}");
+                session.fork("master", &branch).unwrap();
+                for r in 0..ROUNDS {
+                    session.commit(&branch, batch_for(w, r)).unwrap();
+                }
+            });
+        }
+    });
+
+    // Replay the same work single-threaded on a fresh in-process engine:
+    // every branch digest must agree bit-for-bit (structural invariance
+    // across transports and schedules).
+    let replay = engine();
+    for w in 0..CLIENTS {
+        let branch = format!("writer-{w}");
+        Session::fork(replay.as_ref(), "master", &branch).unwrap();
+        for r in 0..ROUNDS {
+            Session::commit(replay.as_ref(), &branch, batch_for(w, r)).unwrap();
+        }
+    }
+    for w in 0..CLIENTS {
+        let branch = format!("writer-{w}");
+        assert_eq!(
+            served.branch_digest(&branch).unwrap(),
+            Session::branch_digest(replay.as_ref(), &branch).unwrap(),
+            "{branch} diverged from the in-process replay"
+        );
+    }
+
+    // The server saw all the traffic and every connection retired cleanly.
+    let stats = handle.stats();
+    assert_eq!(stats.accepted, CLIENTS as u64);
+    assert_eq!(stats.rejected, 0);
+    assert!(stats.total_requests >= (CLIENTS * (ROUNDS + 2)) as u64);
+}
+
+#[test]
+fn tiny_pages_stream_the_full_range() {
+    let (served, handle) = loopback(ServerOptions::default());
+    let mut b = WriteBatch::new();
+    for i in 0..100u32 {
+        b.put(format!("k{i:03}").into_bytes(), format!("v{i}").into_bytes());
+    }
+    Session::commit(served.as_ref(), "master", b).unwrap();
+
+    // A 7-entry page forces ~15 round trips for one scan.
+    let opts = ClientOptions { page_size: 7, ..ClientOptions::default() };
+    let session = RemoteSession::connect_with(handle.addr(), opts).unwrap();
+    let all: Vec<_> = session
+        .range("master", std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+        .unwrap()
+        .collect::<siri::Result<_>>()
+        .unwrap();
+    assert_eq!(all.len(), 100);
+    assert!(all.windows(2).all(|w| w[0].key < w[1].key));
+    assert_eq!(all[42].key.as_ref(), b"k042");
+    assert_eq!(all[42].value.as_ref(), b"v42");
+
+    // Prefix scan pages the same way.
+    let tens: Vec<_> =
+        session.scan_prefix("master", b"k04").unwrap().collect::<siri::Result<_>>().unwrap();
+    assert_eq!(tens.len(), 10);
+
+    // The server really served multiple scan pages for those cursors.
+    let stats = session.server_stats().unwrap();
+    assert!(
+        stats.conns.iter().any(|c| c.scan_pages >= 15),
+        "expected paged scans in the counters: {stats:?}"
+    );
+}
+
+#[test]
+fn remote_proofs_verify_offline() {
+    let (served, handle) = loopback(ServerOptions::default());
+    let mut b = WriteBatch::new();
+    for i in 0..200u32 {
+        b.put(format!("acct{i:04}").into_bytes(), format!("balance{i}").into_bytes());
+    }
+    Session::commit(served.as_ref(), "master", b).unwrap();
+
+    let session = RemoteSession::connect(handle.addr()).unwrap();
+    let (root, proof) = session.prove("master", b"acct0123").unwrap();
+    assert_eq!(root, session.branch_digest("master").unwrap());
+    // Verification is pure local computation: no server, no store.
+    let verdict = PosTree::verify_proof(root, b"acct0123", &proof);
+    assert_eq!(verdict.value().unwrap().as_ref(), b"balance123");
+    assert!(!PosTree::verify_proof(root, b"acct9999", &proof).is_valid());
+}
+
+#[test]
+fn anti_entropy_over_the_wire_ships_deltas_and_resumes() {
+    let (served, handle) = loopback(ServerOptions::default());
+    let children = siri::pos_tree::Node::children_of_page;
+
+    // Seed the server with 3000 records.
+    let mut b = WriteBatch::new();
+    for i in 0..3000u32 {
+        b.put(format!("key{i:05}").into_bytes(), format!("value-{i}-r0").into_bytes());
+    }
+    Session::commit(served.as_ref(), "master", b).unwrap();
+
+    // Cold replica: the first sync fetches the whole version.
+    let local = MemStore::new_shared();
+    let session = RemoteSession::connect(handle.addr()).unwrap();
+    let (v1, cold) =
+        session.sync_branch("master", local.as_ref(), children, &SyncOptions::default()).unwrap();
+    assert!(cold.complete);
+    assert!(cold.pages_fetched > 10);
+    assert!(local.contains(&v1));
+    assert!(cold.round_trips < cold.pages_fetched, "fetches must batch");
+
+    // The replica answers reads with no server involved.
+    let replica = PosTree::open(local.clone(), PosParams::default(), v1);
+    assert_eq!(replica.get(b"key00042").unwrap().unwrap().as_ref(), b"value-42-r0".as_ref());
+
+    // Mutate 1% of the records server-side — a contiguous run, the shape
+    // anti-entropy is built for: the rewrite is confined to a few leaf
+    // pages plus the spine above them.
+    let mut delta = WriteBatch::new();
+    for k in 60..90u32 {
+        delta.put(format!("key{k:05}").into_bytes(), format!("value-{k}-r1").into_bytes());
+    }
+    Session::commit(served.as_ref(), "master", delta).unwrap();
+
+    // Mid-sync disconnect: a one-page budget cuts the pull short — the new
+    // root alone can never be a complete delta once any leaf changed.
+    let cut = SyncOptions { max_pages: Some(1), ..SyncOptions::default() };
+    let (v2, first) = session.sync_branch("master", local.as_ref(), children, &cut).unwrap();
+    assert!(!first.complete, "one page cannot cover a 30-record delta");
+    assert!(!local.contains(&v2), "an unfinished sync must not publish the new root");
+
+    // ...and the retry finishes only the unfinished tail.
+    let (v2b, rest) =
+        session.sync_branch("master", local.as_ref(), children, &SyncOptions::default()).unwrap();
+    assert_eq!(v2, v2b);
+    assert!(rest.complete);
+    assert!(local.contains(&v2));
+    assert_eq!(first.missing + rest.missing, 0);
+
+    // The acceptance gate: a 1% mutation syncs for <10% of the cold bytes,
+    // disconnect included.
+    let delta_bytes = first.bytes_fetched + rest.bytes_fetched;
+    assert!(
+        delta_bytes < cold.bytes_fetched / 10,
+        "1% delta must ship <10% of a cold sync ({delta_bytes} B vs {} B)",
+        cold.bytes_fetched
+    );
+
+    // Both versions are now fully readable locally.
+    let replica2 = PosTree::open(local.clone(), PosParams::default(), v2);
+    assert_eq!(replica2.get(b"key00071").unwrap().unwrap().as_ref(), b"value-71-r1".as_ref());
+    assert_eq!(replica.get(b"key00071").unwrap().unwrap().as_ref(), b"value-71-r0".as_ref());
+
+    // Re-syncing an up-to-date replica costs nothing but the digest probe.
+    let (_, again) =
+        session.sync_branch("master", &local, children, &SyncOptions::default()).unwrap();
+    assert_eq!(again.pages_fetched, 0);
+    assert_eq!(again.subtrees_skipped, 1, "pruned at the root");
+}
+
+#[test]
+fn unknown_branch_surfaces_the_engine_error_variant() {
+    let (_served, handle) = loopback(ServerOptions::default());
+    let session = RemoteSession::connect(handle.addr()).unwrap();
+    assert!(matches!(session.get("ghost", b"k"), Err(IndexError::Unsupported("unknown branch"))));
+    assert!(matches!(
+        session.branch_digest("ghost"),
+        Err(IndexError::Unsupported("unknown branch"))
+    ));
+}
+
+#[test]
+fn connection_cap_sheds_load_and_recovers() {
+    let opts = ServerOptions { max_connections: 1, ..ServerOptions::default() };
+    let (_served, handle) = loopback(opts);
+
+    let holder = RemoteSession::connect(handle.addr()).unwrap();
+    assert!(holder.get("master", b"k").unwrap().is_none());
+
+    // Slot taken: the next connection gets one ERR_BUSY frame and a close,
+    // which the client surfaces as a failed handshake.
+    assert!(RemoteSession::connect(handle.addr()).is_err());
+    assert_eq!(handle.stats().rejected, 1);
+
+    // Freeing the slot re-admits new connections.
+    drop(holder);
+    let mut admitted = false;
+    for _ in 0..100 {
+        if let Ok(session) = RemoteSession::connect(handle.addr()) {
+            assert!(session.get("master", b"k").unwrap().is_none());
+            admitted = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(admitted, "server never freed the connection slot");
+}
+
+#[test]
+fn remote_shutdown_is_opt_in() {
+    // Default: the verb is refused and the server keeps serving.
+    let (_served, handle) = loopback(ServerOptions::default());
+    let session = RemoteSession::connect(handle.addr()).unwrap();
+    assert!(matches!(session.shutdown_server(), Err(IndexError::Remote(_))));
+    assert!(session.get("master", b"k").unwrap().is_none());
+    assert!(!handle.stopping());
+
+    // Opted in: the verb acks, the server stops, new connections fail.
+    let opts = ServerOptions { allow_remote_shutdown: true, ..ServerOptions::default() };
+    let (_served, handle) = loopback(opts);
+    let addr = handle.addr();
+    let session = RemoteSession::connect(addr).unwrap();
+    session.shutdown_server().unwrap();
+    handle.wait();
+    assert!(handle.stopping());
+    assert!(RemoteSession::connect(addr).is_err());
+}
+
+#[test]
+fn per_connection_counters_add_up() {
+    let (_served, handle) = loopback(ServerOptions::default());
+    let session = RemoteSession::connect(handle.addr()).unwrap();
+    let mut b = WriteBatch::new();
+    b.put(&b"k"[..], &b"v"[..]);
+    session.commit("master", b).unwrap();
+    session
+        .commit("master", {
+            let mut b = WriteBatch::new();
+            b.put(&b"k2"[..], &b"v2"[..]);
+            b
+        })
+        .unwrap();
+    for _ in 0..3 {
+        session.get("master", b"k").unwrap();
+    }
+
+    let stats = session.server_stats().unwrap();
+    assert_eq!(stats.active, 1);
+    let row = &stats.conns[0];
+    assert_eq!(row.commits, 2);
+    assert_eq!(row.reads, 3);
+    // Hello + 2 commits + 3 gets + this stats call.
+    assert_eq!(row.requests, 7);
+    assert!(row.bytes_in > 0 && row.bytes_out > 0);
+    assert_eq!(stats.total_requests, row.requests);
+
+    // A digest mismatch between transports would be caught here too: the
+    // served engine and the remote view agree on the head.
+    assert_eq!(session.branch_digest("master").unwrap(), _served.branch_digest("master").unwrap());
+}
+
+#[test]
+fn commit_info_receipts_cross_the_wire_intact() {
+    let (served, handle) = loopback(ServerOptions::default());
+    let session = RemoteSession::connect(handle.addr()).unwrap();
+
+    let mut b = WriteBatch::new();
+    b.put(&b"a"[..], &b"1"[..]);
+    let first = session.commit("master", b).unwrap();
+    assert_eq!(first.root, Session::branch_digest(served.as_ref(), "master").unwrap());
+
+    let mut b = WriteBatch::new();
+    b.put(&b"b"[..], &b"2"[..]);
+    let second = session.commit("master", b).unwrap();
+    assert_eq!(second.parent, first.root, "receipt chain must thread across the wire");
+    assert_ne!(second.root, Hash::ZERO);
+}
