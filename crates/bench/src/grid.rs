@@ -242,6 +242,11 @@ fn merge_best(mut a: IndexReport, b: IndexReport) -> IndexReport {
         la.p95_us = la.p95_us.min(lb.p95_us);
         la.p99_us = la.p99_us.min(lb.p99_us);
     }
+    // Proof sizes are deterministic (same tree, same sampled keys); only
+    // the verify latencies are timing samples.
+    debug_assert_eq!(a.proof_bytes_avg, b.proof_bytes_avg, "{}", a.index);
+    a.proof_verify_us_p50 = a.proof_verify_us_p50.min(b.proof_verify_us_p50);
+    a.vscan_verify_us_p50 = a.vscan_verify_us_p50.min(b.vscan_verify_us_p50);
     a
 }
 
@@ -292,7 +297,7 @@ where
     let store_stats = store.stats();
     let node_cache = index.node_cache_stats();
     let structure = index.structure_stats().expect("grid structure stats");
-    index_report(
+    let mut report = index_report(
         name.to_string(),
         load,
         stats.total_ops() as u64,
@@ -301,7 +306,19 @@ where
         structure,
         store_stats,
         node_cache,
-    )
+    );
+
+    // Verified reads (schema v4, Figure 12). Measured after the counter
+    // snapshots: proving re-walks the tree through the store, and those
+    // probes must not pollute the workload's cache hit rates.
+    let proofs = crate::harness::measure_proofs(factory, &index, ops, 32);
+    report.proof_count = proofs.membership_count;
+    report.proof_bytes_avg = proofs.membership_bytes_avg;
+    report.proof_verify_us_p50 = proofs.membership_verify_us_p50;
+    report.vscan_count = proofs.scan_count;
+    report.vscan_bytes_avg = proofs.scan_bytes_avg;
+    report.vscan_verify_us_p50 = proofs.scan_verify_us_p50;
+    report
 }
 
 #[cfg(test)]
@@ -325,6 +342,9 @@ mod tests {
             assert!(ix.write_amplification > 0.0, "{}", ix.index);
             assert!(ix.unique_bytes <= ix.logical_bytes, "{}", ix.index);
             assert!(!ix.latencies.is_empty(), "{}", ix.index);
+            // Verified reads were sampled and every proof verified.
+            assert!(ix.proof_count > 0 && ix.proof_bytes_avg > 0.0, "{}", ix.index);
+            assert!(ix.vscan_count > 0 && ix.vscan_bytes_avg > 0.0, "{}", ix.index);
         }
     }
 

@@ -295,6 +295,92 @@ pub fn run_ops<I: SiriIndex>(index: &mut I, ops: &[Op]) -> WorkloadStats {
     stats
 }
 
+/// Verified-read cost of one structure (Figure 12): encoded proof size
+/// and client-side verification latency, for membership proofs over the
+/// stream's read keys and range proofs over its scan windows.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct ProofCost {
+    pub membership_count: u64,
+    /// Mean encoded size of a membership proof (bytes).
+    pub membership_bytes_avg: f64,
+    /// Median client-side verify latency of a membership proof (µs).
+    pub membership_verify_us_p50: f64,
+    pub scan_count: u64,
+    /// Mean encoded size of a verified-scan range proof (bytes).
+    pub scan_bytes_avg: f64,
+    /// Median client-side verify latency of a range proof (µs).
+    pub scan_verify_us_p50: f64,
+}
+
+/// Replay the stream's reads as proved lookups and its scans as *verified
+/// scans* — prove the scanned window, verify the range proof against the
+/// index root — sampling at most `cap` ops of each verb. Every proof is
+/// required to verify: a structure that ships a proof its own scheme
+/// rejects is a bug, not a measurement.
+pub fn measure_proofs<F: IndexFactory>(
+    factory: &F,
+    index: &F::Index,
+    ops: &[Op],
+    cap: usize,
+) -> ProofCost {
+    use std::ops::Bound;
+    let scheme = factory.scheme();
+    let root = index.root();
+    let mut cost = ProofCost::default();
+
+    let mut bytes = 0u64;
+    let mut verify_ns = Vec::new();
+    for key in ops.iter().filter_map(|op| match op {
+        Op::Read(key) => Some(key),
+        _ => None,
+    }) {
+        if verify_ns.len() >= cap {
+            break;
+        }
+        let proof = index.prove(key).expect("proofs: prove failed");
+        bytes += proof.encode().len() as u64;
+        let t = Instant::now();
+        let verdict = siri::verify_anchored_membership(scheme, root, key, &proof);
+        verify_ns.push(t.elapsed().as_nanos() as u64);
+        assert!(verdict.is_valid(), "{}: membership proof rejected", scheme.structure());
+    }
+    cost.membership_count = verify_ns.len() as u64;
+    cost.membership_bytes_avg = bytes as f64 / verify_ns.len().max(1) as f64;
+    cost.membership_verify_us_p50 = WorkloadStats::percentile(verify_ns.into_iter(), 0.50);
+
+    let mut bytes = 0u64;
+    let mut verify_ns = Vec::new();
+    for (start, limit) in ops.iter().filter_map(|op| match op {
+        Op::Scan { start, limit } => Some((start, *limit)),
+        _ => None,
+    }) {
+        if verify_ns.len() >= cap {
+            break;
+        }
+        // Learn the window's end key from the cursor, then prove exactly
+        // the entries the scan streamed.
+        let mut last = None;
+        for entry in index.range(Bound::Included(start), Bound::Unbounded).take(limit) {
+            last = Some(entry.expect("proofs: scan failed").key);
+        }
+        let end = match &last {
+            Some(k) => Bound::Included(&k[..]),
+            None => Bound::Unbounded,
+        };
+        let sb = Bound::Included(&start[..]);
+        let proof = index.prove_range(sb, end).expect("proofs: prove_range");
+        bytes += proof.encode().len() as u64;
+        let t = Instant::now();
+        let verdict = siri::verify_anchored_range(scheme, root, sb, end, &proof);
+        verify_ns.push(t.elapsed().as_nanos() as u64);
+        assert!(verdict.is_valid(), "{}: range proof rejected", scheme.structure());
+    }
+    cost.scan_count = verify_ns.len() as u64;
+    cost.scan_bytes_avg = bytes as f64 / verify_ns.len().max(1) as f64;
+    cost.scan_verify_us_p50 = WorkloadStats::percentile(verify_ns.into_iter(), 0.50);
+    cost
+}
+
 /// Reachable page sets for a list of version roots.
 pub fn version_page_sets<F: IndexFactory>(
     factory: &F,

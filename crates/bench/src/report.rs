@@ -6,11 +6,12 @@
 //! that `bench-diff` and CI consume. The schema is append-only: bump
 //! [`BENCH_SCHEMA_VERSION`] when a field changes meaning, never silently.
 //!
-//! Schema (v2), all fields required:
+//! Schema (v4), all fields required:
 //!
 //! ```text
 //! { schema_version, experiment, workload, backend, scale, records, ops,
 //!   seed, node_bytes, calibration_hash_mbps, sha256_backend, chunker,
+//!   shards, adaptive_sharding,
 //!   indexes: [ { index,
 //!     load:      { entries, commits, entries_per_sec, payload_bytes,
 //!                  bytes_written, write_amplification,
@@ -22,7 +23,10 @@
 //!     storage:   { logical_bytes, unique_bytes, unique_pages,
 //!                  share_ratio, dedup_savings, bytes_written },
 //!     caches:    { node_cache_hit_rate, store_hit_rate,
-//!                  page_cache_hit_rate } } ... ] }
+//!                  page_cache_hit_rate },
+//!     proofs:    { membership_count, membership_bytes_avg,
+//!                  membership_verify_us_p50, scan_count, scan_bytes_avg,
+//!                  scan_verify_us_p50 } } ... ] }
 //! ```
 
 use std::io;
@@ -42,7 +46,12 @@ use crate::table::{mib, ratio, Json, Table};
 /// slots and publishes manifest pages, so its throughput and write counts
 /// are not comparable to a single-slot baseline — same rule as the hash
 /// backend, refuse rather than mis-diff.
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+///
+/// v4 added the per-index `proofs` section (verified reads, the paper's
+/// Figure 12): sampled membership proofs over the stream's read keys and
+/// verified scans over its scan windows, reporting mean encoded proof
+/// size and median client-side verification latency for each.
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
 
 /// Latency percentiles of one op verb (µs).
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +99,13 @@ pub struct IndexReport {
     pub node_cache_hit_rate: f64,
     pub store_hit_rate: f64,
     pub page_cache_hit_rate: f64,
+    // Verified reads (schema v4, Figure 12): sampled proof cost.
+    pub proof_count: u64,
+    pub proof_bytes_avg: f64,
+    pub proof_verify_us_p50: f64,
+    pub vscan_count: u64,
+    pub vscan_bytes_avg: f64,
+    pub vscan_verify_us_p50: f64,
 }
 
 /// One experiment cell: a workload on a backend, across all structures.
@@ -226,6 +242,8 @@ impl Report {
                 "dedup_mib",
                 "share",
                 "node_cache",
+                "proof_b",
+                "vfy_p50",
             ],
         );
         let mut latency = Table::new(
@@ -245,6 +263,8 @@ impl Report {
                 mib(ix.unique_bytes),
                 ratio(ix.share_ratio),
                 ratio(ix.node_cache_hit_rate),
+                format!("{:.0}", ix.proof_bytes_avg),
+                format!("{:.1}", ix.proof_verify_us_p50),
             ]);
             for lat in &ix.latencies {
                 latency.row(vec![
@@ -330,6 +350,17 @@ impl IndexReport {
                     ("page_cache_hit_rate".into(), Json::num(self.page_cache_hit_rate)),
                 ]),
             ),
+            (
+                "proofs".into(),
+                Json::Obj(vec![
+                    ("membership_count".into(), Json::u64(self.proof_count)),
+                    ("membership_bytes_avg".into(), Json::num(self.proof_bytes_avg)),
+                    ("membership_verify_us_p50".into(), Json::num(self.proof_verify_us_p50)),
+                    ("scan_count".into(), Json::u64(self.vscan_count)),
+                    ("scan_bytes_avg".into(), Json::num(self.vscan_bytes_avg)),
+                    ("scan_verify_us_p50".into(), Json::num(self.vscan_verify_us_p50)),
+                ]),
+            ),
         ])
     }
 
@@ -337,12 +368,13 @@ impl IndexReport {
         let section = |name: &str| -> Result<&Json, String> {
             doc.get(name).ok_or(format!("missing section `{name}`"))
         };
-        let (load, run, structure, storage, caches) = (
+        let (load, run, structure, storage, caches, proofs) = (
             section("load")?,
             section("run")?,
             section("structure")?,
             section("storage")?,
             section("caches")?,
+            section("proofs")?,
         );
         let latencies = run
             .get("latency_us")
@@ -385,6 +417,12 @@ impl IndexReport {
             node_cache_hit_rate: req_f64(caches, "node_cache_hit_rate")?,
             store_hit_rate: req_f64(caches, "store_hit_rate")?,
             page_cache_hit_rate: req_f64(caches, "page_cache_hit_rate")?,
+            proof_count: req_u64(proofs, "membership_count")?,
+            proof_bytes_avg: req_f64(proofs, "membership_bytes_avg")?,
+            proof_verify_us_p50: req_f64(proofs, "membership_verify_us_p50")?,
+            vscan_count: req_u64(proofs, "scan_count")?,
+            vscan_bytes_avg: req_f64(proofs, "scan_bytes_avg")?,
+            vscan_verify_us_p50: req_f64(proofs, "scan_verify_us_p50")?,
         })
     }
 }
@@ -652,6 +690,14 @@ pub fn index_report(
         node_cache_hit_rate: node_cache.hit_ratio(),
         store_hit_rate: store.hit_rate(),
         page_cache_hit_rate: store.cache_hit_rate(),
+        // Verified-read cost is measured separately (it re-walks the tree
+        // after the counter snapshots) and stamped in by the caller.
+        proof_count: 0,
+        proof_bytes_avg: 0.0,
+        proof_verify_us_p50: 0.0,
+        vscan_count: 0,
+        vscan_bytes_avg: 0.0,
+        vscan_verify_us_p50: 0.0,
     }
 }
 
@@ -702,6 +748,12 @@ mod tests {
             node_cache_hit_rate: 0.9,
             store_hit_rate: 1.0,
             page_cache_hit_rate: 1.0,
+            proof_count: 32,
+            proof_bytes_avg: 2_048.0,
+            proof_verify_us_p50: 6.5,
+            vscan_count: 8,
+            vscan_bytes_avg: 9_216.0,
+            vscan_verify_us_p50: 40.0,
         }
     }
 

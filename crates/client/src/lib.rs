@@ -20,6 +20,13 @@
 //!   branch's missing pages into a local store via the structural diff
 //!   walk in `siri_store::ship` — only pages absent locally cross the
 //!   wire, and an interrupted sync resumes from what already landed.
+//! * **Proofs verify client-side.** `prove`/`prove_range`/`prove_batch`
+//!   fetch the branch digest and re-verify the server's proof locally
+//!   against it ([`ClientOptions::scheme`] picks the structure's walk)
+//!   before returning; a doctored proof — or a server lying about its own
+//!   root — surfaces as [`IndexError::ProofRejected`], and with
+//!   [`RemoteSession::verified_get`]/[`verified_scan`](RemoteSession::verified_scan)
+//!   no unverified value ever reaches the caller.
 
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter};
@@ -31,7 +38,9 @@ use std::time::Duration;
 use bytes::Bytes;
 use parking_lot::{LockClass, Mutex};
 use siri_core::{
-    CommitInfo, Entry, EntryCursor, IndexError, Proof, Result, Session, ShardManifest, WriteBatch,
+    verify_anchored_batch, verify_anchored_membership, verify_anchored_range, BatchVerdict,
+    CommitInfo, Entry, EntryCursor, IndexError, Proof, ProofScheme, ProofVerdict, RangeVerdict,
+    Result, Session, ShardManifest, WriteBatch,
 };
 use siri_crypto::Hash;
 use siri_server::proto::{
@@ -48,7 +57,7 @@ pub use siri_store::ship::{SyncOptions, SyncReport};
 static CONN_CLASS: LockClass = LockClass::new(8, "client.conn");
 
 /// Client tuning.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ClientOptions {
     /// Socket read timeout (an unresponsive server turns into an error,
     /// not a hang).
@@ -59,6 +68,12 @@ pub struct ClientOptions {
     pub page_size: u32,
     /// Frame payload cap (mirror of the server's).
     pub max_frame_bytes: usize,
+    /// The proof-verification walk for the structure the server runs —
+    /// every proof the server returns is re-verified locally against the
+    /// trusted branch digest with this scheme before values reach the
+    /// caller. Pick with [`siri_forkbase::scheme_by_name`] when the
+    /// structure is configured at runtime.
+    pub scheme: &'static dyn ProofScheme,
 }
 
 impl Default for ClientOptions {
@@ -68,7 +83,20 @@ impl Default for ClientOptions {
             write_timeout: Some(Duration::from_secs(30)),
             page_size: 256,
             max_frame_bytes: MAX_FRAME_BYTES,
+            scheme: &siri_pos_tree::PosProofScheme,
         }
+    }
+}
+
+impl std::fmt::Debug for ClientOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientOptions")
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("page_size", &self.page_size)
+            .field("max_frame_bytes", &self.max_frame_bytes)
+            .field("scheme", &self.scheme.structure())
+            .finish()
     }
 }
 
@@ -218,7 +246,9 @@ impl RemoteSession {
         let manifest_aware = |page: &[u8]| -> Vec<Hash> {
             if ShardManifest::is_manifest(page) {
                 match ShardManifest::decode(page) {
-                    Ok(m) => m.roots,
+                    // Zero sub-roots are empty shards — there is no page
+                    // behind them to fetch.
+                    Ok(m) => m.roots.into_iter().filter(|r| !r.is_zero()).collect(),
                     Err(_) => Vec::new(),
                 }
             } else {
@@ -228,6 +258,73 @@ impl RemoteSession {
         let report = ship::sync_pull(&mut fetch, local, root, manifest_aware, &batched)
             .map_err(IndexError::Store)?;
         Ok((root, report))
+    }
+
+    /// Fetch a proof and pin it to the digest *we* read, not the root the
+    /// server claims. An earlier revision returned the server-supplied
+    /// root verbatim — a malicious server could pair a self-consistent
+    /// proof with its own root and the client would "verify" it against
+    /// nothing it trusts. Here the trusted anchor is the digest from a
+    /// separate `BranchDigest` round trip; a mismatched claim is rejected
+    /// before any verification walk runs. (A branch advancing between the
+    /// two round trips also lands here — re-issue the call.)
+    fn checked_proof(
+        &self,
+        branch: &str,
+        req: &Request,
+        what: &'static str,
+    ) -> Result<(Hash, Proof)> {
+        let digest = Session::branch_digest(self, branch)?;
+        let (root, proof) = match self.request(req)? {
+            Response::Proof { root, pages } => (root, Proof::new(pages)),
+            _ => return Err(unexpected(what)),
+        };
+        if root != digest {
+            return Err(IndexError::ProofRejected(
+                "server-claimed proof root differs from the trusted branch digest",
+            ));
+        }
+        Ok((digest, proof))
+    }
+
+    /// A point lookup whose value arrives *inside* a verified proof: the
+    /// returned bytes are exactly what the trusted branch digest commits
+    /// to, or the call fails — a lying server cannot substitute a value.
+    pub fn verified_get(&self, branch: &str, key: &[u8]) -> Result<Option<Bytes>> {
+        let (digest, proof) = Session::prove(self, branch, key)?;
+        match verify_anchored_membership(self.opts.scheme, digest, key, &proof) {
+            ProofVerdict::Present(v) => Ok(Some(v)),
+            ProofVerdict::Absent => Ok(None),
+            ProofVerdict::Invalid(why) => Err(IndexError::ProofRejected(why)),
+        }
+    }
+
+    /// A range scan with a completeness guarantee: returns exactly the
+    /// entries of `[start, end)` under the trusted digest — nothing
+    /// dropped, nothing injected, nothing reordered — or fails.
+    pub fn verified_scan(
+        &self,
+        branch: &str,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+    ) -> Result<Vec<Entry>> {
+        let (digest, proof) = Session::prove_range(self, branch, start, end)?;
+        match verify_anchored_range(self.opts.scheme, digest, start, end, &proof) {
+            RangeVerdict::Complete(entries) => Ok(entries),
+            RangeVerdict::Invalid(why) => Err(IndexError::ProofRejected(why)),
+        }
+    }
+
+    /// Batched verified lookups: one deduplicated proof covers every key;
+    /// per-key verdicts come back in input order.
+    pub fn verified_get_many(&self, branch: &str, keys: &[Bytes]) -> Result<Vec<Option<Bytes>>> {
+        let (digest, proof) = Session::prove_batch(self, branch, keys)?;
+        match verify_anchored_batch(self.opts.scheme, digest, keys, &proof) {
+            BatchVerdict::Verified(verdicts) => {
+                Ok(verdicts.into_iter().map(|v| v.value().cloned()).collect())
+            }
+            BatchVerdict::Invalid(why) => Err(IndexError::ProofRejected(why)),
+        }
     }
 }
 
@@ -292,9 +389,37 @@ impl Session for RemoteSession {
 
     fn prove(&self, branch: &str, key: &[u8]) -> Result<(Hash, Proof)> {
         let req = Request::Prove { branch: branch.to_string(), key: Bytes::copy_from_slice(key) };
-        match self.request(&req)? {
-            Response::Proof { root, pages } => Ok((root, Proof::new(pages))),
-            _ => Err(unexpected("Prove")),
+        let (digest, proof) = self.checked_proof(branch, &req, "Prove")?;
+        match verify_anchored_membership(self.opts.scheme, digest, key, &proof) {
+            ProofVerdict::Invalid(why) => Err(IndexError::ProofRejected(why)),
+            _ => Ok((digest, proof)),
+        }
+    }
+
+    fn prove_range(
+        &self,
+        branch: &str,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+    ) -> Result<(Hash, Proof)> {
+        let req = Request::ProveRange {
+            branch: branch.to_string(),
+            start: WireBound::from_bound(start),
+            end: WireBound::from_bound(end),
+        };
+        let (digest, proof) = self.checked_proof(branch, &req, "ProveRange")?;
+        match verify_anchored_range(self.opts.scheme, digest, start, end, &proof) {
+            RangeVerdict::Invalid(why) => Err(IndexError::ProofRejected(why)),
+            RangeVerdict::Complete(_) => Ok((digest, proof)),
+        }
+    }
+
+    fn prove_batch(&self, branch: &str, keys: &[Bytes]) -> Result<(Hash, Proof)> {
+        let req = Request::ProveBatch { branch: branch.to_string(), keys: keys.to_vec() };
+        let (digest, proof) = self.checked_proof(branch, &req, "ProveBatch")?;
+        match verify_anchored_batch(self.opts.scheme, digest, keys, &proof) {
+            BatchVerdict::Invalid(why) => Err(IndexError::ProofRejected(why)),
+            BatchVerdict::Verified(_) => Ok((digest, proof)),
         }
     }
 }

@@ -45,6 +45,13 @@ pub enum IndexError {
     /// wire, or a server-side fault). The string is the peer's rendering
     /// of the original error.
     Remote(String),
+    /// A proof returned by an untrusted party failed local verification
+    /// against the trusted branch digest. Distinct from
+    /// [`IndexError::TamperDetected`] (a store page failing its content
+    /// address): here the *peer's evidence* is bad — a doctored page, a
+    /// wrong anchor, or a truncated path — and the value never reaches the
+    /// caller.
+    ProofRejected(&'static str),
 }
 
 impl fmt::Display for IndexError {
@@ -68,6 +75,9 @@ impl fmt::Display for IndexError {
             IndexError::CorruptStructure(what) => write!(f, "corrupt structure: {what}"),
             IndexError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             IndexError::Remote(what) => write!(f, "remote error: {what}"),
+            IndexError::ProofRejected(why) => {
+                write!(f, "proof failed local verification: {why}")
+            }
         }
     }
 }

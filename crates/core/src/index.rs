@@ -12,7 +12,7 @@ use siri_crypto::Hash;
 use siri_store::{PageSet, SharedStore};
 
 use crate::cursor::{prefix_successor, EntryCursor};
-use crate::{DiffEntry, Entry, Proof, ProofVerdict, Result, WriteBatch};
+use crate::{DiffEntry, Entry, IndexError, Proof, ProofVerdict, Result, WriteBatch};
 
 /// Instrumentation captured by [`SiriIndex::get_traced`].
 ///
@@ -176,6 +176,24 @@ pub trait SiriIndex: Clone + Send + Sync {
 
     /// Produce a Merkle proof for `key` (present or absent).
     fn prove(&self, key: &[u8]) -> Result<Proof>;
+
+    /// Produce a range proof: the page set whose verification yields
+    /// *exactly* the entries in `[start, end)` (see
+    /// [`crate::verify_anchored_range`]). Pages are deduplicated by
+    /// content hash. The default refuses — the four real structures
+    /// override it.
+    fn prove_range(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> Result<Proof> {
+        let _ = (start, end);
+        Err(IndexError::Unsupported("range proofs"))
+    }
+
+    /// Produce one proof for many keys, deduplicating the interior pages
+    /// their paths share (see [`crate::verify_anchored_batch`]). The
+    /// default refuses — the four real structures override it.
+    fn prove_batch(&self, keys: &[Bytes]) -> Result<Proof> {
+        let _ = keys;
+        Err(IndexError::Unsupported("batched proofs"))
+    }
 
     /// Verify a proof against a trusted root digest. An associated function
     /// on purpose: verifiers hold only the digest, not the store.

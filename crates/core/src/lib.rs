@@ -28,6 +28,7 @@ mod proof;
 mod session;
 mod shard;
 mod structure;
+mod verify;
 mod version;
 
 pub mod cost_model;
@@ -46,10 +47,14 @@ pub use diff::{
 pub use entry::Entry;
 pub use error::{IndexError, Result};
 pub use index::{LookupTrace, SiriIndex};
-pub use proof::{Proof, ProofVerdict};
+pub use proof::{Proof, ProofVerdict, MAX_PROOF_PAGES};
 pub use session::Session;
 pub use shard::{chain_cursors, ShardCommit, ShardManifest, ShardRouter, MANIFEST_MAGIC};
 pub use structure::{StructureReport, StructureStats};
+pub use verify::{
+    bounds_contain, child_overlaps, verify_anchored_batch, verify_anchored_membership,
+    verify_anchored_range, BatchVerdict, PagePool, ProofScheme, RangeVerdict,
+};
 pub use version::{VersionStore, VersionTag};
 
 // Re-exports so downstream crates (and examples) need only `siri_core`.

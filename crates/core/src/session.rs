@@ -38,10 +38,14 @@ use crate::{CommitInfo, EntryCursor, Proof, Result, WriteBatch};
 ///   but each page re-anchors at the *same* bounds after the last key
 ///   delivered, so a concurrent writer can at worst splice newer values
 ///   into not-yet-visited keys — never duplicate or reorder them.
-/// * [`prove`](Session::prove) returns the anchor root alongside the
-///   proof so the caller can verify offline with
-///   `SiriIndex::verify_proof(root, key, &proof)` and compare the root
-///   against a digest learned out of band.
+/// * [`prove`](Session::prove)/[`prove_range`](Session::prove_range)/
+///   [`prove_batch`](Session::prove_batch) return the anchor digest
+///   alongside the proof. The digest is always the branch's *published
+///   head digest* — identical to [`branch_digest`](Session::branch_digest)
+///   — so a caller holding that digest from out of band verifies offline
+///   with `siri_core::verify_anchored_*`. On a sharded branch the first
+///   proof page is the shard manifest and each per-shard sub-proof anchors
+///   at the sub-root the manifest names.
 pub trait Session: Send + Sync {
     /// Apply one atomic batch to `branch`; returns the commit receipt.
     fn commit(&self, branch: &str, batch: WriteBatch) -> Result<CommitInfo>;
@@ -75,9 +79,27 @@ pub trait Session: Send + Sync {
     /// server keeps the branch sharded).
     fn branch_digest(&self, branch: &str) -> Result<Hash>;
 
-    /// A Merkle proof for `key` on the branch head, plus the root it
-    /// verifies against. On a sharded branch the proof anchors at the
-    /// collapsed logical root (structural invariance makes that equal to
-    /// the unsharded build of the same contents).
+    /// A Merkle proof for `key` on the branch head, plus the digest it
+    /// verifies against — always the branch's published head digest
+    /// ([`branch_digest`](Session::branch_digest)). On a sharded branch
+    /// the first proof page is the [`crate::ShardManifest`] and the
+    /// per-shard sub-proof anchors at its sub-root; verify with
+    /// [`crate::verify_anchored_membership`].
     fn prove(&self, branch: &str, key: &[u8]) -> Result<(Hash, Proof)>;
+
+    /// A range proof for `[start, end)` on the branch head, plus the
+    /// digest it verifies against. Verification
+    /// ([`crate::verify_anchored_range`]) yields exactly the entries in
+    /// the range — a verified scan.
+    fn prove_range(
+        &self,
+        branch: &str,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+    ) -> Result<(Hash, Proof)>;
+
+    /// One proof covering every key in `keys` on the branch head (shared
+    /// interior pages deduplicated), plus the digest it verifies against.
+    /// Verify with [`crate::verify_anchored_batch`].
+    fn prove_batch(&self, branch: &str, keys: &[bytes::Bytes]) -> Result<(Hash, Proof)>;
 }

@@ -1,12 +1,12 @@
 //! Factories that build/open each index structure over a store — the
 //! engine's (and the benchmark harness's) point of index-agnosticism.
 
-use siri_core::{SiriIndex, StructureStats};
+use siri_core::{ProofScheme, SiriIndex, StructureStats};
 use siri_crypto::Hash;
-use siri_mbt::MerkleBucketTree;
-use siri_mpt::MerklePatriciaTrie;
-use siri_mvmb::{MvmbParams, MvmbTree};
-use siri_pos_tree::{PosParams, PosTree};
+use siri_mbt::{MbtProofScheme, MerkleBucketTree};
+use siri_mpt::{MerklePatriciaTrie, MptProofScheme};
+use siri_mvmb::{MvmbParams, MvmbProofScheme, MvmbTree};
+use siri_pos_tree::{PosParams, PosProofScheme, PosTree};
 use siri_store::SharedStore;
 
 /// Construct or re-open a concrete index over a page store.
@@ -25,6 +25,25 @@ pub trait IndexFactory: Clone + Send + Sync {
 
     /// Re-open an existing version by root digest.
     fn open(&self, store: SharedStore, root: Hash) -> Self::Index;
+
+    /// The structure's proof-verification scheme — what a client that
+    /// holds only a branch digest uses to check this factory's proofs
+    /// (see `siri_core::verify_anchored_membership` and friends).
+    fn scheme(&self) -> &'static dyn ProofScheme;
+}
+
+/// Look up a [`ProofScheme`] by the structure name a server reports
+/// (factory [`IndexFactory::name`] / `SiriIndex::kind` spelling). How a
+/// remote client picks the right verifier without compiling against the
+/// concrete index type.
+pub fn scheme_by_name(name: &str) -> Option<&'static dyn ProofScheme> {
+    match name {
+        "pos-tree" => Some(&PosProofScheme),
+        "mpt" => Some(&MptProofScheme),
+        "mbt" => Some(&MbtProofScheme),
+        "mvmb+-tree" => Some(&MvmbProofScheme),
+        _ => None,
+    }
 }
 
 /// POS-Tree factory (also covers the Prolly variant via
@@ -45,6 +64,10 @@ impl IndexFactory for PosFactory {
 
     fn open(&self, store: SharedStore, root: Hash) -> PosTree {
         PosTree::open(store, self.0, root)
+    }
+
+    fn scheme(&self) -> &'static dyn ProofScheme {
+        &PosProofScheme
     }
 }
 
@@ -71,6 +94,10 @@ impl IndexFactory for MptFactory {
 
     fn open(&self, store: SharedStore, root: Hash) -> MerklePatriciaTrie {
         MerklePatriciaTrie::open(store, root)
+    }
+
+    fn scheme(&self) -> &'static dyn ProofScheme {
+        &MptProofScheme
     }
 }
 
@@ -101,6 +128,10 @@ impl IndexFactory for MbtFactory {
     fn open(&self, store: SharedStore, root: Hash) -> MerkleBucketTree {
         MerkleBucketTree::open(store, self.buckets, self.fanout, root)
     }
+
+    fn scheme(&self) -> &'static dyn ProofScheme {
+        &MbtProofScheme
+    }
 }
 
 /// MVMB+-Tree factory.
@@ -120,6 +151,10 @@ impl IndexFactory for MvmbFactory {
 
     fn open(&self, store: SharedStore, root: Hash) -> MvmbTree {
         MvmbTree::open(store, self.0, root)
+    }
+
+    fn scheme(&self) -> &'static dyn ProofScheme {
+        &MvmbProofScheme
     }
 }
 

@@ -64,7 +64,7 @@
 
 mod factory;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -76,13 +76,13 @@ use siri_core::{
     IndexError, MergeOutcome, MergeStrategy, Proof, Result, Session, ShardCommit, ShardManifest,
     ShardRouter, SiriIndex, WriteBatch,
 };
-use siri_crypto::Hash;
+use siri_crypto::{sha256, Hash};
 use siri_store::{
     CachingStore, FileStore, FileStoreOptions, MemStore, NodeStore, SharedStore, StoreError,
     StoreStats,
 };
 
-pub use factory::{IndexFactory, MbtFactory, MptFactory, MvmbFactory, PosFactory};
+pub use factory::{scheme_by_name, IndexFactory, MbtFactory, MptFactory, MvmbFactory, PosFactory};
 
 /// Default modelled cost of one client→server page fetch, in nanoseconds.
 /// Roughly a small object read over 1 GbE with kernel overheads — the
@@ -1280,6 +1280,33 @@ impl<F: IndexFactory> Forkbase<F> {
         }
     }
 
+    /// Consistent proof snapshot of a branch: the published digest, the
+    /// partition router and an owned handle to every shard head — all read
+    /// under one table read lock (publications swap sub-roots and the
+    /// digest while holding it exclusively, so the three can never be
+    /// observed torn).
+    fn proof_snapshot(&self, branch: &str) -> Result<(Hash, ShardRouter, Vec<F::Index>)> {
+        let slot = self.slot(branch)?;
+        let t = slot.head.read();
+        let heads = t.shards.iter().map(|s| s.head.read().clone()).collect();
+        Ok((t.digest, t.router.clone(), heads))
+    }
+
+    /// Re-encode the shard manifest for a multi-shard snapshot — the first
+    /// page of every sharded proof. Rebuilt from the snapshot rather than
+    /// re-fetched so a proof never depends on the manifest page surviving
+    /// GC; the debug assertion pins it to the published digest.
+    fn manifest_page(&self, digest: Hash, router: &ShardRouter, heads: &[F::Index]) -> Bytes {
+        let roots = heads.iter().map(|h| h.root()).collect();
+        let manifest = ShardManifest::new(router.boundaries().to_vec(), roots);
+        debug_assert_eq!(
+            manifest.digest(),
+            digest,
+            "re-encoded manifest must hash to the published branch digest"
+        );
+        Bytes::from(manifest.encode())
+    }
+
     /// Server storage counters.
     pub fn server_stats(&self) -> StoreStats {
         self.server.stats()
@@ -1331,12 +1358,71 @@ impl<F: IndexFactory> Session for Forkbase<F> {
     }
 
     fn prove(&self, branch: &str, key: &[u8]) -> Result<(Hash, Proof)> {
-        // Prove against the collapsed logical head: on a sharded branch
-        // structural invariance makes its root equal to the unsharded
-        // build, so the proof anchors at a digest any replica can derive.
-        let head = self.head(branch).ok_or(IndexError::Unsupported("unknown branch"))?;
-        let proof = head.prove(key)?;
-        Ok((head.root(), proof))
+        // Anchor at the *published* branch digest — the hash `commit`
+        // returned and `branch_digest` reports, i.e. the only one a light
+        // client holds. (An earlier revision proved against the collapsed
+        // logical head instead; on a sharded branch that root differs from
+        // the published manifest digest — and for the MVMB+ baseline it is
+        // not even derivable from the shard sub-roots — so those proofs
+        // never verified against anything a client could trust.)
+        let (digest, router, heads) = self.proof_snapshot(branch)?;
+        if heads.len() == 1 {
+            return Ok((digest, heads[0].prove(key)?));
+        }
+        let mut pages = vec![self.manifest_page(digest, &router, &heads)];
+        pages.extend(heads[router.shard_of(key)].prove(key)?.into_pages());
+        Ok((digest, Proof::new(pages)))
+    }
+
+    fn prove_range(
+        &self,
+        branch: &str,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+    ) -> Result<(Hash, Proof)> {
+        let (digest, router, heads) = self.proof_snapshot(branch)?;
+        if heads.len() == 1 {
+            return Ok((digest, heads[0].prove_range(start, end)?));
+        }
+        let mut pages = vec![self.manifest_page(digest, &router, &heads)];
+        let mut seen = HashSet::new();
+        let (lo, hi) = router.covering(start, end);
+        for head in &heads[lo..=hi] {
+            if head.root().is_zero() {
+                continue; // the verifier skips zero sub-roots identically
+            }
+            for page in head.prove_range(start, end)?.into_pages() {
+                if seen.insert(sha256(&page)) {
+                    pages.push(page);
+                }
+            }
+        }
+        Ok((digest, Proof::new(pages)))
+    }
+
+    fn prove_batch(&self, branch: &str, keys: &[Bytes]) -> Result<(Hash, Proof)> {
+        let (digest, router, heads) = self.proof_snapshot(branch)?;
+        if keys.is_empty() {
+            // Convention shared with the verifier: no keys, no pages.
+            return Ok((digest, Proof::new(Vec::new())));
+        }
+        if heads.len() == 1 {
+            return Ok((digest, heads[0].prove_batch(keys)?));
+        }
+        let mut pages = vec![self.manifest_page(digest, &router, &heads)];
+        let mut seen = HashSet::new();
+        for key in keys {
+            let head = &heads[router.shard_of(key)];
+            if head.root().is_zero() {
+                continue; // zero sub-root proves absence with no pages
+            }
+            for page in head.prove(key)?.into_pages() {
+                if seen.insert(sha256(&page)) {
+                    pages.push(page);
+                }
+            }
+        }
+        Ok((digest, Proof::new(pages)))
     }
 }
 

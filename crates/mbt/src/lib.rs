@@ -41,6 +41,7 @@ use siri_store::{
 
 pub use cursor::RangeCursor;
 pub use node::Node;
+pub use proof::MbtProofScheme;
 pub use topology::Topology;
 
 /// Default bucket count used by the experiments (§5.4.3 sweeps 4000–10000).
@@ -465,6 +466,60 @@ impl SiriIndex for MerkleBucketTree {
 
     fn verify_proof(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
         proof::verify(root, key, proof)
+    }
+
+    fn prove_range(&self, _start: Bound<&[u8]>, _end: Bound<&[u8]>) -> Result<Proof> {
+        // Hashing destroys key order: any range may touch any bucket, so
+        // the complete (deduplicated) page set *is* the range proof. The
+        // skeleton's identical pages — empty buckets above all — collapse
+        // to one copy each, so sparse trees stay cheap to prove.
+        let mut pages = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![self.root];
+        while let Some(hash) = stack.pop() {
+            let page = self.store.try_get(&hash)?.ok_or(IndexError::MissingPage(hash))?;
+            let node = Node::decode(&page)?;
+            if !seen.insert(hash) {
+                continue; // identical subtree: identical page set
+            }
+            pages.push(page);
+            if let Node::Internal { children, .. } = node {
+                stack.extend(children);
+            }
+        }
+        Ok(Proof::new(pages))
+    }
+
+    fn prove_batch(&self, keys: &[Bytes]) -> Result<Proof> {
+        let mut pages = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for key in keys {
+            for page in self.prove(key)?.into_pages() {
+                if seen.insert(siri_crypto::sha256(&page)) {
+                    pages.push(page);
+                }
+            }
+        }
+        Ok(Proof::new(pages))
+    }
+}
+
+impl MerkleBucketTree {
+    /// Verify a range proof against a trusted branch digest — see
+    /// [`siri_core::verify_anchored_range`].
+    pub fn verify_range(
+        digest: Hash,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        proof: &Proof,
+    ) -> siri_core::RangeVerdict {
+        siri_core::verify_anchored_range(&proof::MbtProofScheme, digest, start, end, proof)
+    }
+
+    /// Verify a batched multi-key proof against a trusted branch digest —
+    /// see [`siri_core::verify_anchored_batch`].
+    pub fn verify_batch(digest: Hash, keys: &[Bytes], proof: &Proof) -> siri_core::BatchVerdict {
+        siri_core::verify_anchored_batch(&proof::MbtProofScheme, digest, keys, proof)
     }
 }
 

@@ -43,6 +43,7 @@ use siri_store::{
 
 pub use cursor::RangeCursor;
 pub use node::Node;
+pub use proof::MptProofScheme;
 
 /// Handle to one MPT version: `(store, root digest)` plus the decoded-node
 /// cache every clone of this handle shares. Content addressing keeps the
@@ -263,6 +264,55 @@ impl SiriIndex for MerklePatriciaTrie {
 
     fn verify_proof(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
         proof::verify(root, key, proof)
+    }
+
+    fn prove_range(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> Result<Proof> {
+        let mut pages = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        if !self.root.is_zero() {
+            proof::collect_range_pages(
+                self,
+                self.root,
+                siri_encoding::Nibbles::empty(),
+                start,
+                end,
+                &mut seen,
+                &mut pages,
+            )?;
+        }
+        Ok(Proof::new(pages))
+    }
+
+    fn prove_batch(&self, keys: &[Bytes]) -> Result<Proof> {
+        let mut pages = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for key in keys {
+            for page in self.prove(key)?.into_pages() {
+                if seen.insert(siri_crypto::sha256(&page)) {
+                    pages.push(page);
+                }
+            }
+        }
+        Ok(Proof::new(pages))
+    }
+}
+
+impl MerklePatriciaTrie {
+    /// Verify a range proof against a trusted branch digest — see
+    /// [`siri_core::verify_anchored_range`].
+    pub fn verify_range(
+        digest: Hash,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        proof: &Proof,
+    ) -> siri_core::RangeVerdict {
+        siri_core::verify_anchored_range(&proof::MptProofScheme, digest, start, end, proof)
+    }
+
+    /// Verify a batched multi-key proof against a trusted branch digest —
+    /// see [`siri_core::verify_anchored_batch`].
+    pub fn verify_batch(digest: Hash, keys: &[Bytes], proof: &Proof) -> siri_core::BatchVerdict {
+        siri_core::verify_anchored_batch(&proof::MptProofScheme, digest, keys, proof)
     }
 }
 

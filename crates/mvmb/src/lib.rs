@@ -37,6 +37,7 @@ use siri_store::{
 
 pub use cursor::RangeCursor;
 pub use node::{route, ChildRef, Node};
+pub use proof::MvmbProofScheme;
 
 /// Node capacity limits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -389,6 +390,74 @@ impl SiriIndex for MvmbTree {
 
     fn verify_proof(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
         proof::verify(root, key, proof)
+    }
+
+    fn prove_range(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> Result<Proof> {
+        let mut pages = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        if !self.root.is_zero() {
+            self.collect_range_pages(self.root, start, end, &mut seen, &mut pages)?;
+        }
+        Ok(Proof::new(pages))
+    }
+
+    fn prove_batch(&self, keys: &[Bytes]) -> Result<Proof> {
+        let mut pages = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for key in keys {
+            for page in self.prove(key)?.into_pages() {
+                if seen.insert(siri_crypto::sha256(&page)) {
+                    pages.push(page);
+                }
+            }
+        }
+        Ok(Proof::new(pages))
+    }
+}
+
+impl MvmbTree {
+    /// Prover-side range walk — same pruning predicate as the verifier,
+    /// pages pushed once by content hash, descent never skipped.
+    fn collect_range_pages(
+        &self,
+        hash: Hash,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        seen: &mut std::collections::HashSet<Hash>,
+        pages: &mut Vec<Bytes>,
+    ) -> Result<()> {
+        let page = self.store.try_get(&hash)?.ok_or(IndexError::MissingPage(hash))?;
+        let node = Node::decode(&page)?;
+        if seen.insert(hash) {
+            pages.push(page);
+        }
+        if let Node::Internal(children) = node {
+            let mut prev: Option<Bytes> = None;
+            for c in children {
+                if siri_core::child_overlaps(prev.as_deref(), &c.max_key, start, end) {
+                    self.collect_range_pages(c.child, start, end, seen, pages)?;
+                }
+                prev = Some(c.max_key);
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify a range proof against a trusted branch digest — see
+    /// [`siri_core::verify_anchored_range`].
+    pub fn verify_range(
+        digest: Hash,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        proof: &Proof,
+    ) -> siri_core::RangeVerdict {
+        siri_core::verify_anchored_range(&proof::MvmbProofScheme, digest, start, end, proof)
+    }
+
+    /// Verify a batched multi-key proof against a trusted branch digest —
+    /// see [`siri_core::verify_anchored_batch`].
+    pub fn verify_batch(digest: Hash, keys: &[Bytes], proof: &Proof) -> siri_core::BatchVerdict {
+        siri_core::verify_anchored_batch(&proof::MvmbProofScheme, digest, keys, proof)
     }
 }
 

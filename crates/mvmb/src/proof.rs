@@ -1,8 +1,18 @@
 //! MVMB+-Tree proof verification: re-hash every page, re-run the routing
-//! decision at every level, and only then trust the leaf's answer.
+//! decision at every level, and only then trust the leaf's answer. Also
+//! the [`PagePool`] walkers behind range/batched proofs and the
+//! [`MvmbProofScheme`] glue into the anchored verifiers — the baseline
+//! gets the same verified-read surface as the SIRI structures, which is
+//! essential on sharded branches (its collapsed root is not derivable
+//! from the shard sub-roots, so manifest-anchored proofs are the *only*
+//! sound ones).
+
+use std::ops::Bound;
 
 use bytes::Bytes;
-use siri_core::{Proof, ProofVerdict};
+use siri_core::{
+    bounds_contain, child_overlaps, Entry, PagePool, Proof, ProofScheme, ProofVerdict,
+};
 use siri_crypto::{sha256, Hash};
 
 use crate::node::{route, Node};
@@ -53,6 +63,97 @@ pub(crate) fn verify(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
         }
     }
     ProofVerdict::Invalid("proof exhausted before a leaf")
+}
+
+/// One key's root→leaf re-walk through a shared page pool. Cycle-free by
+/// construction: each fetched page hashes to the digest that referenced it.
+pub(crate) fn verify_key_pages(root: Hash, key: &[u8], pool: &mut PagePool) -> ProofVerdict {
+    if root.is_zero() {
+        return ProofVerdict::Absent;
+    }
+    let mut expected = root;
+    loop {
+        let Some(page) = pool.get(&expected) else {
+            return ProofVerdict::Invalid("missing page in proof");
+        };
+        match Node::decode_zc(&page) {
+            Ok(Node::Internal(children)) => {
+                if key > children.last().expect("non-empty").max_key.as_ref() {
+                    return ProofVerdict::Absent;
+                }
+                expected = children[route(&children, key)].child;
+            }
+            Ok(Node::Leaf(entries)) => {
+                return match entries.binary_search_by(|e| e.key.as_ref().cmp(key)) {
+                    Ok(i) => ProofVerdict::Present(entries[i].value.clone()),
+                    Err(_) => ProofVerdict::Absent,
+                };
+            }
+            Err(_) => return ProofVerdict::Invalid("page undecodable"),
+        }
+    }
+}
+
+/// Re-walk every subtree overlapping the bounds through the pool,
+/// appending in-bounds entries in key order — pruning via the same
+/// [`child_overlaps`] predicate the prover uses.
+pub(crate) fn verify_range_pages(
+    root: Hash,
+    start: Bound<&[u8]>,
+    end: Bound<&[u8]>,
+    pool: &mut PagePool,
+    out: &mut Vec<Entry>,
+) -> Result<(), &'static str> {
+    if root.is_zero() {
+        return Ok(());
+    }
+    let Some(page) = pool.get(&root) else {
+        return Err("missing page in proof");
+    };
+    match Node::decode_zc(&page).map_err(|_| "page undecodable")? {
+        Node::Leaf(entries) => {
+            out.extend(entries.into_iter().filter(|e| bounds_contain(start, end, &e.key)));
+            Ok(())
+        }
+        Node::Internal(children) => {
+            let mut prev: Option<Bytes> = None;
+            for c in children {
+                if child_overlaps(prev.as_deref(), &c.max_key, start, end) {
+                    verify_range_pages(c.child, start, end, pool, out)?;
+                }
+                prev = Some(c.max_key);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// MVMB+-Tree's [`ProofScheme`].
+pub struct MvmbProofScheme;
+
+impl ProofScheme for MvmbProofScheme {
+    fn structure(&self) -> &'static str {
+        "mvmb+-tree"
+    }
+
+    fn verify_membership(&self, root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
+        verify(root, key, proof)
+    }
+
+    fn verify_key_pages(&self, root: Hash, key: &[u8], pool: &mut PagePool) -> ProofVerdict {
+        verify_key_pages(root, key, pool)
+    }
+
+    fn verify_range_pages(
+        &self,
+        root: Hash,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        pool: &mut PagePool,
+        out: &mut Vec<Entry>,
+    ) -> Result<(), &'static str> {
+        verify_range_pages(root, start, end, pool, out)
+    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,7 @@ pub use builder::{Builders, DeferredSeal, Item, LevelBuilder};
 pub use cursor::Cursor;
 pub use node::{route, Node, Piece};
 pub use params::{ChunkerKind, InternalChunking, PosParams, SplitPolicy};
+pub use proof::PosProofScheme;
 
 /// Handle to one POS-Tree version. Clones (= version snapshots) share the
 /// decoded-node cache: content addressing keeps it coherent across
@@ -372,6 +373,77 @@ impl SiriIndex for PosTree {
 
     fn verify_proof(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
         proof::verify(root, key, proof)
+    }
+
+    fn prove_range(&self, start: Bound<&[u8]>, end: Bound<&[u8]>) -> Result<Proof> {
+        let mut pages = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        if !self.root.is_zero() {
+            self.collect_range_pages(self.root, start, end, &mut seen, &mut pages)?;
+        }
+        Ok(Proof::new(pages))
+    }
+
+    fn prove_batch(&self, keys: &[Bytes]) -> Result<Proof> {
+        let mut pages = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for key in keys {
+            for page in self.prove(key)?.into_pages() {
+                if seen.insert(siri_crypto::sha256(&page)) {
+                    pages.push(page);
+                }
+            }
+        }
+        Ok(Proof::new(pages))
+    }
+}
+
+impl PosTree {
+    /// Prover-side range walk: descend every subtree overlapping the
+    /// bounds (same [`siri_core::child_overlaps`] predicate the verifier
+    /// uses), pushing each page once by content hash. Descent is *not*
+    /// skipped for already-pushed pages — dedup applies to the page list
+    /// only, so the walk shape stays identical to the verifier's.
+    fn collect_range_pages(
+        &self,
+        hash: Hash,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        seen: &mut std::collections::HashSet<Hash>,
+        pages: &mut Vec<Bytes>,
+    ) -> Result<()> {
+        let page = self.store.try_get(&hash)?.ok_or(IndexError::MissingPage(hash))?;
+        let node = Node::decode(&page)?;
+        if seen.insert(hash) {
+            pages.push(page);
+        }
+        if let Node::Internal { children, .. } = node {
+            let mut prev: Option<Bytes> = None;
+            for c in children {
+                if siri_core::child_overlaps(prev.as_deref(), &c.max_key, start, end) {
+                    self.collect_range_pages(c.hash, start, end, seen, pages)?;
+                }
+                prev = Some(c.max_key);
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify a range proof against a trusted branch digest (manifest or
+    /// bare root) — see [`siri_core::verify_anchored_range`].
+    pub fn verify_range(
+        digest: Hash,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        proof: &Proof,
+    ) -> siri_core::RangeVerdict {
+        siri_core::verify_anchored_range(&proof::PosProofScheme, digest, start, end, proof)
+    }
+
+    /// Verify a batched multi-key proof against a trusted branch digest —
+    /// see [`siri_core::verify_anchored_batch`].
+    pub fn verify_batch(digest: Hash, keys: &[Bytes], proof: &Proof) -> siri_core::BatchVerdict {
+        siri_core::verify_anchored_batch(&proof::PosProofScheme, digest, keys, proof)
     }
 }
 

@@ -1,7 +1,13 @@
-//! POS-Tree Merkle proofs: the root→leaf page path under max-key routing.
+//! POS-Tree Merkle proofs: the root→leaf page path under max-key routing,
+//! plus the [`PagePool`] walkers behind range and batched proofs and the
+//! [`PosProofScheme`] glue that plugs them into the anchored verifiers.
+
+use std::ops::Bound;
 
 use bytes::Bytes;
-use siri_core::{Proof, ProofVerdict};
+use siri_core::{
+    bounds_contain, child_overlaps, Entry, PagePool, Proof, ProofScheme, ProofVerdict,
+};
 use siri_crypto::{sha256, Hash};
 
 use crate::node::{route, Node};
@@ -53,6 +59,99 @@ pub(crate) fn verify(root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
         }
     }
     ProofVerdict::Invalid("proof exhausted before a leaf")
+}
+
+/// One key's root→leaf re-walk through a shared page pool — the batched-
+/// proof primitive. Termination needs no depth counter: every fetched page
+/// hashes to the digest that referenced it, so a cycle would be a SHA-256
+/// fixpoint.
+pub(crate) fn verify_key_pages(root: Hash, key: &[u8], pool: &mut PagePool) -> ProofVerdict {
+    if root.is_zero() {
+        return ProofVerdict::Absent;
+    }
+    let mut expected = root;
+    loop {
+        let Some(page) = pool.get(&expected) else {
+            return ProofVerdict::Invalid("missing page in proof");
+        };
+        match Node::decode_zc(&page) {
+            Ok(Node::Internal { children, .. }) => {
+                if key > children.last().expect("non-empty").max_key.as_ref() {
+                    return ProofVerdict::Absent;
+                }
+                expected = children[route(&children, key)].hash;
+            }
+            Ok(Node::Leaf { entries, .. }) => {
+                return match entries.binary_search_by(|e| e.key.as_ref().cmp(key)) {
+                    Ok(i) => ProofVerdict::Present(entries[i].value.clone()),
+                    Err(_) => ProofVerdict::Absent,
+                };
+            }
+            Err(_) => return ProofVerdict::Invalid("page undecodable"),
+        }
+    }
+}
+
+/// Re-walk every subtree of `root` overlapping the bounds through the
+/// pool, appending in-bounds entries in key order. Mirrors the prover's
+/// pruning exactly via the shared [`child_overlaps`] predicate.
+pub(crate) fn verify_range_pages(
+    root: Hash,
+    start: Bound<&[u8]>,
+    end: Bound<&[u8]>,
+    pool: &mut PagePool,
+    out: &mut Vec<Entry>,
+) -> Result<(), &'static str> {
+    if root.is_zero() {
+        return Ok(());
+    }
+    let Some(page) = pool.get(&root) else {
+        return Err("missing page in proof");
+    };
+    match Node::decode_zc(&page).map_err(|_| "page undecodable")? {
+        Node::Leaf { entries, .. } => {
+            out.extend(entries.into_iter().filter(|e| bounds_contain(start, end, &e.key)));
+            Ok(())
+        }
+        Node::Internal { children, .. } => {
+            let mut prev: Option<Bytes> = None;
+            for c in children {
+                if child_overlaps(prev.as_deref(), &c.max_key, start, end) {
+                    verify_range_pages(c.hash, start, end, pool, out)?;
+                }
+                prev = Some(c.max_key);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// POS-Tree's [`ProofScheme`] — the dyn-safe handle clients verify with.
+pub struct PosProofScheme;
+
+impl ProofScheme for PosProofScheme {
+    fn structure(&self) -> &'static str {
+        "pos-tree"
+    }
+
+    fn verify_membership(&self, root: Hash, key: &[u8], proof: &Proof) -> ProofVerdict {
+        verify(root, key, proof)
+    }
+
+    fn verify_key_pages(&self, root: Hash, key: &[u8], pool: &mut PagePool) -> ProofVerdict {
+        verify_key_pages(root, key, pool)
+    }
+
+    fn verify_range_pages(
+        &self,
+        root: Hash,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+        pool: &mut PagePool,
+        out: &mut Vec<Entry>,
+    ) -> Result<(), &'static str> {
+        verify_range_pages(root, start, end, pool, out)
+    }
 }
 
 #[cfg(test)]

@@ -544,6 +544,30 @@ where
                 Err(e) => Response::Err(WireError::from_index_error(&e)),
             }
         }
+        Request::ProveRange { branch, start, end } => {
+            counters.reads.fetch_add(1, Ordering::Relaxed);
+            match Session::prove_range(engine, &branch, start.as_bound(), end.as_bound()) {
+                Ok((root, proof)) => Response::Proof { root, pages: proof.pages().to_vec() },
+                Err(e) => Response::Err(WireError::from_index_error(&e)),
+            }
+        }
+        Request::ProveBatch { branch, keys } => {
+            if keys.len() > proto::MAX_BATCH_KEYS {
+                return (
+                    Response::Err(WireError {
+                        code: ERR_PROTOCOL,
+                        aux: proto::MAX_BATCH_KEYS as u64,
+                        message: "proof batch too large".into(),
+                    }),
+                    After::Keep,
+                );
+            }
+            counters.reads.fetch_add(keys.len() as u64, Ordering::Relaxed);
+            match Session::prove_batch(engine, &branch, &keys) {
+                Ok((root, proof)) => Response::Proof { root, pages: proof.pages().to_vec() },
+                Err(e) => Response::Err(WireError::from_index_error(&e)),
+            }
+        }
         Request::Stats => Response::Stats(shared.snapshot()),
         Request::Fetch { hashes } => {
             if hashes.len() > MAX_FETCH_HASHES {

@@ -31,7 +31,8 @@ use siri_crypto::Hash;
 use siri_encoding::{ByteReader, ByteWriter, CodecError};
 
 /// Protocol version spoken by this build (bumped on any wire change).
-pub const WIRE_VERSION: u8 = 1;
+/// History: 1 — initial verb set; 2 — `ProveRange`/`ProveBatch`.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Default cap on one frame's payload (length prefix excluded).
 pub const MAX_FRAME_BYTES: usize = 8 << 20;
@@ -45,6 +46,10 @@ pub const MAX_FETCH_HASHES: usize = 1 << 12;
 
 /// Cap on a branch-name length in bytes.
 pub const MAX_NAME_BYTES: usize = 1 << 12;
+
+/// Cap on keys in one `ProveBatch` (each key adds a root→leaf walk server
+/// side, so this bounds per-request work as well as frame size).
+pub const MAX_BATCH_KEYS: usize = 1 << 10;
 
 /// Everything a client can ask.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +74,11 @@ pub enum Request {
     BranchDigest { branch: String },
     /// A Merkle proof for a key, plus the root it verifies against.
     Prove { branch: String, key: Bytes },
+    /// A completeness proof for `[start, end)`, anchored at the branch
+    /// digest (manifest-first on a sharded branch).
+    ProveRange { branch: String, start: WireBound, end: WireBound },
+    /// One deduplicated page set proving every key in `keys` at once.
+    ProveBatch { branch: String, keys: Vec<Bytes> },
     /// Server and per-connection counters.
     Stats,
     /// Anti-entropy page fetch: the pages named by `hashes`, in order.
@@ -363,6 +373,8 @@ const REQ_PROVE: u8 = 9;
 const REQ_STATS: u8 = 10;
 const REQ_FETCH: u8 = 11;
 const REQ_SHUTDOWN: u8 = 12;
+const REQ_PROVE_RANGE: u8 = 13;
+const REQ_PROVE_BATCH: u8 = 14;
 
 impl Request {
     /// Encode into one frame payload.
@@ -414,6 +426,20 @@ impl Request {
                 put_name(&mut w, branch);
                 w.put_bytes(key);
             }
+            Request::ProveRange { branch, start, end } => {
+                w.put_u8(REQ_PROVE_RANGE);
+                put_name(&mut w, branch);
+                put_bound(&mut w, start);
+                put_bound(&mut w, end);
+            }
+            Request::ProveBatch { branch, keys } => {
+                w.put_u8(REQ_PROVE_BATCH);
+                put_name(&mut w, branch);
+                w.put_varint(keys.len() as u64);
+                for k in keys {
+                    w.put_bytes(k);
+                }
+            }
             Request::Stats => w.put_u8(REQ_STATS),
             Request::Fetch { hashes } => {
                 w.put_u8(REQ_FETCH);
@@ -458,6 +484,21 @@ impl Request {
             REQ_DELETE_BRANCH => Request::DeleteBranch { branch: get_name(&mut r)? },
             REQ_BRANCH_DIGEST => Request::BranchDigest { branch: get_name(&mut r)? },
             REQ_PROVE => Request::Prove { branch: get_name(&mut r)?, key: get_blob(&mut r)? },
+            REQ_PROVE_RANGE => {
+                let branch = get_name(&mut r)?;
+                let start = get_bound(&mut r)?;
+                let end = get_bound(&mut r)?;
+                Request::ProveRange { branch, start, end }
+            }
+            REQ_PROVE_BATCH => {
+                let branch = get_name(&mut r)?;
+                let n = get_count(&mut r, MAX_BATCH_KEYS, "batch keys")?;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(get_blob(&mut r)?);
+                }
+                Request::ProveBatch { branch, keys }
+            }
             REQ_STATS => Request::Stats,
             REQ_FETCH => {
                 let n = get_count(&mut r, MAX_FETCH_HASHES, "fetch hashes")?;
@@ -693,11 +734,30 @@ mod tests {
                 limit: 128,
             },
             Request::Fetch { hashes: vec![siri_crypto::sha256(b"p")] },
+            Request::ProveRange {
+                branch: "b".into(),
+                start: WireBound::Unbounded,
+                end: WireBound::Included(Bytes::from_static(b"q")),
+            },
+            Request::ProveBatch {
+                branch: "b".into(),
+                keys: vec![Bytes::from_static(b"k1"), Bytes::from_static(b"k2")],
+            },
+            Request::ProveBatch { branch: "b".into(), keys: Vec::new() },
             Request::Shutdown,
         ];
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()), Ok(req));
         }
+    }
+
+    #[test]
+    fn oversized_batch_key_count_is_rejected() {
+        let mut w = siri_encoding::ByteWriter::new();
+        w.put_u8(14); // REQ_PROVE_BATCH
+        w.put_bytes(b"b");
+        w.put_varint((MAX_BATCH_KEYS + 1) as u64);
+        assert!(Request::decode(&w.into_vec()).is_err());
     }
 
     #[test]

@@ -41,8 +41,14 @@ fn usage() -> ! {
          \x20                        built on N threads and the version digest is the\n\
          \x20                        shard-manifest page (reads stay transparent)\n\
          \x20 log                    list version digests, newest first\n\
-         \x20 prove <key>            print a Merkle proof for the key\n\
-         \x20 verify <key> <root> <proof-hex...>  check a proof offline\n\
+         \x20 prove <key>            print an anchored Merkle proof for the key\n\
+         \x20 prove --range <start> [<end>]  completeness proof for [start, end)\n\
+         \x20 prove --batch <key>...  one deduplicated proof for several keys\n\
+         \x20                        (all three anchor at the head digest and work\n\
+         \x20                        on sharded heads; output is root + proof hex)\n\
+         \x20 verify <key> <root> <proof-hex...>  check a membership proof offline\n\
+         \x20 verify --range <start> <end|-> <root> <proof-hex...>  check a range\n\
+         \x20                        proof offline and print the proven entries\n\
          \x20 diff <rootA> <rootB>   compare two versions\n\
          \x20 gc [--keep N]          retire all but the last N versions (default 1)\n\
          \x20                        and compact the store on disk\n\
@@ -54,13 +60,16 @@ fn usage() -> ! {
          \x20 connect <ADDR> <cmd>   run a command against a remote server; cmd is one of\n\
          \x20                        put/del/get/scan/branches/digest/prove/stats/shutdown\n\
          \x20                        (--branch B targets a branch; default master; stats\n\
-         \x20                        prints server totals and per-connection counters)\n\
+         \x20                        prints server totals and per-connection counters;\n\
+         \x20                        prove re-verifies the server's proof locally against\n\
+         \x20                        the branch digest and also takes --range/--batch)\n\
          \x20 sync <ADDR>            anti-entropy pull: fetch the remote head's missing\n\
          \x20                        pages into this database and record the version\n\
          options:\n\
          \x20 --shards N             shard count for `load` (default 1; max 256).\n\
-         \x20                        Sharded heads answer get/scan/stats/gc like any\n\
-         \x20                        other version; prove/diff need an unsharded root."
+         \x20                        Sharded heads answer get/scan/stats/gc/prove like\n\
+         \x20                        any other version (proofs anchor at the manifest\n\
+         \x20                        digest); only diff needs unsharded roots."
     );
     std::process::exit(2);
 }
@@ -68,6 +77,28 @@ fn usage() -> ! {
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("siri: {msg}");
     std::process::exit(1);
+}
+
+/// Proof bytes from CLI args: a single argument is tried as a
+/// [`siri::Proof::encode`] artifact first; otherwise every argument is one
+/// hex page, in order (the page-per-line form older scripts pipe around).
+fn decode_proof_args(args: &[String]) -> siri::Proof {
+    if args.len() == 1 {
+        if let Some(raw) = siri::crypto::hex::decode(&args[0]) {
+            if let Ok(p) = siri::Proof::decode(&raw) {
+                return p;
+            }
+        }
+    }
+    let pages = args
+        .iter()
+        .map(|h| {
+            bytes::Bytes::from(
+                siri::crypto::hex::decode(h).unwrap_or_else(|| fail("bad hex page in proof")),
+            )
+        })
+        .collect();
+    siri::Proof::new(pages)
 }
 
 fn load_history(path: &str) -> Vec<Hash> {
@@ -360,44 +391,100 @@ fn main() {
             }
         }
         "prove" => {
-            let key = rest.get(1).unwrap_or_else(|| usage());
-            // On a sharded head the proof anchors at the key's sub-root;
-            // the manifest line ties that sub-root to the version digest
-            // (the manifest page is content-addressed, so a verifier can
-            // fetch it by the printed digest and check the binding).
-            let tree = &heads[router.shard_of(key.as_bytes())];
-            let proof = tree
-                .prove(key.as_bytes())
-                .unwrap_or_else(|e| fail(format_args!("prove failed: {e}")));
-            if heads.len() > 1 {
-                println!("manifest\t{head_root}");
+            // Anchored proofs: on a sharded head the shard-manifest page is
+            // the first proof page, so the whole proof verifies against the
+            // version digest alone — the same contract the engine and the
+            // wire protocol honor. The proof prints as one hex artifact
+            // (`siri::Proof::encode`) after the anchoring root.
+            use siri::Session;
+            let engine = siri::Forkbase::with_store(siri::PosFactory(params), store.clone(), 0);
+            engine.open_branch("master", head_root);
+            let (digest, proof) = match rest.get(1).map(String::as_str) {
+                Some("--range") => {
+                    let start = rest.get(2).unwrap_or_else(|| usage());
+                    let end = rest.get(3).filter(|e| e.as_str() != "-");
+                    let eb = match &end {
+                        Some(e) => std::ops::Bound::Excluded(e.as_bytes()),
+                        None => std::ops::Bound::Unbounded,
+                    };
+                    Session::prove_range(
+                        &engine,
+                        "master",
+                        std::ops::Bound::Included(start.as_bytes()),
+                        eb,
+                    )
+                }
+                Some("--batch") => {
+                    let keys: Vec<bytes::Bytes> = rest[2..]
+                        .iter()
+                        .map(|k| bytes::Bytes::copy_from_slice(k.as_bytes()))
+                        .collect();
+                    if keys.is_empty() {
+                        usage();
+                    }
+                    Session::prove_batch(&engine, "master", &keys)
+                }
+                Some(key) => Session::prove(&engine, "master", key.as_bytes()),
+                None => usage(),
             }
-            println!("root\t{}", tree.root());
-            for page in proof.pages() {
-                println!("{}", siri::crypto::hex::encode(page));
-            }
+            .unwrap_or_else(|e| fail(format_args!("prove failed: {e}")));
+            println!("root\t{digest}");
+            println!("{}", siri::crypto::hex::encode(&proof.encode()));
         }
         "verify" => {
-            let key = rest.get(1).unwrap_or_else(|| usage());
-            let root = rest.get(2).and_then(|s| Hash::from_hex(s)).unwrap_or_else(|| usage());
-            let pages: Vec<bytes::Bytes> = rest[3..]
-                .iter()
-                .map(|h| {
-                    bytes::Bytes::from(
-                        siri::crypto::hex::decode(h)
-                            .unwrap_or_else(|| fail("bad hex page in proof")),
-                    )
-                })
-                .collect();
-            let proof = siri::Proof::new(pages);
-            match PosTree::verify_proof(root, key.as_bytes(), &proof) {
-                siri::ProofVerdict::Present(v) => {
-                    println!("PRESENT\t{}", String::from_utf8_lossy(&v))
+            let ranged = rest.get(1).map(String::as_str) == Some("--range");
+            // Positional layout: `verify <key> <root> <proof-hex...>` or
+            // `verify --range <start> <end|-> <root> <proof-hex...>`.
+            let args = if ranged { &rest[2..] } else { &rest[1..] };
+            let (root_at, hex_from) = if ranged { (2, 3) } else { (1, 2) };
+            let root = args.get(root_at).and_then(|s| Hash::from_hex(s)).unwrap_or_else(|| usage());
+            let proof = decode_proof_args(&args[hex_from.min(args.len())..]);
+            if ranged {
+                let start = args.first().unwrap_or_else(|| usage());
+                let end = args.get(1).unwrap_or_else(|| usage());
+                let eb = if end.as_str() == "-" {
+                    std::ops::Bound::Unbounded
+                } else {
+                    std::ops::Bound::Excluded(end.as_bytes())
+                };
+                match siri::verify_anchored_range(
+                    &siri::PosProofScheme,
+                    root,
+                    std::ops::Bound::Included(start.as_bytes()),
+                    eb,
+                    &proof,
+                ) {
+                    siri::RangeVerdict::Complete(entries) => {
+                        println!("COMPLETE\t{} entr(ies)", entries.len());
+                        for e in entries {
+                            println!(
+                                "{}\t{}",
+                                String::from_utf8_lossy(&e.key),
+                                String::from_utf8_lossy(&e.value)
+                            );
+                        }
+                    }
+                    siri::RangeVerdict::Invalid(why) => {
+                        println!("INVALID\t{why}");
+                        std::process::exit(1);
+                    }
                 }
-                siri::ProofVerdict::Absent => println!("ABSENT"),
-                siri::ProofVerdict::Invalid(why) => {
-                    println!("INVALID\t{why}");
-                    std::process::exit(1);
+            } else {
+                let key = args.first().unwrap_or_else(|| usage());
+                match siri::verify_anchored_membership(
+                    &siri::PosProofScheme,
+                    root,
+                    key.as_bytes(),
+                    &proof,
+                ) {
+                    siri::ProofVerdict::Present(v) => {
+                        println!("PRESENT\t{}", String::from_utf8_lossy(&v))
+                    }
+                    siri::ProofVerdict::Absent => println!("ABSENT"),
+                    siri::ProofVerdict::Invalid(why) => {
+                        println!("INVALID\t{why}");
+                        std::process::exit(1);
+                    }
                 }
             }
         }
@@ -669,13 +756,36 @@ fn run_connect(rest: &[String]) {
             Err(e) => fail(format_args!("cannot read branch digest: {e}")),
         },
         "prove" => {
-            let key = pos.get(2).unwrap_or_else(|| usage());
-            match session.prove(&branch, key.as_bytes()) {
+            // The RemoteSession verifies every proof locally against the
+            // branch digest before returning it, so a printed proof is
+            // already known-good evidence — a lying server fails here.
+            let result = match pos.get(2).map(|s| s.as_str()) {
+                Some("--range") => {
+                    let start = pos.get(3).unwrap_or_else(|| usage());
+                    let end = pos.get(4).filter(|e| e.as_str() != "-");
+                    let eb = match &end {
+                        Some(e) => std::ops::Bound::Excluded(e.as_bytes()),
+                        None => std::ops::Bound::Unbounded,
+                    };
+                    session.prove_range(&branch, std::ops::Bound::Included(start.as_bytes()), eb)
+                }
+                Some("--batch") => {
+                    let keys: Vec<bytes::Bytes> = pos[3..]
+                        .iter()
+                        .map(|k| bytes::Bytes::copy_from_slice(k.as_bytes()))
+                        .collect();
+                    if keys.is_empty() {
+                        usage();
+                    }
+                    session.prove_batch(&branch, &keys)
+                }
+                Some(key) => session.prove(&branch, key.as_bytes()),
+                None => usage(),
+            };
+            match result {
                 Ok((root, proof)) => {
                     println!("root\t{root}");
-                    for page in proof.pages() {
-                        println!("{}", siri::crypto::hex::encode(page));
-                    }
+                    println!("{}", siri::crypto::hex::encode(&proof.encode()));
                 }
                 Err(e) => fail(format_args!("prove failed: {e}")),
             }

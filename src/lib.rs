@@ -46,28 +46,31 @@
 //! paper-reproduction map.
 
 pub use siri_core::{
-    apply_ops, chain_cursors, cost_model, diff_by_scan, diff_sorted_entries, entry_codec, merge,
-    merge_with_base, metrics, prefix_successor, siri_properties, BatchOp, Bytes, CacheStats,
-    CommitInfo, DiffEntry, DiffSide, Entry, EntryCursor, Hash, IndexError, LookupTrace, MemStore,
-    MergeOutcome, MergeStrategy, NodeStore, Op, PageSet, Proof, ProofVerdict, Reclaim, Result,
-    Session, ShardCommit, ShardManifest, ShardRouter, SharedStore, SiriIndex, StoreError,
-    StoreResult, StoreStats, StructureReport, StructureStats, VersionStore, VersionTag, WriteBatch,
-    MANIFEST_MAGIC,
+    apply_ops, bounds_contain, chain_cursors, child_overlaps, cost_model, diff_by_scan,
+    diff_sorted_entries, entry_codec, merge, merge_with_base, metrics, prefix_successor,
+    siri_properties, verify_anchored_batch, verify_anchored_membership, verify_anchored_range,
+    BatchOp, BatchVerdict, Bytes, CacheStats, CommitInfo, DiffEntry, DiffSide, Entry, EntryCursor,
+    Hash, IndexError, LookupTrace, MemStore, MergeOutcome, MergeStrategy, NodeStore, Op, PagePool,
+    PageSet, Proof, ProofScheme, ProofVerdict, RangeVerdict, Reclaim, Result, Session, ShardCommit,
+    ShardManifest, ShardRouter, SharedStore, SiriIndex, StoreError, StoreResult, StoreStats,
+    StructureReport, StructureStats, VersionStore, VersionTag, WriteBatch, MANIFEST_MAGIC,
+    MAX_PROOF_PAGES,
 };
 
 pub use siri_client::{ClientOptions, RemoteSession, SyncOptions, SyncReport};
 pub use siri_crypto as crypto;
 pub use siri_encoding as encoding;
 pub use siri_forkbase::{
-    max_commit_attempts, EngineStats, Forkbase, IndexFactory, MbtFactory, MptFactory, MvmbFactory,
-    NomsEngine, PosFactory, ShardStats, ShardingPolicy, DEFAULT_FETCH_COST_NANOS,
-    MAX_COMMIT_ATTEMPTS,
+    max_commit_attempts, scheme_by_name, EngineStats, Forkbase, IndexFactory, MbtFactory,
+    MptFactory, MvmbFactory, NomsEngine, PosFactory, ShardStats, ShardingPolicy,
+    DEFAULT_FETCH_COST_NANOS, MAX_COMMIT_ATTEMPTS,
 };
-pub use siri_mbt::{MerkleBucketTree, DEFAULT_BUCKETS, DEFAULT_FANOUT};
-pub use siri_mpt::MerklePatriciaTrie;
-pub use siri_mvmb::{MvmbParams, MvmbTree};
+pub use siri_mbt::{MbtProofScheme, MerkleBucketTree, DEFAULT_BUCKETS, DEFAULT_FANOUT};
+pub use siri_mpt::{MerklePatriciaTrie, MptProofScheme};
+pub use siri_mvmb::{MvmbParams, MvmbProofScheme, MvmbTree};
 pub use siri_pos_tree::{
-    self as pos_tree, ChunkerKind, InternalChunking, PosParams, PosTree, SplitPolicy,
+    self as pos_tree, ChunkerKind, InternalChunking, PosParams, PosProofScheme, PosTree,
+    SplitPolicy,
 };
 pub use siri_server::{self as server, proto, serve, serve_addr, ServerHandle, ServerOptions};
 pub use siri_store::{
@@ -178,5 +181,16 @@ impl Session for ArcSession {
     }
     fn prove(&self, branch: &str, key: &[u8]) -> Result<(Hash, Proof)> {
         Session::prove(self.0.as_ref(), branch, key)
+    }
+    fn prove_range(
+        &self,
+        branch: &str,
+        start: std::ops::Bound<&[u8]>,
+        end: std::ops::Bound<&[u8]>,
+    ) -> Result<(Hash, Proof)> {
+        Session::prove_range(self.0.as_ref(), branch, start, end)
+    }
+    fn prove_batch(&self, branch: &str, keys: &[Bytes]) -> Result<(Hash, Proof)> {
+        Session::prove_batch(self.0.as_ref(), branch, keys)
     }
 }

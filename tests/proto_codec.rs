@@ -61,6 +61,10 @@ fn arb_request() -> BoxedStrategy<Request> {
         arb_name().prop_map(|branch| Request::DeleteBranch { branch }),
         arb_name().prop_map(|branch| Request::BranchDigest { branch }),
         (arb_name(), arb_bytes(12)).prop_map(|(branch, key)| Request::Prove { branch, key }),
+        (arb_name(), arb_bound(), arb_bound())
+            .prop_map(|(branch, start, end)| Request::ProveRange { branch, start, end }),
+        (arb_name(), proptest::collection::vec(arb_bytes(12), 0..6))
+            .prop_map(|(branch, keys)| Request::ProveBatch { branch, keys }),
         Just(Request::Stats),
         proptest::collection::vec(arb_hash(), 0..6).prop_map(|hashes| Request::Fetch { hashes }),
         Just(Request::Shutdown),

@@ -13,8 +13,7 @@ use std::time::Duration;
 
 use siri::{
     serve, ClientOptions, Forkbase, Hash, IndexError, MemStore, NodeStore, PosFactory, PosParams,
-    PosTree, RemoteSession, ServerHandle, ServerOptions, Session, SiriIndex, SyncOptions,
-    WriteBatch,
+    RemoteSession, ServerHandle, ServerOptions, Session, SyncOptions, WriteBatch,
 };
 
 fn engine() -> Arc<Forkbase<PosFactory>> {
@@ -134,10 +133,79 @@ fn remote_proofs_verify_offline() {
     let session = RemoteSession::connect(handle.addr()).unwrap();
     let (root, proof) = session.prove("master", b"acct0123").unwrap();
     assert_eq!(root, session.branch_digest("master").unwrap());
-    // Verification is pure local computation: no server, no store.
-    let verdict = PosTree::verify_proof(root, b"acct0123", &proof);
+    // Verification is pure local computation: no server, no store. The
+    // anchored verifier handles both bare and manifest-rooted proofs, so
+    // this holds under any SIRI_SHARDS setting.
+    let scheme = &siri::PosProofScheme;
+    let verdict = siri::verify_anchored_membership(scheme, root, b"acct0123", &proof);
     assert_eq!(verdict.value().unwrap().as_ref(), b"balance123");
-    assert!(!PosTree::verify_proof(root, b"acct9999", &proof).is_valid());
+    assert!(!siri::verify_anchored_membership(scheme, root, b"acct9999", &proof).is_valid());
+}
+
+/// A server that lies about proofs must not get past the client. The
+/// client's only trust anchor is the branch digest it fetched itself;
+/// any proof whose claimed root differs from that digest — or whose
+/// pages don't hash up to it — is rejected with `ProofRejected` before
+/// a single byte of it is believed.
+#[test]
+fn malicious_server_proofs_are_rejected_client_side() {
+    use bytes::Bytes;
+    use siri::proto::{read_frame, write_frame, Request, Response, MAX_FRAME_BYTES, WIRE_VERSION};
+
+    // A hand-rolled "server" speaking just enough of the wire protocol to
+    // lie: honest handshake, honest digest, doctored proofs.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let digest = siri::crypto::sha256(b"the-root-the-client-trusts");
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        loop {
+            let frame = match read_frame(&mut stream, MAX_FRAME_BYTES) {
+                Ok(f) => f,
+                Err(_) => return, // client hung up
+            };
+            let resp = match Request::decode(&frame).unwrap() {
+                Request::Hello { .. } => Response::Hello { version: WIRE_VERSION },
+                Request::BranchDigest { .. } => Response::Digest(digest),
+                // Self-consistent proof (its page hashes to its root) —
+                // but the root is not the digest this server vouched for.
+                Request::Prove { .. } => {
+                    let page = Bytes::from_static(b"an honest-looking page");
+                    Response::Proof { root: siri::crypto::sha256(&page), pages: vec![page] }
+                }
+                // Claims the trusted digest, but the pages don't hash to it.
+                Request::ProveRange { .. } => Response::Proof {
+                    root: digest,
+                    pages: vec![Bytes::from_static(b"garbage that anchors nowhere")],
+                },
+                // Claims the trusted digest with no evidence at all.
+                Request::ProveBatch { .. } => Response::Proof { root: digest, pages: vec![] },
+                _ => Response::Ok,
+            };
+            if write_frame(&mut stream, &resp.encode()).is_err() {
+                return;
+            }
+        }
+    });
+
+    let session = RemoteSession::connect(addr).unwrap();
+
+    // Root ≠ trusted digest: rejected before any verification walk.
+    assert!(
+        matches!(session.prove("master", b"k"), Err(IndexError::ProofRejected(_))),
+        "a proof anchored at the server's own root must be rejected"
+    );
+    // Root matches but the pages are forged: the anchored walk rejects.
+    assert!(matches!(
+        session.prove_range("master", std::ops::Bound::Unbounded, std::ops::Bound::Unbounded),
+        Err(IndexError::ProofRejected(_))
+    ));
+    // An empty proof cannot claim a non-zero digest.
+    let keys = vec![bytes::Bytes::from_static(b"k")];
+    assert!(matches!(session.prove_batch("master", &keys), Err(IndexError::ProofRejected(_))));
+
+    drop(session);
+    server.join().unwrap();
 }
 
 #[test]
@@ -162,9 +230,15 @@ fn anti_entropy_over_the_wire_ships_deltas_and_resumes() {
     assert!(local.contains(&v1));
     assert!(cold.round_trips < cold.pages_fetched, "fetches must batch");
 
-    // The replica answers reads with no server involved.
-    let replica = PosTree::open(local.clone(), PosParams::default(), v1);
-    assert_eq!(replica.get(b"key00042").unwrap().unwrap().as_ref(), b"value-42-r0".as_ref());
+    // The replica answers reads with no server involved. Open through an
+    // engine, which resolves a shard-manifest digest (SIRI_SHARDS runs)
+    // exactly like a bare tree root.
+    let replica = Forkbase::with_store(PosFactory(PosParams::default()), local.clone(), 0);
+    replica.open_branch("v1", v1);
+    assert_eq!(
+        Session::get(&replica, "v1", b"key00042").unwrap().unwrap().as_ref(),
+        b"value-42-r0".as_ref()
+    );
 
     // Mutate 1% of the records server-side — a contiguous run, the shape
     // anti-entropy is built for: the rewrite is confined to a few leaf
@@ -200,9 +274,15 @@ fn anti_entropy_over_the_wire_ships_deltas_and_resumes() {
     );
 
     // Both versions are now fully readable locally.
-    let replica2 = PosTree::open(local.clone(), PosParams::default(), v2);
-    assert_eq!(replica2.get(b"key00071").unwrap().unwrap().as_ref(), b"value-71-r1".as_ref());
-    assert_eq!(replica.get(b"key00071").unwrap().unwrap().as_ref(), b"value-71-r0".as_ref());
+    replica.open_branch("v2", v2);
+    assert_eq!(
+        Session::get(&replica, "v2", b"key00071").unwrap().unwrap().as_ref(),
+        b"value-71-r1".as_ref()
+    );
+    assert_eq!(
+        Session::get(&replica, "v1", b"key00071").unwrap().unwrap().as_ref(),
+        b"value-71-r0".as_ref()
+    );
 
     // Re-syncing an up-to-date replica costs nothing but the digest probe.
     let (_, again) =

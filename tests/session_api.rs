@@ -6,7 +6,7 @@
 
 use std::ops::Bound;
 
-use siri::{env_session, IndexError, PosTree, SiriIndex, WriteBatch};
+use siri::{env_session, IndexError, WriteBatch};
 
 fn batch(pairs: &[(&str, &str)]) -> WriteBatch {
     let mut b = WriteBatch::new();
@@ -135,19 +135,70 @@ fn proofs_verify_offline_against_the_branch_digest() {
 
     // The anchor root is exactly the published digest, so a verifier that
     // learned the digest out of band needs nothing else from the server.
+    // The anchored verifier resolves a shard-manifest first page (any
+    // SIRI_SHARDS setting) the same as a bare tree root.
     assert_eq!(root, s.branch_digest("master").unwrap());
-    let verdict = PosTree::verify_proof(root, b"bob", &proof);
+    let scheme = &siri::PosProofScheme;
+    let verdict = siri::verify_anchored_membership(scheme, root, b"bob", &proof);
     assert_eq!(verdict.value().unwrap().as_ref(), b"75");
 
-    // An absent key yields a valid *absence* verdict, never a value.
-    let absent = PosTree::verify_proof(root, b"mallory", &proof);
+    // An absent key needs its own proof (the anchored verifier insists
+    // every supplied page participate in the walk).
+    let (aroot, aproof) = s.prove("master", b"mallory").unwrap();
+    assert_eq!(aroot, root);
+    let absent = siri::verify_anchored_membership(scheme, root, b"mallory", &aproof);
     assert!(absent.is_valid());
     assert_eq!(absent.value(), None);
 
     // Tamper check: one flipped bit and the proof no longer verifies.
     let mut forged = proof.clone();
     forged.tamper(0, 3);
-    assert!(!PosTree::verify_proof(root, b"bob", &forged).is_valid());
+    assert!(!siri::verify_anchored_membership(scheme, root, b"bob", &forged).is_valid());
+}
+
+#[test]
+fn range_and_batch_proofs_verify_offline() {
+    use siri::{
+        verify_anchored_batch, verify_anchored_range, BatchVerdict, PosProofScheme, ProofVerdict,
+    };
+
+    let s = env_session();
+    s.commit("master", batch(&[("alice", "100"), ("bob", "75"), ("carol", "10"), ("dave", "0")]))
+        .unwrap();
+    let digest = s.branch_digest("master").unwrap();
+
+    // A range proof carries its window completely: exactly the covered
+    // entries come back, in order, and the anchor is the branch digest.
+    // (Under SIRI_REMOTE=1 the RemoteSession has already verified this
+    // proof against the digest before handing it over.)
+    let (root, proof) =
+        s.prove_range("master", Bound::Included(&b"b"[..]), Bound::Excluded(&b"d"[..])).unwrap();
+    assert_eq!(root, digest);
+    let verdict = verify_anchored_range(
+        &PosProofScheme,
+        digest,
+        Bound::Included(&b"b"[..]),
+        Bound::Excluded(&b"d"[..]),
+        &proof,
+    );
+    let entries = verdict.entries().expect("range proof must verify");
+    assert_eq!(entries.len(), 2);
+    assert_eq!(entries[0].key.as_ref(), b"bob");
+    assert_eq!(entries[1].key.as_ref(), b"carol");
+    assert_eq!(entries[1].value.as_ref(), b"10");
+
+    // A batched proof answers several keys from one deduplicated page set,
+    // mixing membership and non-membership verdicts.
+    let keys = vec![siri::Bytes::from_static(b"alice"), siri::Bytes::from_static(b"mallory")];
+    let (root, bp) = s.prove_batch("master", &keys).unwrap();
+    assert_eq!(root, digest);
+    match verify_anchored_batch(&PosProofScheme, digest, &keys, &bp) {
+        BatchVerdict::Verified(vs) => {
+            assert_eq!(vs[0].value().unwrap().as_ref(), b"100");
+            assert_eq!(vs[1], ProofVerdict::Absent);
+        }
+        other => panic!("batch proof rejected: {other:?}"),
+    }
 }
 
 #[test]
